@@ -1,0 +1,181 @@
+//! Criterion microbenchmarks of the per-cycle hot paths: the supply
+//! integrator, the resonance detector, the CPU core, and the power model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cpusim::isa::LoopStream;
+use cpusim::{Cpu, CpuConfig, CycleEvents, PipelineControls, SynthInst};
+use powermodel::{PowerConfig, PowerModel};
+use restune::{EventDetector, TuningConfig};
+use rlc::units::{Amps, Hertz};
+use rlc::{PowerSupply, SupplyParams};
+
+const CYCLES: u64 = 10_000;
+
+fn bench_supply_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("supply");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("heun_tick_10k", |b| {
+        b.iter(|| {
+            let mut s = PowerSupply::new(
+                SupplyParams::isca04_table1(),
+                Hertz::from_giga(10.0),
+                Amps::new(70.0),
+            );
+            for k in 0..CYCLES {
+                let i = if (k / 50).is_multiple_of(2) { 90.0 } else { 50.0 };
+                black_box(s.tick(Amps::new(i)));
+            }
+            s.violation_cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detector");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("observe_resonant_10k", |b| {
+        b.iter(|| {
+            let mut d = EventDetector::new(TuningConfig::isca04_table1(100));
+            let mut events = 0u64;
+            for k in 0..CYCLES {
+                let i = if (k / 50).is_multiple_of(2) { 90 } else { 50 };
+                if d.observe(black_box(i)).is_some() {
+                    events += 1;
+                }
+            }
+            events
+        })
+    });
+    g.bench_function("observe_quiet_10k", |b| {
+        b.iter(|| {
+            let mut d = EventDetector::new(TuningConfig::isca04_table1(100));
+            for _ in 0..CYCLES {
+                black_box(d.observe(black_box(70)));
+            }
+            d.events_detected()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("ooo_tick_alu_10k", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(
+                CpuConfig::isca04_table1(),
+                LoopStream::new(vec![SynthInst::int_alu(); 8]),
+            );
+            for _ in 0..CYCLES {
+                black_box(cpu.tick(PipelineControls::free()));
+            }
+            cpu.stats().committed
+        })
+    });
+    g.finish();
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("current_for_10k", |b| {
+        let mut issued = [0u32; 9];
+        issued[0] = 6;
+        issued[6] = 2;
+        let busy = CycleEvents {
+            fetched: 8,
+            dispatched: 8,
+            issued,
+            completed: 8,
+            committed: 8,
+            l1d_accesses: 2,
+            l1i_accesses: 1,
+            ..CycleEvents::default()
+        };
+        b.iter(|| {
+            let mut m =
+                PowerModel::new(PowerConfig::isca04_table1(), CpuConfig::isca04_table1());
+            let mut total = 0.0;
+            for _ in 0..CYCLES {
+                total += m.current_for(black_box(&busy)).amps();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+fn bench_wavelet(c: &mut Criterion) {
+    use restune::{WaveletConfig, WaveletDetector};
+    let mut g = c.benchmark_group("wavelet");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("observe_resonant_10k", |b| {
+        b.iter(|| {
+            let mut d = WaveletDetector::new(WaveletConfig::isca04_table1());
+            let mut warnings = 0u64;
+            for k in 0..CYCLES {
+                let i = if (k / 50).is_multiple_of(2) { 90 } else { 50 };
+                if d.observe(black_box(i)).is_some() {
+                    warnings += 1;
+                }
+            }
+            warnings
+        })
+    });
+    g.finish();
+}
+
+fn bench_two_stage(c: &mut Criterion) {
+    use rlc::{TwoStageParams, TwoStageSupply};
+    let mut g = c.benchmark_group("two_stage");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("tick_10k", |b| {
+        b.iter(|| {
+            let mut s = TwoStageSupply::new(
+                TwoStageParams::isca04_low_frequency(),
+                Hertz::from_giga(10.0),
+                Amps::new(70.0),
+            );
+            for k in 0..CYCLES {
+                let i = if (k / 50).is_multiple_of(2) { 90.0 } else { 50.0 };
+                black_box(s.tick(Amps::new(i)));
+            }
+            s.violation_cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    use rlc::power_at;
+    let trace: Vec<Amps> = (0..10_000)
+        .map(|k| Amps::new(70.0 + 20.0 * (k as f64 * 0.0628).sin()))
+        .collect();
+    let mut g = c.benchmark_group("spectrum");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("goertzel_10k_samples", |b| {
+        b.iter(|| {
+            black_box(power_at(
+                black_box(&trace),
+                Hertz::from_giga(10.0),
+                Hertz::from_mega(100.0),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_supply_tick,
+    bench_detector,
+    bench_cpu,
+    bench_power_model,
+    bench_wavelet,
+    bench_two_stage,
+    bench_spectrum
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion end-to-end benchmarks: the full integrated simulation loop
+//! (CPU + power model + supply + controller) per technique — the cost of
+//! regenerating one application-run of the paper's tables.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use restune::{
+    run, DampingConfig, SensorConfig, SimConfig, Technique, TuningConfig,
+};
+use workloads::spec2k;
+
+const INSTRUCTIONS: u64 = 20_000;
+
+fn bench_full_loop(c: &mut Criterion) {
+    let parser = spec2k::by_name("parser").expect("parser is in the suite");
+    let sim = SimConfig::isca04(INSTRUCTIONS);
+    let mut g = c.benchmark_group("endtoend");
+    g.throughput(Throughput::Elements(INSTRUCTIONS));
+    g.sample_size(10);
+
+    let techniques: Vec<(&str, Technique)> = vec![
+        ("base", Technique::Base),
+        ("tuning", Technique::Tuning(TuningConfig::isca04_table1(100))),
+        ("sensor", Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5))),
+        ("damping", Technique::Damping(DampingConfig::isca04_table5(0.5))),
+    ];
+    for (name, technique) in &techniques {
+        g.bench_function(format!("parser_20k_{name}"), |b| {
+            b.iter(|| black_box(run(&parser, technique, &sim)).cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_loop);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: why the detector covers the whole resonance band, and how the
+//! exact-period detector compares with the dyadic wavelet alternative.
+//!
+//! 1. **Band coverage** (Section 3.1.3): a detector with adders only at the
+//!    resonant period (the flaw the paper attributes to damping \[14\])
+//!    misses band-edge waveforms that still violate the margin.
+//! 2. **Exact periods vs. dyadic wavelets** (\[11\]): the wavelet detector's
+//!    dyadic scale grid loses fidelity toward the band edges.
+
+use bench::format_table;
+use restune::{EventDetector, TuningConfig, WaveletConfig, WaveletDetector};
+use rlc::units::{Amps, Cycles, Hertz};
+use rlc::{simulate_waveform, PeriodicWave, SupplyParams};
+
+/// Max event count a detector reaches on a sustained 40 A square wave.
+fn max_count(config: TuningConfig, period: u64) -> u32 {
+    let mut det = EventDetector::new(config);
+    let mut max = 0;
+    for c in 0..2_500u64 {
+        let i = if (c / (period / 2)).is_multiple_of(2) { 90 } else { 50 };
+        if let Some(ev) = det.observe(i) {
+            max = max.max(ev.count);
+        }
+    }
+    max
+}
+
+fn wavelet_warnings(period: u64) -> u64 {
+    let mut det = WaveletDetector::new(WaveletConfig::isca04_table1());
+    for c in 0..2_500u64 {
+        let i = if (c / (period / 2)).is_multiple_of(2) { 90 } else { 50 };
+        det.observe(i);
+    }
+    det.warnings()
+}
+
+fn main() {
+    let full_band = TuningConfig::isca04_table1(100);
+    // The ablated detector: adders only at the resonant period ±2 cycles.
+    let narrow = TuningConfig {
+        band_min_period: Cycles::new(98),
+        band_max_period: Cycles::new(102),
+        ..full_band
+    };
+
+    println!("=== Ablation 1: band-wide vs resonant-period-only detection ===\n");
+    let supply = SupplyParams::isca04_table1();
+    let mut rows = Vec::new();
+    for period in [84u64, 90, 96, 100, 104, 110, 118] {
+        // Does the physical supply violate under this wave?
+        let wave =
+            PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(40.0), Cycles::new(period));
+        let violates = simulate_waveform(&supply, Hertz::from_giga(10.0), &wave, Cycles::new(2_500))
+            .violated();
+        rows.push(vec![
+            format!("{period}"),
+            if violates { "yes".into() } else { "no".into() },
+            format!("{}", max_count(full_band, period)),
+            format!("{}", max_count(narrow, period)),
+            format!("{}", wavelet_warnings(period)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "wave period (cy)",
+                "violates margin",
+                "count: band-wide",
+                "count: resonant-only",
+                "wavelet warnings"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "A detector restricted to the resonant period (like damping's single-\n\
+         frequency target) under-counts band-edge waveforms that physically\n\
+         violate; the band-wide adders track every violating period. The dyadic\n\
+         wavelet detector warns, but with fewer warnings toward the band edges\n\
+         where its scale grid mismatches the half-periods."
+    );
+}

@@ -1,0 +1,62 @@
+//! Ablation: clock-gating aggressiveness versus inductive noise — the
+//! paper's Section 4.1 observation that "more aggressive clock gating leads
+//! to more variation", run on the violating applications.
+
+use bench::{format_table, HarnessArgs};
+use powermodel::{GatingStyle, PowerConfig};
+use restune::{run, SimConfig, Technique};
+use workloads::spec2k;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("=== Ablation 3: clock-gating style vs inductive noise ===");
+    println!("({} instructions per application, violating apps)\n", args.instructions);
+
+    let mut rows = Vec::new();
+    for (label, style) in [
+        ("aggressive (paper)", GatingStyle::Aggressive),
+        ("moderate", GatingStyle::Moderate),
+        ("none", GatingStyle::None),
+    ] {
+        let sim = SimConfig {
+            power: PowerConfig::isca04_table1_with_gating(style),
+            ..SimConfig::isca04(args.instructions)
+        };
+        let mut violations = 0u64;
+        let mut worst: f64 = 0.0;
+        let mut energy = 0.0;
+        for p in spec2k::violating() {
+            let r = run(&p, &Technique::Base, &sim);
+            violations += r.violation_cycles;
+            worst = worst.max(r.worst_noise.abs().volts());
+            energy += r.energy_joules;
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", sim.power.idle_current.amps()),
+            format!("{:.1}", sim.power.dynamic_range().amps()),
+            format!("{violations}"),
+            format!("{:.1}", worst * 1e3),
+            format!("{:.2}", energy * 1e3),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "gating style",
+                "idle (A)",
+                "dyn range (A)",
+                "violations",
+                "worst noise (mV)",
+                "energy (mJ)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Aggressive gating saves energy but maximizes current swing — it is what\n\
+         makes inductive noise an architectural problem at all (Section 4.1). With\n\
+         no gating the chip burns far more energy and the margin is never stressed."
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 1(c): power-supply impedance versus frequency, with the resonant
+//! peak and the half-energy resonance band marked.
+
+use bench::{ascii_chart, format_table};
+use rlc::units::Hertz;
+use rlc::{ImpedanceSweep, SupplyParams};
+
+fn report(label: &str, params: &SupplyParams, lo_mhz: f64, hi_mhz: f64) {
+    println!("=== Figure 1(c): impedance of the {label} supply ===");
+    let sweep = ImpedanceSweep::linear(
+        params,
+        Hertz::from_mega(lo_mhz),
+        Hertz::from_mega(hi_mhz),
+        4001,
+    );
+    let series: Vec<f64> = sweep
+        .points()
+        .iter()
+        .step_by(4001 / 110)
+        .map(|p| p.magnitude.ohms() * 1e3)
+        .collect();
+    println!("{}", ascii_chart(&series, 14, "mΩ"));
+    println!("(x axis: {lo_mhz} MHz to {hi_mhz} MHz, linear)");
+
+    let peak = sweep.peak();
+    let (b_lo, b_hi) = sweep.half_energy_band();
+    let (a_lo, a_hi) = params.resonance_band();
+    let rows = vec![
+        vec![
+            "measured (sweep)".to_string(),
+            format!("{:.1}", peak.frequency.hertz() / 1e6),
+            format!("{:.3}", peak.magnitude.ohms() * 1e3),
+            format!("{:.1}", b_lo.hertz() / 1e6),
+            format!("{:.1}", b_hi.hertz() / 1e6),
+        ],
+        vec![
+            "analytic".to_string(),
+            format!("{:.1}", params.resonant_frequency().hertz() / 1e6),
+            format!(
+                "{:.3}",
+                params.quality_factor() * params.characteristic_impedance().ohms() * 1e3
+            ),
+            format!("{:.1}", a_lo.hertz() / 1e6),
+            format!("{:.1}", a_hi.hertz() / 1e6),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            &["source", "f_res (MHz)", "peak |Z| (mΩ)", "band lo (MHz)", "band hi (MHz)"],
+            &rows
+        )
+    );
+    println!(
+        "Q = {:.2}, dissipation per resonant period = {:.0} %\n",
+        params.quality_factor(),
+        (1.0 - params.decay_per_period()) * 100.0
+    );
+}
+
+fn main() {
+    // The motivating example of Section 2 (92–108 MHz band, Q ≈ 6.2)...
+    report("Section 2 example", &SupplyParams::isca04_section2_example(), 40.0, 160.0);
+    // ...and the evaluated Table 1 design (84–119-cycle band at 10 GHz).
+    report("Table 1 (evaluated)", &SupplyParams::isca04_table1(), 40.0, 160.0);
+}

@@ -1,0 +1,77 @@
+//! Figure 3: stimulate the Table 1 supply with a 34 A square wave at the
+//! resonant frequency (cycles 100–500) and show (a) supply-voltage
+//! variation growing to a noise-margin violation at resonant event count =
+//! maximum repetition tolerance, and (b) post-stimulus ringing dissipating
+//! at the damping rate.
+
+use bench::{ascii_chart, downsample_extreme};
+use restune::{EventDetector, TuningConfig};
+use rlc::units::{Amps, Cycles, Hertz};
+use rlc::{simulate_waveform, PeriodicWave, Shape, SupplyParams};
+
+fn main() {
+    let params = SupplyParams::isca04_table1();
+    let clock = Hertz::from_giga(10.0);
+    let period = params.resonant_period_cycles(clock).expect("10 GHz clock is valid");
+    println!("=== Figure 3: stimulation at the resonant frequency ===");
+    println!(
+        "supply: Q = {:.2}, resonant period = {period}, margin = ±{:.0} mV",
+        params.quality_factor(),
+        params.noise_margin().volts() * 1e3
+    );
+
+    let wave = PeriodicWave::new(
+        Shape::Square,
+        Amps::new(70.0),
+        Amps::new(34.0),
+        period,
+        Cycles::new(100),
+        Cycles::new(500),
+    );
+    let horizon = Cycles::new(1_000);
+    let trace = simulate_waveform(&params, clock, &wave, horizon);
+
+    // Resonant event counts along the way, from the paper's detector.
+    let mut detector = EventDetector::new(TuningConfig::isca04_table1(100));
+    let mut events = Vec::new();
+    for (c, i) in trace.current.iter().enumerate() {
+        if let Some(ev) = detector.observe(i.amps().round() as i64) {
+            events.push((c, ev.count));
+        }
+    }
+
+    println!("\nsupply-voltage variation (mV), cycles 0–1000:");
+    let mv: Vec<f64> = trace.noise.iter().map(|v| v.volts() * 1e3).collect();
+    println!("{}", ascii_chart(&downsample_extreme(&mv, 110), 15, "mV"));
+
+    println!("processor current (A):");
+    let amps: Vec<f64> = trace.current.iter().map(|a| a.amps()).collect();
+    println!("{}", ascii_chart(&downsample_extreme(&amps, 110), 7, "A"));
+
+    println!("resonant events (cycle: count): {events:?}");
+
+    let first = trace.first_violation();
+    println!("\nfirst noise-margin violation: {first:?}");
+    let count_at_violation = first.map(|f| {
+        events.iter().filter(|(c, _)| (*c as u64) <= f.count()).map(|(_, n)| *n).max().unwrap_or(0)
+    });
+    println!(
+        "resonant event count reached by the violation: {:?} (paper: 4 = max repetition tolerance)",
+        count_at_violation
+    );
+
+    // Post-stimulus dissipation rate.
+    let peak_in = |lo: usize, hi: usize| -> f64 {
+        mv[lo..hi].iter().map(|v| v.abs()).fold(0.0, f64::max)
+    };
+    let p1 = peak_in(520, 620);
+    let p2 = peak_in(620, 720);
+    println!(
+        "\npost-stimulus dissipation: peak {:.1} mV → {:.1} mV over one period \
+         ({:.0} % dissipated; paper: 66 %, e^(−π/Q) = {:.2})",
+        p1,
+        p2,
+        (1.0 - p2 / p1) * 100.0,
+        params.decay_per_period()
+    );
+}

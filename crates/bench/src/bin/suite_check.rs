@@ -1,0 +1,32 @@
+//! Internal sanity sweep: base vs tuning violations across the full suite
+//! (not a paper artifact; used to re-verify workload calibration quickly).
+
+use restune::{run, SimConfig, Technique, TuningConfig};
+use workloads::spec2k;
+
+fn main() {
+    let sim = SimConfig::isca04(120_000);
+    let tun = Technique::Tuning(TuningConfig::isca04_table1(100));
+    let (mut tb, mut tt) = (0u64, 0u64);
+    let mut misclassified = 0;
+    for p in spec2k::all() {
+        let b = run(&p, &Technique::Base, &sim);
+        let t = run(&p, &tun, &sim);
+        tb += b.violation_cycles;
+        tt += t.violation_cycles;
+        let ok = (b.violation_cycles > 0) == p.paper_violating;
+        if !ok {
+            misclassified += 1;
+        }
+        println!(
+            "{:10} base_viol={:6} tuned_viol={:5} slowdown={:.3} L1f={:.3} class_ok={}",
+            p.name,
+            b.violation_cycles,
+            t.violation_cycles,
+            t.cycles as f64 / b.cycles as f64,
+            t.first_level_fraction(),
+            ok
+        );
+    }
+    println!("TOTAL base={tb} tuned={tt} misclassified={misclassified}");
+}

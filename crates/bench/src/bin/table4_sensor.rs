@@ -1,0 +1,61 @@
+//! Table 4: the voltage-threshold technique of \[10\] swept over detection
+//! threshold, sensor noise, and sensing-to-response delay.
+
+use bench::{format_table, HarnessArgs};
+use restune::experiment::{run_base_suite, table4};
+use restune::{SensorConfig, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sim = SimConfig::isca04(args.instructions);
+    println!("=== Table 4: technique of [10] (voltage-threshold sensing) ===");
+    println!("({} instructions per application)\n", args.instructions);
+
+    let base = run_base_suite(&sim);
+    // The paper's five rows: (target threshold mV, noise mV p-p, delay).
+    let configs = [
+        SensorConfig::table4(30.0, 0.0, 0),
+        SensorConfig::table4(20.0, 0.0, 0),
+        SensorConfig::table4(30.0, 15.0, 0),
+        SensorConfig::table4(20.0, 10.0, 5),
+        SensorConfig::table4(20.0, 15.0, 3),
+    ];
+    let rows = table4(&sim, &configs, &base);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let s = &r.summary;
+            vec![
+                format!("{:.0}", r.config.target_threshold.volts() * 1e3),
+                format!("{:.0}", r.config.sensor_noise_pp.volts() * 1e3),
+                format!("{:.0}", r.config.actual_threshold().volts() * 1e3),
+                format!("{}", r.config.delay_cycles),
+                format!("{:.3}", s.avg_sensor_response_fraction),
+                format!("{:.3} ({})", s.worst_slowdown, s.worst_app),
+                format!("{:.3}", s.avg_slowdown),
+                format!("{:.3}", s.avg_energy_delay),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "target (mV)",
+                "noise (mV)",
+                "actual (mV)",
+                "delay",
+                "frac in resp",
+                "worst slowdown",
+                "avg slowdown",
+                "avg E·D"
+            ],
+            &table
+        )
+    );
+    println!(
+        "paper: frac 0.002→0.27, avg slowdown 1.005→1.236, avg energy-delay 1.030→1.460\n\
+         (ideal sensors are cheap; realistic noise + delay make [10] expensive)"
+    );
+}

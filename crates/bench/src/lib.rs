@@ -1,0 +1,186 @@
+//! Shared plumbing for the experiment harnesses: tiny argument parsing,
+//! ASCII plotting, and table formatting.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! see `DESIGN.md` for the index. All binaries accept
+//! `--instructions N` to scale run length (default 120 000 per application)
+//! and print the same rows/series the paper reports.
+
+pub mod report;
+
+/// Run-length options shared by the suite harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessArgs {
+    /// Committed instructions per application run.
+    pub instructions: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { instructions: 120_000 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--instructions N` (or `-n N`) from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        let mut args = Self::default();
+        let mut iter = std::env::args().skip(1);
+        while let Some(a) = iter.next() {
+            match a.as_str() {
+                "--instructions" | "-n" => {
+                    let v = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("{a} requires a value"));
+                    args.instructions = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("invalid instruction count: {v}"));
+                }
+                "--help" | "-h" => {
+                    println!("usage: <harness> [--instructions N]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other} (try --help)"),
+            }
+        }
+        args
+    }
+}
+
+/// Renders a simple ASCII line chart of `series` (y values) with `height`
+/// rows, labelling the y-axis with `unit`.
+pub fn ascii_chart(series: &[f64], height: usize, unit: &str) -> String {
+    if series.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    let mut out = String::new();
+    for row in 0..height {
+        let level = max - span * row as f64 / (height - 1).max(1) as f64;
+        let mark = format!("{level:10.4} {unit} |");
+        out.push_str(&mark);
+        for &y in series {
+            let cell = (max - y) / span * (height - 1) as f64;
+            out.push(if (cell.round() as usize) == row { '*' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Downsamples a series to at most `n` points by taking the extreme value
+/// (largest magnitude) in each bucket — keeps violation peaks visible.
+pub fn downsample_extreme(series: &[f64], n: usize) -> Vec<f64> {
+    if series.len() <= n || n == 0 {
+        return series.to_vec();
+    }
+    let bucket = series.len() as f64 / n as f64;
+    (0..n)
+        .map(|k| {
+            let lo = (k as f64 * bucket) as usize;
+            let hi = (((k + 1) as f64 * bucket) as usize).min(series.len());
+            series[lo..hi.max(lo + 1)]
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite series"))
+                .expect("bucket non-empty")
+        })
+        .collect()
+}
+
+/// Formats a ruled table: `headers` then rows of equal arity.
+///
+/// # Panics
+///
+/// Panics if any row's arity differs from the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let rule: String =
+        widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+    let mut out = rule.clone();
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(cells) {
+            line.push_str(&format!("| {cell:w$} "));
+        }
+        line.push_str("|\n");
+        line
+    };
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&rule);
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out.push_str(&rule);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_marks_extremes() {
+        let chart = ascii_chart(&[0.0, 1.0, 0.5], 3, "V");
+        assert!(chart.contains('*'));
+        assert_eq!(chart.lines().count(), 3);
+    }
+
+    #[test]
+    fn chart_handles_empty() {
+        assert!(ascii_chart(&[], 5, "V").contains("empty"));
+    }
+
+    #[test]
+    fn downsample_keeps_peaks() {
+        let mut series = vec![0.0; 1000];
+        series[537] = -9.0;
+        let ds = downsample_extreme(&series, 10);
+        assert_eq!(ds.len(), 10);
+        assert!(ds.contains(&-9.0), "peak must survive downsampling");
+    }
+
+    #[test]
+    fn downsample_passthrough_when_small() {
+        let series = vec![1.0, 2.0];
+        assert_eq!(downsample_extreme(&series, 10), series);
+    }
+
+    #[test]
+    fn table_is_ruled_and_aligned() {
+        let t = format_table(
+            &["app", "ipc"],
+            &[vec!["parser".into(), "1.71".into()], vec!["mcf".into(), "0.38".into()]],
+        );
+        assert!(t.contains("| parser |"));
+        assert!(t.starts_with('+'));
+        // All lines equal width.
+        let mut lens: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        lens.dedup();
+        assert_eq!(lens.len(), 1, "table must be rectangular:\n{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn ragged_rows_panic() {
+        let _ = format_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn default_args() {
+        assert_eq!(HarnessArgs::default().instructions, 120_000);
+    }
+}

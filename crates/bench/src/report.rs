@@ -1,0 +1,243 @@
+//! Minimal CSV and JSON emitters for experiment results.
+//!
+//! The harnesses print human tables; `noise-lab` can additionally dump
+//! machine-readable files for downstream plotting. Values are flat
+//! (strings/numbers), so a dependency-free emitter suffices.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A single emitted value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text (quoted/escaped on output).
+    Text(String),
+    /// A floating-point number.
+    Number(f64),
+    /// An integer.
+    Integer(i64),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::Integer(x as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(x: u32) -> Self {
+        Value::Integer(x as i64)
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A rectangular result set with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Report {
+    /// Creates an empty report with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "report needs at least one column");
+        Self { columns: columns.iter().map(|c| c.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-style CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Text(s) => csv_escape(s),
+                    Value::Number(x) => format!("{x}"),
+                    Value::Integer(x) => format!("{x}"),
+                })
+                .collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a JSON array of objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (col, v)) in self.columns.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = match v {
+                    Value::Text(s) => write!(out, "\"{}\": \"{}\"", json_escape(col), json_escape(s)),
+                    Value::Number(x) => {
+                        if x.is_finite() {
+                            write!(out, "\"{}\": {x}", json_escape(col))
+                        } else {
+                            write!(out, "\"{}\": null", json_escape(col))
+                        }
+                    }
+                    Value::Integer(x) => write!(out, "\"{}\": {x}", json_escape(col)),
+                };
+            }
+            out.push_str(if i + 1 < self.rows.len() { "},\n" } else { "}\n" });
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes CSV or JSON based on the path extension (`.json` → JSON,
+    /// anything else → CSV).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let body = if path.extension().is_some_and(|e| e == "json") {
+            self.to_json()
+        } else {
+            self.to_csv()
+        };
+        std::fs::write(path, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new(&["app", "slowdown", "violations"]);
+        r.push(vec!["parser".into(), 1.021.into(), 19u64.into()]);
+        r.push(vec!["he said \"hi\", ok".into(), 2.0.into(), 0u64.into()]);
+        r
+    }
+
+    #[test]
+    fn csv_round_trips_simple_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "app,slowdown,violations");
+        assert_eq!(lines[1], "parser,1.021,19");
+        assert!(lines[2].starts_with("\"he said \"\"hi\"\", ok\""));
+    }
+
+    #[test]
+    fn json_is_wellformed_and_escaped() {
+        let json = sample().to_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"app\": \"parser\""));
+        assert!(json.contains("\\\"hi\\\""));
+        assert!(json.contains("\"violations\": 19"));
+        // Balanced braces: one pair per row.
+        assert_eq!(json.matches('{').count(), 2);
+        assert_eq!(json.matches('}').count(), 2);
+    }
+
+    #[test]
+    fn write_to_picks_format_by_extension() {
+        let dir = std::env::temp_dir();
+        let csv_path = dir.join("restune_report_test.csv");
+        let json_path = dir.join("restune_report_test.json");
+        sample().write_to(&csv_path).unwrap();
+        sample().write_to(&json_path).unwrap();
+        assert!(std::fs::read_to_string(&csv_path).unwrap().starts_with("app,"));
+        assert!(std::fs::read_to_string(&json_path).unwrap().starts_with('['));
+        let _ = std::fs::remove_file(csv_path);
+        let _ = std::fs::remove_file(json_path);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Report::new(&["x"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new(&["a", "b"]);
+        r.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut r = Report::new(&["x"]);
+        r.push(vec![f64::NAN.into()]);
+        assert!(r.to_json().contains("null"));
+    }
+}

@@ -1,0 +1,9 @@
+//! The two previously proposed techniques the paper compares against:
+//! voltage-threshold sensing (\[10\], Joseph/Brooks/Martonosi HPCA'03) and
+//! pipeline damping (\[14\], Powell/Vijaykumar ISCA'03).
+
+mod damping;
+mod voltage_sensor;
+
+pub use damping::{DampingConfig, PipelineDamping};
+pub use voltage_sensor::{SensorConfig, VoltageSensor};

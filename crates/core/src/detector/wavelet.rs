@@ -1,0 +1,378 @@
+//! Wavelet-based di/dt detection — the alternative approach of Joseph, Hu &
+//! Martonosi (HPCA'04), reference \[11\] of the paper.
+//!
+//! Instead of per-period quarter-sum adders covering the exact resonance
+//! band, \[11\] analyzes the current with Haar wavelets at *dyadic* scales
+//! and estimates the future supply voltage with a simplified convolution
+//! against the supply's (damped, alternating) impulse response. The paper
+//! notes this as a possible alternative to its repetition counting; this
+//! module implements it so the two can be compared head-to-head (see the
+//! `ablation_detector` harness).
+//!
+//! The structural trade-off this implementation exposes: the dyadic scale
+//! grid (…, 32, 64, …) straddles the Table 1 band's half-periods (42–59
+//! cycles) rather than matching them, so band-edge waveforms project onto
+//! the analysis less cleanly than onto the paper's exact-period adders.
+
+use std::collections::VecDeque;
+
+/// Incrementally maintained Haar detail coefficient at one scale: the sum
+/// of the most recent `scale` samples minus the sum of the `scale` samples
+/// before them (unnormalized).
+#[derive(Debug, Clone)]
+struct ScaleAdder {
+    scale: u32,
+    recent: i64,
+    older: i64,
+}
+
+/// A sliding window computing Haar detail coefficients at a set of dyadic
+/// scales.
+#[derive(Debug, Clone)]
+pub struct HaarWindow {
+    samples: VecDeque<i64>,
+    adders: Vec<ScaleAdder>,
+    max_scale: u32,
+    cycles: u64,
+}
+
+impl HaarWindow {
+    /// Creates a window computing coefficients at the given scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scales` is empty or contains zero.
+    pub fn new(scales: &[u32]) -> Self {
+        assert!(!scales.is_empty(), "need at least one analysis scale");
+        assert!(scales.iter().all(|&s| s > 0), "scales must be nonzero");
+        let max_scale = *scales.iter().max().expect("non-empty");
+        Self {
+            samples: VecDeque::with_capacity(2 * max_scale as usize + 1),
+            adders: scales.iter().map(|&scale| ScaleAdder { scale, recent: 0, older: 0 }).collect(),
+            max_scale,
+            cycles: 0,
+        }
+    }
+
+    /// The dyadic scales from `min` to `max` inclusive (powers of two).
+    pub fn dyadic_scales(min: u32, max: u32) -> Vec<u32> {
+        let mut scales = Vec::new();
+        let mut s = min.next_power_of_two().max(1);
+        while s <= max {
+            scales.push(s);
+            s *= 2;
+        }
+        scales
+    }
+
+    /// Pushes one cycle's whole-amp sample.
+    pub fn push(&mut self, amps: i64) {
+        self.samples.push_back(amps);
+        self.cycles += 1;
+        let len = self.samples.len();
+        for a in self.adders.iter_mut() {
+            let s = a.scale as usize;
+            a.recent += amps;
+            if len > s {
+                let leaving = self.samples[len - 1 - s];
+                a.recent -= leaving;
+                a.older += leaving;
+            }
+            if len > 2 * s {
+                a.older -= self.samples[len - 1 - 2 * s];
+            }
+        }
+        if self.samples.len() > 2 * self.max_scale as usize {
+            self.samples.pop_front();
+        }
+    }
+
+    /// `true` once the largest scale's two halves are full.
+    pub fn warm(&self) -> bool {
+        self.cycles >= 2 * self.max_scale as u64
+    }
+
+    /// The (unnormalized) Haar detail coefficient at `scale`:
+    /// positive = current rose across the window halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` was not configured.
+    pub fn coefficient(&self, scale: u32) -> i64 {
+        let a = self
+            .adders
+            .iter()
+            .find(|a| a.scale == scale)
+            .expect("scale must be one of the configured analysis scales");
+        a.recent - a.older
+    }
+
+    /// The configured scales.
+    pub fn scales(&self) -> impl Iterator<Item = u32> + '_ {
+        self.adders.iter().map(|a| a.scale)
+    }
+}
+
+/// Configuration of the wavelet detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveletConfig {
+    /// Analysis scales (cycles); dyadic in \[11\].
+    pub scales: Vec<u32>,
+    /// Per-scale event threshold in amp-cycles: a coefficient beyond
+    /// `threshold_amps × scale` flags a swing (comparable to the paper's
+    /// M·T/8 with T = 4·scale ⇒ threshold_amps = M/2 for square waves).
+    pub threshold_amps: f64,
+    /// Amplitude decay per half resonant period, e^(−π/(2Q)).
+    pub half_period_decay: f64,
+    /// The nominal half resonant period in cycles (the convolution kernel's
+    /// tap spacing).
+    pub half_period: u32,
+    /// Number of kernel taps (how many past half-waves the simplified
+    /// convolution remembers).
+    pub taps: u32,
+    /// Warning threshold on the convolution output (amp-cycles of
+    /// accumulated, decayed, alternating swing).
+    pub warn_level: f64,
+}
+
+impl WaveletConfig {
+    /// A configuration matched to the Table 1 supply at 10 GHz: dyadic
+    /// scales 32 and 64 straddling the 42–59-cycle half-periods, thresholds
+    /// aligned with the paper's 32 A variation threshold, Q = 2.83.
+    pub fn isca04_table1() -> Self {
+        Self {
+            scales: HaarWindow::dyadic_scales(32, 64),
+            threshold_amps: 16.0,
+            half_period_decay: (-std::f64::consts::PI / (2.0 * 2.83)).exp(),
+            half_period: 50,
+            taps: 6,
+            warn_level: 2.2,
+        }
+    }
+}
+
+/// A warning from the wavelet detector: the simplified convolution predicts
+/// the accumulated resonant energy is approaching the margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveletWarning {
+    /// The convolution output, in units of the per-scale threshold (1.0 =
+    /// one full-threshold swing's worth of surviving energy).
+    pub level: f64,
+}
+
+/// The wavelet-convolution detector of \[11\].
+#[derive(Debug, Clone)]
+pub struct WaveletDetector {
+    config: WaveletConfig,
+    window: HaarWindow,
+    /// Normalized swing strength recorded per cycle (signed; tap history).
+    swing_history: VecDeque<f64>,
+    last_sign: i8,
+    warnings: u64,
+}
+
+impl WaveletDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty scale list or zero half-period.
+    pub fn new(config: WaveletConfig) -> Self {
+        assert!(config.half_period > 0, "half period must be nonzero");
+        let window = HaarWindow::new(&config.scales);
+        let depth = (config.taps * config.half_period) as usize + 1;
+        Self {
+            window,
+            swing_history: VecDeque::with_capacity(depth),
+            config,
+            last_sign: 0,
+            warnings: 0,
+        }
+    }
+
+    /// Total warnings raised.
+    pub fn warnings(&self) -> u64 {
+        self.warnings
+    }
+
+    /// Observes one cycle's current; returns a warning when the simplified
+    /// convolution crosses the configured level.
+    pub fn observe(&mut self, whole_amps: i64) -> Option<WaveletWarning> {
+        self.window.push(whole_amps);
+
+        // Strongest normalized in-band coefficient this cycle.
+        let mut strongest = 0.0f64;
+        if self.window.warm() {
+            for scale in self.config.scales.clone() {
+                let c = self.window.coefficient(scale) as f64
+                    / (self.config.threshold_amps * scale as f64);
+                if c.abs() > strongest.abs() {
+                    strongest = c;
+                }
+            }
+        }
+        // Record only super-threshold swing onsets (sign changes), one per
+        // half wave.
+        let sign = if strongest >= 1.0 {
+            1i8
+        } else if strongest <= -1.0 {
+            -1
+        } else {
+            0
+        };
+        let record = if sign != 0 && sign != self.last_sign { strongest } else { 0.0 };
+        if sign != 0 {
+            self.last_sign = sign;
+        }
+        self.swing_history.push_back(record);
+        let depth = (self.config.taps * self.config.half_period) as usize + 1;
+        if self.swing_history.len() > depth {
+            self.swing_history.pop_front();
+        }
+
+        // Simplified convolution: sample the swing history at half-period
+        // spacings with the supply's alternating, decaying kernel.
+        let n = self.swing_history.len();
+        let mut level = 0.0;
+        for tap in 0..self.config.taps {
+            let offset = (tap * self.config.half_period) as usize;
+            if offset >= n {
+                break;
+            }
+            // Take the max-magnitude record within ±half the tap spacing to
+            // tolerate period mismatch inside the band.
+            let slack = (self.config.half_period / 2) as usize;
+            let lo = n - 1 - offset.min(n - 1);
+            let window_lo = lo.saturating_sub(slack / 2);
+            let window_hi = (lo + slack / 2 + 1).min(n);
+            let rec = self.swing_history.range(window_lo..window_hi).fold(0.0f64, |acc, &x| {
+                if x.abs() > acc.abs() {
+                    x
+                } else {
+                    acc
+                }
+            });
+            let kernel = if tap % 2 == 0 { 1.0 } else { -1.0 }
+                * self.config.half_period_decay.powi(tap as i32);
+            level += rec * kernel;
+        }
+
+        if level.abs() >= self.config.warn_level {
+            self.warnings += 1;
+            Some(WaveletWarning { level })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> WaveletDetector {
+        WaveletDetector::new(WaveletConfig::isca04_table1())
+    }
+
+    fn drive_square(det: &mut WaveletDetector, p2p: i64, period: u64, cycles: u64) -> u64 {
+        for c in 0..cycles {
+            let i = if (c / (period / 2)).is_multiple_of(2) { 70 + p2p / 2 } else { 70 - p2p / 2 };
+            det.observe(i);
+        }
+        det.warnings()
+    }
+
+    #[test]
+    fn dyadic_scales_cover_range() {
+        assert_eq!(HaarWindow::dyadic_scales(32, 64), vec![32, 64]);
+        assert_eq!(HaarWindow::dyadic_scales(10, 100), vec![16, 32, 64]);
+        assert_eq!(HaarWindow::dyadic_scales(1, 8), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn haar_coefficient_matches_brute_force() {
+        let mut w = HaarWindow::new(&[4, 8]);
+        let data: Vec<i64> = (0..40).map(|k| (k * 7) % 23).collect();
+        for (k, &x) in data.iter().enumerate() {
+            w.push(x);
+            for scale in [4usize, 8] {
+                if k + 1 >= 2 * scale {
+                    let n = k + 1;
+                    let recent: i64 = data[n - scale..n].iter().sum();
+                    let older: i64 = data[n - 2 * scale..n - scale].iter().sum();
+                    assert_eq!(w.coefficient(scale as u32), recent - older, "k={k} s={scale}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_current_raises_no_warnings() {
+        let mut d = detector();
+        for _ in 0..3_000 {
+            assert!(d.observe(70).is_none());
+        }
+    }
+
+    #[test]
+    fn sustained_resonance_warns() {
+        let mut d = detector();
+        let warnings = drive_square(&mut d, 40, 100, 1_500);
+        assert!(warnings > 0, "sustained resonant wave must warn");
+    }
+
+    #[test]
+    fn isolated_step_does_not_warn() {
+        let mut d = detector();
+        for c in 0..2_000u64 {
+            let i = if c < 1_000 { 55 } else { 90 };
+            assert!(d.observe(i).is_none(), "isolated step warned at {c}");
+        }
+    }
+
+    #[test]
+    fn small_waves_do_not_warn() {
+        let mut d = detector();
+        let warnings = drive_square(&mut d, 12, 100, 3_000);
+        assert_eq!(warnings, 0);
+    }
+
+    #[test]
+    fn warning_precedes_margin_worth_of_buildup() {
+        // The warning fires within the first few periods of a sustained
+        // 40 A resonant wave — early enough to act.
+        let mut d = detector();
+        let mut first_warn = None;
+        for c in 0..2_000u64 {
+            let i = if (c / 50).is_multiple_of(2) { 90 } else { 50 };
+            if d.observe(i).is_some() && first_warn.is_none() {
+                first_warn = Some(c);
+            }
+        }
+        let warn = first_warn.expect("sustained wave must warn");
+        assert!(warn < 600, "warning at {warn} is too late");
+    }
+
+    #[test]
+    fn band_edge_coverage_is_weaker_than_exact_detector() {
+        // The structural comparison the paper implies: at the band edge
+        // (118-cycle period), the dyadic grid's projection is weaker than
+        // at the resonant period. The warning may still fire, but later or
+        // not at all — while the exact-period detector (events.rs) covers
+        // the edge as well as the center.
+        let mut center = detector();
+        let center_warnings = drive_square(&mut center, 40, 100, 2_000);
+        let mut edge = detector();
+        let edge_warnings = drive_square(&mut edge, 40, 118, 2_000);
+        assert!(
+            edge_warnings < center_warnings,
+            "dyadic analysis must lose fidelity off its grid: edge {edge_warnings} vs center {center_warnings}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one analysis scale")]
+    fn empty_scales_panic() {
+        let _ = HaarWindow::new(&[]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Suite-level experiment drivers: run the 26-application suite under a
+//! technique (in parallel across applications) and build the rows of the
+//! paper's tables.
+
+use std::sync::Mutex;
+
+use workloads::{spec2k, WorkloadProfile};
+
+use crate::baselines::{DampingConfig, SensorConfig};
+use crate::config::TuningConfig;
+use crate::metrics::{RelativeOutcome, Summary};
+use crate::sim::{run, SimConfig, SimResult, Technique};
+
+/// Runs every profile under `technique`, one OS thread per application,
+/// returning results in suite order.
+pub fn run_suite(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+) -> Vec<SimResult> {
+    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; profiles.len()]);
+    std::thread::scope(|scope| {
+        for (idx, profile) in profiles.iter().enumerate() {
+            let results = &results;
+            let technique = technique.clone();
+            scope.spawn(move || {
+                let r = run(profile, &technique, sim);
+                results.lock().expect("no panics hold the lock")[idx] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("all threads joined")
+        .into_iter()
+        .map(|r| r.expect("every app produced a result"))
+        .collect()
+}
+
+/// Runs the full 26-app suite on the base machine.
+pub fn run_base_suite(sim: &SimConfig) -> Vec<SimResult> {
+    run_suite(&spec2k::all(), &Technique::Base, sim)
+}
+
+/// Pairs base and technique suite results into per-app outcomes.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or misaligned apps.
+pub fn compare_suites(base: &[SimResult], technique: &[SimResult]) -> Vec<RelativeOutcome> {
+    assert_eq!(base.len(), technique.len(), "suite size mismatch");
+    base.iter().zip(technique).map(|(b, t)| RelativeOutcome::new(b, t)).collect()
+}
+
+/// One row of Table 2: an application's base-machine classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: &'static str,
+    /// The paper's classification for the real benchmark.
+    pub paper_violating: bool,
+    /// Measured IPC.
+    pub ipc: f64,
+    /// Measured fraction of cycles in violation.
+    pub violation_fraction: f64,
+}
+
+/// Reproduces Table 2: classify every application by base-machine
+/// violations.
+pub fn table2(sim: &SimConfig) -> Vec<Table2Row> {
+    let profiles = spec2k::all();
+    run_base_suite(sim)
+        .into_iter()
+        .zip(&profiles)
+        .map(|(r, p)| Table2Row {
+            app: r.app,
+            paper_violating: p.paper_violating,
+            ipc: r.ipc,
+            violation_fraction: r.violation_fraction(),
+        })
+        .collect()
+}
+
+/// One row of Table 3: resonance tuning at one initial response time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Initial response time in cycles.
+    pub initial_response_time: u32,
+    /// Suite summary (first/second-level fractions, slowdowns, ED).
+    pub summary: Summary,
+    /// Per-app outcomes backing the summary.
+    pub outcomes: Vec<RelativeOutcome>,
+}
+
+/// Reproduces Table 3: sweep the initial response time.
+pub fn table3(sim: &SimConfig, response_times: &[u32], base: &[SimResult]) -> Vec<Table3Row> {
+    let profiles = spec2k::all();
+    response_times
+        .iter()
+        .map(|&t| {
+            let technique = Technique::Tuning(TuningConfig::isca04_table1(t));
+            let results = run_suite(&profiles, &technique, sim);
+            let outcomes = compare_suites(base, &results);
+            Table3Row {
+                initial_response_time: t,
+                summary: Summary::from_outcomes(&outcomes),
+                outcomes,
+            }
+        })
+        .collect()
+}
+
+/// One row of Table 4: the voltage-sensor technique of \[10\] at one
+/// threshold/noise/delay point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Sensor configuration (threshold, noise, delay).
+    pub config: SensorConfig,
+    /// Suite summary.
+    pub summary: Summary,
+    /// Per-app outcomes backing the summary.
+    pub outcomes: Vec<RelativeOutcome>,
+}
+
+/// Reproduces Table 4: sweep the sensor technique's threshold, noise, and
+/// delay.
+pub fn table4(
+    sim: &SimConfig,
+    configs: &[SensorConfig],
+    base: &[SimResult],
+) -> Vec<Table4Row> {
+    let profiles = spec2k::all();
+    configs
+        .iter()
+        .map(|&config| {
+            let results = run_suite(&profiles, &Technique::Sensor(config), sim);
+            let outcomes = compare_suites(base, &results);
+            Table4Row { config, summary: Summary::from_outcomes(&outcomes), outcomes }
+        })
+        .collect()
+}
+
+/// One row of Table 5: pipeline damping at one δ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// δ relative to the resonant current variation threshold.
+    pub delta_relative: f64,
+    /// Suite summary.
+    pub summary: Summary,
+    /// Per-app outcomes backing the summary.
+    pub outcomes: Vec<RelativeOutcome>,
+}
+
+/// Reproduces Table 5: sweep δ.
+pub fn table5(sim: &SimConfig, deltas: &[f64], base: &[SimResult]) -> Vec<Table5Row> {
+    let profiles = spec2k::all();
+    deltas
+        .iter()
+        .map(|&d| {
+            let technique = Technique::Damping(DampingConfig::isca04_table5(d));
+            let results = run_suite(&profiles, &technique, sim);
+            let outcomes = compare_suites(base, &results);
+            Table5Row { delta_relative: d, summary: Summary::from_outcomes(&outcomes), outcomes }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_sim() -> SimConfig {
+        SimConfig::isca04(20_000)
+    }
+
+    #[test]
+    fn suite_runs_in_order() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(4).collect();
+        let results = run_suite(&profiles, &Technique::Base, &quick_sim());
+        assert_eq!(results.len(), 4);
+        for (r, p) in results.iter().zip(&profiles) {
+            assert_eq!(r.app, p.name);
+            assert!(r.committed >= 20_000 && r.committed < 20_000 + 8);
+        }
+    }
+
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let parallel = run_suite(&profiles, &Technique::Base, &quick_sim());
+        let serial: Vec<_> =
+            profiles.iter().map(|p| run(p, &Technique::Base, &quick_sim())).collect();
+        assert_eq!(parallel, serial, "threading must not affect determinism");
+    }
+
+    #[test]
+    fn compare_suites_aligns_apps() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(2).collect();
+        let base = run_suite(&profiles, &Technique::Base, &quick_sim());
+        let tech = run_suite(
+            &profiles,
+            &Technique::Tuning(TuningConfig::isca04_table1(100)),
+            &quick_sim(),
+        );
+        let outcomes = compare_suites(&base, &tech);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.slowdown >= 1.0 - 1e-9, "{}: slowdown {}", o.app, o.slowdown);
+        }
+    }
+}

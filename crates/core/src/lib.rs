@@ -1,0 +1,66 @@
+//! **Resonance tuning**: architectural detection and prevention of
+//! inductive (di/dt) noise — a from-scratch Rust reproduction of Powell &
+//! Vijaykumar, *Exploiting Resonant Behavior to Reduce Inductive Noise*
+//! (ISCA 2004).
+//!
+//! Inductive noise arises when processor current variations excite the
+//! resonant RLC loop of the power-distribution network; repeated variations
+//! at frequencies inside the supply's *resonance band* build supply-voltage
+//! glitches beyond the noise margin. Rather than bounding the *magnitude*
+//! of variations (as prior schemes did), resonance tuning changes their
+//! *frequency*: it detects *nascent, repeated* resonant behavior by sensing
+//! processor current, and steers the pipeline away from the band with a
+//! gentle first-level response (reduced issue width and cache ports),
+//! backed by a guaranteed second-level response (stall with medium-current
+//! phantom operations).
+//!
+//! # Crate layout
+//!
+//! * [`detector`] — the current-history register, band-wide quarter-period
+//!   adders, high-low/low-high event histories, and the resonant event
+//!   count (paper Section 3.1);
+//! * [`ResonanceTuner`] — the two-level response controller (Section 3.2);
+//! * [`baselines`] — the compared prior techniques: voltage-threshold
+//!   sensing (\[10\]) and pipeline damping (\[14\]);
+//! * [`sim`] — the integrated CPU + power + supply simulation loop
+//!   (Section 4 methodology);
+//! * [`experiment`] — suite drivers that regenerate the paper's Tables 2–5
+//!   and Figures 3–5;
+//! * [`metrics`] — slowdown / energy-delay accounting.
+//!
+//! # Quick start
+//!
+//! ```
+//! use restune::{run, SimConfig, Technique, TuningConfig};
+//! use workloads::spec2k;
+//!
+//! let sim = SimConfig::isca04(20_000); // 20k instructions per run
+//! let app = spec2k::by_name("parser").expect("parser is in the suite");
+//!
+//! let base = run(&app, &Technique::Base, &sim);
+//! let tuned = run(&app, &Technique::Tuning(TuningConfig::isca04_table1(100)), &sim);
+//!
+//! // Tuning trades a little performance for violation-free operation.
+//! assert!(tuned.cycles >= base.cycles);
+//! assert!(tuned.violation_cycles <= base.violation_cycles);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod baselines;
+pub mod config;
+pub mod detector;
+pub mod experiment;
+pub mod metrics;
+pub mod response;
+pub mod sim;
+
+pub use analysis::{analyze, GuaranteeReport};
+pub use baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
+pub use config::TuningConfig;
+pub use detector::{EventDetector, Polarity, ResonantEvent, WaveletConfig, WaveletDetector};
+pub use metrics::{RelativeOutcome, Summary};
+pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
+pub use sim::{run, run_observed, CycleRecord, SimConfig, SimResult, Technique};

@@ -1,0 +1,182 @@
+//! Relative cost metrics: slowdown, energy, and energy-delay of a technique
+//! run against its base run, plus suite-level summaries.
+
+use crate::sim::SimResult;
+
+/// One application's technique-vs-base comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeOutcome {
+    /// Application name.
+    pub app: &'static str,
+    /// Technique cycles / base cycles (≥ 1 in practice).
+    pub slowdown: f64,
+    /// Technique energy / base energy.
+    pub relative_energy: f64,
+    /// Relative energy-delay product.
+    pub relative_energy_delay: f64,
+    /// Fraction of technique cycles in the first-level tuning response.
+    pub first_level_fraction: f64,
+    /// Fraction of technique cycles in the second-level tuning response.
+    pub second_level_fraction: f64,
+    /// Fraction of technique cycles in the sensor technique's response.
+    pub sensor_response_fraction: f64,
+    /// Violation cycles remaining under the technique.
+    pub violation_cycles: u64,
+}
+
+impl RelativeOutcome {
+    /// Builds the comparison for one app.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs are for different apps, or the base run is empty,
+    /// or the two runs did not commit the same instruction count (the
+    /// slowdown metric requires identical work).
+    pub fn new(base: &SimResult, technique: &SimResult) -> Self {
+        assert_eq!(base.app, technique.app, "comparing different applications");
+        assert!(base.cycles > 0 && base.energy_joules > 0.0, "base run must be non-empty");
+        // Runs stop at the first cycle reaching the instruction budget, so
+        // committed counts may differ by up to a commit width.
+        let diff = base.committed.abs_diff(technique.committed);
+        assert!(
+            diff <= 8,
+            "base and technique must run identical work (committed {} vs {})",
+            base.committed,
+            technique.committed
+        );
+        let slowdown = technique.cycles as f64 / base.cycles as f64;
+        let relative_energy = technique.energy_joules / base.energy_joules;
+        Self {
+            app: base.app,
+            slowdown,
+            relative_energy,
+            relative_energy_delay: relative_energy * slowdown,
+            first_level_fraction: technique.first_level_fraction(),
+            second_level_fraction: technique.second_level_fraction(),
+            sensor_response_fraction: technique.sensor_response_fraction(),
+            violation_cycles: technique.violation_cycles,
+        }
+    }
+}
+
+/// Suite-level summary in the shape of the paper's Tables 3–5 rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean slowdown across apps.
+    pub avg_slowdown: f64,
+    /// The worst per-app slowdown.
+    pub worst_slowdown: f64,
+    /// Which app was worst.
+    pub worst_app: &'static str,
+    /// Number of apps slower than 15 %.
+    pub apps_over_15_percent: usize,
+    /// Mean relative energy-delay.
+    pub avg_energy_delay: f64,
+    /// Mean fraction of cycles in the first-level response.
+    pub avg_first_level_fraction: f64,
+    /// Mean fraction of cycles in the second-level response.
+    pub avg_second_level_fraction: f64,
+    /// Mean fraction of cycles in the sensor response.
+    pub avg_sensor_response_fraction: f64,
+    /// Total violation cycles remaining across the suite.
+    pub total_violation_cycles: u64,
+}
+
+impl Summary {
+    /// Aggregates per-app outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn from_outcomes(outcomes: &[RelativeOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "cannot summarize an empty suite");
+        let n = outcomes.len() as f64;
+        let mean = |f: fn(&RelativeOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
+        let worst = outcomes
+            .iter()
+            .max_by(|a, b| a.slowdown.partial_cmp(&b.slowdown).expect("finite slowdowns"))
+            .expect("non-empty");
+        Self {
+            avg_slowdown: mean(|o| o.slowdown),
+            worst_slowdown: worst.slowdown,
+            worst_app: worst.app,
+            apps_over_15_percent: outcomes.iter().filter(|o| o.slowdown > 1.15).count(),
+            avg_energy_delay: mean(|o| o.relative_energy_delay),
+            avg_first_level_fraction: mean(|o| o.first_level_fraction),
+            avg_second_level_fraction: mean(|o| o.second_level_fraction),
+            avg_sensor_response_fraction: mean(|o| o.sensor_response_fraction),
+            total_violation_cycles: outcomes.iter().map(|o| o.violation_cycles).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc::units::Volts;
+
+    fn result(app: &'static str, cycles: u64, joules: f64) -> SimResult {
+        SimResult {
+            app,
+            cycles,
+            committed: 1000,
+            ipc: 1.0,
+            violation_cycles: 0,
+            worst_noise: Volts::new(0.0),
+            energy_joules: joules,
+            energy_delay: 0.0,
+            first_level_cycles: 0,
+            second_level_cycles: 0,
+            sensor_response_cycles: 0,
+            damping_bound_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn relative_outcome_math() {
+        let base = result("x", 1000, 1.0);
+        let mut tech = result("x", 1100, 1.05);
+        tech.first_level_cycles = 110;
+        let o = RelativeOutcome::new(&base, &tech);
+        assert!((o.slowdown - 1.1).abs() < 1e-12);
+        assert!((o.relative_energy - 1.05).abs() < 1e-12);
+        assert!((o.relative_energy_delay - 1.155).abs() < 1e-12);
+        assert!((o.first_level_fraction - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different applications")]
+    fn mismatched_apps_panic() {
+        let _ = RelativeOutcome::new(&result("a", 10, 1.0), &result("b", 10, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical work")]
+    fn mismatched_work_panics() {
+        let base = result("a", 10, 1.0);
+        let mut tech = result("a", 12, 1.0);
+        tech.committed = 900;
+        let _ = RelativeOutcome::new(&base, &tech);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let outcomes = vec![
+            RelativeOutcome::new(&result("a", 100, 1.0), &result("a", 105, 1.02)),
+            RelativeOutcome::new(&result("b", 100, 1.0), &result("b", 130, 1.20)),
+            RelativeOutcome::new(&result("c", 100, 1.0), &result("c", 101, 1.00)),
+        ];
+        let s = Summary::from_outcomes(&outcomes);
+        assert!((s.avg_slowdown - (1.05 + 1.30 + 1.01) / 3.0).abs() < 1e-12);
+        assert_eq!(s.worst_app, "b");
+        assert!((s.worst_slowdown - 1.3).abs() < 1e-12);
+        assert_eq!(s.apps_over_15_percent, 1);
+        assert_eq!(s.total_violation_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty suite")]
+    fn empty_summary_panics() {
+        let _ = Summary::from_outcomes(&[]);
+    }
+}

@@ -1,0 +1,371 @@
+//! The integrated simulation loop: CPU → power model → supply network, with
+//! an inductive-noise controller in the feedback path.
+//!
+//! Mirrors the paper's methodology (Section 4): the Wattch-style model
+//! converts per-cycle pipeline activity into current; the Heun-integrated
+//! RLC supply converts current into voltage deviation; the controller
+//! (resonance tuning, the voltage-sensor technique of \[10\], or pipeline
+//! damping \[14\]) closes the loop through the pipeline throttle controls.
+
+use cpusim::{Cpu, CpuConfig, CycleEvents, PipelineControls};
+use powermodel::{EnergyMeter, PowerConfig, PowerModel};
+use rlc::units::{Amps, Hertz, Volts};
+use rlc::{PowerSupply, SupplyParams};
+use workloads::{stream::warm_caches, StreamGen, WorkloadProfile};
+
+use crate::baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
+use crate::config::TuningConfig;
+use crate::response::ResonanceTuner;
+
+/// The inductive-noise control technique applied during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Technique {
+    /// No control: the base machine (violations allowed).
+    Base,
+    /// Resonance tuning (this paper).
+    Tuning(TuningConfig),
+    /// The voltage-threshold technique of \[10\].
+    Sensor(SensorConfig),
+    /// Pipeline damping \[14\].
+    Damping(DampingConfig),
+}
+
+impl Technique {
+    /// A short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Base => "base",
+            Technique::Tuning(_) => "tuning",
+            Technique::Sensor(_) => "sensor[10]",
+            Technique::Damping(_) => "damping[14]",
+        }
+    }
+}
+
+/// Machine-level simulation parameters shared across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Processor configuration.
+    pub cpu: CpuConfig,
+    /// Power model configuration.
+    pub power: PowerConfig,
+    /// Power-supply network.
+    pub supply: SupplyParams,
+    /// Clock frequency.
+    pub clock: Hertz,
+    /// Run length in committed instructions (identical work for base and
+    /// technique runs, so cycle ratios are slowdowns).
+    pub instructions: u64,
+    /// Safety cap on cycles (a run never exceeds this even if commit
+    /// throughput collapses).
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's machine with a given instruction budget per run.
+    pub fn isca04(instructions: u64) -> Self {
+        Self {
+            cpu: CpuConfig::isca04_table1(),
+            power: PowerConfig::isca04_table1(),
+            supply: SupplyParams::isca04_table1(),
+            clock: Hertz::from_giga(10.0),
+            instructions,
+            max_cycles: instructions * 12 + 100_000,
+        }
+    }
+}
+
+/// The outcome of one application run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Application name.
+    pub app: &'static str,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed IPC.
+    pub ipc: f64,
+    /// Cycles whose supply deviation exceeded the noise margin.
+    pub violation_cycles: u64,
+    /// Largest-magnitude supply deviation observed.
+    pub worst_noise: Volts,
+    /// Total energy in joules.
+    pub energy_joules: f64,
+    /// Energy × delay in joule-seconds.
+    pub energy_delay: f64,
+    /// Cycles in the first-level tuning response (0 for other techniques).
+    pub first_level_cycles: u64,
+    /// Cycles in the second-level tuning response (0 for other techniques).
+    pub second_level_cycles: u64,
+    /// Cycles in any response of the sensor technique (0 otherwise).
+    pub sensor_response_cycles: u64,
+    /// Cycles where damping throttled or padded (0 otherwise).
+    pub damping_bound_cycles: u64,
+}
+
+impl SimResult {
+    /// Fraction of cycles spent in the given count.
+    fn fraction(&self, cycles: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles in the first-level response.
+    pub fn first_level_fraction(&self) -> f64 {
+        self.fraction(self.first_level_cycles)
+    }
+
+    /// Fraction of cycles in the second-level response.
+    pub fn second_level_fraction(&self) -> f64 {
+        self.fraction(self.second_level_cycles)
+    }
+
+    /// Fraction of cycles in the sensor technique's response.
+    pub fn sensor_response_fraction(&self) -> f64 {
+        self.fraction(self.sensor_response_cycles)
+    }
+
+    /// Fraction of cycles in violation.
+    pub fn violation_fraction(&self) -> f64 {
+        self.fraction(self.violation_cycles)
+    }
+}
+
+/// One cycle's observable state, passed to trace observers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleRecord {
+    /// Cycle index.
+    pub cycle: u64,
+    /// Chip current this cycle.
+    pub current: Amps,
+    /// Supply deviation at end of cycle.
+    pub noise: Volts,
+    /// Resonant event count of an event detected this cycle (tuning only).
+    pub event_count: Option<u32>,
+    /// Whether the controls this cycle restricted the pipeline.
+    pub restricted: bool,
+    /// Pipeline events of the cycle.
+    pub events: CycleEvents,
+}
+
+enum Controller {
+    Base,
+    Tuning(ResonanceTuner),
+    Sensor(VoltageSensor),
+    Damping(PipelineDamping),
+}
+
+/// Runs one application under a technique, invoking `observer` every cycle.
+///
+/// Prefer [`run`] unless you need per-cycle traces.
+pub fn run_observed<F: FnMut(&CycleRecord)>(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    mut observer: F,
+) -> SimResult {
+    let mut power_cfg = sim.power;
+    if matches!(technique, Technique::Tuning(_)) {
+        // Charge the detection/prevention hardware overhead to tuning runs.
+        power_cfg = PowerConfig {
+            detector_overhead: Amps::new(0.3),
+            ..power_cfg
+        };
+    }
+    let mut cpu = Cpu::new(sim.cpu, StreamGen::new(*profile));
+    warm_caches(&mut cpu);
+    let mut model = PowerModel::new(power_cfg, sim.cpu);
+    let idle = power_cfg.idle_current;
+    let mut supply = PowerSupply::new(sim.supply, sim.clock, idle);
+    let mut meter = EnergyMeter::new(power_cfg.vdd, sim.clock);
+
+    let mut controller = match technique {
+        Technique::Base => Controller::Base,
+        Technique::Tuning(cfg) => Controller::Tuning(ResonanceTuner::new(*cfg)),
+        Technique::Sensor(cfg) => Controller::Sensor(VoltageSensor::new(*cfg)),
+        Technique::Damping(cfg) => Controller::Damping(PipelineDamping::new(*cfg)),
+    };
+
+    let mut last_current = idle;
+    let mut last_noise = Volts::new(0.0);
+    let mut last_events = CycleEvents::default();
+    let mut cycles = 0u64;
+    let mut damping_bound = 0u64;
+
+    while cpu.stats().committed < sim.instructions && cycles < sim.max_cycles {
+        let mut event_count = None;
+        let controls = match &mut controller {
+            Controller::Base => PipelineControls::free(),
+            Controller::Tuning(t) => {
+                let c = t.tick(last_current.amps());
+                event_count = t.last_event().map(|e| e.count);
+                c
+            }
+            Controller::Sensor(s) => s.tick(last_noise),
+            Controller::Damping(d) => {
+                let c = d.tick(&last_events);
+                if c.phantom.is_some() {
+                    damping_bound += 1;
+                }
+                c
+            }
+        };
+        let ev = cpu.tick(controls);
+        let current = model.current_for(&ev);
+        let out = supply.tick(current);
+        meter.record(current);
+
+        observer(&CycleRecord {
+            cycle: cycles,
+            current,
+            noise: out.noise,
+            event_count,
+            restricted: controls.is_restricted(),
+            events: ev,
+        });
+
+        last_current = current;
+        last_noise = out.noise;
+        last_events = ev;
+        cycles += 1;
+    }
+
+    let (first, second) = match &controller {
+        Controller::Tuning(t) => (t.stats().first_level_cycles, t.stats().second_level_cycles),
+        _ => (0, 0),
+    };
+    let sensor_cycles = match &controller {
+        Controller::Sensor(s) => s.response_cycles(),
+        _ => 0,
+    };
+    let damping_cycles = match &controller {
+        Controller::Damping(d) => d.throttled_cycles() + damping_bound,
+        _ => 0,
+    };
+
+    SimResult {
+        app: profile.name,
+        cycles,
+        committed: cpu.stats().committed,
+        ipc: cpu.stats().ipc(),
+        violation_cycles: supply.violation_cycles(),
+        worst_noise: supply.worst_noise(),
+        energy_joules: meter.joules(),
+        energy_delay: meter.energy_delay(),
+        first_level_cycles: first,
+        second_level_cycles: second,
+        sensor_response_cycles: sensor_cycles,
+        damping_bound_cycles: damping_cycles,
+    }
+}
+
+/// Runs one application under a technique.
+pub fn run(profile: &WorkloadProfile, technique: &Technique, sim: &SimConfig) -> SimResult {
+    run_observed(profile, technique, sim, |_| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::spec2k;
+
+    fn quick_sim() -> SimConfig {
+        SimConfig::isca04(40_000)
+    }
+
+    #[test]
+    fn base_run_completes_requested_instructions() {
+        let p = spec2k::by_name("gzip").unwrap();
+        let r = run(&p, &Technique::Base, &quick_sim());
+        assert!(r.committed >= 40_000 && r.committed < 40_000 + 8);
+        assert!(r.cycles > 0);
+        assert!(r.ipc > 0.5);
+        assert!(r.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let p = spec2k::by_name("parser").unwrap();
+        let a = run(&p, &Technique::Base, &quick_sim());
+        let b = run(&p, &Technique::Base, &quick_sim());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn violating_app_violates_on_base_machine() {
+        let p = spec2k::by_name("swim").unwrap();
+        let sim = SimConfig::isca04(150_000);
+        let r = run(&p, &Technique::Base, &sim);
+        assert!(r.violation_cycles > 0, "swim must violate on the base machine");
+    }
+
+    #[test]
+    fn tuning_prevents_nearly_all_violations() {
+        let p = spec2k::by_name("swim").unwrap();
+        let sim = SimConfig::isca04(150_000);
+        let base = run(&p, &Technique::Base, &sim);
+        let tuned = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &sim);
+        assert!(base.violation_cycles > 0);
+        assert!(
+            tuned.violation_cycles * 20 <= base.violation_cycles,
+            "tuning should eliminate ≥95% of violation cycles: {} vs {}",
+            tuned.violation_cycles,
+            base.violation_cycles
+        );
+        assert!(tuned.first_level_cycles > 0, "tuning must actually engage");
+    }
+
+    #[test]
+    fn tuning_slowdown_is_modest() {
+        let p = spec2k::by_name("bzip").unwrap();
+        let sim = SimConfig::isca04(80_000);
+        let base = run(&p, &Technique::Base, &sim);
+        let tuned = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &sim);
+        let slowdown = tuned.cycles as f64 / base.cycles as f64;
+        assert!(slowdown < 1.35, "tuning slowdown {slowdown} too harsh");
+        assert!(slowdown >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn sensor_technique_responds_and_runs() {
+        let p = spec2k::by_name("swim").unwrap();
+        let sim = SimConfig::isca04(80_000);
+        let r = run(&p, &Technique::Sensor(SensorConfig::table4(20.0, 0.0, 0)), &sim);
+        assert!(r.sensor_response_cycles > 0, "sensor should react to swim's variations");
+        assert!(r.committed >= 80_000);
+    }
+
+    #[test]
+    fn damping_bounds_variations_at_cost() {
+        let p = spec2k::by_name("swim").unwrap();
+        let sim = SimConfig::isca04(80_000);
+        let base = run(&p, &Technique::Base, &sim);
+        let damped = run(&p, &Technique::Damping(DampingConfig::isca04_table5(0.25)), &sim);
+        assert!(damped.cycles > base.cycles, "tight damping must cost cycles");
+        assert!(damped.violation_cycles <= base.violation_cycles);
+    }
+
+    #[test]
+    fn observer_sees_every_cycle() {
+        let p = spec2k::by_name("gzip").unwrap();
+        let sim = SimConfig::isca04(5_000);
+        let mut n = 0u64;
+        let r = run_observed(&p, &Technique::Base, &sim, |rec| {
+            assert_eq!(rec.cycle, n);
+            n += 1;
+        });
+        assert_eq!(n, r.cycles);
+    }
+
+    #[test]
+    fn technique_names() {
+        assert_eq!(Technique::Base.name(), "base");
+        assert_eq!(Technique::Tuning(TuningConfig::isca04_table1(75)).name(), "tuning");
+        assert_eq!(Technique::Sensor(SensorConfig::table4(30.0, 0.0, 0)).name(), "sensor[10]");
+        assert_eq!(Technique::Damping(DampingConfig::isca04_table5(1.0)).name(), "damping[14]");
+    }
+}

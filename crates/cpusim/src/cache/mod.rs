@@ -1,0 +1,7 @@
+//! Cache models: a set-associative array and the two-level hierarchy.
+
+mod hierarchy;
+mod set_assoc;
+
+pub use hierarchy::{AccessResult, CacheHierarchy, ServiceLevel};
+pub use set_assoc::SetAssocCache;

@@ -1,0 +1,193 @@
+//! Optional memory-system contention modeling: miss-status-holding
+//! registers (MSHRs) and main-memory bandwidth.
+//!
+//! The default machine (matching the paper's Table 1 description) places no
+//! limit on outstanding misses or memory bandwidth. Enabling a
+//! [`MemorySystemConfig`] adds two realistic constraints:
+//!
+//! * at most `mshrs` misses may be outstanding below the L1; a miss issued
+//!   with all MSHRs busy waits for the earliest one to retire; and
+//! * main-memory accesses are serialized at least `mem_interval` cycles
+//!   apart (a crude DRAM-channel bandwidth model).
+//!
+//! Both stretch memory latency under pressure, which *lengthens* the
+//! idle phases of miss-driven current patterns — a second mechanism (beyond
+//! issue throttling) by which machine configuration moves current-variation
+//! frequencies.
+
+/// Configuration of the optional memory-system limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySystemConfig {
+    /// Maximum outstanding L1 misses (MSHRs).
+    pub mshrs: u32,
+    /// Minimum cycles between consecutive main-memory accesses.
+    pub mem_interval: u32,
+}
+
+impl MemorySystemConfig {
+    /// A representative contemporary configuration: 8 MSHRs, one memory
+    /// access per 4 cycles.
+    pub fn typical() -> Self {
+        Self { mshrs: 8, mem_interval: 4 }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mshrs` is zero.
+    pub fn validate(&self) {
+        assert!(self.mshrs > 0, "need at least one MSHR");
+    }
+}
+
+/// Tracks outstanding misses and memory-channel occupancy.
+#[derive(Debug, Clone)]
+pub struct MissTracker {
+    config: MemorySystemConfig,
+    /// Completion cycles of outstanding misses (unsorted; ≤ mshrs entries).
+    outstanding: Vec<u64>,
+    /// Cycle at which the memory channel next becomes free.
+    channel_free_at: u64,
+    /// Statistics: extra cycles added by MSHR pressure.
+    mshr_stall_cycles: u64,
+    /// Statistics: extra cycles added by channel serialization.
+    channel_stall_cycles: u64,
+}
+
+impl MissTracker {
+    /// Creates a tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: MemorySystemConfig) -> Self {
+        config.validate();
+        Self {
+            outstanding: Vec::with_capacity(config.mshrs as usize),
+            config,
+            channel_free_at: 0,
+            mshr_stall_cycles: 0,
+            channel_stall_cycles: 0,
+        }
+    }
+
+    /// Admits a miss at cycle `now` with intrinsic latency `raw_latency`;
+    /// `to_memory` marks misses that go past the L2. Returns the *adjusted*
+    /// latency including any MSHR wait and channel serialization.
+    pub fn admit_miss(&mut self, now: u64, raw_latency: u32, to_memory: bool) -> u32 {
+        // Retire completed misses.
+        self.outstanding.retain(|&done| done > now);
+
+        // MSHR pressure: a new miss starts only when a register is free.
+        // With k misses already queued ahead, that is when the
+        // (k − mshrs + 1)-th earliest retires.
+        let mut start = now;
+        if self.outstanding.len() >= self.config.mshrs as usize {
+            let mut done_times = self.outstanding.clone();
+            done_times.sort_unstable();
+            let free_at = done_times[self.outstanding.len() - self.config.mshrs as usize];
+            self.mshr_stall_cycles += free_at.saturating_sub(start);
+            start = start.max(free_at);
+        }
+
+        // Channel bandwidth: memory accesses serialize.
+        if to_memory {
+            if self.channel_free_at > start {
+                self.channel_stall_cycles += self.channel_free_at - start;
+                start = self.channel_free_at;
+            }
+            self.channel_free_at = start + self.config.mem_interval as u64;
+        }
+
+        let done = start + raw_latency as u64;
+        self.outstanding.push(done);
+        (done - now) as u32
+    }
+
+    /// Outstanding misses right now (after retiring finished ones at the
+    /// last `admit_miss`).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Total cycles of added latency from MSHR pressure.
+    pub fn mshr_stall_cycles(&self) -> u64 {
+        self.mshr_stall_cycles
+    }
+
+    /// Total cycles of added latency from channel serialization.
+    pub fn channel_stall_cycles(&self) -> u64 {
+        self.channel_stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(mshrs: u32, interval: u32) -> MissTracker {
+        MissTracker::new(MemorySystemConfig { mshrs, mem_interval: interval })
+    }
+
+    #[test]
+    fn unconstrained_miss_keeps_raw_latency() {
+        let mut t = tracker(8, 1);
+        assert_eq!(t.admit_miss(100, 94, true), 94);
+    }
+
+    #[test]
+    fn mshr_exhaustion_delays_misses() {
+        let mut t = tracker(2, 1);
+        assert_eq!(t.admit_miss(0, 94, false), 94);
+        assert_eq!(t.admit_miss(0, 94, false), 94);
+        // Third concurrent miss waits for the first to retire at 94; a
+        // fourth waits for the second.
+        assert_eq!(t.admit_miss(0, 94, false), 94 + 94);
+        assert_eq!(t.admit_miss(0, 94, false), 94 + 94);
+        // A fifth must wait for the *third* (done at 188).
+        assert_eq!(t.admit_miss(0, 94, false), 188 + 94);
+        assert!(t.mshr_stall_cycles() >= 94);
+    }
+
+    #[test]
+    fn misses_retire_and_free_mshrs() {
+        let mut t = tracker(1, 1);
+        assert_eq!(t.admit_miss(0, 10, false), 10);
+        // After the first retires (cycle 10), the MSHR is free again.
+        assert_eq!(t.admit_miss(20, 10, false), 10);
+        assert_eq!(t.mshr_stall_cycles(), 0);
+    }
+
+    #[test]
+    fn channel_serializes_memory_accesses() {
+        let mut t = tracker(16, 10);
+        assert_eq!(t.admit_miss(0, 94, true), 94);
+        // Same-cycle second memory access starts 10 cycles later.
+        assert_eq!(t.admit_miss(0, 94, true), 104);
+        assert_eq!(t.channel_stall_cycles(), 10);
+    }
+
+    #[test]
+    fn l2_hits_do_not_use_the_channel() {
+        let mut t = tracker(16, 50);
+        assert_eq!(t.admit_miss(0, 14, false), 14);
+        assert_eq!(t.admit_miss(0, 14, false), 14, "L2 hits must not serialize");
+    }
+
+    #[test]
+    fn outstanding_counts_inflight() {
+        let mut t = tracker(8, 1);
+        t.admit_miss(0, 94, false);
+        t.admit_miss(0, 94, false);
+        assert_eq!(t.outstanding(), 2);
+        t.admit_miss(200, 94, false); // retires the first two
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MSHR")]
+    fn zero_mshrs_panics() {
+        let _ = tracker(0, 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Power-model configuration: current envelope and per-structure weights.
+
+use rlc::units::{Amps, Volts};
+
+use crate::gating::GatingStyle;
+
+/// Relative share of the processor's *dynamic* current range attributed to
+/// each pipeline structure at full activity. Shares are normalized at model
+/// construction, so only ratios matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructureWeights {
+    /// Instruction fetch (I-TLB, fetch queue, PC logic).
+    pub fetch: f64,
+    /// Decode and rename.
+    pub dispatch: f64,
+    /// Issue window wakeup/select (RUU CAM and selection logic).
+    pub window: f64,
+    /// Register-file reads and writes.
+    pub regfile: f64,
+    /// Integer ALUs (and branch units).
+    pub int_alu: f64,
+    /// Integer multiply/divide units.
+    pub int_mul: f64,
+    /// Floating-point units.
+    pub fp: f64,
+    /// L1 instruction cache.
+    pub l1i: f64,
+    /// L1 data cache.
+    pub l1d: f64,
+    /// Unified L2 cache.
+    pub l2: f64,
+    /// Memory bus / DRAM interface.
+    pub mem_bus: f64,
+    /// Result (writeback) bus.
+    pub result_bus: f64,
+    /// Commit logic and ROB/LSQ maintenance.
+    pub commit: f64,
+}
+
+impl StructureWeights {
+    /// The default apportionment, patterned after Wattch's breakdown for a
+    /// wide out-of-order core (caches + window + regfile dominate).
+    pub fn wattch_like() -> Self {
+        Self {
+            fetch: 0.08,
+            dispatch: 0.10,
+            window: 0.12,
+            regfile: 0.10,
+            int_alu: 0.12,
+            int_mul: 0.03,
+            fp: 0.12,
+            l1i: 0.05,
+            l1d: 0.12,
+            l2: 0.06,
+            mem_bus: 0.02,
+            result_bus: 0.04,
+            commit: 0.04,
+        }
+    }
+
+    /// Sum of all shares (used for normalization).
+    pub fn total(&self) -> f64 {
+        self.fetch
+            + self.dispatch
+            + self.window
+            + self.regfile
+            + self.int_alu
+            + self.int_mul
+            + self.fp
+            + self.l1i
+            + self.l1d
+            + self.l2
+            + self.mem_bus
+            + self.result_bus
+            + self.commit
+    }
+
+    /// Validates that every share is finite and non-negative and the total
+    /// is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid weights.
+    pub fn validate(&self) {
+        let all = [
+            self.fetch,
+            self.dispatch,
+            self.window,
+            self.regfile,
+            self.int_alu,
+            self.int_mul,
+            self.fp,
+            self.l1i,
+            self.l1d,
+            self.l2,
+            self.mem_bus,
+            self.result_bus,
+            self.commit,
+        ];
+        for w in all {
+            assert!(w.is_finite() && w >= 0.0, "structure weight must be finite and >= 0");
+        }
+        assert!(self.total() > 0.0, "weights must not all be zero");
+    }
+}
+
+/// Power-model configuration.
+///
+/// The model maps per-cycle pipeline activity linearly onto the current
+/// envelope `[idle_current, peak_current]`. The idle current is the draw
+/// with every gateable structure clock-gated: the global clock (which the
+/// paper does not allow to be gated) plus the ~10 % residual draw of gated
+/// units under Wattch's aggressive gating style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Supply voltage (1.0 V in Table 1).
+    pub vdd: Volts,
+    /// Current with everything gateable gated (35 A in Table 1).
+    pub idle_current: Amps,
+    /// Current at peak activity (105 A in Table 1).
+    pub peak_current: Amps,
+    /// Per-structure shares of the dynamic range.
+    pub weights: StructureWeights,
+    /// Constant extra draw of the resonance-tuning detection hardware
+    /// (current sensors, quarter-period adders, history registers). The
+    /// paper estimates this at well under 1 % of processor energy.
+    pub detector_overhead: Amps,
+}
+
+impl PowerConfig {
+    /// The paper's Table 1 power parameters: 1.0 V, 35–105 A.
+    pub fn isca04_table1() -> Self {
+        Self {
+            vdd: Volts::new(1.0),
+            idle_current: Amps::new(35.0),
+            peak_current: Amps::new(105.0),
+            weights: StructureWeights::wattch_like(),
+            detector_overhead: Amps::new(0.0),
+        }
+    }
+
+    /// The Table 1 envelope under a given clock-gating style: less
+    /// aggressive gating raises the idle floor and shrinks the dynamic
+    /// range (and with it, di/dt) — the paper's Section 4.1 observation.
+    pub fn isca04_table1_with_gating(style: GatingStyle) -> Self {
+        let base = Self::isca04_table1();
+        Self {
+            idle_current: style.idle_current(base.idle_current, base.peak_current),
+            ..base
+        }
+    }
+
+    /// Same, with the resonance-tuning detector hardware drawing current
+    /// (used for technique runs so its overhead is charged).
+    pub fn isca04_table1_with_detector() -> Self {
+        // ~9 seven-bit adders + shift registers + sensors: comparable to one
+        // 64-bit adder, a rounding error against a 105 W chip. Charge 0.3 A.
+        Self { detector_overhead: Amps::new(0.3), ..Self::isca04_table1() }
+    }
+
+    /// The dynamic current range (peak − idle).
+    pub fn dynamic_range(&self) -> Amps {
+        self.peak_current - self.idle_current
+    }
+
+    /// Validates the envelope and weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the envelope is inverted/non-finite or weights are invalid.
+    pub fn validate(&self) {
+        assert!(
+            self.vdd.volts().is_finite() && self.vdd.volts() > 0.0,
+            "Vdd must be finite and positive"
+        );
+        assert!(
+            self.idle_current.amps().is_finite() && self.idle_current.amps() >= 0.0,
+            "idle current must be finite and non-negative"
+        );
+        assert!(
+            self.peak_current.amps() > self.idle_current.amps(),
+            "peak current must exceed idle current"
+        );
+        assert!(
+            self.detector_overhead.amps().is_finite() && self.detector_overhead.amps() >= 0.0,
+            "detector overhead must be finite and non-negative"
+        );
+        self.weights.validate();
+    }
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        Self::isca04_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_envelope() {
+        let c = PowerConfig::isca04_table1();
+        c.validate();
+        assert_eq!(c.idle_current, Amps::new(35.0));
+        assert_eq!(c.peak_current, Amps::new(105.0));
+        assert_eq!(c.dynamic_range(), Amps::new(70.0));
+    }
+
+    #[test]
+    fn weights_sum_to_one_by_construction() {
+        let w = StructureWeights::wattch_like();
+        assert!((w.total() - 1.0).abs() < 1e-12, "total = {}", w.total());
+    }
+
+    #[test]
+    fn detector_variant_adds_overhead() {
+        let c = PowerConfig::isca04_table1_with_detector();
+        assert!(c.detector_overhead.amps() > 0.0);
+        assert!(c.detector_overhead.amps() < 1.0, "overhead must stay <1% of chip current");
+    }
+
+    #[test]
+    #[should_panic(expected = "peak current")]
+    fn inverted_envelope_panics() {
+        let mut c = PowerConfig::isca04_table1();
+        c.peak_current = Amps::new(10.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_weight_panics() {
+        let mut c = PowerConfig::isca04_table1();
+        c.weights.fetch = -1.0;
+        c.validate();
+    }
+}

@@ -1,0 +1,74 @@
+//! Clock-gating styles.
+//!
+//! The paper notes (Section 4.1) that "current variation levels depend
+//! heavily on the clock-gating model — more aggressive gating leads to more
+//! variation", and evaluates with Wattch's aggressive style (idle units draw
+//! a small residual; the global clock is never gated). This module exposes
+//! that choice: the gating style sets the idle floor of the current
+//! envelope, and thereby how far current can swing.
+
+use rlc::units::Amps;
+
+/// How idle pipeline structures are clock-gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GatingStyle {
+    /// Wattch-style aggressive gating, except the global clock (the paper's
+    /// configuration): idle structures draw ~10 % of their active power.
+    /// Largest dynamic range, worst inductive noise.
+    #[default]
+    Aggressive,
+    /// Moderate gating: idle structures draw ~45 % of active power (Wattch's
+    /// "cc2"-like style).
+    Moderate,
+    /// No gating: structures draw most of their power regardless of
+    /// activity. Tiny dynamic range — and correspondingly little di/dt.
+    None,
+}
+
+impl GatingStyle {
+    /// The idle current this style implies, given the chip's peak current
+    /// and the fully-gated floor (global clock + leakage).
+    pub fn idle_current(self, gated_floor: Amps, peak: Amps) -> Amps {
+        let range = peak.amps() - gated_floor.amps();
+        let residual = match self {
+            GatingStyle::Aggressive => 0.0,
+            GatingStyle::Moderate => 0.45,
+            GatingStyle::None => 0.85,
+        };
+        Amps::new(gated_floor.amps() + residual * range)
+    }
+
+    /// The dynamic current range available to activity under this style.
+    pub fn dynamic_range(self, gated_floor: Amps, peak: Amps) -> Amps {
+        Amps::new(peak.amps() - self.idle_current(gated_floor, peak).amps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLOOR: Amps = Amps::new(35.0);
+    const PEAK: Amps = Amps::new(105.0);
+
+    #[test]
+    fn aggressive_gating_keeps_full_range() {
+        let style = GatingStyle::Aggressive;
+        assert_eq!(style.idle_current(FLOOR, PEAK), Amps::new(35.0));
+        assert_eq!(style.dynamic_range(FLOOR, PEAK), Amps::new(70.0));
+    }
+
+    #[test]
+    fn less_gating_means_less_swing() {
+        let aggressive = GatingStyle::Aggressive.dynamic_range(FLOOR, PEAK).amps();
+        let moderate = GatingStyle::Moderate.dynamic_range(FLOOR, PEAK).amps();
+        let none = GatingStyle::None.dynamic_range(FLOOR, PEAK).amps();
+        assert!(aggressive > moderate && moderate > none);
+        assert!(none < 15.0, "ungated chip swings little: {none}");
+    }
+
+    #[test]
+    fn default_is_the_papers_choice() {
+        assert_eq!(GatingStyle::default(), GatingStyle::Aggressive);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for power-supply model construction and simulation.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned when constructing or using an RLC power-supply model with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RlcError {
+    /// A circuit element value was non-positive or non-finite.
+    InvalidElement {
+        /// Which element ("R", "L", "C", "Vdd", "clock", ...).
+        element: &'static str,
+        /// The offending value, in base SI units.
+        value: f64,
+    },
+    /// The circuit is not underdamped (R² ≥ 4L/C), so it has no resonant
+    /// oscillation and the resonance-band machinery does not apply.
+    NotUnderdamped {
+        /// R² in Ω².
+        r_squared: f64,
+        /// 4L/C in Ω².
+        four_l_over_c: f64,
+    },
+    /// The requested noise margin was non-positive or non-finite.
+    InvalidNoiseMargin {
+        /// The offending margin in volts.
+        margin: f64,
+    },
+    /// A calibration search failed to bracket a solution.
+    CalibrationFailed {
+        /// Human-readable description of what was being calibrated.
+        what: &'static str,
+    },
+    /// The resonant period is too short relative to the clock for a
+    /// cycle-granularity detector (fewer than 8 cycles per period).
+    PeriodTooShort {
+        /// Cycles in the resonant period.
+        cycles: f64,
+    },
+}
+
+impl fmt::Display for RlcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RlcError::InvalidElement { element, value } => {
+                write!(f, "invalid circuit element {element}: {value} (must be finite and positive)")
+            }
+            RlcError::NotUnderdamped { r_squared, four_l_over_c } => write!(
+                f,
+                "circuit is not underdamped: R² = {r_squared} ≥ 4L/C = {four_l_over_c}; no resonant oscillation"
+            ),
+            RlcError::InvalidNoiseMargin { margin } => {
+                write!(f, "invalid noise margin {margin} V (must be finite and positive)")
+            }
+            RlcError::CalibrationFailed { what } => {
+                write!(f, "calibration failed to bracket a solution for {what}")
+            }
+            RlcError::PeriodTooShort { cycles } => write!(
+                f,
+                "resonant period of {cycles} cycles is too short for cycle-granularity detection"
+            ),
+        }
+    }
+}
+
+impl StdError for RlcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RlcError::InvalidElement { element: "R", value: -1.0 };
+        assert!(e.to_string().contains('R'));
+        assert!(e.to_string().contains("-1"));
+
+        let e = RlcError::NotUnderdamped { r_squared: 4.0, four_l_over_c: 1.0 };
+        assert!(e.to_string().contains("underdamped"));
+
+        let e = RlcError::InvalidNoiseMargin { margin: 0.0 };
+        assert!(e.to_string().contains("margin"));
+
+        let e = RlcError::CalibrationFailed { what: "threshold" };
+        assert!(e.to_string().contains("threshold"));
+
+        let e = RlcError::PeriodTooShort { cycles: 2.0 };
+        assert!(e.to_string().contains("too short"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<RlcError>();
+    }
+}

@@ -1,0 +1,260 @@
+//! Fitting supply parameters from measured impedance data.
+//!
+//! The paper assumes "design-time information about the resonant
+//! characteristics of the package" (Section 2). In practice that
+//! information arrives as an impedance-versus-frequency measurement; this
+//! module recovers the second-order model `(R, L, C)` from such samples:
+//!
+//! 1. locate the resonant peak `f₀` and the half-power bandwidth `B`;
+//! 2. invert the closed-form relations `Q = f₀/B`,
+//!    `|Z(f₀)| = Q·Z₀·√(1 + 1/Q²)`, `Z₀ = √(L/C)`, `R = Z₀/Q`,
+//!    `C = 1/(2π·f₀·Z₀)`, `L = Z₀/(2π·f₀)`;
+//! 3. polish with a few rounds of coordinate descent on the squared
+//!    log-magnitude error.
+
+use crate::error::RlcError;
+use crate::impedance::impedance_at;
+use crate::params::SupplyParams;
+use crate::units::{Farads, Henries, Hertz, Ohms, Volts};
+
+/// One measured impedance sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpedanceSample {
+    /// Measurement frequency.
+    pub frequency: Hertz,
+    /// Measured impedance magnitude.
+    pub magnitude: Ohms,
+}
+
+/// The result of a fit: the recovered parameters and the residual error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Recovered supply parameters.
+    pub params: SupplyParams,
+    /// Root-mean-square relative magnitude error over the samples.
+    pub rms_relative_error: f64,
+}
+
+fn rms_error(params: &SupplyParams, samples: &[ImpedanceSample]) -> f64 {
+    let sum: f64 = samples
+        .iter()
+        .map(|s| {
+            let model = impedance_at(params, s.frequency).magnitude();
+            let rel = (model - s.magnitude.ohms()) / s.magnitude.ohms();
+            rel * rel
+        })
+        .sum();
+    (sum / samples.len() as f64).sqrt()
+}
+
+/// Fits `(R, L, C)` to impedance samples.
+///
+/// The samples must cover the resonant peak (including points below the
+/// half-power level on both sides); `vdd` and `noise_margin` pass through
+/// to the resulting [`SupplyParams`].
+///
+/// # Errors
+///
+/// Returns [`RlcError::CalibrationFailed`] when fewer than 8 samples are
+/// given, when no interior peak exists, or when the half-power points do
+/// not bracket the peak.
+pub fn fit_supply(
+    samples: &[ImpedanceSample],
+    vdd: Volts,
+    noise_margin: Volts,
+) -> Result<FitResult, RlcError> {
+    if samples.len() < 8 {
+        return Err(RlcError::CalibrationFailed { what: "impedance fit (too few samples)" });
+    }
+    let mut sorted: Vec<ImpedanceSample> = samples.to_vec();
+    sorted.sort_by(|a, b| {
+        a.frequency.hertz().partial_cmp(&b.frequency.hertz()).expect("finite frequencies")
+    });
+
+    // 1. Peak location (must be interior).
+    let (peak_idx, peak) = sorted
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1.magnitude.ohms().partial_cmp(&b.1.magnitude.ohms()).expect("finite magnitudes")
+        })
+        .expect("non-empty samples");
+    if peak_idx == 0 || peak_idx == sorted.len() - 1 {
+        return Err(RlcError::CalibrationFailed { what: "impedance fit (peak not interior)" });
+    }
+    let f0 = peak.frequency.hertz();
+    let z_peak = peak.magnitude.ohms();
+
+    // 2. Half-power points on both sides (linear interpolation).
+    let cutoff = z_peak / std::f64::consts::SQRT_2;
+    let cross = |range: &mut dyn Iterator<Item = usize>| -> Option<f64> {
+        let mut prev: Option<usize> = None;
+        for i in range {
+            if sorted[i].magnitude.ohms() < cutoff {
+                let p = prev?;
+                let (fa, za) = (sorted[i].frequency.hertz(), sorted[i].magnitude.ohms());
+                let (fb, zb) = (sorted[p].frequency.hertz(), sorted[p].magnitude.ohms());
+                let t = (cutoff - za) / (zb - za);
+                return Some(fa + t * (fb - fa));
+            }
+            prev = Some(i);
+        }
+        None
+    };
+    let f_low = cross(&mut (0..=peak_idx).rev())
+        .ok_or(RlcError::CalibrationFailed { what: "impedance fit (low half-power point)" })?;
+    let f_high = cross(&mut (peak_idx..sorted.len()))
+        .ok_or(RlcError::CalibrationFailed { what: "impedance fit (high half-power point)" })?;
+
+    // 3. Invert the closed forms.
+    let q = f0 / (f_high - f_low);
+    let z0 = z_peak / (q * (1.0 + 1.0 / (q * q)).sqrt());
+    let r = z0 / q;
+    let two_pi_f0 = 2.0 * std::f64::consts::PI * f0;
+    let c = 1.0 / (two_pi_f0 * z0);
+    let l = z0 / two_pi_f0;
+
+    let mut best = SupplyParams::new(
+        Ohms::new(r),
+        Henries::new(l),
+        Farads::new(c),
+        vdd,
+        noise_margin,
+    )
+    .map_err(|_| RlcError::CalibrationFailed { what: "impedance fit (degenerate seed)" })?;
+
+    // 4. Coordinate-descent polish on (R, L, C), multiplicative steps.
+    let mut best_err = rms_error(&best, &sorted);
+    let mut step = 0.10;
+    for _ in 0..40 {
+        let mut improved = false;
+        for dim in 0..3 {
+            for dir in [1.0 + step, 1.0 / (1.0 + step)] {
+                let (mut r, mut l, mut c) = (
+                    best.resistance().ohms(),
+                    best.inductance().henries(),
+                    best.capacitance().farads(),
+                );
+                match dim {
+                    0 => r *= dir,
+                    1 => l *= dir,
+                    _ => c *= dir,
+                }
+                if let Ok(candidate) = SupplyParams::new(
+                    Ohms::new(r),
+                    Henries::new(l),
+                    Farads::new(c),
+                    vdd,
+                    noise_margin,
+                ) {
+                    let err = rms_error(&candidate, &sorted);
+                    if err < best_err {
+                        best = candidate;
+                        best_err = err;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            step *= 0.5;
+            if step < 1e-4 {
+                break;
+            }
+        }
+    }
+    Ok(FitResult { params: best, rms_relative_error: best_err })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impedance::ImpedanceSweep;
+
+    fn samples_of(params: &SupplyParams, lo_mhz: f64, hi_mhz: f64, n: usize) -> Vec<ImpedanceSample> {
+        ImpedanceSweep::linear(params, Hertz::from_mega(lo_mhz), Hertz::from_mega(hi_mhz), n)
+            .points()
+            .iter()
+            .map(|p| ImpedanceSample { frequency: p.frequency, magnitude: p.magnitude })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_table1_from_clean_samples() {
+        let truth = SupplyParams::isca04_table1();
+        let samples = samples_of(&truth, 30.0, 200.0, 160);
+        let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin()).unwrap();
+        assert!(fit.rms_relative_error < 0.01, "residual {}", fit.rms_relative_error);
+        let f_err = (fit.params.resonant_frequency().hertz()
+            - truth.resonant_frequency().hertz())
+        .abs()
+            / truth.resonant_frequency().hertz();
+        assert!(f_err < 0.01, "resonant frequency error {f_err}");
+        let q_err = (fit.params.quality_factor() - truth.quality_factor()).abs()
+            / truth.quality_factor();
+        assert!(q_err < 0.05, "Q error {q_err}");
+    }
+
+    #[test]
+    fn recovered_tuning_parameters_match_truth() {
+        // What downstream actually needs: the band in cycles and the
+        // repetition tolerance derived from the fit match the truth's.
+        let truth = SupplyParams::isca04_table1();
+        let samples = samples_of(&truth, 30.0, 200.0, 120);
+        let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin()).unwrap();
+        let clock = Hertz::from_giga(10.0);
+        let (t_lo, t_hi) = truth.resonance_band_cycles(clock).unwrap();
+        let (f_lo, f_hi) = fit.params.resonance_band_cycles(clock).unwrap();
+        assert!(t_lo.count().abs_diff(f_lo.count()) <= 2, "band lo {f_lo} vs {t_lo}");
+        assert!(t_hi.count().abs_diff(f_hi.count()) <= 2, "band hi {f_hi} vs {t_hi}");
+    }
+
+    #[test]
+    fn tolerates_measurement_noise() {
+        let truth = SupplyParams::isca04_section2_example();
+        let mut samples = samples_of(&truth, 50.0, 170.0, 140);
+        // ±3% deterministic multiplicative "measurement" noise.
+        for (k, s) in samples.iter_mut().enumerate() {
+            let wiggle = 1.0 + 0.03 * ((k as f64 * 0.7).sin());
+            s.magnitude = Ohms::new(s.magnitude.ohms() * wiggle);
+        }
+        let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin()).unwrap();
+        let f_err = (fit.params.resonant_frequency().hertz()
+            - truth.resonant_frequency().hertz())
+        .abs()
+            / truth.resonant_frequency().hertz();
+        assert!(f_err < 0.03, "resonant frequency error {f_err} under noise");
+    }
+
+    #[test]
+    fn rejects_too_few_samples() {
+        let truth = SupplyParams::isca04_table1();
+        let samples = samples_of(&truth, 80.0, 120.0, 5);
+        assert!(matches!(
+            fit_supply(&samples, truth.vdd(), truth.noise_margin()),
+            Err(RlcError::CalibrationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_sweep_missing_the_peak() {
+        // Sweep entirely below resonance: the peak sits at the edge.
+        let truth = SupplyParams::isca04_table1();
+        let samples = samples_of(&truth, 10.0, 60.0, 60);
+        assert!(matches!(
+            fit_supply(&samples, truth.vdd(), truth.noise_margin()),
+            Err(RlcError::CalibrationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_sweep_missing_half_power_points() {
+        // Narrow sweep straddling the peak but never dropping to half power.
+        let truth = SupplyParams::isca04_table1();
+        let samples = samples_of(&truth, 95.0, 105.0, 30);
+        assert!(matches!(
+            fit_supply(&samples, truth.vdd(), truth.noise_margin()),
+            Err(RlcError::CalibrationFailed { .. })
+        ));
+    }
+}

@@ -1,0 +1,278 @@
+//! Frequency-domain impedance of the power-supply network (Figure 1(c)).
+//!
+//! The impedance seen by the CPU current source is the series R–L branch in
+//! parallel with the on-die decoupling capacitance:
+//!
+//! ```text
+//! Z(jω) = (R + jωL) / (1 − ω²LC + jωRC)
+//! ```
+//!
+//! The magnitude peaks near the resonant frequency; the half-energy points
+//! define the resonance band. [`ImpedanceSweep`] regenerates the paper's
+//! Figure 1(c).
+
+use crate::params::SupplyParams;
+use crate::units::{Hertz, Ohms};
+
+/// A complex number, just enough for impedance math.
+///
+/// Kept private to the crate's needs rather than pulling in a complex-number
+/// dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The magnitude |z|.
+    pub fn magnitude(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The phase angle in radians.
+    pub fn phase(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex division.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the divisor is exactly zero.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: Self) -> Self {
+        let denom = rhs.re * rhs.re + rhs.im * rhs.im;
+        debug_assert!(denom != 0.0, "complex division by zero");
+        Self {
+            re: (self.re * rhs.re + self.im * rhs.im) / denom,
+            im: (self.im * rhs.re - self.re * rhs.im) / denom,
+        }
+    }
+}
+
+/// Computes the complex impedance of the supply network at frequency `f`.
+///
+/// At DC this is exactly `R`; at the resonant frequency the magnitude peaks
+/// at roughly Q·√(L/C).
+///
+/// # Examples
+///
+/// ```
+/// use rlc::{SupplyParams, impedance_at};
+/// use rlc::units::Hertz;
+///
+/// let p = SupplyParams::isca04_table1();
+/// let dc = impedance_at(&p, Hertz::new(1.0)).magnitude();
+/// assert!((dc - p.resistance().ohms()).abs() / p.resistance().ohms() < 1e-3);
+/// ```
+pub fn impedance_at(params: &SupplyParams, f: Hertz) -> Complex {
+    let omega = 2.0 * std::f64::consts::PI * f.hertz();
+    let r = params.resistance().ohms();
+    let l = params.inductance().henries();
+    let c = params.capacitance().farads();
+    let numerator = Complex::new(r, omega * l);
+    let denominator = Complex::new(1.0 - omega * omega * l * c, omega * r * c);
+    numerator.div(denominator)
+}
+
+/// One sample point of an impedance sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpedancePoint {
+    /// Sample frequency.
+    pub frequency: Hertz,
+    /// Impedance magnitude at that frequency.
+    pub magnitude: Ohms,
+    /// Impedance phase in radians.
+    pub phase_radians: f64,
+}
+
+/// A sampled impedance-versus-frequency curve (the paper's Figure 1(c)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpedanceSweep {
+    points: Vec<ImpedancePoint>,
+}
+
+impl ImpedanceSweep {
+    /// Sweeps the impedance over `[f_start, f_end]` with `n` linearly spaced
+    /// samples (inclusive of both endpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or if `f_start >= f_end`.
+    pub fn linear(params: &SupplyParams, f_start: Hertz, f_end: Hertz, n: usize) -> Self {
+        assert!(n >= 2, "need at least two sweep points");
+        assert!(f_start.hertz() < f_end.hertz(), "sweep range must be increasing");
+        let step = (f_end.hertz() - f_start.hertz()) / (n - 1) as f64;
+        let points = (0..n)
+            .map(|k| {
+                let f = Hertz::new(f_start.hertz() + step * k as f64);
+                let z = impedance_at(params, f);
+                ImpedancePoint {
+                    frequency: f,
+                    magnitude: Ohms::new(z.magnitude()),
+                    phase_radians: z.phase(),
+                }
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// The sampled points in ascending frequency order.
+    pub fn points(&self) -> &[ImpedancePoint] {
+        &self.points
+    }
+
+    /// The sample with the largest impedance magnitude (the resonant peak).
+    pub fn peak(&self) -> ImpedancePoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                a.magnitude
+                    .ohms()
+                    .partial_cmp(&b.magnitude.ohms())
+                    .expect("impedance magnitudes are finite")
+            })
+            .expect("sweep has at least two points")
+    }
+
+    /// The measured half-energy band: the lowest and highest sampled
+    /// frequencies whose impedance magnitude is at least `peak / √2`.
+    ///
+    /// This is the empirical counterpart of
+    /// [`SupplyParams::resonance_band`]; the two agree to sweep resolution.
+    pub fn half_energy_band(&self) -> (Hertz, Hertz) {
+        let cutoff = self.peak().magnitude.ohms() / std::f64::consts::SQRT_2;
+        let mut lo = None;
+        let mut hi = None;
+        for p in &self.points {
+            if p.magnitude.ohms() >= cutoff {
+                if lo.is_none() {
+                    lo = Some(p.frequency);
+                }
+                hi = Some(p.frequency);
+            }
+        }
+        (
+            lo.expect("peak itself exceeds the cutoff"),
+            hi.expect("peak itself exceeds the cutoff"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> SupplyParams {
+        SupplyParams::isca04_table1()
+    }
+
+    #[test]
+    fn dc_impedance_is_r() {
+        let p = table1();
+        let z = impedance_at(&p, Hertz::new(0.0));
+        assert!((z.magnitude() - p.resistance().ohms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_is_near_resonant_frequency() {
+        let p = table1();
+        let sweep =
+            ImpedanceSweep::linear(&p, Hertz::from_mega(40.0), Hertz::from_mega(160.0), 2401);
+        let peak = sweep.peak();
+        let f0 = p.resonant_frequency().hertz();
+        assert!(
+            (peak.frequency.hertz() - f0).abs() / f0 < 0.02,
+            "peak at {} vs f0 {}",
+            peak.frequency,
+            p.resonant_frequency()
+        );
+    }
+
+    #[test]
+    fn peak_magnitude_is_about_q_times_z0() {
+        let p = table1();
+        let sweep =
+            ImpedanceSweep::linear(&p, Hertz::from_mega(80.0), Hertz::from_mega(120.0), 4001);
+        let expected = p.quality_factor() * p.characteristic_impedance().ohms();
+        let got = sweep.peak().magnitude.ohms();
+        assert!(
+            (got - expected).abs() / expected < 0.10,
+            "peak |Z| = {got}, Q·Z0 = {expected}"
+        );
+    }
+
+    #[test]
+    fn half_energy_band_matches_analytic_band() {
+        let p = table1();
+        let sweep =
+            ImpedanceSweep::linear(&p, Hertz::from_mega(40.0), Hertz::from_mega(200.0), 16001);
+        let (lo, hi) = sweep.half_energy_band();
+        let (alo, ahi) = p.resonance_band();
+        assert!(
+            (lo.hertz() - alo.hertz()).abs() / alo.hertz() < 0.02,
+            "lo {} vs analytic {}",
+            lo,
+            alo
+        );
+        assert!(
+            (hi.hertz() - ahi.hertz()).abs() / ahi.hertz() < 0.02,
+            "hi {} vs analytic {}",
+            hi,
+            ahi
+        );
+    }
+
+    #[test]
+    fn impedance_far_above_resonance_falls_off() {
+        let p = table1();
+        let at_peak = impedance_at(&p, p.resonant_frequency()).magnitude();
+        let far = impedance_at(&p, Hertz::from_giga(2.0)).magnitude();
+        assert!(far < at_peak / 10.0, "far {far} vs peak {at_peak}");
+    }
+
+    #[test]
+    fn complex_div_basics() {
+        let z = Complex::new(1.0, 1.0).div(Complex::new(1.0, -1.0));
+        // (1+i)/(1-i) = i
+        assert!(z.re.abs() < 1e-12 && (z.im - 1.0).abs() < 1e-12);
+        assert!((z.magnitude() - 1.0).abs() < 1e-12);
+        assert!((z.phase() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sweep points")]
+    fn sweep_rejects_single_point() {
+        let p = table1();
+        let _ = ImpedanceSweep::linear(&p, Hertz::new(1.0), Hertz::new(2.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn sweep_rejects_reversed_range() {
+        let p = table1();
+        let _ = ImpedanceSweep::linear(&p, Hertz::new(2.0), Hertz::new(1.0), 10);
+    }
+
+    #[test]
+    fn sweep_points_are_monotone_in_frequency() {
+        let p = table1();
+        let sweep = ImpedanceSweep::linear(&p, Hertz::from_mega(10.0), Hertz::from_mega(20.0), 11);
+        let pts = sweep.points();
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[0].frequency.hertz() < w[1].frequency.hertz());
+        }
+        assert!((pts[0].frequency.hertz() - 10e6).abs() < 1.0);
+        assert!((pts[10].frequency.hertz() - 20e6).abs() < 1.0);
+    }
+}

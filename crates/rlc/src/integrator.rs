@@ -1,0 +1,276 @@
+//! Time-domain integration of the second-order supply network.
+//!
+//! State equations for the source-free circuit of Figure 1(b), with `v` the
+//! on-die node voltage deviation and `i_l` the current in the R–L branch,
+//! driven by the CPU current `i_cpu`:
+//!
+//! ```text
+//! C · dv/dt   = i_l − i_cpu
+//! L · di_l/dt = −v − R·i_l
+//! ```
+//!
+//! The paper integrates this with the Heun formula (improved Euler); we
+//! implement Heun as the default and RK4 plus the exact free-decay solution
+//! for cross-validation in tests.
+
+use crate::params::SupplyParams;
+use crate::units::{Amps, Seconds, Volts};
+
+/// The two-element state of the supply network.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SupplyState {
+    /// On-die node voltage deviation (volts, relative to the eliminated
+    /// source).
+    pub v: f64,
+    /// Current in the R–L branch (amps).
+    pub i_l: f64,
+}
+
+impl SupplyState {
+    /// The steady state for a constant CPU current: `i_l = i`, `v = −R·i`.
+    pub fn steady(params: &SupplyParams, i_cpu: Amps) -> Self {
+        Self { v: -params.resistance().ohms() * i_cpu.amps(), i_l: i_cpu.amps() }
+    }
+
+    /// The *inductive-noise* voltage: the node-voltage deviation with the
+    /// quasi-static IR drop removed, `v + R·i_l`. This is zero at any
+    /// constant current level, matching the paper's assumption that the
+    /// supply maintains V<sub>dd</sub> at any constant current (Section 4.1),
+    /// and equals `−L·di_l/dt` — the purely inductive component.
+    pub fn noise_voltage(&self, params: &SupplyParams) -> Volts {
+        Volts::new(self.v + params.resistance().ohms() * self.i_l)
+    }
+}
+
+/// Numerical scheme used to advance the supply state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Heun's formula (improved Euler), the paper's choice: second-order,
+    /// two derivative evaluations per step.
+    #[default]
+    Heun,
+    /// Classical fourth-order Runge–Kutta, for cross-validation. The CPU
+    /// current is treated as linear-in-time across the step (it is piecewise
+    /// constant per cycle in practice, so midpoint = average of endpoints).
+    Rk4,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Derivative {
+    dv: f64,
+    di_l: f64,
+}
+
+#[inline]
+fn derivative(params: &SupplyParams, s: SupplyState, i_cpu: f64) -> Derivative {
+    let c = params.capacitance().farads();
+    let l = params.inductance().henries();
+    let r = params.resistance().ohms();
+    Derivative { dv: (s.i_l - i_cpu) / c, di_l: (-s.v - r * s.i_l) / l }
+}
+
+/// Advances the state by one step of length `dt`, with the CPU current equal
+/// to `i_start` at the step start and `i_end` at the step end.
+///
+/// For per-cycle simulation, call with `dt` = one clock period and
+/// `i_start`/`i_end` the currents of the adjacent cycles.
+pub fn step(
+    params: &SupplyParams,
+    method: Method,
+    state: SupplyState,
+    i_start: Amps,
+    i_end: Amps,
+    dt: Seconds,
+) -> SupplyState {
+    let h = dt.seconds();
+    debug_assert!(h > 0.0 && h.is_finite(), "step size must be positive");
+    match method {
+        Method::Heun => {
+            let k1 = derivative(params, state, i_start.amps());
+            let predictor =
+                SupplyState { v: state.v + h * k1.dv, i_l: state.i_l + h * k1.di_l };
+            let k2 = derivative(params, predictor, i_end.amps());
+            SupplyState {
+                v: state.v + 0.5 * h * (k1.dv + k2.dv),
+                i_l: state.i_l + 0.5 * h * (k1.di_l + k2.di_l),
+            }
+        }
+        Method::Rk4 => {
+            let i_mid = 0.5 * (i_start.amps() + i_end.amps());
+            let k1 = derivative(params, state, i_start.amps());
+            let s2 = SupplyState {
+                v: state.v + 0.5 * h * k1.dv,
+                i_l: state.i_l + 0.5 * h * k1.di_l,
+            };
+            let k2 = derivative(params, s2, i_mid);
+            let s3 = SupplyState {
+                v: state.v + 0.5 * h * k2.dv,
+                i_l: state.i_l + 0.5 * h * k2.di_l,
+            };
+            let k3 = derivative(params, s3, i_mid);
+            let s4 = SupplyState { v: state.v + h * k3.dv, i_l: state.i_l + h * k3.di_l };
+            let k4 = derivative(params, s4, i_end.amps());
+            SupplyState {
+                v: state.v + h / 6.0 * (k1.dv + 2.0 * k2.dv + 2.0 * k3.dv + k4.dv),
+                i_l: state.i_l + h / 6.0 * (k1.di_l + 2.0 * k2.di_l + 2.0 * k3.di_l + k4.di_l),
+            }
+        }
+    }
+}
+
+/// The exact free-decay solution (CPU current identically zero) starting from
+/// `state`, evaluated at time `t`. Used to validate the numerical
+/// integrators: the underdamped homogeneous response is
+/// `e^(−αt)·(A·cos ωd·t + B·sin ωd·t)` with `α = R/(2L)` and
+/// `ωd = √(1/(LC) − α²)`.
+pub fn exact_free_decay(params: &SupplyParams, state: SupplyState, t: Seconds) -> SupplyState {
+    let r = params.resistance().ohms();
+    let l = params.inductance().henries();
+    let c = params.capacitance().farads();
+    let alpha = r / (2.0 * l);
+    let omega0_sq = 1.0 / (l * c);
+    let omega_d = (omega0_sq - alpha * alpha).sqrt();
+    let tt = t.seconds();
+
+    // v'' + 2α v' + ω0² v = 0 with v(0) = state.v and
+    // v'(0) = (i_l − 0)/C from the state equation.
+    let v0 = state.v;
+    let vp0 = state.i_l / c;
+    let a = v0;
+    let b = (vp0 + alpha * v0) / omega_d;
+    let decay = (-alpha * tt).exp();
+    let (sin, cos) = (omega_d * tt).sin_cos();
+    let v = decay * (a * cos + b * sin);
+    // v' = −α v + decay·ωd·(−a sin + b cos); i_l = C·v' (i_cpu = 0).
+    let vp = -alpha * v + decay * omega_d * (-a * sin + b * cos);
+    SupplyState { v, i_l: c * vp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> SupplyParams {
+        SupplyParams::isca04_table1()
+    }
+
+    const DT: Seconds = Seconds::new(100e-12); // one 10 GHz cycle
+
+    #[test]
+    fn steady_state_is_fixed_point() {
+        let p = table1();
+        let s0 = SupplyState::steady(&p, Amps::new(70.0));
+        let s1 = step(&p, Method::Heun, s0, Amps::new(70.0), Amps::new(70.0), DT);
+        assert!((s1.v - s0.v).abs() < 1e-12);
+        assert!((s1.i_l - s0.i_l).abs() < 1e-9);
+        assert!(s0.noise_voltage(&p).volts().abs() < 1e-12);
+    }
+
+    #[test]
+    fn heun_matches_exact_free_decay() {
+        let p = table1();
+        let mut s = SupplyState { v: 0.05, i_l: 0.0 };
+        let s0 = s;
+        let n = 1000; // one resonant period = 100 cycles; run 10 periods
+        for _ in 0..n {
+            s = step(&p, Method::Heun, s, Amps::new(0.0), Amps::new(0.0), DT);
+        }
+        let exact = exact_free_decay(&p, s0, Seconds::new(DT.seconds() * n as f64));
+        assert!(
+            (s.v - exact.v).abs() < 2e-4,
+            "heun v = {}, exact v = {}",
+            s.v,
+            exact.v
+        );
+        assert!((s.i_l - exact.i_l).abs() < 2.0, "i_l {} vs {}", s.i_l, exact.i_l);
+    }
+
+    #[test]
+    fn rk4_is_closer_to_exact_than_heun() {
+        let p = table1();
+        let s0 = SupplyState { v: 0.05, i_l: 10.0 };
+        let n = 500;
+        let mut heun = s0;
+        let mut rk4 = s0;
+        for _ in 0..n {
+            heun = step(&p, Method::Heun, heun, Amps::new(0.0), Amps::new(0.0), DT);
+            rk4 = step(&p, Method::Rk4, rk4, Amps::new(0.0), Amps::new(0.0), DT);
+        }
+        let exact = exact_free_decay(&p, s0, Seconds::new(DT.seconds() * n as f64));
+        let err_heun = (heun.v - exact.v).abs();
+        let err_rk4 = (rk4.v - exact.v).abs();
+        assert!(err_rk4 <= err_heun, "rk4 err {err_rk4} vs heun err {err_heun}");
+    }
+
+    #[test]
+    fn free_decay_loses_expected_amplitude_per_period() {
+        let p = table1();
+        // Start at a pure voltage displacement and measure the envelope decay
+        // across one resonant period.
+        let s0 = SupplyState { v: 0.05, i_l: 0.0 };
+        let period = p.resonant_period();
+        let after = exact_free_decay(&p, s0, period);
+        // The voltage returns near its in-phase point after one period scaled
+        // by e^(−π/Q); damping shifts ωd slightly from ω0 so allow tolerance.
+        let expected = 0.05 * p.decay_per_period();
+        assert!(
+            (after.v - expected).abs() < 0.05 * 0.05,
+            "v after period {} vs expected {}",
+            after.v,
+            expected
+        );
+    }
+
+    #[test]
+    fn noise_voltage_removes_ir_drop() {
+        let p = table1();
+        // Simulate a slow ramp to a new constant current; after settling the
+        // noise voltage must return to ~0 even though v itself sits at −R·I.
+        let mut s = SupplyState::steady(&p, Amps::new(35.0));
+        // Gentle 10000-cycle linear ramp from 35 A to 105 A: far below the
+        // resonance band in frequency content.
+        let n = 10_000;
+        for k in 0..n {
+            let i0 = 35.0 + 70.0 * (k as f64 / n as f64);
+            let i1 = 35.0 + 70.0 * ((k + 1) as f64 / n as f64);
+            s = step(&p, Method::Heun, s, Amps::new(i0), Amps::new(i1), DT);
+        }
+        for _ in 0..5_000 {
+            s = step(&p, Method::Heun, s, Amps::new(105.0), Amps::new(105.0), DT);
+        }
+        assert!(
+            s.noise_voltage(&p).volts().abs() < 0.005,
+            "noise after settling = {}",
+            s.noise_voltage(&p)
+        );
+        assert!((s.i_l - 105.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn resonant_square_wave_builds_voltage() {
+        // A square wave at the resonant frequency must pump the oscillation;
+        // the same amplitude far off-resonance must not.
+        let p = table1();
+        let drive = |half_period: u64| -> f64 {
+            let mut s = SupplyState::steady(&p, Amps::new(53.0));
+            let mut peak: f64 = 0.0;
+            let mut cur = 70.0;
+            let mut prev = 70.0;
+            for cycle in 0..4000u64 {
+                let next = if (cycle / half_period).is_multiple_of(2) { 70.0 } else { 36.0 };
+                s = step(&p, Method::Heun, s, Amps::new(prev), Amps::new(cur), DT);
+                prev = cur;
+                cur = next;
+                peak = peak.max(s.noise_voltage(&p).volts().abs());
+            }
+            peak
+        };
+        let resonant = drive(50); // 100-cycle period = 100 MHz at 10 GHz
+        let off = drive(10); // 20-cycle period = 500 MHz, far outside band
+        assert!(
+            resonant > 3.0 * off,
+            "resonant peak {resonant} should dwarf off-band peak {off}"
+        );
+        assert!(resonant > 0.05, "34 A resonant square wave should violate the margin");
+    }
+}

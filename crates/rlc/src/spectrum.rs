@@ -1,0 +1,192 @@
+//! Frequency-content analysis of per-cycle current traces.
+//!
+//! Inductive noise is a frequency-domain problem: what matters about a
+//! current trace is how much of its energy falls inside the resonance band.
+//! This module provides a Goertzel-style single-frequency power estimate
+//! and a band-power sweep, used to verify that workloads actually put
+//! energy where the detector (and the physics) say they do.
+
+use crate::params::SupplyParams;
+use crate::units::{Amps, Hertz};
+
+/// The power of `trace` (per-cycle samples at `clock`) at frequency `f`,
+/// normalized so a pure sine of amplitude `A` returns `A²/4` independent of
+/// trace length (half the squared RMS projection onto each quadrature).
+///
+/// Uses the Goertzel recurrence: O(n) per frequency, no FFT dependency.
+///
+/// # Panics
+///
+/// Panics if the trace is shorter than 2 samples or the frequency is not
+/// resolvable (more than half the sample rate).
+pub fn power_at(trace: &[Amps], clock: Hertz, f: Hertz) -> f64 {
+    assert!(trace.len() >= 2, "trace too short for spectral analysis");
+    assert!(
+        f.hertz() <= clock.hertz() / 2.0,
+        "frequency beyond Nyquist: {} at clock {}",
+        f,
+        clock
+    );
+    let n = trace.len() as f64;
+    // Remove the mean so DC does not leak into the estimate.
+    let mean = trace.iter().map(|a| a.amps()).sum::<f64>() / n;
+
+    let omega = 2.0 * std::f64::consts::PI * f.hertz() / clock.hertz();
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0;
+    let mut s_prev2 = 0.0;
+    for a in trace {
+        let s = (a.amps() - mean) + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power = s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+    // Normalize: |X(f)|² / N² gives (A/2)² per quadrature for a pure sine.
+    power / (n * n)
+}
+
+/// The summed power of `trace` across `points` frequencies spanning
+/// `[f_lo, f_hi]` (a crude band-power estimate).
+///
+/// # Panics
+///
+/// Panics if the range is inverted or `points < 2` (see [`power_at`] for
+/// trace requirements).
+pub fn band_power(trace: &[Amps], clock: Hertz, f_lo: Hertz, f_hi: Hertz, points: usize) -> f64 {
+    assert!(points >= 2, "need at least two band sample points");
+    assert!(f_lo.hertz() < f_hi.hertz(), "band must be increasing");
+    (0..points)
+        .map(|k| {
+            let f = f_lo.hertz() + (f_hi.hertz() - f_lo.hertz()) * k as f64 / (points - 1) as f64;
+            power_at(trace, clock, Hertz::new(f))
+        })
+        .sum()
+}
+
+/// The fraction of a trace's in-band power relative to a reference band of
+/// equal width just above the resonance band — a quick "is this workload
+/// resonant?" indicator.
+pub fn resonance_band_ratio(trace: &[Amps], clock: Hertz, supply: &SupplyParams) -> f64 {
+    let (lo, hi) = supply.resonance_band();
+    let width = hi.hertz() - lo.hertz();
+    let in_band = band_power(trace, clock, lo, hi, 9);
+    let above = band_power(
+        trace,
+        clock,
+        Hertz::new(hi.hertz() + width),
+        Hertz::new(hi.hertz() + 2.0 * width),
+        9,
+    );
+    in_band / above.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::{PeriodicWave, Shape, Waveform};
+    use crate::units::Cycles;
+
+    const GHZ10: Hertz = Hertz::new(10e9);
+
+    fn sine(amplitude: f64, period_cycles: u64, n: usize) -> Vec<Amps> {
+        (0..n)
+            .map(|c| {
+                Amps::new(
+                    70.0 + amplitude
+                        * (2.0 * std::f64::consts::PI * c as f64 / period_cycles as f64).sin(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pure_sine_power_is_amplitude_squared_over_four() {
+        let trace = sine(10.0, 100, 10_000);
+        let p = power_at(&trace, GHZ10, Hertz::from_mega(100.0));
+        assert!((p - 25.0).abs() < 0.5, "power {p}, expected A²/4 = 25");
+    }
+
+    #[test]
+    fn off_frequency_power_is_small() {
+        let trace = sine(10.0, 100, 10_000);
+        let p = power_at(&trace, GHZ10, Hertz::from_mega(250.0));
+        assert!(p < 0.1, "off-frequency power {p}");
+    }
+
+    #[test]
+    fn dc_is_removed() {
+        let trace: Vec<Amps> = vec![Amps::new(105.0); 1_000];
+        let p = power_at(&trace, GHZ10, Hertz::from_mega(100.0));
+        assert!(p < 1e-9, "constant trace must carry no AC power, got {p}");
+    }
+
+    #[test]
+    fn square_wave_fundamental_matches_fourier() {
+        // Square wave p2p X: fundamental amplitude 2X/π, power (X/π)².
+        let wave =
+            PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(20.0), Cycles::new(100));
+        let trace: Vec<Amps> =
+            (0..20_000).map(|c| wave.current_at(Cycles::new(c))).collect();
+        let p = power_at(&trace, GHZ10, Hertz::from_mega(100.0));
+        let expect = (20.0 / std::f64::consts::PI).powi(2);
+        assert!((p - expect).abs() / expect < 0.05, "power {p} vs {expect}");
+    }
+
+    #[test]
+    fn resonant_workload_has_high_band_ratio() {
+        let supply = SupplyParams::isca04_table1();
+        let resonant = {
+            let wave = PeriodicWave::sustained_square(
+                Amps::new(70.0),
+                Amps::new(30.0),
+                Cycles::new(100),
+            );
+            (0..30_000).map(|c| wave.current_at(Cycles::new(c))).collect::<Vec<_>>()
+        };
+        let off_band = {
+            let wave = PeriodicWave::sustained_square(
+                Amps::new(70.0),
+                Amps::new(30.0),
+                Cycles::new(40),
+            );
+            (0..30_000).map(|c| wave.current_at(Cycles::new(c))).collect::<Vec<_>>()
+        };
+        let r_res = resonance_band_ratio(&resonant, GHZ10, &supply);
+        let r_off = resonance_band_ratio(&off_band, GHZ10, &supply);
+        assert!(r_res > 50.0, "resonant trace ratio {r_res}");
+        assert!(r_off < r_res / 10.0, "off-band ratio {r_off} vs resonant {r_res}");
+    }
+
+    #[test]
+    fn triangle_wave_power_below_square() {
+        // Same p2p: a triangle's fundamental (8X/π²·1/2) is weaker than a
+        // square's (2X/π).
+        let mk = |shape: Shape| -> f64 {
+            let wave = PeriodicWave::new(
+                shape,
+                Amps::new(70.0),
+                Amps::new(20.0),
+                Cycles::new(100),
+                Cycles::new(0),
+                Cycles::new(u64::MAX),
+            );
+            let trace: Vec<Amps> =
+                (0..20_000).map(|c| wave.current_at(Cycles::new(c))).collect();
+            power_at(&trace, GHZ10, Hertz::from_mega(100.0))
+        };
+        assert!(mk(Shape::Triangle) < mk(Shape::Square));
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn beyond_nyquist_panics() {
+        let trace = sine(1.0, 10, 100);
+        let _ = power_at(&trace, GHZ10, Hertz::from_giga(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_trace_panics() {
+        let _ = power_at(&[Amps::new(1.0)], GHZ10, Hertz::from_mega(100.0));
+    }
+}

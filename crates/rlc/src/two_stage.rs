@@ -1,0 +1,429 @@
+//! Two-stage power-distribution model: low-frequency resonance
+//! (Section 2.2 of the paper).
+//!
+//! Beyond the medium-frequency loop of [`SupplyParams`], real packages have
+//! a second peak of high impedance at a few megahertz, formed by the
+//! off-chip inductance (board + package leads) against the bulk on-chip
+//! decoupling capacitance. This module cascades the two loops:
+//!
+//! ```text
+//!        R1     L1        R2     L2
+//!  ┌───/\/\──OOOO───┬───/\/\──OOOO───┬──────┐
+//! (V)              ===C1            ===C2  (I) CPU
+//!  └────────────────┴────────────────┴──────┘
+//! ```
+//!
+//! Stage 1 (`R1, L1, C1`) is the off-chip loop (milliohms, nanohenries,
+//! microfarads: resonance at a few MHz); stage 2 (`R2, L2, C2`) is the
+//! on-die loop of the main model (≈100 MHz). The same resonance-tuning
+//! machinery applies to both peaks — only the period lengths (thousands of
+//! cycles instead of ~100) change.
+
+use crate::error::RlcError;
+use crate::impedance::Complex;
+use crate::params::SupplyParams;
+use crate::units::{Amps, Cycles, Farads, Henries, Hertz, Ohms, Seconds, Volts};
+
+/// Parameters of the cascaded two-loop supply network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStageParams {
+    /// Off-chip loop resistance (regulator + board).
+    pub r1: Ohms,
+    /// Off-chip loop inductance (board + package leads).
+    pub l1: Henries,
+    /// Bulk on-chip/package capacitance.
+    pub c1: Farads,
+    /// On-die loop (the medium-frequency model).
+    pub on_die: SupplyParams,
+}
+
+impl TwoStageParams {
+    /// Builds a two-stage network, validating both loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlcError::InvalidElement`] for non-finite or non-positive
+    /// stage-1 elements (the on-die stage validates at its own
+    /// construction), and [`RlcError::NotUnderdamped`] when the off-chip
+    /// loop cannot oscillate.
+    pub fn new(r1: Ohms, l1: Henries, c1: Farads, on_die: SupplyParams) -> Result<Self, RlcError> {
+        let check = |element: &'static str, value: f64| -> Result<(), RlcError> {
+            if !value.is_finite() || value <= 0.0 {
+                Err(RlcError::InvalidElement { element, value })
+            } else {
+                Ok(())
+            }
+        };
+        check("R1", r1.ohms())?;
+        check("L1", l1.henries())?;
+        check("C1", c1.farads())?;
+        let r_squared = r1.ohms() * r1.ohms();
+        let four_l_over_c = 4.0 * l1.henries() / c1.farads();
+        if r_squared >= four_l_over_c {
+            return Err(RlcError::NotUnderdamped { r_squared, four_l_over_c });
+        }
+        Ok(Self { r1, l1, c1, on_die })
+    }
+
+    /// A representative future package: the Table 1 on-die loop behind a
+    /// 2 mΩ / 0.4 nH / 25 µF off-chip loop, placing the low-frequency peak
+    /// near 1.6 MHz ("a few megahertz", Section 2.2) with a fairly small
+    /// impedance peak, as the paper describes for current technology.
+    pub fn isca04_low_frequency() -> Self {
+        Self::new(
+            Ohms::from_milli(2.0),
+            Henries::from_nano(0.4),
+            Farads::from_micro(25.0),
+            SupplyParams::isca04_table1(),
+        )
+        .expect("preset parameters are valid by construction")
+    }
+
+    /// The approximate low-frequency resonant peak: the off-chip inductance
+    /// against the *total* downstream capacitance.
+    pub fn low_resonant_frequency(&self) -> Hertz {
+        let c_total = self.c1.farads() + self.on_die.capacitance().farads();
+        Hertz::new(1.0 / (2.0 * std::f64::consts::PI * (self.l1.henries() * c_total).sqrt()))
+    }
+
+    /// The quality factor of the low-frequency loop.
+    pub fn low_quality_factor(&self) -> f64 {
+        let c_total = self.c1.farads() + self.on_die.capacitance().farads();
+        (self.l1.henries() / c_total).sqrt() / self.r1.ohms()
+    }
+
+    /// The low-frequency resonance band expressed as clock-cycle periods
+    /// `(short, long)` — thousands of cycles at GHz clocks, which is what
+    /// gives resonance tuning even more time at this peak.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RlcError::InvalidElement`] for a bad clock.
+    pub fn low_band_cycles(&self, clock: Hertz) -> Result<(Cycles, Cycles), RlcError> {
+        if !clock.hertz().is_finite() || clock.hertz() <= 0.0 {
+            return Err(RlcError::InvalidElement { element: "clock", value: clock.hertz() });
+        }
+        let f0 = self.low_resonant_frequency().hertz();
+        let q = self.low_quality_factor();
+        let half = 1.0 / (2.0 * q);
+        let root = (1.0 + half * half).sqrt();
+        let f_low = f0 * (root - half);
+        let f_high = f0 * (root + half);
+        Ok((
+            Cycles::new((clock.hertz() / f_high).round() as u64),
+            Cycles::new((clock.hertz() / f_low).round() as u64),
+        ))
+    }
+
+    /// The complex impedance seen by the CPU current source at frequency
+    /// `f`: stage-2 capacitance in parallel with (stage-2 branch in series
+    /// with the stage-1 node impedance).
+    pub fn impedance_at(&self, f: Hertz) -> Complex {
+        let w = 2.0 * std::f64::consts::PI * f.hertz();
+        let parallel = |a: Complex, b: Complex| -> Complex {
+            // a·b / (a+b)
+            let prod = Complex::new(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re);
+            prod.div(Complex::new(a.re + b.re, a.im + b.im))
+        };
+        // At DC the capacitor impedances are infinite; return series R.
+        if w == 0.0 {
+            return Complex::new(self.r1.ohms() + self.on_die.resistance().ohms(), 0.0);
+        }
+        let z_l1 = Complex::new(self.r1.ohms(), w * self.l1.henries());
+        let z_c1 = Complex::new(0.0, -1.0 / (w * self.c1.farads()));
+        let z_node1 = parallel(z_l1, z_c1);
+        let z_branch2 = Complex::new(
+            z_node1.re + self.on_die.resistance().ohms(),
+            z_node1.im + w * self.on_die.inductance().henries(),
+        );
+        let z_c2 = Complex::new(0.0, -1.0 / (w * self.on_die.capacitance().farads()));
+        parallel(z_branch2, z_c2)
+    }
+}
+
+/// State of the four-element cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TwoStageState {
+    /// Voltage across the bulk capacitance C1.
+    pub v1: f64,
+    /// Current in the off-chip branch (R1, L1).
+    pub i1: f64,
+    /// Voltage across the on-die capacitance C2.
+    pub v2: f64,
+    /// Current in the die-attach branch (R2, L2).
+    pub i2: f64,
+}
+
+impl TwoStageState {
+    /// The steady state for a constant CPU current.
+    pub fn steady(params: &TwoStageParams, i_cpu: Amps) -> Self {
+        let i = i_cpu.amps();
+        let v1 = -params.r1.ohms() * i;
+        Self { v1, i1: i, v2: v1 - params.on_die.resistance().ohms() * i, i2: i }
+    }
+
+    /// The inductive-noise voltage at the die with both stages' quasi-static
+    /// IR drops removed (zero at any constant current).
+    pub fn noise_voltage(&self, params: &TwoStageParams) -> Volts {
+        Volts::new(
+            self.v2 + params.on_die.resistance().ohms() * self.i2 + params.r1.ohms() * self.i1,
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Derivative {
+    dv1: f64,
+    di1: f64,
+    dv2: f64,
+    di2: f64,
+}
+
+fn derivative(p: &TwoStageParams, s: TwoStageState, i_cpu: f64) -> Derivative {
+    Derivative {
+        dv1: (s.i1 - s.i2) / p.c1.farads(),
+        di1: (-s.v1 - p.r1.ohms() * s.i1) / p.l1.henries(),
+        dv2: (s.i2 - i_cpu) / p.on_die.capacitance().farads(),
+        di2: (s.v1 - s.v2 - p.on_die.resistance().ohms() * s.i2)
+            / p.on_die.inductance().henries(),
+    }
+}
+
+/// One Heun step of the cascade.
+pub fn step_two_stage(
+    params: &TwoStageParams,
+    state: TwoStageState,
+    i_start: Amps,
+    i_end: Amps,
+    dt: Seconds,
+) -> TwoStageState {
+    let h = dt.seconds();
+    let k1 = derivative(params, state, i_start.amps());
+    let predictor = TwoStageState {
+        v1: state.v1 + h * k1.dv1,
+        i1: state.i1 + h * k1.di1,
+        v2: state.v2 + h * k1.dv2,
+        i2: state.i2 + h * k1.di2,
+    };
+    let k2 = derivative(params, predictor, i_end.amps());
+    TwoStageState {
+        v1: state.v1 + 0.5 * h * (k1.dv1 + k2.dv1),
+        i1: state.i1 + 0.5 * h * (k1.di1 + k2.di1),
+        v2: state.v2 + 0.5 * h * (k1.dv2 + k2.dv2),
+        i2: state.i2 + 0.5 * h * (k1.di2 + k2.di2),
+    }
+}
+
+/// A stateful two-stage supply advanced one clock cycle at a time (the
+/// low-frequency counterpart of [`crate::PowerSupply`]).
+#[derive(Debug, Clone)]
+pub struct TwoStageSupply {
+    params: TwoStageParams,
+    dt: Seconds,
+    state: TwoStageState,
+    prev_current: Amps,
+    cycle: Cycles,
+    violations: u64,
+    worst_noise: Volts,
+}
+
+impl TwoStageSupply {
+    /// Creates a supply pre-settled at `initial_current`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock` is not finite and positive.
+    pub fn new(params: TwoStageParams, clock: Hertz, initial_current: Amps) -> Self {
+        assert!(
+            clock.hertz().is_finite() && clock.hertz() > 0.0,
+            "clock frequency must be finite and positive"
+        );
+        Self {
+            state: TwoStageState::steady(&params, initial_current),
+            params,
+            dt: clock.period(),
+            prev_current: initial_current,
+            cycle: Cycles::new(0),
+            violations: 0,
+            worst_noise: Volts::new(0.0),
+        }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &TwoStageParams {
+        &self.params
+    }
+
+    /// Advances one cycle at the given CPU current; returns the die-level
+    /// noise voltage.
+    pub fn tick(&mut self, current: Amps) -> Volts {
+        self.state = step_two_stage(&self.params, self.state, self.prev_current, current, self.dt);
+        self.prev_current = current;
+        self.cycle = self.cycle + Cycles::new(1);
+        let noise = self.state.noise_voltage(&self.params);
+        if noise.abs().volts() > self.params.on_die.noise_margin().volts() {
+            self.violations += 1;
+        }
+        if noise.abs().volts() > self.worst_noise.abs().volts() {
+            self.worst_noise = noise;
+        }
+        noise
+    }
+
+    /// Cycles whose noise exceeded the on-die margin.
+    pub fn violation_cycles(&self) -> u64 {
+        self.violations
+    }
+
+    /// The largest-magnitude noise seen.
+    pub fn worst_noise(&self) -> Volts {
+        self.worst_noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preset() -> TwoStageParams {
+        TwoStageParams::isca04_low_frequency()
+    }
+
+    const GHZ10: Hertz = Hertz::new(10e9);
+
+    #[test]
+    fn low_peak_is_a_few_megahertz() {
+        let p = preset();
+        let f = p.low_resonant_frequency().hertz() / 1e6;
+        assert!((1.0..5.0).contains(&f), "low peak at {f} MHz");
+        assert!(p.low_quality_factor() > 1.0, "low loop must be underdamped-resonant");
+    }
+
+    #[test]
+    fn low_band_is_thousands_of_cycles() {
+        let (lo, hi) = preset().low_band_cycles(GHZ10).unwrap();
+        assert!(lo.count() > 1_000, "short period {lo}");
+        assert!(hi.count() > lo.count());
+        assert!(hi.count() < 20_000, "long period {hi}");
+    }
+
+    #[test]
+    fn impedance_has_two_peaks() {
+        let p = preset();
+        let max_in = |lo_mhz: f64, hi_mhz: f64| -> f64 {
+            (0..400)
+                .map(|k| {
+                    let f = lo_mhz + (hi_mhz - lo_mhz) * k as f64 / 399.0;
+                    p.impedance_at(Hertz::from_mega(f)).magnitude()
+                })
+                .fold(0.0, f64::max)
+        };
+        let min_in = |lo_mhz: f64, hi_mhz: f64| -> f64 {
+            (0..400)
+                .map(|k| {
+                    let f = lo_mhz + (hi_mhz - lo_mhz) * k as f64 / 399.0;
+                    p.impedance_at(Hertz::from_mega(f)).magnitude()
+                })
+                .fold(f64::MAX, f64::min)
+        };
+        // Low peak around a few MHz, medium peak around 100 MHz, with a
+        // valley between them.
+        let z_low = max_in(0.5, 6.0);
+        let z_mid = max_in(60.0, 140.0);
+        let z_valley = min_in(8.0, 50.0);
+        assert!(z_low > 2.0 * z_valley, "low peak {z_low} vs valley {z_valley}");
+        assert!(z_mid > 1.5 * z_valley, "mid peak {z_mid} vs valley {z_valley}");
+        // The low peak's frequency is where the analytic estimate says.
+        let f_est = p.low_resonant_frequency().hertz();
+        let z_at_est = p.impedance_at(Hertz::new(f_est)).magnitude();
+        assert!(z_at_est > 0.8 * z_low, "estimate {f_est} Hz should sit near the peak");
+    }
+
+    #[test]
+    fn dc_impedance_is_total_series_resistance() {
+        let p = preset();
+        let z = p.impedance_at(Hertz::new(0.0)).magnitude();
+        let expect = p.r1.ohms() + p.on_die.resistance().ohms();
+        assert!((z - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_current_is_silent() {
+        let p = preset();
+        let mut s = TwoStageSupply::new(p, GHZ10, Amps::new(70.0));
+        for _ in 0..20_000 {
+            let n = s.tick(Amps::new(70.0));
+            assert!(n.abs().volts() < 1e-9);
+        }
+        assert_eq!(s.violation_cycles(), 0);
+    }
+
+    #[test]
+    fn low_frequency_square_wave_resonates() {
+        // A modest swing at the low-frequency resonant period builds a much
+        // larger response than the same swing far off that band.
+        let p = preset();
+        let period = (10e9 / p.low_resonant_frequency().hertz()).round() as u64;
+        let drive = |per: u64| -> f64 {
+            let mut s = TwoStageSupply::new(p, GHZ10, Amps::new(70.0));
+            for c in 0..per * 30 {
+                let i = if (c / (per / 2)).is_multiple_of(2) { 85.0 } else { 55.0 };
+                s.tick(Amps::new(i));
+            }
+            s.worst_noise().abs().volts()
+        };
+        let resonant = drive(period);
+        let off = drive(period / 8);
+        assert!(
+            resonant > 3.0 * off,
+            "low-frequency resonance {resonant} should dwarf off-band {off}"
+        );
+    }
+
+    #[test]
+    fn medium_frequency_behavior_is_preserved() {
+        // The on-die loop still resonates near 100 cycles within the
+        // cascade.
+        let p = preset();
+        let mut s = TwoStageSupply::new(p, GHZ10, Amps::new(70.0));
+        let mut worst: f64 = 0.0;
+        for c in 0..3_000u64 {
+            let i = if (c / 50) % 2 == 0 { 90.0 } else { 50.0 };
+            worst = worst.max(s.tick(Amps::new(i)).abs().volts());
+        }
+        assert!(worst > 0.05, "medium-frequency resonance must persist, got {worst}");
+    }
+
+    #[test]
+    fn steady_state_is_fixed_point() {
+        let p = preset();
+        let s0 = TwoStageState::steady(&p, Amps::new(50.0));
+        let s1 = step_two_stage(&p, s0, Amps::new(50.0), Amps::new(50.0), GHZ10.period());
+        assert!((s1.v1 - s0.v1).abs() < 1e-12);
+        assert!((s1.v2 - s0.v2).abs() < 1e-12);
+        assert!(s0.noise_voltage(&p).volts().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_overdamped_stage1() {
+        let err = TwoStageParams::new(
+            Ohms::new(1.0),
+            Henries::from_nano(1.0),
+            Farads::from_micro(5.0),
+            SupplyParams::isca04_table1(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RlcError::NotUnderdamped { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_elements() {
+        let bad = TwoStageParams::new(
+            Ohms::new(0.0),
+            Henries::from_nano(1.0),
+            Farads::from_micro(5.0),
+            SupplyParams::isca04_table1(),
+        );
+        assert!(matches!(bad, Err(RlcError::InvalidElement { element: "R1", .. })));
+    }
+}

@@ -1,0 +1,375 @@
+//! Newtype wrappers for the physical quantities used throughout the crate.
+//!
+//! The power-supply math mixes ohms, henries, farads, amps, volts, hertz, and
+//! processor cycles. Newtypes keep those statically distinct ([C-NEWTYPE])
+//! while staying zero-cost: each wraps a single `f64` (or `u64` for cycle
+//! counts) and is `Copy`.
+//!
+//! All types expose their raw value through an explicit getter named after
+//! the unit (e.g. [`Ohms::ohms`]) rather than `Deref`, so arithmetic with
+//! mixed units must be written out deliberately.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! unit_f64 {
+    ($(#[$meta:meta])* $name:ident, $getter:ident, $sym:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in this unit.
+            #[inline]
+            pub const fn $getter(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $sym)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+    };
+}
+
+unit_f64!(
+    /// Electrical resistance in ohms.
+    Ohms,
+    ohms,
+    "Ω"
+);
+unit_f64!(
+    /// Inductance in henries.
+    Henries,
+    henries,
+    "H"
+);
+unit_f64!(
+    /// Capacitance in farads.
+    Farads,
+    farads,
+    "F"
+);
+unit_f64!(
+    /// Electric current in amperes.
+    Amps,
+    amps,
+    "A"
+);
+unit_f64!(
+    /// Electric potential in volts.
+    Volts,
+    volts,
+    "V"
+);
+unit_f64!(
+    /// Frequency in hertz.
+    Hertz,
+    hertz,
+    "Hz"
+);
+unit_f64!(
+    /// Time in seconds.
+    Seconds,
+    seconds,
+    "s"
+);
+
+impl Ohms {
+    /// Convenience constructor from micro-ohms (the natural scale for
+    /// power-supply impedance, e.g. the paper's 375 µΩ supply).
+    #[inline]
+    pub const fn from_micro(micro_ohms: f64) -> Self {
+        Self::new(micro_ohms * 1e-6)
+    }
+
+    /// Convenience constructor from milli-ohms.
+    #[inline]
+    pub const fn from_milli(milli_ohms: f64) -> Self {
+        Self::new(milli_ohms * 1e-3)
+    }
+}
+
+impl Henries {
+    /// Convenience constructor from picohenries (solder-bump parasitics,
+    /// e.g. the paper's 1.69 pH).
+    #[inline]
+    pub const fn from_pico(pico_henries: f64) -> Self {
+        Self::new(pico_henries * 1e-12)
+    }
+
+    /// Convenience constructor from nanohenries.
+    #[inline]
+    pub const fn from_nano(nano_henries: f64) -> Self {
+        Self::new(nano_henries * 1e-9)
+    }
+}
+
+impl Farads {
+    /// Convenience constructor from nanofarads (on-die decoupling caps,
+    /// e.g. the paper's 1500 nF).
+    #[inline]
+    pub const fn from_nano(nano_farads: f64) -> Self {
+        Self::new(nano_farads * 1e-9)
+    }
+
+    /// Convenience constructor from microfarads.
+    #[inline]
+    pub const fn from_micro(micro_farads: f64) -> Self {
+        Self::new(micro_farads * 1e-6)
+    }
+}
+
+impl Hertz {
+    /// Convenience constructor from megahertz (resonant frequencies are
+    /// typically tens to hundreds of MHz).
+    #[inline]
+    pub const fn from_mega(mega_hertz: f64) -> Self {
+        Self::new(mega_hertz * 1e6)
+    }
+
+    /// Convenience constructor from gigahertz (processor clocks).
+    #[inline]
+    pub const fn from_giga(giga_hertz: f64) -> Self {
+        Self::new(giga_hertz * 1e9)
+    }
+
+    /// The period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        assert!(self.hertz() != 0.0, "period of zero frequency is undefined");
+        Seconds::new(1.0 / self.hertz())
+    }
+}
+
+impl Seconds {
+    /// The frequency corresponding to this period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    #[inline]
+    pub fn frequency(self) -> Hertz {
+        assert!(self.seconds() != 0.0, "frequency of zero period is undefined");
+        Hertz::new(1.0 / self.seconds())
+    }
+}
+
+/// A count of processor clock cycles.
+///
+/// Cycle counts are exact integers; they index per-cycle current histories
+/// and measure periods of the resonance band expressed in clock ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Wraps a raw cycle count.
+    #[inline]
+    pub const fn new(count: u64) -> Self {
+        Self(count)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as `usize` for indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    #[inline]
+    fn from(count: u64) -> Self {
+        Self(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_from_micro() {
+        assert!((Ohms::from_micro(375.0).ohms() - 375e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn henries_from_pico() {
+        assert!((Henries::from_pico(1.69).henries() - 1.69e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn farads_from_nano() {
+        assert!((Farads::from_nano(1500.0).farads() - 1.5e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hertz_period_roundtrip() {
+        let f = Hertz::from_mega(100.0);
+        let t = f.period();
+        assert!((t.seconds() - 10e-9).abs() < 1e-18);
+        assert!((t.frequency().hertz() - f.hertz()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz::new(0.0).period();
+    }
+
+    #[test]
+    fn amps_arithmetic() {
+        let a = Amps::new(105.0) - Amps::new(35.0);
+        assert_eq!(a, Amps::new(70.0));
+        assert_eq!(-a, Amps::new(-70.0));
+        assert_eq!(a * 0.5, Amps::new(35.0));
+        assert_eq!(a / 2.0, Amps::new(35.0));
+        assert_eq!(Amps::new(-3.0).abs(), Amps::new(3.0));
+    }
+
+    #[test]
+    fn amps_min_max() {
+        let lo = Amps::new(35.0);
+        let hi = Amps::new(105.0);
+        assert_eq!(lo.max(hi), hi);
+        assert_eq!(lo.min(hi), lo);
+    }
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(42);
+        assert_eq!(a + b, Cycles::new(142));
+        assert_eq!(a - b, Cycles::new(58));
+        assert_eq!(b.saturating_sub(a), Cycles::new(0));
+        assert_eq!(a.as_usize(), 100usize);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Amps::new(13.0).to_string(), "13 A");
+        assert_eq!(Cycles::new(7).to_string(), "7 cycles");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Volts::default(), Volts::new(0.0));
+        assert_eq!(Cycles::default(), Cycles::new(0));
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-cycle current waveform generators.
+//!
+//! The paper's circuit-level experiments (Figure 3 and the Section 2.1.3
+//! calibration) excite the supply with known periodic waveforms. A
+//! [`Waveform`] maps a cycle index to a CPU current; generators compose so
+//! the calibration and figure harnesses can build square/sine/triangle waves
+//! with arbitrary start/stop windows around a baseline current.
+
+use crate::units::{Amps, Cycles};
+
+/// A deterministic per-cycle current waveform.
+///
+/// Implementors map an absolute cycle index to a current. The trait is
+/// object-safe so harnesses can store heterogeneous waveform lists.
+pub trait Waveform {
+    /// The CPU current drawn during `cycle`.
+    fn current_at(&self, cycle: Cycles) -> Amps;
+}
+
+impl<F: Fn(Cycles) -> Amps> Waveform for F {
+    fn current_at(&self, cycle: Cycles) -> Amps {
+        self(cycle)
+    }
+}
+
+/// A constant current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    level: Amps,
+}
+
+impl Constant {
+    /// Creates a constant waveform at `level`.
+    pub const fn new(level: Amps) -> Self {
+        Self { level }
+    }
+}
+
+impl Waveform for Constant {
+    fn current_at(&self, _cycle: Cycles) -> Amps {
+        self.level
+    }
+}
+
+/// The shape of a periodic excitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Alternates between the two extremes each half period (the paper's
+    /// Figure 3 stimulus).
+    Square,
+    /// A sine between the two extremes.
+    Sine,
+    /// A symmetric triangle between the two extremes.
+    Triangle,
+}
+
+/// A periodic wave of a given [`Shape`] active only inside
+/// `[start, end)`, sitting at `baseline` outside that window.
+///
+/// Amplitude is expressed peak-to-peak around the baseline: the wave spans
+/// `baseline ± peak_to_peak/2`.
+///
+/// # Examples
+///
+/// The 34 A square wave of Figure 3, beginning at cycle 100 and ending at
+/// cycle 500, around a 70 A mid-level current:
+///
+/// ```
+/// use rlc::units::{Amps, Cycles};
+/// use rlc::waveform::{PeriodicWave, Shape, Waveform};
+///
+/// let wave = PeriodicWave::new(
+///     Shape::Square,
+///     Amps::new(70.0),
+///     Amps::new(34.0),
+///     Cycles::new(100), // period: resonant frequency at 10 GHz
+///     Cycles::new(100),
+///     Cycles::new(500),
+/// );
+/// assert_eq!(wave.current_at(Cycles::new(0)), Amps::new(70.0));   // before
+/// assert_eq!(wave.current_at(Cycles::new(100)), Amps::new(87.0)); // high half
+/// assert_eq!(wave.current_at(Cycles::new(150)), Amps::new(53.0)); // low half
+/// assert_eq!(wave.current_at(Cycles::new(600)), Amps::new(70.0)); // after
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodicWave {
+    shape: Shape,
+    baseline: Amps,
+    peak_to_peak: Amps,
+    period: Cycles,
+    start: Cycles,
+    end: Cycles,
+}
+
+impl PeriodicWave {
+    /// Creates a periodic wave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `peak_to_peak` is negative.
+    pub fn new(
+        shape: Shape,
+        baseline: Amps,
+        peak_to_peak: Amps,
+        period: Cycles,
+        start: Cycles,
+        end: Cycles,
+    ) -> Self {
+        assert!(period.count() > 0, "waveform period must be nonzero");
+        assert!(peak_to_peak.amps() >= 0.0, "peak-to-peak amplitude must be non-negative");
+        Self { shape, baseline, peak_to_peak, period, start, end }
+    }
+
+    /// A square wave running forever from cycle 0 (calibration stimulus).
+    pub fn sustained_square(baseline: Amps, peak_to_peak: Amps, period: Cycles) -> Self {
+        Self::new(Shape::Square, baseline, peak_to_peak, period, Cycles::new(0), Cycles::new(u64::MAX))
+    }
+
+    /// The wave's period in cycles.
+    pub fn period(&self) -> Cycles {
+        self.period
+    }
+
+    /// The peak-to-peak amplitude.
+    pub fn peak_to_peak(&self) -> Amps {
+        self.peak_to_peak
+    }
+}
+
+impl Waveform for PeriodicWave {
+    fn current_at(&self, cycle: Cycles) -> Amps {
+        if cycle < self.start || cycle >= self.end {
+            return self.baseline;
+        }
+        let phase_cycles = (cycle.count() - self.start.count()) % self.period.count();
+        let phase = phase_cycles as f64 / self.period.count() as f64; // [0, 1)
+        let half_amp = self.peak_to_peak.amps() / 2.0;
+        let offset = match self.shape {
+            Shape::Square => {
+                if phase < 0.5 {
+                    half_amp
+                } else {
+                    -half_amp
+                }
+            }
+            Shape::Sine => half_amp * (2.0 * std::f64::consts::PI * phase).sin(),
+            Shape::Triangle => {
+                // Rise 0→1 over the first half, fall back over the second.
+                let tri = if phase < 0.5 { 4.0 * phase - 1.0 } else { 3.0 - 4.0 * phase };
+                half_amp * tri
+            }
+        };
+        Amps::new(self.baseline.amps() + offset)
+    }
+}
+
+/// Samples any waveform into a per-cycle vector `[0, n)`.
+pub fn sample<W: Waveform + ?Sized>(wave: &W, n: Cycles) -> Vec<Amps> {
+    (0..n.count()).map(|c| wave.current_at(Cycles::new(c))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let w = Constant::new(Amps::new(42.0));
+        assert_eq!(w.current_at(Cycles::new(0)), Amps::new(42.0));
+        assert_eq!(w.current_at(Cycles::new(1_000_000)), Amps::new(42.0));
+    }
+
+    #[test]
+    fn square_alternates_half_periods() {
+        let w = PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(34.0), Cycles::new(100));
+        for c in 0..50 {
+            assert_eq!(w.current_at(Cycles::new(c)), Amps::new(87.0), "cycle {c}");
+        }
+        for c in 50..100 {
+            assert_eq!(w.current_at(Cycles::new(c)), Amps::new(53.0), "cycle {c}");
+        }
+        assert_eq!(w.current_at(Cycles::new(100)), Amps::new(87.0));
+    }
+
+    #[test]
+    fn sine_peaks_at_quarter_period() {
+        let w = PeriodicWave::new(
+            Shape::Sine,
+            Amps::new(0.0),
+            Amps::new(2.0),
+            Cycles::new(100),
+            Cycles::new(0),
+            Cycles::new(u64::MAX),
+        );
+        assert!((w.current_at(Cycles::new(25)).amps() - 1.0).abs() < 1e-12);
+        assert!((w.current_at(Cycles::new(75)).amps() + 1.0).abs() < 1e-12);
+        assert!(w.current_at(Cycles::new(0)).amps().abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_is_symmetric_and_bounded() {
+        let w = PeriodicWave::new(
+            Shape::Triangle,
+            Amps::new(10.0),
+            Amps::new(8.0),
+            Cycles::new(40),
+            Cycles::new(0),
+            Cycles::new(u64::MAX),
+        );
+        let samples = sample(&w, Cycles::new(40));
+        let max = samples.iter().map(|a| a.amps()).fold(f64::MIN, f64::max);
+        let min = samples.iter().map(|a| a.amps()).fold(f64::MAX, f64::min);
+        assert!((13.0..=14.0 + 1e-12).contains(&max), "max {max}");
+        assert!((6.0 - 1e-12..7.0).contains(&min), "min {min}");
+        // Mean over one period is the baseline.
+        let mean: f64 = samples.iter().map(|a| a.amps()).sum::<f64>() / 40.0;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn window_gating_returns_baseline_outside() {
+        let w = PeriodicWave::new(
+            Shape::Square,
+            Amps::new(70.0),
+            Amps::new(34.0),
+            Cycles::new(100),
+            Cycles::new(100),
+            Cycles::new(500),
+        );
+        assert_eq!(w.current_at(Cycles::new(99)), Amps::new(70.0));
+        assert_eq!(w.current_at(Cycles::new(100)), Amps::new(87.0));
+        assert_eq!(w.current_at(Cycles::new(499)), Amps::new(53.0));
+        assert_eq!(w.current_at(Cycles::new(500)), Amps::new(70.0));
+    }
+
+    #[test]
+    fn closure_implements_waveform() {
+        let w = |c: Cycles| Amps::new(c.count() as f64);
+        assert_eq!(w.current_at(Cycles::new(5)), Amps::new(5.0));
+        let v = sample(&w, Cycles::new(3));
+        assert_eq!(v, vec![Amps::new(0.0), Amps::new(1.0), Amps::new(2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be nonzero")]
+    fn zero_period_panics() {
+        let _ = PeriodicWave::sustained_square(Amps::new(0.0), Amps::new(1.0), Cycles::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_amplitude_panics() {
+        let _ = PeriodicWave::sustained_square(Amps::new(0.0), Amps::new(-1.0), Cycles::new(10));
+    }
+}

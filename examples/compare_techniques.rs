@@ -1,0 +1,47 @@
+//! Side-by-side technique comparison on a handful of applications.
+//!
+//! Runs base, resonance tuning, the voltage-sensor technique of [10]
+//! (realistic noise/delay point), and pipeline damping [14] on three
+//! representative workloads — a heavy violator (swim), a mild violator
+//! (parser), and a clean high-ILP app (fma3d) — and prints violations,
+//! slowdown, and energy-delay per technique.
+//!
+//! Run with: `cargo run --release --example compare_techniques`
+
+use restune::{
+    run, DampingConfig, RelativeOutcome, SensorConfig, SimConfig, Technique, TuningConfig,
+};
+use workloads::spec2k;
+
+fn main() {
+    let sim = SimConfig::isca04(120_000);
+    let techniques: Vec<(&str, Technique)> = vec![
+        ("resonance tuning (100cy)", Technique::Tuning(TuningConfig::isca04_table1(100))),
+        ("sensor [10] 20/10/5", Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5))),
+        ("damping [14] δ=0.5", Technique::Damping(DampingConfig::isca04_table5(0.5))),
+    ];
+
+    for app in ["swim", "parser", "fma3d"] {
+        let profile = spec2k::by_name(app).expect("app is in the suite");
+        let base = run(&profile, &Technique::Base, &sim);
+        println!(
+            "=== {app} === base: IPC {:.2}, {} violation cycles (worst {:+.1} mV)",
+            base.ipc,
+            base.violation_cycles,
+            base.worst_noise.volts() * 1e3
+        );
+        for (name, technique) in &techniques {
+            let r = run(&profile, technique, &sim);
+            let cost = RelativeOutcome::new(&base, &r);
+            println!(
+                "  {name:26} violations {:5}  slowdown {:5.1} %  energy-delay {:5.1} %",
+                r.violation_cycles,
+                (cost.slowdown - 1.0) * 100.0,
+                (cost.relative_energy_delay - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("Resonance tuning eliminates violations at a fraction of the cost of the");
+    println!("magnitude-based schemes — and costs nearly nothing on clean applications.");
+}

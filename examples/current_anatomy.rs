@@ -1,0 +1,76 @@
+//! Anatomy of a workload's current: where the amps go, and where in the
+//! frequency spectrum they land.
+//!
+//! Uses the power model's per-structure breakdown and the Goertzel spectrum
+//! analyzer to dissect one violating and one clean application — the
+//! characterization step that motivates resonance tuning in the first
+//! place: the two apps draw *similar average current*, but only one puts
+//! its variation inside the resonance band.
+//!
+//! Run with: `cargo run --release --example current_anatomy`
+
+use cpusim::{Cpu, CpuConfig, PipelineControls};
+use powermodel::{PowerConfig, PowerModel};
+use rlc::units::{Amps, Hertz};
+use rlc::{band_power, resonance_band_ratio, SupplyParams};
+use workloads::{spec2k, stream::warm_caches, StreamGen};
+
+const CYCLES: u64 = 60_000;
+const CLOCK: Hertz = Hertz::new(10e9);
+
+struct Anatomy {
+    mean: f64,
+    breakdown_means: [(String, f64); 6],
+    band_ratio: f64,
+    band_power: f64,
+}
+
+fn dissect(app: &str) -> Anatomy {
+    let profile = spec2k::by_name(app).expect("app is in the suite");
+    let mut cpu = Cpu::new(CpuConfig::isca04_table1(), StreamGen::new(profile));
+    warm_caches(&mut cpu);
+    let mut model = PowerModel::new(PowerConfig::isca04_table1(), CpuConfig::isca04_table1());
+
+    let mut trace: Vec<Amps> = Vec::with_capacity(CYCLES as usize);
+    let mut sums = [0.0f64; 6];
+    for _ in 0..CYCLES {
+        let ev = cpu.tick(PipelineControls::free());
+        let b = model.breakdown_for(&ev);
+        trace.push(b.total);
+        sums[0] += b.fetch.amps() + b.dispatch.amps() + b.commit.amps();
+        sums[1] += b.window.amps() + b.regfile.amps() + b.result_bus.amps();
+        sums[2] += b.int_alu.amps() + b.int_mul.amps();
+        sums[3] += b.fp.amps();
+        sums[4] += b.l1i.amps() + b.l1d.amps();
+        sums[5] += b.l2.amps() + b.mem_bus.amps();
+    }
+    let n = CYCLES as f64;
+    let labels = ["frontend+commit", "window+regfile+bus", "integer units", "fp units", "L1 caches", "L2+memory"];
+    let supply = SupplyParams::isca04_table1();
+    let (lo, hi) = supply.resonance_band();
+    Anatomy {
+        mean: trace.iter().map(|a| a.amps()).sum::<f64>() / n,
+        breakdown_means: std::array::from_fn(|i| (labels[i].to_string(), sums[i] / n)),
+        band_ratio: resonance_band_ratio(&trace, CLOCK, &supply),
+        band_power: band_power(&trace, CLOCK, lo, hi, 9),
+    }
+}
+
+fn main() {
+    println!("=== Current anatomy: swim (violating) vs eon (clean) ===\n");
+    for app in ["swim", "eon"] {
+        let a = dissect(app);
+        println!("{app}: mean current {:.1} A (35 A idle floor + dynamic):", a.mean);
+        for (label, amps) in &a.breakdown_means {
+            let bar = "#".repeat((amps * 4.0).round() as usize);
+            println!("  {label:20} {amps:5.2} A {bar}");
+        }
+        println!(
+            "  resonance-band power {:.2} A² — {:.0}× the equal-width band above it\n",
+            a.band_power, a.band_ratio
+        );
+    }
+    println!("Similar averages and similar per-structure splits — the difference that");
+    println!("matters for reliability is *where in frequency* the variation sits, which");
+    println!("is exactly the quantity resonance tuning detects and steers.");
+}

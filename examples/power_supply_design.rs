@@ -1,0 +1,79 @@
+//! Power-supply design-space exploration.
+//!
+//! Sweeps the on-die decoupling-capacitance budget and the supply impedance
+//! around the paper's Table 1 design point, showing how the resonant
+//! frequency, quality factor, resonance band, and the calibrated
+//! resonance-tuning parameters (variation threshold, repetition tolerance)
+//! move — the analysis a packaging team would run before picking tuning
+//! parameters for a new part.
+//!
+//! Run with: `cargo run --release --example power_supply_design`
+
+use rlc::units::{Amps, Farads, Henries, Hertz, Ohms, Volts};
+use rlc::{calibrate, SupplyParams};
+
+fn describe(label: &str, params: &SupplyParams, clock: Hertz) {
+    let f = params.resonant_frequency().hertz() / 1e6;
+    let q = params.quality_factor();
+    print!("{label:26} f_res = {f:6.1} MHz  Q = {q:5.2}");
+    match params.resonance_band_cycles(clock) {
+        Ok((lo, hi)) => print!("  band = {:>3}-{:<3} cycles", lo.count(), hi.count()),
+        Err(e) => print!("  band: {e}"),
+    }
+    match calibrate(params, clock, Amps::new(70.0)) {
+        Ok(cal) => println!(
+            "  M = {:4.1} A  tolerance = {} half-waves",
+            cal.variation_threshold.amps(),
+            cal.max_repetition_tolerance
+        ),
+        Err(_) => println!("  (supply never violates: tuning unnecessary)"),
+    }
+}
+
+fn main() {
+    let clock = Hertz::from_giga(10.0);
+    let base_r = Ohms::from_micro(375.0);
+    let base_l = Henries::from_pico(1.69);
+    let base_c = Farads::from_nano(1500.0);
+    let vdd = Volts::new(1.0);
+    let margin = Volts::new(0.05);
+
+    println!("=== Decoupling-capacitance sweep (R = 375 µΩ, L = 1.69 pH) ===");
+    println!("More d-cap lowers the resonant frequency and raises Q — more cycles");
+    println!("to react, but resonant energy is stored more efficiently:\n");
+    for nf in [500.0, 1000.0, 1500.0, 3000.0, 6000.0] {
+        let p = SupplyParams::new(base_r, base_l, Farads::from_nano(nf), vdd, margin)
+            .expect("sweep stays underdamped");
+        describe(&format!("C = {nf:6.0} nF"), &p, clock);
+    }
+
+    println!("\n=== Supply-impedance sweep (L = 1.69 pH, C = 1500 nF) ===");
+    println!("Lower R is where scaling pushes designs — and it raises Q, making");
+    println!("the inductive-noise problem worse:\n");
+    for micro_ohms in [188.0, 375.0, 750.0, 1500.0] {
+        let p = SupplyParams::new(
+            Ohms::from_micro(micro_ohms),
+            base_l,
+            base_c,
+            vdd,
+            margin,
+        )
+        .expect("sweep stays underdamped");
+        describe(&format!("R = {micro_ohms:6.0} µΩ"), &p, clock);
+    }
+
+    println!("\n=== Technology-scaling trend (Section 3.2 of the paper) ===");
+    println!("C grows with integration while L stays fixed: the resonant period in");
+    println!("cycles grows every generation, giving resonance tuning more time:\n");
+    for (gen, nf, ghz) in [("today", 500.0, 5.0), ("paper design", 1500.0, 10.0), ("+2 gens", 4000.0, 16.0)] {
+        let p = SupplyParams::new(base_r, base_l, Farads::from_nano(nf), vdd, margin)
+            .expect("scaling stays underdamped");
+        let period = p
+            .resonant_period_cycles(Hertz::from_giga(ghz))
+            .expect("period is resolvable");
+        println!(
+            "{gen:13} C = {nf:5.0} nF @ {ghz:4.1} GHz: resonant period = {period}, quarter period = {} cycles to react",
+            period.count() / 4
+        );
+    }
+}

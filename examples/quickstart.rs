@@ -1,0 +1,62 @@
+//! Quickstart: the whole pipeline in sixty lines.
+//!
+//! Builds the paper's power supply, inspects its resonance, then runs the
+//! `parser` workload on the simulated processor with and without resonance
+//! tuning and reports violations, slowdown, and energy-delay.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use restune::{run, RelativeOutcome, SimConfig, Technique, TuningConfig};
+use rlc::units::Hertz;
+use rlc::SupplyParams;
+use workloads::spec2k;
+
+fn main() {
+    // 1. The power-distribution network of the paper's Table 1:
+    //    375 µΩ / 1.69 pH / 1500 nF at 1.0 V, ±5 % noise margin.
+    let supply = SupplyParams::isca04_table1();
+    let clock = Hertz::from_giga(10.0);
+    println!("resonant frequency: {:.1} MHz", supply.resonant_frequency().hertz() / 1e6);
+    println!("quality factor Q:   {:.2}", supply.quality_factor());
+    let (lo, hi) = supply.resonance_band_cycles(clock).expect("valid clock");
+    println!("resonance band:     {}–{} cycle periods at 10 GHz", lo.count(), hi.count());
+
+    // 2. A workload with resonant behavior: parser (Figure 4's subject).
+    let parser = spec2k::by_name("parser").expect("parser is in the suite");
+    let sim = SimConfig::isca04(150_000);
+
+    // 3. Base machine: noise-margin violations allowed.
+    let base = run(&parser, &Technique::Base, &sim);
+    println!(
+        "\nbase machine:    {} cycles, IPC {:.2}, {} violation cycles (worst {:+.1} mV)",
+        base.cycles,
+        base.ipc,
+        base.violation_cycles,
+        base.worst_noise.volts() * 1e3
+    );
+
+    // 4. Resonance tuning with a 100-cycle initial response time.
+    let tuning = Technique::Tuning(TuningConfig::isca04_table1(100));
+    let tuned = run(&parser, &tuning, &sim);
+    println!(
+        "resonance tuning: {} cycles, IPC {:.2}, {} violation cycles",
+        tuned.cycles, tuned.ipc, tuned.violation_cycles
+    );
+    println!(
+        "                  {:.1} % of cycles in first-level response, {:.2} % in second-level",
+        tuned.first_level_fraction() * 100.0,
+        tuned.second_level_fraction() * 100.0
+    );
+
+    // 5. The cost of violation-free operation.
+    let cost = RelativeOutcome::new(&base, &tuned);
+    println!(
+        "\ncost of tuning:  {:.1} % slowdown, {:.1} % energy-delay increase",
+        (cost.slowdown - 1.0) * 100.0,
+        (cost.relative_energy_delay - 1.0) * 100.0
+    );
+    println!(
+        "violations eliminated: {} → {}",
+        base.violation_cycles, tuned.violation_cycles
+    );
+}

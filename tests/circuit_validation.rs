@@ -1,0 +1,163 @@
+//! Cross-validation of the circuit substrate against the paper's published
+//! physics, and of the architectural detector against the circuit.
+
+use restune::{EventDetector, TuningConfig};
+use rlc::units::{Amps, Cycles, Hertz};
+use rlc::{
+    calibrate, exact_free_decay, simulate_waveform, Method, PeriodicWave, PowerSupply,
+    SupplyParams, SupplyState,
+};
+
+const GHZ10: Hertz = Hertz::new(10e9);
+
+#[test]
+fn table1_resonance_parameters_match_paper() {
+    let p = SupplyParams::isca04_table1();
+    assert!((p.resonant_frequency().hertz() / 1e6 - 100.0).abs() < 0.5);
+    assert!((p.quality_factor() - 2.83).abs() < 0.01);
+    let (lo, hi) = p.resonance_band_cycles(GHZ10).unwrap();
+    assert_eq!((lo.count(), hi.count()), (84, 119));
+    // Dissipation: 66% of the amplitude per period (Section 5.1.1).
+    assert!(((1.0 - p.decay_per_period()) - 0.66).abs() < 0.02);
+}
+
+#[test]
+fn calibrated_tolerance_matches_table1() {
+    let cal = calibrate(&SupplyParams::isca04_table1(), GHZ10, Amps::new(70.0)).unwrap();
+    assert_eq!(cal.max_repetition_tolerance, 4, "paper Table 1: tolerance 4");
+    assert!((20.0..40.0).contains(&cal.variation_threshold.amps()));
+}
+
+#[test]
+fn figure3_violation_occurs_at_the_repetition_tolerance() {
+    // The paper's Figure 3: 34 A square wave at the resonant frequency;
+    // the violation lands when the event count reaches 4.
+    let p = SupplyParams::isca04_table1();
+    let wave = PeriodicWave::new(
+        rlc::Shape::Square,
+        Amps::new(70.0),
+        Amps::new(34.0),
+        Cycles::new(100),
+        Cycles::new(100),
+        Cycles::new(500),
+    );
+    let trace = simulate_waveform(&p, GHZ10, &wave, Cycles::new(1000));
+    let violation = trace.first_violation().expect("34 A resonant wave violates");
+
+    let mut detector = EventDetector::new(TuningConfig::isca04_table1(100));
+    let mut count_at_violation = 0;
+    for (c, i) in trace.current.iter().enumerate() {
+        if let Some(ev) = detector.observe(i.amps().round() as i64) {
+            if (c as u64) <= violation.count() {
+                count_at_violation = count_at_violation.max(ev.count);
+            }
+        }
+    }
+    assert_eq!(
+        count_at_violation, 4,
+        "event count at the violation must equal the max repetition tolerance"
+    );
+}
+
+#[test]
+fn detection_always_precedes_physical_violation() {
+    // For sustained resonant waves across the band, the detector reaches
+    // the second-level threshold (count 3) before the margin is crossed —
+    // the advance warning that makes slow responses sufficient.
+    let p = SupplyParams::isca04_table1();
+    for period in [90u64, 100, 110] {
+        let wave =
+            PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(36.0), Cycles::new(period));
+        let trace = simulate_waveform(&p, GHZ10, &wave, Cycles::new(2_000));
+        let violation = trace
+            .first_violation()
+            .unwrap_or_else(|| panic!("36 A wave at period {period} should violate"));
+
+        let mut detector = EventDetector::new(TuningConfig::isca04_table1(100));
+        let mut warn_cycle = None;
+        for (c, i) in trace.current.iter().enumerate() {
+            if let Some(ev) = detector.observe(i.amps().round() as i64) {
+                if ev.count >= 3 && warn_cycle.is_none() {
+                    warn_cycle = Some(c as u64);
+                }
+            }
+        }
+        let warn = warn_cycle.unwrap_or_else(|| panic!("no count-3 warning at period {period}"));
+        assert!(
+            warn < violation.count(),
+            "period {period}: warning at {warn} must precede violation at {violation}"
+        );
+    }
+}
+
+#[test]
+fn heun_and_rk4_agree_with_exact_decay() {
+    let p = SupplyParams::isca04_table1();
+    let s0 = SupplyState { v: 0.04, i_l: 5.0 };
+    let dt = GHZ10.period();
+    let n = 300;
+    let mut heun = s0;
+    let mut rk4 = s0;
+    for _ in 0..n {
+        heun = rlc::step(&p, Method::Heun, heun, Amps::new(0.0), Amps::new(0.0), dt);
+        rk4 = rlc::step(&p, Method::Rk4, rk4, Amps::new(0.0), Amps::new(0.0), dt);
+    }
+    let exact =
+        exact_free_decay(&p, s0, rlc::units::Seconds::new(dt.seconds() * n as f64));
+    assert!((heun.v - exact.v).abs() < 5e-4, "Heun drift {}", (heun.v - exact.v).abs());
+    assert!((rk4.v - exact.v).abs() < 5e-5, "RK4 drift {}", (rk4.v - exact.v).abs());
+}
+
+#[test]
+fn current_sensing_not_voltage_avoids_ringing_false_positives() {
+    // After a resonant episode stops, the *voltage* keeps ringing but the
+    // *current* is quiet: the detector (current-based) must go quiet while
+    // the supply voltage still oscillates measurably — the paper's core
+    // argument for sensing current rather than voltage.
+    let p = SupplyParams::isca04_table1();
+    let wave = PeriodicWave::new(
+        rlc::Shape::Square,
+        Amps::new(70.0),
+        Amps::new(34.0),
+        Cycles::new(100),
+        Cycles::new(0),
+        Cycles::new(400),
+    );
+    let trace = simulate_waveform(&p, GHZ10, &wave, Cycles::new(900));
+
+    // Voltage still rings above 10 mV after the wave stops...
+    let ringing = trace.noise[450..600]
+        .iter()
+        .map(|v| v.abs().volts())
+        .fold(0.0, f64::max);
+    assert!(ringing > 0.010, "expected ringing after stimulus, got {ringing}");
+
+    // ...but the current-based detector raises no events in that window.
+    let mut detector = EventDetector::new(TuningConfig::isca04_table1(100));
+    let mut post_stimulus_events = 0;
+    for (c, i) in trace.current.iter().enumerate() {
+        if detector.observe(i.amps().round() as i64).is_some() && c >= 450 {
+            post_stimulus_events += 1;
+        }
+    }
+    assert_eq!(
+        post_stimulus_events, 0,
+        "current sensing must not echo the supply's voltage ringing"
+    );
+}
+
+#[test]
+fn supply_tick_matches_batch_simulation() {
+    // The stateful per-cycle API and the batch driver are the same physics.
+    let p = SupplyParams::isca04_table1();
+    let wave = PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(20.0), Cycles::new(100));
+    let trace = simulate_waveform(&p, GHZ10, &wave, Cycles::new(500));
+    let mut supply = PowerSupply::new(p, GHZ10, Amps::new(80.0));
+    for (c, &i) in trace.current.iter().enumerate() {
+        let out = supply.tick(i);
+        assert!(
+            (out.noise.volts() - trace.noise[c].volts()).abs() < 1e-12,
+            "cycle {c}: tick and batch disagree"
+        );
+    }
+}

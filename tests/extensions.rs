@@ -1,0 +1,236 @@
+//! Integration tests for the beyond-the-paper extensions: the two-stage
+//! (low-frequency) supply, the wavelet detector, the predictor-driven
+//! branch model, MSHR/bandwidth limits, trace record/replay, spectrum
+//! analysis, and the analytic guarantee report — exercised across crates.
+
+use cpusim::branch::PredictorKind;
+use cpusim::{BranchModel, Cpu, CpuConfig, MemorySystemConfig, PipelineControls};
+use restune::{analyze, TuningConfig, WaveletConfig, WaveletDetector};
+use rlc::units::{Amps, Cycles, Hertz};
+use rlc::{resonance_band_ratio, SupplyParams, TwoStageParams, TwoStageSupply};
+use workloads::{spec2k, stream::warm_caches, RecordedTrace, StreamGen};
+
+const GHZ10: Hertz = Hertz::new(10e9);
+
+#[test]
+fn violating_workloads_put_energy_in_the_band() {
+    // The spectrum analyzer confirms what the classification shows: the
+    // violating apps' current traces carry far more resonance-band energy
+    // relative to the neighborhood above the band than clean apps'.
+    let ratio = |name: &str| -> f64 {
+        let p = spec2k::by_name(name).unwrap();
+        let sim = restune::SimConfig::isca04(60_000);
+        let mut trace = Vec::new();
+        let _ = restune::run_observed(&p, &restune::Technique::Base, &sim, |rec| {
+            trace.push(rec.current);
+        });
+        resonance_band_ratio(&trace, GHZ10, &SupplyParams::isca04_table1())
+    };
+    let swim = ratio("swim");
+    let apsi = ratio("apsi");
+    assert!(
+        swim > 4.0 * apsi,
+        "swim band ratio {swim} should dwarf apsi's {apsi}"
+    );
+}
+
+#[test]
+fn wavelet_detector_agrees_with_exact_detector_on_suite_current() {
+    // On a real violating workload's current trace, the wavelet detector
+    // warns in the same neighborhoods where the exact detector counts ≥ 3.
+    let p = spec2k::by_name("swim").unwrap();
+    let sim = restune::SimConfig::isca04(60_000);
+    let mut current = Vec::new();
+    let _ = restune::run_observed(&p, &restune::Technique::Base, &sim, |rec| {
+        current.push(rec.current.amps().round() as i64);
+    });
+
+    let mut exact = restune::EventDetector::new(TuningConfig::isca04_table1(100));
+    let mut wavelet = WaveletDetector::new(WaveletConfig::isca04_table1());
+    let mut exact_hits = Vec::new();
+    let mut wavelet_hits = Vec::new();
+    for (c, &i) in current.iter().enumerate() {
+        if let Some(ev) = exact.observe(i) {
+            if ev.count >= 3 {
+                exact_hits.push(c);
+            }
+        }
+        if wavelet.observe(i).is_some() {
+            wavelet_hits.push(c);
+        }
+    }
+    assert!(!exact_hits.is_empty(), "swim must show count-3 resonance");
+    assert!(!wavelet_hits.is_empty(), "wavelet detector must warn on swim");
+    // Most exact count-3 detections have a wavelet warning within half a
+    // resonant period.
+    let near = exact_hits
+        .iter()
+        .filter(|&&e| wavelet_hits.iter().any(|&w| w.abs_diff(e) <= 60))
+        .count();
+    assert!(
+        near * 2 >= exact_hits.len(),
+        "wavelet warnings should co-locate with exact detections ({near}/{})",
+        exact_hits.len()
+    );
+}
+
+#[test]
+fn two_stage_supply_reduces_to_single_stage_at_medium_frequency() {
+    // At the on-die resonance, the cascade behaves like the single-stage
+    // model: worst noise under the same drive agrees within ~15%.
+    let single = {
+        let mut s = rlc::PowerSupply::new(SupplyParams::isca04_table1(), GHZ10, Amps::new(70.0));
+        for c in 0..2_000u64 {
+            let i = if (c / 50).is_multiple_of(2) { 85.0 } else { 55.0 };
+            s.tick(Amps::new(i));
+        }
+        s.worst_noise().abs().volts()
+    };
+    let cascade = {
+        let mut s =
+            TwoStageSupply::new(TwoStageParams::isca04_low_frequency(), GHZ10, Amps::new(70.0));
+        let mut worst: f64 = 0.0;
+        for c in 0..2_000u64 {
+            let i = if (c / 50).is_multiple_of(2) { 85.0 } else { 55.0 };
+            worst = worst.max(s.tick(Amps::new(i)).abs().volts());
+        }
+        worst
+    };
+    let ratio = cascade / single;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "medium-frequency response must be preserved: cascade {cascade} vs single {single}"
+    );
+}
+
+#[test]
+fn predictor_driven_suite_run_completes_with_realistic_rates() {
+    // Swap the profile-driven branch model for a real gshare predictor on a
+    // real workload stream: the machine still runs, and the misprediction
+    // rate lands in a plausible range (the stream's per-site biases are
+    // mostly learnable).
+    let mut config = CpuConfig::isca04_table1();
+    // Bimodal: the synthetic streams scatter branches over ~12k sites with
+    // uncorrelated directions, so per-site counters are the right model
+    // (gshare's pc⊕history indexing sees every pattern as novel there).
+    config.branch_model = BranchModel::Predictor {
+        kind: PredictorKind::Bimodal,
+        entries: 16384,
+    };
+    let profile = spec2k::by_name("gcc").unwrap();
+    let mut cpu = Cpu::new(config, StreamGen::new(profile));
+    warm_caches(&mut cpu);
+    for _ in 0..40_000 {
+        cpu.tick(PipelineControls::free());
+    }
+    let branches = cpu.stats().committed_by_class[cpusim::OpClass::Branch.index()];
+    assert!(branches > 2_000);
+    let (predictions, rate) = cpu.predictor_stats().expect("predictor model active");
+    assert!(predictions > 2_000);
+    // Per-resolution rate: ~2/8 of the synthetic branch sites are 50/50
+    // (hard, ~50% mispredicted), the rest strongly biased (~5%) — so the
+    // learned rate lands well between "all learned" and "none learned".
+    assert!(
+        (0.05..0.40).contains(&rate),
+        "bimodal misprediction rate {rate} out of plausible range"
+    );
+    assert!(cpu.stats().ipc() > 0.3, "squash churn must not collapse the machine");
+}
+
+#[test]
+fn memory_limits_slow_memory_bound_apps_most() {
+    let run_ipc = |name: &str, ms: Option<MemorySystemConfig>| -> f64 {
+        let mut config = CpuConfig::isca04_table1();
+        config.memory_system = ms;
+        let p = spec2k::by_name(name).unwrap();
+        let mut cpu = Cpu::new(config, StreamGen::new(p));
+        warm_caches(&mut cpu);
+        for _ in 0..40_000 {
+            cpu.tick(PipelineControls::free());
+        }
+        cpu.stats().ipc()
+    };
+    let tight = Some(MemorySystemConfig { mshrs: 1, mem_interval: 90 });
+    let lucas_hit = run_ipc("lucas", None) / run_ipc("lucas", tight);
+    let eon_hit = run_ipc("eon", None) / run_ipc("eon", tight);
+    assert!(
+        lucas_hit > eon_hit,
+        "memory-bound lucas ({lucas_hit}) must suffer more than eon ({eon_hit})"
+    );
+    assert!(lucas_hit > 1.02, "tight memory system must visibly slow lucas: {lucas_hit}");
+}
+
+#[test]
+fn recorded_trace_reproduces_violations() {
+    // Record a violating app's stream, replay it through a fresh
+    // CPU+power+supply stack: identical violations.
+    let p = spec2k::by_name("parser").unwrap();
+    let trace = RecordedTrace::record(&mut StreamGen::new(p), 200_000);
+
+    let run_with = |stream: &mut dyn FnMut() -> cpusim::SynthInst| -> u64 {
+        let mut cpu = Cpu::new(CpuConfig::isca04_table1(), stream);
+        warm_caches(&mut cpu);
+        let mut model = powermodel::PowerModel::new(
+            powermodel::PowerConfig::isca04_table1(),
+            CpuConfig::isca04_table1(),
+        );
+        let mut supply =
+            rlc::PowerSupply::new(SupplyParams::isca04_table1(), GHZ10, Amps::new(35.0));
+        for _ in 0..60_000 {
+            let ev = cpu.tick(PipelineControls::free());
+            supply.tick(model.current_for(&ev));
+        }
+        supply.violation_cycles()
+    };
+
+    let mut original = StreamGen::new(p);
+    let mut a = || cpusim::isa::InstructionStream::next_inst(&mut original);
+    let mut replay = trace.replay();
+    let mut b = || cpusim::isa::InstructionStream::next_inst(&mut replay);
+    assert_eq!(run_with(&mut a), run_with(&mut b));
+}
+
+#[test]
+fn guarantee_report_matches_tuning_outcomes() {
+    // The analytic guarantee says variations ≤ ~30 A never need the second
+    // level; the detector confirms a 28 A square wave never reaches count 3
+    // before... in fact never violates at all.
+    let supply = SupplyParams::isca04_table1();
+    let config = TuningConfig::isca04_table1(100);
+    let report = analyze(&supply, GHZ10, &config, Amps::new(24.0)).unwrap();
+    assert!(report.half_waves_to_violation.is_none() || report.response_budget_cycles > 0);
+    assert!(report.guaranteed_variation.amps() >= 24.0);
+
+    // Physics agrees: sustained 24 A at resonance stays inside the margin
+    // (the circuit-level tolerance is ~26 A; the analytic boundary ~30 A).
+    let wave = rlc::PeriodicWave::sustained_square(
+        Amps::new(70.0),
+        Amps::new(24.0),
+        Cycles::new(100),
+    );
+    let trace = rlc::simulate_waveform(&supply, GHZ10, &wave, Cycles::new(4_000));
+    assert!(!trace.violated(), "24 A must stay within the guarantee");
+}
+
+#[test]
+fn low_band_detector_catches_low_frequency_resonance() {
+    // Reconfigure the detector for the low band and feed a wave at the low
+    // resonant period: it chains to the second-level threshold.
+    let params = TwoStageParams::isca04_low_frequency();
+    let (lo, hi) = params.low_band_cycles(GHZ10).unwrap();
+    let config = TuningConfig {
+        band_min_period: lo,
+        band_max_period: hi,
+        ..TuningConfig::isca04_table1(100)
+    };
+    let period = (lo.count() + hi.count()) / 2;
+    let mut det = restune::EventDetector::new(config);
+    let mut max_count = 0;
+    for c in 0..period * 12 {
+        let i = if (c / (period / 2)).is_multiple_of(2) { 90 } else { 50 };
+        if let Some(ev) = det.observe(i) {
+            max_count = max_count.max(ev.count);
+        }
+    }
+    assert!(max_count >= 3, "low-band detector must chain, got {max_count}");
+}

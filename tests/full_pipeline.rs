@@ -1,0 +1,136 @@
+//! Integration tests across all crates: workload generation → CPU →
+//! power model → supply network → controller, end to end.
+
+use restune::{run, RelativeOutcome, SimConfig, Technique, TuningConfig};
+use workloads::spec2k;
+
+fn sim(instructions: u64) -> SimConfig {
+    SimConfig::isca04(instructions)
+}
+
+#[test]
+fn full_suite_base_runs_complete() {
+    // Every application finishes its instruction budget within the cycle
+    // cap and produces sane statistics.
+    let cfg = sim(15_000);
+    for p in spec2k::all() {
+        let r = run(&p, &Technique::Base, &cfg);
+        assert!(r.committed >= 15_000, "{}: committed {}", p.name, r.committed);
+        assert!(r.ipc > 0.05 && r.ipc < 8.0, "{}: IPC {}", p.name, r.ipc);
+        assert!(r.energy_joules > 0.0, "{}: no energy recorded", p.name);
+        assert!(
+            r.worst_noise.abs().volts() < 0.15,
+            "{}: implausible noise {}",
+            p.name,
+            r.worst_noise
+        );
+    }
+}
+
+#[test]
+fn ipc_ranking_matches_paper_extremes() {
+    // The synthetic profiles must keep the paper's IPC extremes in order:
+    // pointer-chasing memory-bound apps at the bottom, high-ILP FP apps at
+    // the top.
+    let cfg = sim(30_000);
+    let ipc = |name: &str| run(&spec2k::by_name(name).unwrap(), &Technique::Base, &cfg).ipc;
+    let mcf = ipc("mcf");
+    let ammp = ipc("ammp");
+    let fma3d = ipc("fma3d");
+    let equake = ipc("equake");
+    let parser = ipc("parser");
+    assert!(mcf < 0.8, "mcf must be memory-bound, got {mcf}");
+    assert!(ammp < 0.8, "ammp must be memory-bound, got {ammp}");
+    assert!(fma3d > 2.0, "fma3d must be high-ILP, got {fma3d}");
+    assert!(equake > 2.0, "equake must be high-ILP, got {equake}");
+    assert!(mcf < parser && parser < fma3d, "ordering: {mcf} < {parser} < {fma3d}");
+}
+
+#[test]
+fn violating_and_clean_apps_classify_as_in_table2() {
+    // A heavy violator and a clean app behave per the paper's Table 2.
+    let cfg = sim(120_000);
+    let swim = run(&spec2k::by_name("swim").unwrap(), &Technique::Base, &cfg);
+    assert!(swim.violation_cycles > 0, "swim must violate on the base machine");
+    let eon = run(&spec2k::by_name("eon").unwrap(), &Technique::Base, &cfg);
+    assert_eq!(eon.violation_cycles, 0, "eon must stay within the margin");
+}
+
+#[test]
+fn tuning_eliminates_nearly_all_violations_suite_wide() {
+    let cfg = sim(60_000);
+    let tuning = Technique::Tuning(TuningConfig::isca04_table1(100));
+    let mut base_total = 0;
+    let mut tuned_total = 0;
+    for p in spec2k::violating() {
+        base_total += run(&p, &Technique::Base, &cfg).violation_cycles;
+        tuned_total += run(&p, &tuning, &cfg).violation_cycles;
+    }
+    assert!(base_total > 100, "violating apps must violate (got {base_total})");
+    assert!(
+        tuned_total * 20 <= base_total,
+        "tuning must remove ≥95% of violation cycles ({tuned_total} of {base_total} remain)"
+    );
+}
+
+#[test]
+fn tuning_cost_is_gentle() {
+    let cfg = sim(60_000);
+    let tuning = Technique::Tuning(TuningConfig::isca04_table1(100));
+    for name in ["bzip", "swim", "eon"] {
+        let p = spec2k::by_name(name).unwrap();
+        let base = run(&p, &Technique::Base, &cfg);
+        let tuned = run(&p, &tuning, &cfg);
+        let cost = RelativeOutcome::new(&base, &tuned);
+        assert!(
+            cost.slowdown < 1.12,
+            "{name}: tuning slowdown {} exceeds the paper's regime",
+            cost.slowdown
+        );
+        assert!(
+            cost.relative_energy_delay < 1.20,
+            "{name}: tuning energy-delay {}",
+            cost.relative_energy_delay
+        );
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic() {
+    let cfg = sim(25_000);
+    let p = spec2k::by_name("gcc").unwrap();
+    let tuning = Technique::Tuning(TuningConfig::isca04_table1(75));
+    let a = run(&p, &tuning, &cfg);
+    let b = run(&p, &tuning, &cfg);
+    assert_eq!(a, b, "identical configurations must reproduce bit-identical results");
+}
+
+#[test]
+fn longer_initial_response_spends_more_time_in_first_level() {
+    let cfg = sim(60_000);
+    let p = spec2k::by_name("swim").unwrap();
+    let short = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(75)), &cfg);
+    let long = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(200)), &cfg);
+    assert!(
+        long.first_level_fraction() > short.first_level_fraction(),
+        "L1 fraction must grow with response time: {} vs {}",
+        long.first_level_fraction(),
+        short.first_level_fraction()
+    );
+}
+
+#[test]
+fn detector_energy_overhead_is_small() {
+    // The tuning run charges detector hardware current; on a quiet app the
+    // energy overhead must stay well under 1 % (Section 3.3).
+    let cfg = sim(40_000);
+    let p = spec2k::by_name("apsi").unwrap(); // never triggers responses
+    let base = run(&p, &Technique::Base, &cfg);
+    let tuned = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &cfg);
+    let cost = RelativeOutcome::new(&base, &tuned);
+    assert!(
+        cost.relative_energy < 1.01,
+        "idle tuning energy overhead {} must be <1%",
+        cost.relative_energy
+    );
+}

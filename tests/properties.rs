@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) on the core invariants of the circuit,
+//! the detector, and the metrics.
+
+use proptest::prelude::*;
+use restune::{EventDetector, TuningConfig};
+use rlc::units::{Amps, Cycles, Farads, Henries, Hertz, Ohms, Volts};
+use rlc::{impedance_at, simulate_waveform, PeriodicWave, SupplyParams};
+
+const GHZ10: Hertz = Hertz::new(10e9);
+
+fn table1() -> SupplyParams {
+    SupplyParams::isca04_table1()
+}
+
+proptest! {
+    /// A constant current never produces noise, whatever its level.
+    #[test]
+    fn constant_current_is_silent(level in 0.0..200.0f64) {
+        let wave = rlc::Constant::new(Amps::new(level));
+        let trace = simulate_waveform(&table1(), GHZ10, &wave, Cycles::new(500));
+        prop_assert!(trace.worst_noise.abs().volts() < 1e-9);
+    }
+
+    /// Doubling the excitation amplitude doubles the response (linearity of
+    /// the RLC network).
+    #[test]
+    fn supply_response_is_linear(p2p in 1.0..30.0f64, period in 30u64..200) {
+        let a = simulate_waveform(
+            &table1(), GHZ10,
+            &PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(p2p), Cycles::new(period)),
+            Cycles::new(1_000),
+        );
+        let b = simulate_waveform(
+            &table1(), GHZ10,
+            &PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(2.0 * p2p), Cycles::new(period)),
+            Cycles::new(1_000),
+        );
+        let ratio = b.worst_noise.abs().volts() / a.worst_noise.abs().volts().max(1e-12);
+        prop_assert!((ratio - 2.0).abs() < 0.02, "ratio {}", ratio);
+    }
+
+    /// The impedance magnitude never exceeds the resonant peak by more than
+    /// sweep tolerance, anywhere in frequency.
+    #[test]
+    fn impedance_peaks_at_resonance(mhz in 1.0..1000.0f64) {
+        let p = table1();
+        let z = impedance_at(&p, Hertz::from_mega(mhz)).magnitude();
+        let z_peak = impedance_at(&p, p.resonant_frequency()).magnitude();
+        prop_assert!(z <= z_peak * 1.001, "|Z({mhz} MHz)| = {z} > peak {z_peak}");
+    }
+
+    /// Any underdamped supply's resonance band straddles its resonant
+    /// frequency, with the geometric mean equal to it.
+    #[test]
+    fn band_straddles_resonance(
+        r_micro in 100.0..5_000.0f64,
+        l_pico in 0.5..50.0f64,
+        c_nano in 100.0..10_000.0f64,
+    ) {
+        let params = SupplyParams::new(
+            Ohms::from_micro(r_micro),
+            Henries::from_pico(l_pico),
+            Farads::from_nano(c_nano),
+            Volts::new(1.0),
+            Volts::new(0.05),
+        );
+        prop_assume!(params.is_ok());
+        let p = params.unwrap();
+        let f0 = p.resonant_frequency().hertz();
+        let (lo, hi) = p.resonance_band();
+        prop_assert!(lo.hertz() < f0 && f0 < hi.hertz());
+        let gm = (lo.hertz() * hi.hertz()).sqrt();
+        prop_assert!((gm - f0).abs() / f0 < 1e-9);
+    }
+
+    /// Sub-threshold current waveforms never raise detector events, for any
+    /// period and any small amplitude (square-wave detection threshold is
+    /// M/2 = 16 A).
+    #[test]
+    fn detector_ignores_small_variations(
+        p2p in 0.0..13.0f64,
+        period in 20u64..300,
+        mid in 40.0..90.0f64,
+    ) {
+        let mut det = EventDetector::new(TuningConfig::isca04_table1(100));
+        let mut fired = 0u32;
+        for c in 0..2_000u64 {
+            let i = if (c / (period / 2).max(1)) % 2 == 0 { mid + p2p / 2.0 } else { mid - p2p / 2.0 };
+            if det.observe(i.round() as i64).is_some() {
+                fired += 1;
+            }
+        }
+        prop_assert_eq!(fired, 0, "sub-threshold wave must not register");
+    }
+
+    /// The detector's event count never exceeds its configured cap and is
+    /// always at least 1 on a reported event.
+    #[test]
+    fn event_counts_are_bounded(seed in 0u64..1_000) {
+        let cfg = TuningConfig::isca04_table1(100);
+        let mut det = EventDetector::new(cfg);
+        // A deterministic pseudo-random large-swing waveform.
+        let mut x = seed;
+        for _ in 0..3_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = 35 + (x >> 60) as i64 * 10; // steps of 10 A in [35, 105]
+            if let Some(ev) = det.observe(i) {
+                prop_assert!(ev.count >= 1);
+                prop_assert!(ev.count <= cfg.max_repetition_tolerance + 4);
+            }
+        }
+    }
+
+    /// Waveform samples always stay within the baseline ± half the
+    /// peak-to-peak amplitude.
+    #[test]
+    fn periodic_wave_is_bounded(
+        p2p in 0.0..100.0f64,
+        period in 1u64..500,
+        baseline in 0.0..100.0f64,
+        cycle in 0u64..100_000,
+    ) {
+        let wave = PeriodicWave::sustained_square(
+            Amps::new(baseline),
+            Amps::new(p2p),
+            Cycles::new(period),
+        );
+        let i = rlc::Waveform::current_at(&wave, Cycles::new(cycle)).amps();
+        prop_assert!(i >= baseline - p2p / 2.0 - 1e-12);
+        prop_assert!(i <= baseline + p2p / 2.0 + 1e-12);
+    }
+
+    /// Relative-outcome arithmetic: energy-delay is exactly energy ×
+    /// slowdown, and all quantities are positive.
+    #[test]
+    fn relative_outcome_identities(
+        base_cycles in 1_000u64..1_000_000,
+        extra in 0u64..100_000,
+        base_joules in 0.001..10.0f64,
+        extra_joules in 0.0..1.0f64,
+    ) {
+        use restune::RelativeOutcome;
+        let mk = |cycles: u64, joules: f64| restune::SimResult {
+            app: "p",
+            cycles,
+            committed: 1_000,
+            ipc: 1.0,
+            violation_cycles: 0,
+            worst_noise: Volts::new(0.0),
+            energy_joules: joules,
+            energy_delay: 0.0,
+            first_level_cycles: 0,
+            second_level_cycles: 0,
+            sensor_response_cycles: 0,
+            damping_bound_cycles: 0,
+        };
+        let base = mk(base_cycles, base_joules);
+        let tech = mk(base_cycles + extra, base_joules + extra_joules);
+        let o = RelativeOutcome::new(&base, &tech);
+        prop_assert!(o.slowdown >= 1.0);
+        prop_assert!(o.relative_energy >= 1.0 - 1e-12);
+        prop_assert!(
+            (o.relative_energy_delay - o.slowdown * o.relative_energy).abs() < 1e-9
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any in-band period and super-threshold amplitude, sustained
+    /// excitation is detected and chains to at least the second-level
+    /// threshold — the guarantee the response relies on.
+    #[test]
+    fn detector_always_catches_sustained_resonance(
+        period in 88u64..116,
+        p2p in 36.0..44.0f64,
+    ) {
+        let mut det = EventDetector::new(TuningConfig::isca04_table1(100));
+        let mut max_count = 0;
+        for c in 0..4_000u64 {
+            let i = if (c / (period / 2)) % 2 == 0 { 70.0 + p2p / 2.0 } else { 70.0 - p2p / 2.0 };
+            if let Some(ev) = det.observe(i.round() as i64) {
+                max_count = max_count.max(ev.count);
+            }
+        }
+        prop_assert!(
+            max_count >= 3,
+            "period {period}, {p2p:.0} A: max count {max_count} below second-level threshold"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based invariants of the CPU, power, and workload substrates:
+//! whatever the (valid) inputs, the machine conserves instructions, respects
+//! its structural widths, and the power model stays inside its envelope.
+
+use proptest::prelude::*;
+
+use cpusim::isa::LoopStream;
+use cpusim::{Cpu, CpuConfig, CycleEvents, PipelineControls, SynthInst};
+use powermodel::{PowerConfig, PowerModel};
+use workloads::{Episode, OpMix, StreamGen, WorkloadProfile};
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        1.5f64..20.0,   // mean_dep
+        0.0f64..0.15,   // l2_fraction
+        0.0f64..0.08,   // mem_fraction
+        any::<bool>(),  // pointer_chase
+        0.0f64..0.08,   // mispredict_rate
+        any::<u64>(),   // seed
+        prop::option::of((90u32..115, 2u32..8, 0.0f64..0.003)),
+    )
+        .prop_map(|(dep, l2f, memf, chase, mp, seed, ep)| WorkloadProfile {
+            name: "prop",
+            paper_ipc: 1.0,
+            paper_violating: false,
+            mix: OpMix::integer(),
+            mean_dep: dep,
+            l2_fraction: l2f,
+            mem_fraction: memf,
+            pointer_chase: chase,
+            mispredict_rate: mp,
+            episode: ep.map(|(period, periods, rate)| Episode::resonant(period, periods, rate)),
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid profile yields a stream of well-formed instructions.
+    #[test]
+    fn streams_produce_wellformed_instructions(profile in arb_profile()) {
+        let mut gen = StreamGen::new(profile);
+        for _ in 0..3_000 {
+            let inst = cpusim::isa::InstructionStream::next_inst(&mut gen);
+            prop_assert!(inst.src1_dist <= 4_000, "dist {}", inst.src1_dist);
+            prop_assert!(inst.src2_dist <= 96);
+            if inst.op.is_mem() {
+                prop_assert!(inst.addr > 0, "memory op without an address");
+            }
+            prop_assert!(inst.pc > 0, "instruction without a pc");
+        }
+    }
+
+    /// The core respects its structural widths every cycle and conserves
+    /// instructions (commits never outrun fetches), for any profile.
+    #[test]
+    fn core_respects_widths_and_conserves(profile in arb_profile()) {
+        let config = CpuConfig::isca04_table1();
+        let mut cpu = Cpu::new(config, StreamGen::new(profile));
+        let mut committed = 0u64;
+        for _ in 0..3_000 {
+            let ev = cpu.tick(PipelineControls::free());
+            prop_assert!(ev.fetched <= config.fetch_width);
+            prop_assert!(ev.dispatched <= config.dispatch_width);
+            prop_assert!(ev.issued_total() <= config.issue_width);
+            prop_assert!(ev.committed <= config.commit_width);
+            prop_assert!(ev.rob_occupancy <= config.rob_entries);
+            committed += ev.committed as u64;
+        }
+        prop_assert_eq!(committed, cpu.stats().committed);
+        prop_assert!(cpu.stats().committed <= cpu.stats().fetched + 16);
+    }
+
+    /// Under any throttle setting, the machine still makes forward progress
+    /// unless issue is fully stalled.
+    #[test]
+    fn throttled_core_still_progresses(
+        issue_limit in 1u32..8,
+        ports in 1u32..2,
+        profile in arb_profile(),
+    ) {
+        let mut cpu = Cpu::new(CpuConfig::isca04_table1(), StreamGen::new(profile));
+        let controls = PipelineControls {
+            issue_width_limit: Some(issue_limit),
+            mem_ports_limit: Some(ports),
+            ..PipelineControls::default()
+        };
+        for _ in 0..4_000 {
+            cpu.tick(controls);
+        }
+        prop_assert!(
+            cpu.stats().committed > 200,
+            "issue {} / ports {} starved the core: {} commits",
+            issue_limit,
+            ports,
+            cpu.stats().committed
+        );
+    }
+
+    /// The power model's output is always inside [idle, peak + overhead]
+    /// for any achievable event vector.
+    #[test]
+    fn power_stays_in_envelope(
+        fetched in 0u32..=8,
+        dispatched in 0u32..=8,
+        alu in 0u32..=8,
+        loads in 0u32..=2,
+        completed in 0u32..=16,
+        committed in 0u32..=8,
+        occ in 0u32..=128,
+    ) {
+        let mut model =
+            PowerModel::new(PowerConfig::isca04_table1(), CpuConfig::isca04_table1());
+        let mut issued = [0u32; 9];
+        issued[0] = alu;
+        issued[6] = loads;
+        let ev = CycleEvents {
+            fetched,
+            dispatched,
+            issued,
+            completed,
+            committed,
+            l1i_accesses: u32::from(fetched > 0),
+            l1d_accesses: loads,
+            rob_occupancy: occ,
+            ..CycleEvents::default()
+        };
+        for _ in 0..30 {
+            let i = model.current_for(&ev).amps();
+            prop_assert!((35.0 - 1e-9..=105.0 + 1e-9).contains(&i), "current {i}");
+        }
+    }
+}
+
+#[test]
+fn alu_loop_is_cycle_exact() {
+    // A fully deterministic microbenchmark: 8 independent ALU ops per
+    // iteration sustain exactly 8 commits per cycle once warm.
+    let mut cpu = Cpu::new(
+        CpuConfig::isca04_table1(),
+        LoopStream::new(vec![SynthInst::int_alu(); 8]),
+    );
+    for _ in 0..200 {
+        cpu.tick(PipelineControls::free());
+    }
+    let before = cpu.stats().committed;
+    for _ in 0..100 {
+        cpu.tick(PipelineControls::free());
+    }
+    assert_eq!(cpu.stats().committed - before, 800, "steady state must commit 8/cycle");
+}
+
+#[test]
+fn dependence_chain_is_cycle_exact() {
+    let mut cpu = Cpu::new(
+        CpuConfig::isca04_table1(),
+        LoopStream::new(vec![SynthInst::int_alu().with_deps(1, 0)]),
+    );
+    for _ in 0..200 {
+        cpu.tick(PipelineControls::free());
+    }
+    let before = cpu.stats().committed;
+    for _ in 0..100 {
+        cpu.tick(PipelineControls::free());
+    }
+    assert_eq!(cpu.stats().committed - before, 100, "serial chain commits 1/cycle");
+}
+
+#[test]
+fn l1_hit_load_chain_latency_is_visible() {
+    // A serial chain of L1-hit loads: each takes the 2-cycle L1 latency, so
+    // steady state commits 1 load per 2 cycles.
+    let mut cpu = Cpu::new(
+        CpuConfig::isca04_table1(),
+        LoopStream::new(vec![SynthInst::load(0x1000, 1)]),
+    );
+    for _ in 0..400 {
+        cpu.tick(PipelineControls::free());
+    }
+    let before = cpu.stats().committed;
+    for _ in 0..200 {
+        cpu.tick(PipelineControls::free());
+    }
+    let delta = cpu.stats().committed - before;
+    assert!(
+        (95..=105).contains(&delta),
+        "load chain should commit ~1 per 2 cycles, got {delta} in 200"
+    );
+}

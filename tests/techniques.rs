@@ -1,0 +1,161 @@
+//! Integration tests of the three inductive-noise techniques and their
+//! comparative behavior (the shape of Tables 3–5 and Figure 5).
+
+use restune::{
+    run, DampingConfig, RelativeOutcome, SensorConfig, SimConfig, Technique, TuningConfig,
+};
+use workloads::spec2k;
+
+fn sim() -> SimConfig {
+    SimConfig::isca04(60_000)
+}
+
+#[test]
+fn all_techniques_reduce_violations_on_a_heavy_violator() {
+    let p = spec2k::by_name("swim").unwrap();
+    let cfg = sim();
+    let base = run(&p, &Technique::Base, &cfg);
+    assert!(base.violation_cycles > 0);
+
+    let techniques = [
+        Technique::Tuning(TuningConfig::isca04_table1(100)),
+        Technique::Sensor(SensorConfig::table4(20.0, 0.0, 0)),
+        Technique::Damping(DampingConfig::isca04_table5(0.5)),
+    ];
+    for t in &techniques {
+        let r = run(&p, t, &cfg);
+        assert!(
+            r.violation_cycles * 5 <= base.violation_cycles,
+            "{}: {} of {} violations remain",
+            t.name(),
+            r.violation_cycles,
+            base.violation_cycles
+        );
+    }
+}
+
+#[test]
+fn sensor_cost_rises_with_noise_and_delay() {
+    // Table 4's trend: ideal sensors are cheap; noise + delay make the
+    // technique expensive.
+    let p = spec2k::by_name("bzip").unwrap();
+    let cfg = sim();
+    let base = run(&p, &Technique::Base, &cfg);
+    let cost = |threshold: f64, noise: f64, delay: u32| {
+        let r = run(&p, &Technique::Sensor(SensorConfig::table4(threshold, noise, delay)), &cfg);
+        RelativeOutcome::new(&base, &r).relative_energy_delay
+    };
+    let ideal = cost(30.0, 0.0, 0);
+    let noisy = cost(30.0, 15.0, 0);
+    let realistic = cost(20.0, 15.0, 3);
+    assert!(ideal <= noisy + 1e-9, "noise must not reduce cost: {ideal} vs {noisy}");
+    assert!(
+        noisy < realistic,
+        "noise+delay must cost more: {noisy} vs {realistic}"
+    );
+    assert!(realistic > 1.05, "realistic sensing must be visibly expensive: {realistic}");
+}
+
+#[test]
+fn damping_cost_rises_as_delta_tightens() {
+    // Table 5's trend.
+    let p = spec2k::by_name("wupwise").unwrap();
+    let cfg = sim();
+    let base = run(&p, &Technique::Base, &cfg);
+    let cost = |rel: f64| {
+        let r = run(&p, &Technique::Damping(DampingConfig::isca04_table5(rel)), &cfg);
+        RelativeOutcome::new(&base, &r).relative_energy_delay
+    };
+    let loose = cost(1.0);
+    let mid = cost(0.5);
+    let tight = cost(0.25);
+    assert!(loose < mid && mid < tight, "δ sweep must be monotone: {loose} {mid} {tight}");
+}
+
+#[test]
+fn tuning_beats_realistic_baselines_on_energy_delay() {
+    // Figure 5's headline: at realistic design points, resonance tuning's
+    // energy-delay is far below both prior techniques'.
+    let cfg = sim();
+    let apps = ["swim", "bzip", "parser"];
+    let mut tuning_total = 0.0;
+    let mut sensor_total = 0.0;
+    let mut damping_total = 0.0;
+    for name in apps {
+        let p = spec2k::by_name(name).unwrap();
+        let base = run(&p, &Technique::Base, &cfg);
+        let ed = |t: &Technique| RelativeOutcome::new(&base, &run(&p, t, &cfg)).relative_energy_delay;
+        tuning_total += ed(&Technique::Tuning(TuningConfig::isca04_table1(100)));
+        sensor_total += ed(&Technique::Sensor(SensorConfig::table4(20.0, 15.0, 3)));
+        damping_total += ed(&Technique::Damping(DampingConfig::isca04_table5(0.25)));
+    }
+    assert!(
+        tuning_total < sensor_total && tuning_total < damping_total,
+        "tuning {tuning_total} must beat sensor {sensor_total} and damping {damping_total}"
+    );
+}
+
+#[test]
+fn tuning_delay_tolerance() {
+    // Section 5.2: a 5-cycle sensing-to-response delay barely moves
+    // tuning's results — the technique's timings are lenient.
+    let p = spec2k::by_name("swim").unwrap();
+    let cfg = sim();
+    let base = run(&p, &Technique::Base, &cfg);
+    let on_time = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &cfg);
+    let delayed = run(
+        &p,
+        &Technique::Tuning(TuningConfig::isca04_table1(100).with_response_delay(5)),
+        &cfg,
+    );
+    let a = RelativeOutcome::new(&base, &on_time);
+    let b = RelativeOutcome::new(&base, &delayed);
+    assert!(
+        (b.relative_energy_delay - a.relative_energy_delay).abs() < 0.05,
+        "5-cycle delay must cost little: {} vs {}",
+        b.relative_energy_delay,
+        a.relative_energy_delay
+    );
+    assert!(
+        delayed.violation_cycles * 20 <= base.violation_cycles,
+        "delayed tuning must still prevent violations"
+    );
+}
+
+#[test]
+fn second_level_response_is_rare_relative_to_first() {
+    // Table 3: the gentle first level absorbs most events; the second level
+    // engages on a small fraction of cycles.
+    let cfg = sim();
+    let tuning = Technique::Tuning(TuningConfig::isca04_table1(100));
+    let mut first = 0u64;
+    let mut second = 0u64;
+    for p in spec2k::violating() {
+        let r = run(&p, &tuning, &cfg);
+        first += r.first_level_cycles;
+        second += r.second_level_cycles;
+    }
+    assert!(first > 0, "first level must engage on violating apps");
+    assert!(
+        second * 5 < first,
+        "second level ({second}) must be far rarer than first ({first})"
+    );
+}
+
+#[test]
+fn phantom_techniques_cost_energy_not_just_time() {
+    // The sensor technique's phantom-fire response burns energy even where
+    // slowdown is small: relative energy must exceed relative time on a
+    // violating app with an aggressive threshold.
+    let p = spec2k::by_name("lucas").unwrap();
+    let cfg = sim();
+    let base = run(&p, &Technique::Base, &cfg);
+    let r = run(&p, &Technique::Sensor(SensorConfig::table4(20.0, 15.0, 0)), &cfg);
+    let o = RelativeOutcome::new(&base, &r);
+    assert!(
+        o.relative_energy > o.slowdown,
+        "phantom firing must show up in energy: E {} vs slowdown {}",
+        o.relative_energy,
+        o.slowdown
+    );
+}
