@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, lints, build, full test suite.
+# Fully offline — the workspace vendors its few dependencies as path crates,
+# so no step here touches the network.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "==> tier-1 green"

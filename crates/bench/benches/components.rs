@@ -23,7 +23,11 @@ fn bench_supply_tick(c: &mut Criterion) {
                 Amps::new(70.0),
             );
             for k in 0..CYCLES {
-                let i = if (k / 50).is_multiple_of(2) { 90.0 } else { 50.0 };
+                let i = if (k / 50).is_multiple_of(2) {
+                    90.0
+                } else {
+                    50.0
+                };
                 black_box(s.tick(Amps::new(i)));
             }
             s.violation_cycles()
@@ -96,8 +100,7 @@ fn bench_power_model(c: &mut Criterion) {
             ..CycleEvents::default()
         };
         b.iter(|| {
-            let mut m =
-                PowerModel::new(PowerConfig::isca04_table1(), CpuConfig::isca04_table1());
+            let mut m = PowerModel::new(PowerConfig::isca04_table1(), CpuConfig::isca04_table1());
             let mut total = 0.0;
             for _ in 0..CYCLES {
                 total += m.current_for(black_box(&busy)).amps();
@@ -140,7 +143,11 @@ fn bench_two_stage(c: &mut Criterion) {
                 Amps::new(70.0),
             );
             for k in 0..CYCLES {
-                let i = if (k / 50).is_multiple_of(2) { 90.0 } else { 50.0 };
+                let i = if (k / 50).is_multiple_of(2) {
+                    90.0
+                } else {
+                    50.0
+                };
                 black_box(s.tick(Amps::new(i)));
             }
             s.violation_cycles()

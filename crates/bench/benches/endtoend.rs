@@ -4,9 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
-use restune::{
-    run, DampingConfig, SensorConfig, SimConfig, Technique, TuningConfig,
-};
+use restune::{run, DampingConfig, SensorConfig, SimConfig, Technique, TuningConfig};
 use workloads::spec2k;
 
 const INSTRUCTIONS: u64 = 20_000;
@@ -20,9 +18,18 @@ fn bench_full_loop(c: &mut Criterion) {
 
     let techniques: Vec<(&str, Technique)> = vec![
         ("base", Technique::Base),
-        ("tuning", Technique::Tuning(TuningConfig::isca04_table1(100))),
-        ("sensor", Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5))),
-        ("damping", Technique::Damping(DampingConfig::isca04_table5(0.5))),
+        (
+            "tuning",
+            Technique::Tuning(TuningConfig::isca04_table1(100)),
+        ),
+        (
+            "sensor",
+            Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5)),
+        ),
+        (
+            "damping",
+            Technique::Damping(DampingConfig::isca04_table5(0.5)),
+        ),
     ];
     for (name, technique) in &techniques {
         g.bench_function(format!("parser_20k_{name}"), |b| {

@@ -17,7 +17,11 @@ fn max_count(config: TuningConfig, period: u64) -> u32 {
     let mut det = EventDetector::new(config);
     let mut max = 0;
     for c in 0..2_500u64 {
-        let i = if (c / (period / 2)).is_multiple_of(2) { 90 } else { 50 };
+        let i = if (c / (period / 2)).is_multiple_of(2) {
+            90
+        } else {
+            50
+        };
         if let Some(ev) = det.observe(i) {
             max = max.max(ev.count);
         }
@@ -28,7 +32,11 @@ fn max_count(config: TuningConfig, period: u64) -> u32 {
 fn wavelet_warnings(period: u64) -> u64 {
     let mut det = WaveletDetector::new(WaveletConfig::isca04_table1());
     for c in 0..2_500u64 {
-        let i = if (c / (period / 2)).is_multiple_of(2) { 90 } else { 50 };
+        let i = if (c / (period / 2)).is_multiple_of(2) {
+            90
+        } else {
+            50
+        };
         det.observe(i);
     }
     det.warnings()
@@ -50,8 +58,9 @@ fn main() {
         // Does the physical supply violate under this wave?
         let wave =
             PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(40.0), Cycles::new(period));
-        let violates = simulate_waveform(&supply, Hertz::from_giga(10.0), &wave, Cycles::new(2_500))
-            .violated();
+        let violates =
+            simulate_waveform(&supply, Hertz::from_giga(10.0), &wave, Cycles::new(2_500))
+                .violated();
         rows.push(vec![
             format!("{period}"),
             if violates { "yes".into() } else { "no".into() },

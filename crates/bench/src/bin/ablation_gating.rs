@@ -10,7 +10,10 @@ use workloads::spec2k;
 fn main() {
     let args = HarnessArgs::parse();
     println!("=== Ablation 3: clock-gating style vs inductive noise ===");
-    println!("({} instructions per application, violating apps)\n", args.instructions);
+    println!(
+        "({} instructions per application, violating apps)\n",
+        args.instructions
+    );
 
     let mut rows = Vec::new();
     for (label, style) in [

@@ -19,10 +19,16 @@ fn main() {
     let args = HarnessArgs::parse();
     let sim = SimConfig::isca04(args.instructions);
     println!("=== Ablation 2: repetition counting and the two-level response ===");
-    println!("({} instructions per application, violating apps)\n", args.instructions);
+    println!(
+        "({} instructions per application, violating apps)\n",
+        args.instructions
+    );
 
     let paper = TuningConfig::isca04_table1(100);
-    let react_on_first = TuningConfig { initial_response_threshold: 1, ..paper };
+    let react_on_first = TuningConfig {
+        initial_response_threshold: 1,
+        ..paper
+    };
     let second_only = TuningConfig {
         first_level_issue_width: 8, // first level becomes a no-op
         first_level_mem_ports: 2,
@@ -54,7 +60,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["variant", "frac L1", "frac L2", "avg slowdown", "avg E·D", "resid viol"],
+            &[
+                "variant",
+                "frac L1",
+                "frac L2",
+                "avg slowdown",
+                "avg E·D",
+                "resid viol"
+            ],
             &rows
         )
     );

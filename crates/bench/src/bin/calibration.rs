@@ -10,8 +10,16 @@ use rlc::{calibrate, SupplyParams};
 fn main() {
     println!("=== Section 2.1.3: calibration by circuit simulation ===\n");
     let cases = [
-        ("Section 2 example @ 5 GHz", SupplyParams::isca04_section2_example(), Hertz::from_giga(5.0)),
-        ("Table 1 design @ 10 GHz", SupplyParams::isca04_table1(), Hertz::from_giga(10.0)),
+        (
+            "Section 2 example @ 5 GHz",
+            SupplyParams::isca04_section2_example(),
+            Hertz::from_giga(5.0),
+        ),
+        (
+            "Table 1 design @ 10 GHz",
+            SupplyParams::isca04_table1(),
+            Hertz::from_giga(10.0),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -24,7 +32,11 @@ fn main() {
             format!("{:.1}", cal.band_edge_tolerance.amps()),
             format!("{}", cal.max_repetition_tolerance),
             format!("{}", cal.resonant_period),
-            format!("{}–{}", cal.band_periods.0.count(), cal.band_periods.1.count()),
+            format!(
+                "{}–{}",
+                cal.band_periods.0.count(),
+                cal.band_periods.1.count()
+            ),
         ]);
     }
     println!(

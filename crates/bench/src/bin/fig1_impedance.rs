@@ -1,18 +1,45 @@
 //! Figure 1(c): power-supply impedance versus frequency, with the resonant
 //! peak and the half-energy resonance band marked.
 
-use bench::{ascii_chart, format_table};
+use bench::{ascii_chart, format_table, json_document, HarnessArgs, Report};
 use rlc::units::Hertz;
 use rlc::{ImpedanceSweep, SupplyParams};
 
-fn report(label: &str, params: &SupplyParams, lo_mhz: f64, hi_mhz: f64) {
-    println!("=== Figure 1(c): impedance of the {label} supply ===");
+struct BandNumbers {
+    measured: [f64; 4],
+    analytic: [f64; 4],
+}
+
+fn sweep_supply(params: &SupplyParams, lo_mhz: f64, hi_mhz: f64) -> (ImpedanceSweep, BandNumbers) {
     let sweep = ImpedanceSweep::linear(
         params,
         Hertz::from_mega(lo_mhz),
         Hertz::from_mega(hi_mhz),
         4001,
     );
+    let peak = sweep.peak();
+    let (b_lo, b_hi) = sweep.half_energy_band();
+    let (a_lo, a_hi) = params.resonance_band();
+    let numbers = BandNumbers {
+        measured: [
+            peak.frequency.hertz() / 1e6,
+            peak.magnitude.ohms() * 1e3,
+            b_lo.hertz() / 1e6,
+            b_hi.hertz() / 1e6,
+        ],
+        analytic: [
+            params.resonant_frequency().hertz() / 1e6,
+            params.quality_factor() * params.characteristic_impedance().ohms() * 1e3,
+            a_lo.hertz() / 1e6,
+            a_hi.hertz() / 1e6,
+        ],
+    };
+    (sweep, numbers)
+}
+
+fn report(label: &str, params: &SupplyParams, lo_mhz: f64, hi_mhz: f64) {
+    println!("=== Figure 1(c): impedance of the {label} supply ===");
+    let (sweep, numbers) = sweep_supply(params, lo_mhz, hi_mhz);
     let series: Vec<f64> = sweep
         .points()
         .iter()
@@ -22,32 +49,24 @@ fn report(label: &str, params: &SupplyParams, lo_mhz: f64, hi_mhz: f64) {
     println!("{}", ascii_chart(&series, 14, "mΩ"));
     println!("(x axis: {lo_mhz} MHz to {hi_mhz} MHz, linear)");
 
-    let peak = sweep.peak();
-    let (b_lo, b_hi) = sweep.half_energy_band();
-    let (a_lo, a_hi) = params.resonance_band();
     let rows = vec![
-        vec![
-            "measured (sweep)".to_string(),
-            format!("{:.1}", peak.frequency.hertz() / 1e6),
-            format!("{:.3}", peak.magnitude.ohms() * 1e3),
-            format!("{:.1}", b_lo.hertz() / 1e6),
-            format!("{:.1}", b_hi.hertz() / 1e6),
-        ],
-        vec![
-            "analytic".to_string(),
-            format!("{:.1}", params.resonant_frequency().hertz() / 1e6),
-            format!(
-                "{:.3}",
-                params.quality_factor() * params.characteristic_impedance().ohms() * 1e3
-            ),
-            format!("{:.1}", a_lo.hertz() / 1e6),
-            format!("{:.1}", a_hi.hertz() / 1e6),
-        ],
+        std::iter::once("measured (sweep)".to_string())
+            .chain(numbers.measured.iter().map(|v| format!("{v:.1}")))
+            .collect::<Vec<_>>(),
+        std::iter::once("analytic".to_string())
+            .chain(numbers.analytic.iter().map(|v| format!("{v:.1}")))
+            .collect::<Vec<_>>(),
     ];
     println!(
         "{}",
         format_table(
-            &["source", "f_res (MHz)", "peak |Z| (mΩ)", "band lo (MHz)", "band hi (MHz)"],
+            &[
+                "source",
+                "f_res (MHz)",
+                "peak |Z| (mΩ)",
+                "band lo (MHz)",
+                "band hi (MHz)"
+            ],
             &rows
         )
     );
@@ -59,8 +78,45 @@ fn report(label: &str, params: &SupplyParams, lo_mhz: f64, hi_mhz: f64) {
 }
 
 fn main() {
-    // The motivating example of Section 2 (92–108 MHz band, Q ≈ 6.2)...
-    report("Section 2 example", &SupplyParams::isca04_section2_example(), 40.0, 160.0);
-    // ...and the evaluated Table 1 design (84–119-cycle band at 10 GHz).
-    report("Table 1 (evaluated)", &SupplyParams::isca04_table1(), 40.0, 160.0);
+    let args = HarnessArgs::parse();
+    let supplies: [(&str, SupplyParams); 2] = [
+        // The motivating example of Section 2 (92–108 MHz band, Q ≈ 6.2)...
+        ("section2_example", SupplyParams::isca04_section2_example()),
+        // ...and the evaluated Table 1 design (84–119-cycle band at 10 GHz).
+        ("table1_evaluated", SupplyParams::isca04_table1()),
+    ];
+
+    if args.json {
+        let mut rows = Report::new(&[
+            "supply",
+            "source",
+            "f_res_mhz",
+            "peak_impedance_mohm",
+            "band_lo_mhz",
+            "band_hi_mhz",
+            "quality_factor",
+        ]);
+        for (name, params) in &supplies {
+            let (_, numbers) = sweep_supply(params, 40.0, 160.0);
+            for (source, n) in [
+                ("measured", &numbers.measured),
+                ("analytic", &numbers.analytic),
+            ] {
+                rows.push(vec![
+                    (*name).into(),
+                    source.into(),
+                    n[0].into(),
+                    n[1].into(),
+                    n[2].into(),
+                    n[3].into(),
+                    params.quality_factor().into(),
+                ]);
+            }
+        }
+        println!("{}", json_document(&[("fig1", rows)]));
+        return;
+    }
+
+    report("Section 2 example", &supplies[0].1, 40.0, 160.0);
+    report("Table 1 (evaluated)", &supplies[1].1, 40.0, 160.0);
 }

@@ -4,21 +4,18 @@
 //! maximum repetition tolerance, and (b) post-stimulus ringing dissipating
 //! at the damping rate.
 
-use bench::{ascii_chart, downsample_extreme};
+use bench::{ascii_chart, downsample_extreme, json_document, HarnessArgs, Report};
 use restune::{EventDetector, TuningConfig};
 use rlc::units::{Amps, Cycles, Hertz};
 use rlc::{simulate_waveform, PeriodicWave, Shape, SupplyParams};
 
 fn main() {
+    let args = HarnessArgs::parse();
     let params = SupplyParams::isca04_table1();
     let clock = Hertz::from_giga(10.0);
-    let period = params.resonant_period_cycles(clock).expect("10 GHz clock is valid");
-    println!("=== Figure 3: stimulation at the resonant frequency ===");
-    println!(
-        "supply: Q = {:.2}, resonant period = {period}, margin = ±{:.0} mV",
-        params.quality_factor(),
-        params.noise_margin().volts() * 1e3
-    );
+    let period = params
+        .resonant_period_cycles(clock)
+        .expect("10 GHz clock is valid");
 
     let wave = PeriodicWave::new(
         Shape::Square,
@@ -40,8 +37,63 @@ fn main() {
         }
     }
 
-    println!("\nsupply-voltage variation (mV), cycles 0–1000:");
     let mv: Vec<f64> = trace.noise.iter().map(|v| v.volts() * 1e3).collect();
+    let first = trace.first_violation();
+    let count_at_violation = first.map(|f| {
+        events
+            .iter()
+            .filter(|(c, _)| (*c as u64) <= f.count())
+            .map(|(_, n)| *n)
+            .max()
+            .unwrap_or(0)
+    });
+
+    // Post-stimulus dissipation rate.
+    let peak_in =
+        |lo: usize, hi: usize| -> f64 { mv[lo..hi].iter().map(|v| v.abs()).fold(0.0, f64::max) };
+    let p1 = peak_in(520, 620);
+    let p2 = peak_in(620, 720);
+
+    if args.json {
+        let mut summary = Report::new(&[
+            "quality_factor",
+            "resonant_period_cycles",
+            "noise_margin_mv",
+            "first_violation_cycle",
+            "count_at_violation",
+            "post_peak_mv",
+            "post_peak_next_period_mv",
+            "dissipated_fraction",
+        ]);
+        summary.push(vec![
+            params.quality_factor().into(),
+            period.count().into(),
+            (params.noise_margin().volts() * 1e3).into(),
+            first.map(|f| f.count() as i64).unwrap_or(-1).into(),
+            count_at_violation.map(|n| n as i64).unwrap_or(-1).into(),
+            p1.into(),
+            p2.into(),
+            (1.0 - p2 / p1).into(),
+        ]);
+        let mut event_rows = Report::new(&["cycle", "count"]);
+        for (c, n) in &events {
+            event_rows.push(vec![(*c as u64).into(), (*n).into()]);
+        }
+        println!(
+            "{}",
+            json_document(&[("fig3", summary), ("events", event_rows)])
+        );
+        return;
+    }
+
+    println!("=== Figure 3: stimulation at the resonant frequency ===");
+    println!(
+        "supply: Q = {:.2}, resonant period = {period}, margin = ±{:.0} mV",
+        params.quality_factor(),
+        params.noise_margin().volts() * 1e3
+    );
+
+    println!("\nsupply-voltage variation (mV), cycles 0–1000:");
     println!("{}", ascii_chart(&downsample_extreme(&mv, 110), 15, "mV"));
 
     println!("processor current (A):");
@@ -50,22 +102,12 @@ fn main() {
 
     println!("resonant events (cycle: count): {events:?}");
 
-    let first = trace.first_violation();
     println!("\nfirst noise-margin violation: {first:?}");
-    let count_at_violation = first.map(|f| {
-        events.iter().filter(|(c, _)| (*c as u64) <= f.count()).map(|(_, n)| *n).max().unwrap_or(0)
-    });
     println!(
         "resonant event count reached by the violation: {:?} (paper: 4 = max repetition tolerance)",
         count_at_violation
     );
 
-    // Post-stimulus dissipation rate.
-    let peak_in = |lo: usize, hi: usize| -> f64 {
-        mv[lo..hi].iter().map(|v| v.abs()).fold(0.0, f64::max)
-    };
-    let p1 = peak_in(520, 620);
-    let p2 = peak_in(620, 720);
     println!(
         "\npost-stimulus dissipation: peak {:.1} mV → {:.1} mV over one period \
          ({:.0} % dissipated; paper: 66 %, e^(−π/Q) = {:.2})",

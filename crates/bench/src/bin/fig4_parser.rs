@@ -2,7 +2,7 @@
 //! violation, showing voltage variation, core current, and the resonant
 //! event count giving advance warning of the violation.
 
-use bench::{ascii_chart, downsample_extreme, HarnessArgs};
+use bench::{ascii_chart, downsample_extreme, json_document, HarnessArgs, Report};
 use restune::{run_observed, SimConfig, Technique};
 use workloads::spec2k;
 
@@ -20,16 +20,8 @@ fn main() {
         current.push(rec.current.amps());
         noise.push(rec.noise.volts());
     });
-    println!("=== Figure 4: voltage and current variation in parser ===");
-    println!(
-        "base run: {} cycles, {} violation cycles, worst noise {:+.1} mV",
-        result.cycles,
-        result.violation_cycles,
-        result.worst_noise.volts() * 1e3
-    );
 
-    let mut detector =
-        restune::EventDetector::new(restune::TuningConfig::isca04_table1(100));
+    let mut detector = restune::EventDetector::new(restune::TuningConfig::isca04_table1(100));
     let mut counts = vec![0u32; current.len()];
     for (c, i) in current.iter().enumerate() {
         if let Some(ev) = detector.observe(i.round() as i64) {
@@ -38,7 +30,52 @@ fn main() {
     }
 
     let margin = 0.05;
-    let Some(violation_at) = noise.iter().position(|v| v.abs() > margin) else {
+    let violation = noise.iter().position(|v| v.abs() > margin);
+
+    if args.json {
+        let mut summary = Report::new(&[
+            "app",
+            "cycles",
+            "violation_cycles",
+            "worst_noise_mv",
+            "first_violation_cycle",
+        ]);
+        summary.push(vec![
+            "parser".into(),
+            result.cycles.into(),
+            result.violation_cycles.into(),
+            (result.worst_noise.volts() * 1e3).into(),
+            violation.map(|v| v as i64).unwrap_or(-1).into(),
+        ]);
+        let mut warnings = Report::new(&["count_level", "cycles_before_violation"]);
+        if let Some(violation_at) = violation {
+            let lo = violation_at.saturating_sub(330);
+            for level in 2..=4u32 {
+                let at = counts[lo..=violation_at].iter().position(|&c| c >= level);
+                warnings.push(vec![
+                    level.into(),
+                    at.map(|p| (violation_at - (lo + p)) as i64)
+                        .unwrap_or(-1)
+                        .into(),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            json_document(&[("fig4", summary), ("advance_warning", warnings)])
+        );
+        return;
+    }
+
+    println!("=== Figure 4: voltage and current variation in parser ===");
+    println!(
+        "base run: {} cycles, {} violation cycles, worst noise {:+.1} mV",
+        result.cycles,
+        result.violation_cycles,
+        result.worst_noise.volts() * 1e3
+    );
+
+    let Some(violation_at) = violation else {
         println!("no violation in this run; increase --instructions");
         return;
     };
@@ -51,7 +88,10 @@ fn main() {
     println!("{}", ascii_chart(&downsample_extreme(&mv, 110), 13, "mV"));
 
     println!("processor core current (A):");
-    println!("{}", ascii_chart(&downsample_extreme(&current[lo..hi], 110), 9, "A"));
+    println!(
+        "{}",
+        ascii_chart(&downsample_extreme(&current[lo..hi], 110), 9, "A")
+    );
 
     println!("resonant event count:");
     // Hold the last count for readability, as the paper's Figure 4 does.

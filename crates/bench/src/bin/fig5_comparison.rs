@@ -3,36 +3,57 @@
 //! voltage-sensor technique of \[10\] (20/10/5 and 20/15/3), and pipeline
 //! damping \[14\] (δ = 0.5 and 0.25).
 
-use bench::{format_table, HarnessArgs};
-use restune::experiment::{compare_suites, run_base_suite, run_suite};
-use restune::{
-    DampingConfig, SensorConfig, SimConfig, Summary, Technique, TuningConfig,
+use bench::{
+    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
+    Report,
 };
+use restune::engine::cached_base_suite;
+use restune::experiment::{compare_suites, run_suite};
+use restune::{DampingConfig, SensorConfig, SimConfig, Summary, Technique, TuningConfig};
 use workloads::spec2k;
 
 fn main() {
     let args = HarnessArgs::parse();
     let sim = SimConfig::isca04(args.instructions);
-    println!("=== Figure 5: energy-delay comparison of techniques ===");
-    println!("({} instructions per application)\n", args.instructions);
 
     let profiles = spec2k::all();
-    let base = run_base_suite(&sim);
+    let base_suite = cached_base_suite(&sim);
+    let base = &base_suite.results;
 
     let points: Vec<(&str, Technique)> = vec![
-        ("A: tuning, 75-cycle response", Technique::Tuning(TuningConfig::isca04_table1(75))),
-        ("B: tuning, 100-cycle response", Technique::Tuning(TuningConfig::isca04_table1(100))),
-        ("C: [10], 20mV/10mV/5cy", Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5))),
-        ("D: [10], 20mV/15mV/3cy", Technique::Sensor(SensorConfig::table4(20.0, 15.0, 3))),
-        ("E: damping, δ = 0.5", Technique::Damping(DampingConfig::isca04_table5(0.5))),
-        ("F: damping, δ = 0.25", Technique::Damping(DampingConfig::isca04_table5(0.25))),
+        (
+            "A: tuning, 75-cycle response",
+            Technique::Tuning(TuningConfig::isca04_table1(75)),
+        ),
+        (
+            "B: tuning, 100-cycle response",
+            Technique::Tuning(TuningConfig::isca04_table1(100)),
+        ),
+        (
+            "C: [10], 20mV/10mV/5cy",
+            Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5)),
+        ),
+        (
+            "D: [10], 20mV/15mV/3cy",
+            Technique::Sensor(SensorConfig::table4(20.0, 15.0, 3)),
+        ),
+        (
+            "E: damping, δ = 0.5",
+            Technique::Damping(DampingConfig::isca04_table5(0.5)),
+        ),
+        (
+            "F: damping, δ = 0.25",
+            Technique::Damping(DampingConfig::isca04_table5(0.25)),
+        ),
     ];
 
     let mut rows = Vec::new();
     let mut bars = Vec::new();
+    let mut fig5 = Report::new(&["design_point", "avg_energy_delay", "avg_slowdown"]);
+    let mut outcome_rows = outcomes_report();
     for (label, technique) in &points {
         let results = run_suite(&profiles, technique, &sim);
-        let outcomes = compare_suites(&base, &results);
+        let outcomes = compare_suites(base, &results);
         let s = Summary::from_outcomes(&outcomes);
         rows.push(vec![
             label.to_string(),
@@ -40,9 +61,34 @@ fn main() {
             format!("{:.3}", s.avg_slowdown),
         ]);
         bars.push((label.to_string(), s.avg_energy_delay));
+        fig5.push(vec![
+            (*label).into(),
+            s.avg_energy_delay.into(),
+            s.avg_slowdown.into(),
+        ]);
+        push_outcomes(&mut outcome_rows, label, &outcomes);
     }
 
-    println!("{}", format_table(&["design point", "avg relative E·D", "avg slowdown"], &rows));
+    if args.json {
+        let metrics = run_metrics_report(&base_suite.metrics);
+        println!(
+            "{}",
+            json_document(&[
+                ("fig5", fig5),
+                ("outcomes", outcome_rows),
+                ("run_metrics", metrics),
+            ])
+        );
+        return;
+    }
+
+    println!("=== Figure 5: energy-delay comparison of techniques ===");
+    println!("({} instructions per application)\n", args.instructions);
+
+    println!(
+        "{}",
+        format_table(&["design point", "avg relative E·D", "avg slowdown"], &rows)
+    );
 
     println!("relative energy-delay (bar chart):");
     let max = bars.iter().map(|(_, v)| *v).fold(1.0, f64::max);

@@ -46,12 +46,19 @@ fn main() {
     let mut noise = Vec::with_capacity(total as usize);
     let mut current = Vec::with_capacity(total as usize);
     for c in 0..total {
-        let i = if (c / (period / 2)).is_multiple_of(2) { 90.0 } else { 50.0 };
+        let i = if (c / (period / 2)).is_multiple_of(2) {
+            90.0
+        } else {
+            50.0
+        };
         noise.push(supply.tick(Amps::new(i)).volts() * 1e3);
         current.push(i);
     }
     println!("\ndie-level voltage deviation (mV) under a 40 A square wave at the low peak:");
-    println!("{}", ascii_chart(&downsample_extreme(&noise, 110), 12, "mV"));
+    println!(
+        "{}",
+        ascii_chart(&downsample_extreme(&noise, 110), 12, "mV")
+    );
     println!(
         "worst deviation {:+.1} mV, margin ±50 mV, violations {}",
         supply.worst_noise().volts() * 1e3,
@@ -80,8 +87,7 @@ fn main() {
             vec![
                 format!("{level}"),
                 first_at[level].map_or("never".into(), |c| format!("{c}")),
-                first_at[level]
-                    .map_or("-".into(), |c| format!("{:.1}", c as f64 / period as f64)),
+                first_at[level].map_or("-".into(), |c| format!("{:.1}", c as f64 / period as f64)),
             ]
         })
         .collect();

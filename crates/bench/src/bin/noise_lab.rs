@@ -14,12 +14,11 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::report::Report;
 use bench::format_table;
+use bench::report::Report;
 use restune::experiment::{run_base_suite, table2, table3, table4, table5};
 use restune::{
-    analyze, run, DampingConfig, RelativeOutcome, SensorConfig, SimConfig, Technique,
-    TuningConfig,
+    analyze, run, DampingConfig, RelativeOutcome, SensorConfig, SimConfig, Technique, TuningConfig,
 };
 use rlc::units::{Amps, Hertz};
 use rlc::{calibrate, fit_supply, ImpedanceSample, ImpedanceSweep, SupplyParams};
@@ -62,7 +61,9 @@ fn parse_args() -> Result<Args, String> {
         if key == "help" {
             return Err(USAGE.to_string());
         }
-        let value = argv.next().ok_or(format!("option --{key} requires a value"))?;
+        let value = argv
+            .next()
+            .ok_or(format!("option --{key} requires a value"))?;
         options.insert(key, value);
     }
     Ok(Args { command, options })
@@ -84,7 +85,12 @@ impl Args {
     }
 
     fn supply(&self) -> Result<SupplyParams, String> {
-        match self.options.get("supply").map(String::as_str).unwrap_or("table1") {
+        match self
+            .options
+            .get("supply")
+            .map(String::as_str)
+            .unwrap_or("table1")
+        {
             "table1" => Ok(SupplyParams::isca04_table1()),
             "section2" => Ok(SupplyParams::isca04_section2_example()),
             other => Err(format!("unknown supply: {other} (table1|section2)")),
@@ -98,7 +104,9 @@ impl Args {
 
 fn emit(report: &Report, args: &Args) -> Result<(), String> {
     if let Some(path) = args.out() {
-        report.write_to(&path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        report
+            .write_to(&path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
         println!("(wrote {} rows to {})", report.len(), path.display());
     }
     Ok(())
@@ -112,8 +120,7 @@ fn cmd_impedance(args: &Args) -> Result<(), String> {
     if points < 2 || lo >= hi {
         return Err("need --points >= 2 and --lo < --hi".into());
     }
-    let sweep =
-        ImpedanceSweep::linear(&supply, Hertz::from_mega(lo), Hertz::from_mega(hi), points);
+    let sweep = ImpedanceSweep::linear(&supply, Hertz::from_mega(lo), Hertz::from_mega(hi), points);
     let mut report = Report::new(&["frequency_mhz", "magnitude_mohm", "phase_rad"]);
     for p in sweep.points() {
         report.push(vec![
@@ -198,10 +205,12 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
     let samples: Vec<ImpedanceSample> = sweep
         .points()
         .iter()
-        .map(|p| ImpedanceSample { frequency: p.frequency, magnitude: p.magnitude })
+        .map(|p| ImpedanceSample {
+            frequency: p.frequency,
+            magnitude: p.magnitude,
+        })
         .collect();
-    let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin())
-        .map_err(|e| e.to_string())?;
+    let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin()).map_err(|e| e.to_string())?;
     println!(
         "truth:  R = {:.1} µΩ  L = {:.3} pH  C = {:.0} nF  (f₀ {:.1} MHz, Q {:.2})",
         truth.resistance().ohms() * 1e6,
@@ -223,7 +232,12 @@ fn cmd_fit(args: &Args) -> Result<(), String> {
 }
 
 fn technique_from(args: &Args) -> Result<Technique, String> {
-    match args.options.get("technique").map(String::as_str).unwrap_or("tuning") {
+    match args
+        .options
+        .get("technique")
+        .map(String::as_str)
+        .unwrap_or("tuning")
+    {
         "base" => Ok(Technique::Base),
         "tuning" => {
             let t = args.get_u64("response-time", 100)? as u32;
@@ -270,8 +284,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 fn cmd_classify(args: &Args) -> Result<(), String> {
     let sim = SimConfig::isca04(args.get_u64("n", 120_000)?);
     let rows = table2(&sim);
-    let mut report =
-        Report::new(&["app", "ipc", "violation_fraction", "violating", "paper_violating"]);
+    let mut report = Report::new(&[
+        "app",
+        "ipc",
+        "violation_fraction",
+        "violating",
+        "paper_violating",
+    ]);
     let mut printed = Vec::new();
     for r in &rows {
         report.push(vec![
@@ -285,10 +304,17 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
             r.app.to_string(),
             format!("{:.2}", r.ipc),
             format!("{:.2e}", r.violation_fraction),
-            if r.violation_fraction > 0.0 { "violating".into() } else { "clean".into() },
+            if r.violation_fraction > 0.0 {
+                "violating".into()
+            } else {
+                "clean".into()
+            },
         ]);
     }
-    println!("{}", format_table(&["app", "IPC", "viol frac", "class"], &printed));
+    println!(
+        "{}",
+        format_table(&["app", "IPC", "viol frac", "class"], &printed)
+    );
     emit(&report, args)
 }
 
@@ -336,7 +362,13 @@ fn print_summaries(rows: &[(String, restune::Summary)]) {
     println!(
         "{}",
         format_table(
-            &["config", "avg slowdown", "worst slowdown", "avg E·D", "resid viol"],
+            &[
+                "config",
+                "avg slowdown",
+                "worst slowdown",
+                "avg E·D",
+                "resid viol"
+            ],
             &printed
         )
     );

@@ -1,17 +1,25 @@
 //! Internal sanity sweep: base vs tuning violations across the full suite
 //! (not a paper artifact; used to re-verify workload calibration quickly).
 
-use restune::{run, SimConfig, Technique, TuningConfig};
+use restune::engine::{cached_base_suite, try_run_suite};
+use restune::{SimConfig, Technique, TuningConfig};
 use workloads::spec2k;
 
 fn main() {
     let sim = SimConfig::isca04(120_000);
     let tun = Technique::Tuning(TuningConfig::isca04_table1(100));
+    let profiles = spec2k::all();
+    let base = cached_base_suite(&sim);
+    let tuned = match try_run_suite(&profiles, &tun, &sim) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     let (mut tb, mut tt) = (0u64, 0u64);
     let mut misclassified = 0;
-    for p in spec2k::all() {
-        let b = run(&p, &Technique::Base, &sim);
-        let t = run(&p, &tun, &sim);
+    for ((p, b), t) in profiles.iter().zip(&base.results).zip(&tuned.results) {
         tb += b.violation_cycles;
         tt += t.violation_cycles;
         let ok = (b.violation_cycles > 0) == p.paper_violating;
@@ -29,4 +37,10 @@ fn main() {
         );
     }
     println!("TOTAL base={tb} tuned={tt} misclassified={misclassified}");
+    println!(
+        "engine: base suite {:.1}s (recorded: {}), tuned suite {:.1}s",
+        base.wall_seconds,
+        base.metrics.first().is_some_and(|m| m.replayed),
+        tuned.wall_seconds
+    );
 }

@@ -1,7 +1,8 @@
 //! Table 2: classification of the 26 SPEC2K applications by noise-margin
 //! violations on the base machine, with IPCs and violation-cycle fractions.
 
-use bench::{format_table, HarnessArgs};
+use bench::{format_table, json_document, run_metrics_report, HarnessArgs, Report};
+use restune::engine::cached_base_suite;
 use restune::experiment::table2;
 use restune::SimConfig;
 
@@ -9,6 +10,34 @@ fn main() {
     let args = HarnessArgs::parse();
     let sim = SimConfig::isca04(args.instructions);
     let rows = table2(&sim);
+
+    if args.json {
+        let mut table = Report::new(&[
+            "app",
+            "ipc",
+            "violation_fraction",
+            "violating",
+            "paper_violating",
+            "matches_paper",
+        ]);
+        for r in &rows {
+            let violating = r.violation_fraction > 0.0;
+            table.push(vec![
+                r.app.into(),
+                r.ipc.into(),
+                r.violation_fraction.into(),
+                violating.into(),
+                r.paper_violating.into(),
+                (violating == r.paper_violating).into(),
+            ]);
+        }
+        let metrics = run_metrics_report(&cached_base_suite(&sim).metrics);
+        println!(
+            "{}",
+            json_document(&[("table2", table), ("run_metrics", metrics)])
+        );
+        return;
+    }
 
     println!("=== Table 2: classification of SPEC2K applications ===");
     println!("({} instructions per application)\n", args.instructions);
@@ -20,8 +49,16 @@ fn main() {
             r.app.to_string(),
             format!("{:.2}", r.ipc),
             format!("{:.3}", r.violation_fraction * 1e3),
-            if r.paper_violating { "violating".into() } else { "clean".into() },
-            if (r.violation_fraction > 0.0) == r.paper_violating { "✓".into() } else { "✗".into() },
+            if r.paper_violating {
+                "violating".into()
+            } else {
+                "clean".into()
+            },
+            if (r.violation_fraction > 0.0) == r.paper_violating {
+                "✓".into()
+            } else {
+                "✗".into()
+            },
         ];
         if r.violation_fraction > 0.0 {
             violating.push(row);
@@ -30,7 +67,10 @@ fn main() {
         }
     }
 
-    println!("Applications with noise-margin violations ({}):", violating.len());
+    println!(
+        "Applications with noise-margin violations ({}):",
+        violating.len()
+    );
     println!(
         "{}",
         format_table(
@@ -38,10 +78,16 @@ fn main() {
             &violating
         )
     );
-    println!("Applications without noise-margin violations ({}):", clean.len());
+    println!(
+        "Applications without noise-margin violations ({}):",
+        clean.len()
+    );
     println!(
         "{}",
-        format_table(&["app", "IPC", "viol frac ×10⁻³", "paper class", "match"], &clean)
+        format_table(
+            &["app", "IPC", "viol frac ×10⁻³", "paper class", "match"],
+            &clean
+        )
     );
 
     let matches = rows

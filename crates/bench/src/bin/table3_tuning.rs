@@ -2,18 +2,85 @@
 //! cycles — fractions of cycles in first/second-level response, worst and
 //! average slowdowns, apps over 15 % slowdown, and relative energy-delay.
 
-use bench::{format_table, HarnessArgs};
-use restune::experiment::{run_base_suite, table3};
-use restune::SimConfig;
+use bench::{
+    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
+    Report,
+};
+use restune::engine::cached_base_suite;
+use restune::experiment::{compare_suites, run_suite, table3, Table3Row};
+use restune::{SimConfig, Summary};
+
+fn summary_report(rows: &[Table3Row]) -> (Report, Report) {
+    let mut table = Report::new(&[
+        "initial_response_time",
+        "avg_first_level_fraction",
+        "avg_second_level_fraction",
+        "worst_slowdown",
+        "worst_app",
+        "apps_over_15_percent",
+        "avg_slowdown",
+        "avg_energy_delay",
+        "residual_violation_cycles",
+    ]);
+    let mut outcomes = outcomes_report();
+    for r in rows {
+        let s = &r.summary;
+        table.push(vec![
+            u64::from(r.initial_response_time).into(),
+            s.avg_first_level_fraction.into(),
+            s.avg_second_level_fraction.into(),
+            s.worst_slowdown.into(),
+            s.worst_app.into(),
+            (s.apps_over_15_percent as u64).into(),
+            s.avg_slowdown.into(),
+            s.avg_energy_delay.into(),
+            s.total_violation_cycles.into(),
+        ]);
+        push_outcomes(
+            &mut outcomes,
+            &format!("tuning-{}", r.initial_response_time),
+            &r.outcomes,
+        );
+    }
+    (table, outcomes)
+}
 
 fn main() {
     let args = HarnessArgs::parse();
     let sim = SimConfig::isca04(args.instructions);
+    let base_suite = cached_base_suite(&sim);
+    let base = &base_suite.results;
+    let rows = table3(&sim, &[75, 100, 125, 150, 200], base);
+
+    // The delay-sensitivity experiment of Section 5.2: 5-cycle response
+    // delay at a 100-cycle initial response time.
+    let delayed = run_suite(
+        &workloads::spec2k::all(),
+        &restune::Technique::Tuning(
+            restune::TuningConfig::isca04_table1(100).with_response_delay(5),
+        ),
+        &sim,
+    );
+    let delayed_outcomes = compare_suites(base, &delayed);
+    let delayed_summary = Summary::from_outcomes(&delayed_outcomes);
+
+    if args.json {
+        let (table, mut outcomes) = summary_report(&rows);
+        push_outcomes(&mut outcomes, "tuning-100-delay-5", &delayed_outcomes);
+        let metrics = run_metrics_report(&base_suite.metrics);
+        println!(
+            "{}",
+            json_document(&[
+                ("table3", table),
+                ("outcomes", outcomes),
+                ("run_metrics", metrics),
+            ])
+        );
+        return;
+    }
+
     println!("=== Table 3: resonance tuning ===");
     println!("({} instructions per application)\n", args.instructions);
-
-    let base = run_base_suite(&sim);
-    let rows = table3(&sim, &[75, 100, 125, 150, 200], &base);
 
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -52,21 +119,12 @@ fn main() {
          avg energy-delay 1.052→1.088, worst 1.19–1.35 (wupwise/galgel), zero violations"
     );
 
-    // The delay-sensitivity experiment of Section 5.2: 5-cycle response
-    // delay at a 100-cycle initial response time.
     println!("\n--- sensing-to-response delay sensitivity (initial response 100) ---");
-    let delayed = restune::experiment::run_suite(
-        &workloads::spec2k::all(),
-        &restune::Technique::Tuning(
-            restune::TuningConfig::isca04_table1(100).with_response_delay(5),
-        ),
-        &sim,
-    );
-    let outcomes = restune::experiment::compare_suites(&base, &delayed);
-    let s = restune::Summary::from_outcomes(&outcomes);
     println!(
         "delay 5 cycles: avg slowdown {:.3}, avg energy-delay {:.3}, residual violations {}",
-        s.avg_slowdown, s.avg_energy_delay, s.total_violation_cycles
+        delayed_summary.avg_slowdown,
+        delayed_summary.avg_energy_delay,
+        delayed_summary.total_violation_cycles
     );
     println!("(paper: 5.8 % slowdown and 6.6 % energy-delay — ~1–2 % above the no-delay case)");
 }

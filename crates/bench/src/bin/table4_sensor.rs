@@ -1,17 +1,20 @@
 //! Table 4: the voltage-threshold technique of \[10\] swept over detection
 //! threshold, sensor noise, and sensing-to-response delay.
 
-use bench::{format_table, HarnessArgs};
-use restune::experiment::{run_base_suite, table4};
+use bench::{
+    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
+    Report,
+};
+use restune::engine::cached_base_suite;
+use restune::experiment::table4;
 use restune::{SensorConfig, SimConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
     let sim = SimConfig::isca04(args.instructions);
-    println!("=== Table 4: technique of [10] (voltage-threshold sensing) ===");
-    println!("({} instructions per application)\n", args.instructions);
 
-    let base = run_base_suite(&sim);
+    let base_suite = cached_base_suite(&sim);
+    let base = &base_suite.results;
     // The paper's five rows: (target threshold mV, noise mV p-p, delay).
     let configs = [
         SensorConfig::table4(30.0, 0.0, 0),
@@ -20,7 +23,56 @@ fn main() {
         SensorConfig::table4(20.0, 10.0, 5),
         SensorConfig::table4(20.0, 15.0, 3),
     ];
-    let rows = table4(&sim, &configs, &base);
+    let rows = table4(&sim, &configs, base);
+
+    if args.json {
+        let mut table = Report::new(&[
+            "target_threshold_mv",
+            "sensor_noise_mv",
+            "actual_threshold_mv",
+            "delay_cycles",
+            "avg_sensor_response_fraction",
+            "worst_slowdown",
+            "worst_app",
+            "avg_slowdown",
+            "avg_energy_delay",
+        ]);
+        let mut outcomes = outcomes_report();
+        for r in &rows {
+            let s = &r.summary;
+            let label = format!(
+                "sensor-{:.0}mV-{:.0}mV-{}cy",
+                r.config.target_threshold.volts() * 1e3,
+                r.config.sensor_noise_pp.volts() * 1e3,
+                r.config.delay_cycles
+            );
+            table.push(vec![
+                (r.config.target_threshold.volts() * 1e3).into(),
+                (r.config.sensor_noise_pp.volts() * 1e3).into(),
+                (r.config.actual_threshold().volts() * 1e3).into(),
+                u64::from(r.config.delay_cycles).into(),
+                s.avg_sensor_response_fraction.into(),
+                s.worst_slowdown.into(),
+                s.worst_app.into(),
+                s.avg_slowdown.into(),
+                s.avg_energy_delay.into(),
+            ]);
+            push_outcomes(&mut outcomes, &label, &r.outcomes);
+        }
+        let metrics = run_metrics_report(&base_suite.metrics);
+        println!(
+            "{}",
+            json_document(&[
+                ("table4", table),
+                ("outcomes", outcomes),
+                ("run_metrics", metrics),
+            ])
+        );
+        return;
+    }
+
+    println!("=== Table 4: technique of [10] (voltage-threshold sensing) ===");
+    println!("({} instructions per application)\n", args.instructions);
 
     let table: Vec<Vec<String>> = rows
         .iter()

@@ -2,18 +2,61 @@
 //! resonant current variation threshold (tightening δ is damping's only way
 //! to cover the whole resonance band).
 
-use bench::{format_table, HarnessArgs};
-use restune::experiment::{run_base_suite, table5};
+use bench::{
+    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
+    Report,
+};
+use restune::engine::cached_base_suite;
+use restune::experiment::table5;
 use restune::SimConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
     let sim = SimConfig::isca04(args.instructions);
+
+    let base_suite = cached_base_suite(&sim);
+    let rows = table5(&sim, &[1.0, 0.5, 0.25], &base_suite.results);
+
+    if args.json {
+        let mut table = Report::new(&[
+            "delta_relative",
+            "worst_slowdown",
+            "worst_app",
+            "avg_slowdown",
+            "avg_energy_delay",
+            "residual_violation_cycles",
+        ]);
+        let mut outcomes = outcomes_report();
+        for r in &rows {
+            let s = &r.summary;
+            table.push(vec![
+                r.delta_relative.into(),
+                s.worst_slowdown.into(),
+                s.worst_app.into(),
+                s.avg_slowdown.into(),
+                s.avg_energy_delay.into(),
+                s.total_violation_cycles.into(),
+            ]);
+            push_outcomes(
+                &mut outcomes,
+                &format!("damping-{}", r.delta_relative),
+                &r.outcomes,
+            );
+        }
+        let metrics = run_metrics_report(&base_suite.metrics);
+        println!(
+            "{}",
+            json_document(&[
+                ("table5", table),
+                ("outcomes", outcomes),
+                ("run_metrics", metrics),
+            ])
+        );
+        return;
+    }
+
     println!("=== Table 5: pipeline damping [14] ===");
     println!("({} instructions per application)\n", args.instructions);
-
-    let base = run_base_suite(&sim);
-    let rows = table5(&sim, &[1.0, 0.5, 0.25], &base);
 
     let table: Vec<Vec<String>> = rows
         .iter()

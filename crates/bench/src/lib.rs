@@ -1,53 +1,199 @@
-//! Shared plumbing for the experiment harnesses: tiny argument parsing,
-//! ASCII plotting, and table formatting.
+//! Shared plumbing for the experiment harnesses: argument parsing, ASCII
+//! plotting, table formatting, and machine-readable reports.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper;
 //! see `DESIGN.md` for the index. All binaries accept
 //! `--instructions N` to scale run length (default 120 000 per application)
-//! and print the same rows/series the paper reports.
+//! and print the same rows/series the paper reports; `--json` switches the
+//! output to a machine-readable JSON document instead.
 
 pub mod report;
 
-/// Run-length options shared by the suite harnesses.
+pub use report::Report;
+
+/// The usage text every harness prints for `--help` and argument errors.
+pub const USAGE: &str = "usage: <harness> [--instructions N] [--json]
+  --instructions N, -n N  committed instructions per application run
+                          (default 120000)
+  --json                  print results as a JSON document on stdout
+                          instead of human-readable tables
+  --help, -h              print this message";
+
+/// Exit code for malformed command-line arguments.
+pub const EXIT_USAGE: i32 = 2;
+
+/// Options shared by the suite harnesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HarnessArgs {
     /// Committed instructions per application run.
     pub instructions: u64,
+    /// Emit machine-readable JSON instead of human tables.
+    pub json: bool,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { instructions: 120_000 }
+        Self {
+            instructions: 120_000,
+            json: false,
+        }
     }
 }
 
+/// What [`HarnessArgs::try_parse`] found on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parsed {
+    /// Options to run with.
+    Args(HarnessArgs),
+    /// `--help` was requested; print [`USAGE`] and exit 0.
+    Help,
+}
+
 impl HarnessArgs {
-    /// Parses `--instructions N` (or `-n N`) from `std::env::args`.
+    /// Parses harness options from an argument list (without the program
+    /// name).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn parse() -> Self {
-        let mut args = Self::default();
-        let mut iter = std::env::args().skip(1);
+    /// Returns a one-line description of the first malformed argument.
+    pub fn try_parse<I>(args: I) -> Result<Parsed, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter();
         while let Some(a) = iter.next() {
             match a.as_str() {
                 "--instructions" | "-n" => {
-                    let v = iter
-                        .next()
-                        .unwrap_or_else(|| panic!("{a} requires a value"));
-                    args.instructions = v
+                    let v = iter.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    parsed.instructions = v
                         .parse()
-                        .unwrap_or_else(|_| panic!("invalid instruction count: {v}"));
+                        .map_err(|_| format!("invalid instruction count: {v}"))?;
+                    if parsed.instructions == 0 {
+                        return Err(String::from("instruction count must be positive"));
+                    }
                 }
-                "--help" | "-h" => {
-                    println!("usage: <harness> [--instructions N]");
-                    std::process::exit(0);
-                }
-                other => panic!("unknown argument: {other} (try --help)"),
+                "--json" => parsed.json = true,
+                "--help" | "-h" => return Ok(Parsed::Help),
+                other => return Err(format!("unknown argument: {other}")),
             }
         }
-        args
+        Ok(Parsed::Args(parsed))
+    }
+
+    /// Parses `std::env::args`, printing [`USAGE`] and exiting — with code 0
+    /// for `--help`, [`EXIT_USAGE`] for malformed arguments — when the
+    /// process should not continue.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(Parsed::Args(args)) => args,
+            Ok(Parsed::Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(message) => {
+                eprintln!("error: {message}\n{USAGE}");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
+}
+
+/// Renders a JSON object mapping each named section to its rows — the
+/// single document a harness prints under `--json`.
+pub fn json_document(sections: &[(&str, report::Report)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, rows)) in sections.iter().enumerate() {
+        out.push_str(&format!(
+            "\"{}\": {}",
+            report::json_escape(name),
+            rows.to_json()
+        ));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out
+}
+
+/// The standard machine-readable rows for per-run engine metrics, shared by
+/// every harness's `--json` output.
+pub fn run_metrics_report(metrics: &[restune::RunMetrics]) -> report::Report {
+    let mut r = report::Report::new(&[
+        "app",
+        "technique",
+        "replayed",
+        "wall_seconds",
+        "cycles",
+        "committed",
+        "sim_cycles_per_second",
+        "violation_cycles",
+        "first_level_fraction",
+        "second_level_fraction",
+        "detector_events",
+        "base_cache_hits",
+        "base_cache_misses",
+        "phase_controller_seconds",
+        "phase_cpu_seconds",
+        "phase_power_seconds",
+        "phase_supply_seconds",
+    ]);
+    for m in metrics {
+        r.push(vec![
+            m.app.into(),
+            m.technique.into(),
+            m.replayed.into(),
+            m.wall_seconds.into(),
+            m.cycles.into(),
+            m.committed.into(),
+            m.sim_cycles_per_second.into(),
+            m.violation_cycles.into(),
+            m.first_level_fraction.into(),
+            m.second_level_fraction.into(),
+            m.detector_events.into(),
+            m.base_cache_hits.into(),
+            m.base_cache_misses.into(),
+            m.phase_controller_seconds.into(),
+            m.phase_cpu_seconds.into(),
+            m.phase_power_seconds.into(),
+            m.phase_supply_seconds.into(),
+        ]);
+    }
+    r
+}
+
+/// An empty per-app outcome report; fill with [`push_outcomes`].
+pub fn outcomes_report() -> report::Report {
+    report::Report::new(&[
+        "design_point",
+        "app",
+        "slowdown",
+        "relative_energy",
+        "relative_energy_delay",
+        "first_level_fraction",
+        "second_level_fraction",
+        "sensor_response_fraction",
+        "violation_cycles",
+    ])
+}
+
+/// Appends one design point's per-app outcomes to an [`outcomes_report`].
+pub fn push_outcomes(
+    r: &mut report::Report,
+    design_point: &str,
+    outcomes: &[restune::RelativeOutcome],
+) {
+    for o in outcomes {
+        r.push(vec![
+            design_point.into(),
+            o.app.into(),
+            o.slowdown.into(),
+            o.relative_energy.into(),
+            o.relative_energy_delay.into(),
+            o.first_level_fraction.into(),
+            o.second_level_fraction.into(),
+            o.sensor_response_fraction.into(),
+            o.violation_cycles.into(),
+        ]);
     }
 }
 
@@ -67,7 +213,11 @@ pub fn ascii_chart(series: &[f64], height: usize, unit: &str) -> String {
         out.push_str(&mark);
         for &y in series {
             let cell = (max - y) / span * (height - 1) as f64;
-            out.push(if (cell.round() as usize) == row { '*' } else { ' ' });
+            out.push(if (cell.round() as usize) == row {
+                '*'
+            } else {
+                ' '
+            });
         }
         out.push('\n');
     }
@@ -108,8 +258,11 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             *w = (*w).max(cell.len());
         }
     }
-    let rule: String =
-        widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+    let rule: String = widths
+        .iter()
+        .map(|w| format!("+{}", "-".repeat(w + 2)))
+        .collect::<String>()
+        + "+\n";
     let mut out = rule.clone();
     let fmt_row = |cells: &[String]| -> String {
         let mut line = String::new();
@@ -119,7 +272,9 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         line.push_str("|\n");
         line
     };
-    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
     out.push_str(&rule);
     for row in rows {
         out.push_str(&fmt_row(row));
@@ -163,7 +318,10 @@ mod tests {
     fn table_is_ruled_and_aligned() {
         let t = format_table(
             &["app", "ipc"],
-            &[vec!["parser".into(), "1.71".into()], vec!["mcf".into(), "0.38".into()]],
+            &[
+                vec!["parser".into(), "1.71".into()],
+                vec!["mcf".into(), "0.38".into()],
+            ],
         );
         assert!(t.contains("| parser |"));
         assert!(t.starts_with('+'));
@@ -181,6 +339,99 @@ mod tests {
 
     #[test]
     fn default_args() {
-        assert_eq!(HarnessArgs::default().instructions, 120_000);
+        let args = HarnessArgs::default();
+        assert_eq!(args.instructions, 120_000);
+        assert!(!args.json);
+    }
+
+    fn parse(args: &[&str]) -> Result<Parsed, String> {
+        HarnessArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_instructions_and_json() {
+        let Ok(Parsed::Args(args)) = parse(&["--instructions", "5000", "--json"]) else {
+            panic!("well-formed arguments must parse");
+        };
+        assert_eq!(args.instructions, 5_000);
+        assert!(args.json);
+        let Ok(Parsed::Args(short)) = parse(&["-n", "42"]) else {
+            panic!("-n must parse");
+        };
+        assert_eq!(short.instructions, 42);
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert_eq!(parse(&["--help"]), Ok(Parsed::Help));
+        assert_eq!(parse(&["-h"]), Ok(Parsed::Help));
+        assert!(USAGE.contains("--json"), "--help must document --json");
+    }
+
+    #[test]
+    fn malformed_arguments_are_reported_not_panicked() {
+        assert!(parse(&["--instructions"])
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse(&["--instructions", "many"])
+            .unwrap_err()
+            .contains("invalid"));
+        assert!(parse(&["--instructions", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--wat"]).unwrap_err().contains("unknown argument"));
+    }
+
+    #[test]
+    fn json_document_combines_sections() {
+        let mut a = report::Report::new(&["x"]);
+        a.push(vec![1u64.into()]);
+        let b = report::Report::new(&["y"]);
+        let doc = json_document(&[("first", a), ("empty", b)]);
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+        assert!(doc.contains("\"first\": ["));
+        assert!(doc.contains("\"empty\": ["));
+        assert!(doc.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn metrics_and_outcome_reports_have_aligned_arity() {
+        let m = restune::RunMetrics {
+            app: "gzip",
+            technique: "base",
+            wall_seconds: 0.5,
+            cycles: 1000,
+            committed: 900,
+            sim_cycles_per_second: 2000.0,
+            violation_cycles: 0,
+            first_level_fraction: 0.0,
+            second_level_fraction: 0.0,
+            detector_events: 0,
+            base_cache_hits: 0,
+            base_cache_misses: 1,
+            phase_controller_seconds: 0.1,
+            phase_cpu_seconds: 0.2,
+            phase_power_seconds: 0.1,
+            phase_supply_seconds: 0.1,
+            replayed: false,
+        };
+        let r = run_metrics_report(&[m]);
+        assert_eq!(r.len(), 1);
+        assert!(r.to_json().contains("\"app\": \"gzip\""));
+
+        let o = restune::RelativeOutcome {
+            app: "gzip",
+            slowdown: 1.05,
+            relative_energy: 1.01,
+            relative_energy_delay: 1.06,
+            first_level_fraction: 0.1,
+            second_level_fraction: 0.0,
+            sensor_response_fraction: 0.0,
+            violation_cycles: 0,
+        };
+        let mut rows = outcomes_report();
+        push_outcomes(&mut rows, "tuning-100", &[o]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows.to_json().contains("\"design_point\": \"tuning-100\""));
     }
 }

@@ -16,6 +16,8 @@ pub enum Value {
     Number(f64),
     /// An integer.
     Integer(i64),
+    /// A boolean.
+    Bool(bool),
 }
 
 impl From<&str> for Value {
@@ -48,6 +50,18 @@ impl From<u32> for Value {
     }
 }
 
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Integer(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
 fn csv_escape(s: &str) -> String {
     if s.contains([',', '"', '\n']) {
         format!("\"{}\"", s.replace('"', "\"\""))
@@ -56,7 +70,7 @@ fn csv_escape(s: &str) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {
@@ -87,7 +101,10 @@ impl Report {
     /// Panics if `columns` is empty.
     pub fn new(columns: &[&str]) -> Self {
         assert!(!columns.is_empty(), "report needs at least one column");
-        Self { columns: columns.iter().map(|c| c.to_string()).collect(), rows: Vec::new() }
+        Self {
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -114,7 +131,12 @@ impl Report {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            &self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","),
+            &self
+                .columns
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {
@@ -124,6 +146,7 @@ impl Report {
                     Value::Text(s) => csv_escape(s),
                     Value::Number(x) => format!("{x}"),
                     Value::Integer(x) => format!("{x}"),
+                    Value::Bool(b) => format!("{b}"),
                 })
                 .collect();
             out.push_str(&line.join(","));
@@ -142,7 +165,9 @@ impl Report {
                     out.push_str(", ");
                 }
                 let _ = match v {
-                    Value::Text(s) => write!(out, "\"{}\": \"{}\"", json_escape(col), json_escape(s)),
+                    Value::Text(s) => {
+                        write!(out, "\"{}\": \"{}\"", json_escape(col), json_escape(s))
+                    }
                     Value::Number(x) => {
                         if x.is_finite() {
                             write!(out, "\"{}\": {x}", json_escape(col))
@@ -151,9 +176,14 @@ impl Report {
                         }
                     }
                     Value::Integer(x) => write!(out, "\"{}\": {x}", json_escape(col)),
+                    Value::Bool(b) => write!(out, "\"{}\": {b}", json_escape(col)),
                 };
             }
-            out.push_str(if i + 1 < self.rows.len() { "},\n" } else { "}\n" });
+            out.push_str(if i + 1 < self.rows.len() {
+                "},\n"
+            } else {
+                "}\n"
+            });
         }
         out.push(']');
         out
@@ -215,8 +245,12 @@ mod tests {
         let json_path = dir.join("restune_report_test.json");
         sample().write_to(&csv_path).unwrap();
         sample().write_to(&json_path).unwrap();
-        assert!(std::fs::read_to_string(&csv_path).unwrap().starts_with("app,"));
-        assert!(std::fs::read_to_string(&json_path).unwrap().starts_with('['));
+        assert!(std::fs::read_to_string(&csv_path)
+            .unwrap()
+            .starts_with("app,"));
+        assert!(std::fs::read_to_string(&json_path)
+            .unwrap()
+            .starts_with('['));
         let _ = std::fs::remove_file(csv_path);
         let _ = std::fs::remove_file(json_path);
     }
@@ -232,6 +266,14 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut r = Report::new(&["a", "b"]);
         r.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn bools_render_bare_in_both_formats() {
+        let mut r = Report::new(&["ok"]);
+        r.push(vec![true.into()]);
+        assert!(r.to_json().contains("\"ok\": true"));
+        assert!(r.to_csv().ends_with("true\n"));
     }
 
     #[test]

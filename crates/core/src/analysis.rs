@@ -155,7 +155,12 @@ mod tests {
         let p = table1();
         assert_eq!(half_waves_to_violation(&p, Amps::new(10.0)), None);
         // And the circuit agrees.
-        assert!(!sustained_wave_violates(&p, GHZ10, Amps::new(10.0), Cycles::new(100)));
+        assert!(!sustained_wave_violates(
+            &p,
+            GHZ10,
+            Amps::new(10.0),
+            Cycles::new(100)
+        ));
     }
 
     #[test]
@@ -167,7 +172,10 @@ mod tests {
         let below = half_waves_to_violation(&p, Amps::new(g.amps() - 0.5));
         let above = half_waves_to_violation(&p, Amps::new(g.amps() + 0.5));
         if let Some(n) = below {
-            assert!(n > 3, "below boundary must tolerate > 3 half waves, got {n}");
+            assert!(
+                n > 3,
+                "below boundary must tolerate > 3 half waves, got {n}"
+            );
         }
         assert!(above.expect("above boundary must violate") <= 3 + 1);
     }

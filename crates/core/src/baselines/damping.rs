@@ -228,14 +228,21 @@ mod tests {
             let mut d = PipelineDamping::new(DampingConfig::isca04_table5(rel));
             for c in 0..2000u64 {
                 // Alternating 50-cycle bursts and idles (resonant shape).
-                let ev = if (c / 50) % 2 == 0 { events_with_issue(8) } else { CycleEvents::default() };
+                let ev = if (c / 50) % 2 == 0 {
+                    events_with_issue(8)
+                } else {
+                    CycleEvents::default()
+                };
                 let _ = d.tick(&ev);
             }
             d.throttled_cycles() + d.padded_cycles()
         };
         let loose = run(1.0);
         let tight = run(0.25);
-        assert!(tight > loose, "tight δ ({tight}) must bind more than loose ({loose})");
+        assert!(
+            tight > loose,
+            "tight δ ({tight}) must bind more than loose ({loose})"
+        );
     }
 
     #[test]

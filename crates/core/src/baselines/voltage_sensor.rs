@@ -116,12 +116,19 @@ impl VoltageSensor {
         // Sensor reading: true voltage plus uniform noise, delayed.
         let noise_amp = self.config.sensor_noise_pp.volts() / 2.0;
         let sensed = noise_voltage.volts()
-            + if noise_amp > 0.0 { self.rng.gen_range(-noise_amp..=noise_amp) } else { 0.0 };
+            + if noise_amp > 0.0 {
+                self.rng.gen_range(-noise_amp..=noise_amp)
+            } else {
+                0.0
+            };
         self.delay_line.push_back(sensed);
         if self.delay_line.len() <= self.config.delay_cycles as usize {
             return PipelineControls::free();
         }
-        let observed = self.delay_line.pop_front().expect("delay line is non-empty");
+        let observed = self
+            .delay_line
+            .pop_front()
+            .expect("delay line is non-empty");
 
         // The deployed threshold is lowered by half the sensor noise so
         // that true excursions are still caught despite the noise — which
@@ -234,7 +241,11 @@ mod tests {
             let _ = clean.tick(v);
             let _ = noisy.tick(v);
         }
-        assert_eq!(clean.response_cycles(), 0, "clean sensor must not react to 12 mV ripple");
+        assert_eq!(
+            clean.response_cycles(),
+            0,
+            "clean sensor must not react to 12 mV ripple"
+        );
         assert!(
             noisy.response_cycles() > 0,
             "noisy sensor should raise false alarms on benign ripple"
@@ -251,7 +262,10 @@ mod tests {
                 engaged += 1;
             }
         }
-        assert!(engaged >= 4, "response persists for the debounce window, got {engaged}");
+        assert!(
+            engaged >= 4,
+            "response persists for the debounce window, got {engaged}"
+        );
         assert!(engaged < 10, "response must eventually release");
     }
 

@@ -143,8 +143,14 @@ impl TuningConfig {
             self.band_min_period < self.band_max_period,
             "band period range must be increasing"
         );
-        assert!(self.variation_threshold.amps() > 0.0, "variation threshold must be positive");
-        assert!(self.max_repetition_tolerance >= 2, "repetition tolerance must be at least 2");
+        assert!(
+            self.variation_threshold.amps() > 0.0,
+            "variation threshold must be positive"
+        );
+        assert!(
+            self.max_repetition_tolerance >= 2,
+            "repetition tolerance must be at least 2"
+        );
         assert!(
             self.initial_response_threshold < self.second_level_threshold,
             "first-level threshold must precede second-level"
@@ -153,10 +159,22 @@ impl TuningConfig {
             self.second_level_threshold < self.max_repetition_tolerance,
             "second-level response must engage before the tolerance is reached"
         );
-        assert!(self.initial_response_time > 0, "initial response time must be nonzero");
-        assert!(self.second_level_time > 0, "second-level time must be nonzero");
-        assert!(self.first_level_issue_width > 0, "first-level issue width must be nonzero");
-        assert!(self.first_level_mem_ports > 0, "first-level port count must be nonzero");
+        assert!(
+            self.initial_response_time > 0,
+            "initial response time must be nonzero"
+        );
+        assert!(
+            self.second_level_time > 0,
+            "second-level time must be nonzero"
+        );
+        assert!(
+            self.first_level_issue_width > 0,
+            "first-level issue width must be nonzero"
+        );
+        assert!(
+            self.first_level_mem_ports > 0,
+            "first-level port count must be nonzero"
+        );
     }
 }
 

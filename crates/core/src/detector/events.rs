@@ -51,7 +51,10 @@ struct BitHistory {
 
 impl BitHistory {
     fn new(len: usize) -> Self {
-        Self { bits: vec![false; len.max(8)], head: 0 }
+        Self {
+            bits: vec![false; len.max(8)],
+            head: 0,
+        }
     }
 
     /// Shift in an empty bit for the new cycle.
@@ -214,7 +217,11 @@ mod tests {
         let mid = 70i64;
         let mut max_count = 0;
         for c in 0..cycles {
-            let i = if (c / (period / 2)).is_multiple_of(2) { mid + p2p / 2 } else { mid - p2p / 2 };
+            let i = if (c / (period / 2)).is_multiple_of(2) {
+                mid + p2p / 2
+            } else {
+                mid - p2p / 2
+            };
             if let Some(ev) = det.observe(i) {
                 max_count = max_count.max(ev.count);
             }
@@ -235,7 +242,10 @@ mod tests {
     fn resonant_square_wave_counts_up() {
         let mut det = detector();
         let max = drive_square(&mut det, 40, 100, 1000);
-        assert!(max >= 4, "sustained resonant wave should reach the tolerance, got {max}");
+        assert!(
+            max >= 4,
+            "sustained resonant wave should reach the tolerance, got {max}"
+        );
         assert!(det.events_detected() >= 8);
     }
 
@@ -264,7 +274,10 @@ mod tests {
         // fast wave average out.
         let mut det = detector();
         let max = drive_square(&mut det, 40, 24, 4000);
-        assert_eq!(max, 0, "off-band variations must not register, got count {max}");
+        assert_eq!(
+            max, 0,
+            "off-band variations must not register, got count {max}"
+        );
     }
 
     #[test]
@@ -272,7 +285,10 @@ mod tests {
         for period in [84u64, 100, 118] {
             let mut det = detector();
             let max = drive_square(&mut det, 40, period, 1200);
-            assert!(max >= 3, "period {period} should be detected in-band, got {max}");
+            assert!(
+                max >= 3,
+                "period {period} should be detected in-band, got {max}"
+            );
         }
     }
 
@@ -288,7 +304,10 @@ mod tests {
                 max_count = max_count.max(ev.count);
             }
         }
-        assert!(max_count <= 2, "isolated step must not chain, got {max_count}");
+        assert!(
+            max_count <= 2,
+            "isolated step must not chain, got {max_count}"
+        );
     }
 
     #[test]
@@ -346,6 +365,9 @@ mod tests {
                 max_count = max_count.max(ev.count);
             }
         }
-        assert!(max_count >= 4, "quantized detection should still chain, got {max_count}");
+        assert!(
+            max_count >= 4,
+            "quantized detection should still chain, got {max_count}"
+        );
     }
 }

@@ -41,7 +41,13 @@ impl CurrentHistory {
         assert!(q_min <= q_max, "quarter-period range must be non-empty");
         Self {
             samples: VecDeque::with_capacity((2 * q_max + 1) as usize),
-            adders: (q_min..=q_max).map(|q| QuarterAdder { q, recent: 0, older: 0 }).collect(),
+            adders: (q_min..=q_max)
+                .map(|q| QuarterAdder {
+                    q,
+                    recent: 0,
+                    older: 0,
+                })
+                .collect(),
             q_max,
             cycles: 0,
         }
@@ -161,8 +167,7 @@ mod tests {
                 let qq = q as usize;
                 let n = all.len();
                 let recent: i64 = all[n.saturating_sub(qq)..].iter().sum();
-                let older: i64 = all
-                    [n.saturating_sub(2 * qq)..n.saturating_sub(qq)]
+                let older: i64 = all[n.saturating_sub(2 * qq)..n.saturating_sub(qq)]
                     .iter()
                     .sum();
                 assert_eq!(h.quarter_diff(q), recent - older, "cycle {k} q {q}");
@@ -204,7 +209,11 @@ mod tests {
         let mut peak = 0i64;
         for c in 0..500u32 {
             let phase = (c % t) as f64 / t as f64;
-            let tri = if phase < 0.5 { 4.0 * phase - 1.0 } else { 3.0 - 4.0 * phase };
+            let tri = if phase < 0.5 {
+                4.0 * phase - 1.0
+            } else {
+                3.0 - 4.0 * phase
+            };
             h.push((x as f64 / 2.0 * tri).round() as i64);
             if c > 2 * t {
                 peak = peak.max(h.quarter_diff(q).abs());

@@ -48,7 +48,14 @@ impl HaarWindow {
         let max_scale = *scales.iter().max().expect("non-empty");
         Self {
             samples: VecDeque::with_capacity(2 * max_scale as usize + 1),
-            adders: scales.iter().map(|&scale| ScaleAdder { scale, recent: 0, older: 0 }).collect(),
+            adders: scales
+                .iter()
+                .map(|&scale| ScaleAdder {
+                    scale,
+                    recent: 0,
+                    older: 0,
+                })
+                .collect(),
             max_scale,
             cycles: 0,
         }
@@ -220,7 +227,11 @@ impl WaveletDetector {
         } else {
             0
         };
-        let record = if sign != 0 && sign != self.last_sign { strongest } else { 0.0 };
+        let record = if sign != 0 && sign != self.last_sign {
+            strongest
+        } else {
+            0.0
+        };
         if sign != 0 {
             self.last_sign = sign;
         }
@@ -245,13 +256,10 @@ impl WaveletDetector {
             let lo = n - 1 - offset.min(n - 1);
             let window_lo = lo.saturating_sub(slack / 2);
             let window_hi = (lo + slack / 2 + 1).min(n);
-            let rec = self.swing_history.range(window_lo..window_hi).fold(0.0f64, |acc, &x| {
-                if x.abs() > acc.abs() {
-                    x
-                } else {
-                    acc
-                }
-            });
+            let rec = self
+                .swing_history
+                .range(window_lo..window_hi)
+                .fold(0.0f64, |acc, &x| if x.abs() > acc.abs() { x } else { acc });
             let kernel = if tap % 2 == 0 { 1.0 } else { -1.0 }
                 * self.config.half_period_decay.powi(tap as i32);
             level += rec * kernel;
@@ -276,7 +284,11 @@ mod tests {
 
     fn drive_square(det: &mut WaveletDetector, p2p: i64, period: u64, cycles: u64) -> u64 {
         for c in 0..cycles {
-            let i = if (c / (period / 2)).is_multiple_of(2) { 70 + p2p / 2 } else { 70 - p2p / 2 };
+            let i = if (c / (period / 2)).is_multiple_of(2) {
+                70 + p2p / 2
+            } else {
+                70 - p2p / 2
+            };
             det.observe(i);
         }
         det.warnings()
@@ -300,7 +312,11 @@ mod tests {
                     let n = k + 1;
                     let recent: i64 = data[n - scale..n].iter().sum();
                     let older: i64 = data[n - 2 * scale..n - scale].iter().sum();
-                    assert_eq!(w.coefficient(scale as u32), recent - older, "k={k} s={scale}");
+                    assert_eq!(
+                        w.coefficient(scale as u32),
+                        recent - older,
+                        "k={k} s={scale}"
+                    );
                 }
             }
         }

@@ -1,0 +1,543 @@
+//! The suite experiment engine: bounded deterministic scheduling, a
+//! process-wide memo of base-machine suite runs, recorded-baseline files,
+//! and structured per-run metrics.
+//!
+//! The table and figure drivers in [`crate::experiment`] all start from the
+//! same base-machine suite; this module makes that shared work explicit:
+//!
+//! * [`try_run_suite`] executes a suite on a worker pool sized to the
+//!   machine (not one OS thread per application), writing each result into
+//!   its own slot so ordering and determinism are structural, and reporting
+//!   the *name* of a failing application instead of a bare unwrap;
+//! * [`cached_base_suite`] memoizes base runs per [`SimConfig`]
+//!   fingerprint, so any number of drivers in one process trigger exactly
+//!   one base simulation, and records the rows to a baseline file under the
+//!   build's `target/` directory so later processes skip the cold run too;
+//! * every run carries a [`RunMetrics`] row (wall time, simulated
+//!   cycles/second, per-phase timings, detector events, cache counters)
+//!   that the harnesses emit under `--json`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use workloads::{spec2k, WorkloadProfile};
+
+use crate::metrics::RunMetrics;
+use crate::sim::{run_instrumented, SimConfig, SimResult, Technique};
+
+/// A suite run failed: the named application's simulation panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteError {
+    /// The application whose run panicked.
+    pub app: String,
+    /// The panic message, when one was available.
+    pub message: String,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation of '{}' failed: {}", self.app, self.message)
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// A suite's results in suite order, plus per-app observability rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteRun {
+    /// One [`SimResult`] per application, in the order given.
+    pub results: Vec<SimResult>,
+    /// One [`RunMetrics`] row per application, aligned with `results`.
+    pub metrics: Vec<RunMetrics>,
+    /// End-to-end wall time of the whole suite in seconds.
+    pub wall_seconds: f64,
+}
+
+/// Worker-pool width: `RESTUNE_WORKERS` when set to a positive integer,
+/// otherwise the machine's available parallelism, never more than `jobs`.
+fn worker_count(jobs: usize) -> usize {
+    let configured = std::env::var("RESTUNE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let hw = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    hw.min(jobs).max(1)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("(non-string panic payload)")
+    }
+}
+
+/// Runs every profile under `technique` on a bounded worker pool, returning
+/// results in suite order.
+///
+/// The pool claims applications through an atomic counter and each worker
+/// writes into that application's dedicated slot, so the output order — and
+/// the output itself, since runs share no mutable state — is identical to a
+/// serial loop. A panicking run surfaces as a [`SuiteError`] naming the
+/// application; remaining workers finish their current runs first.
+///
+/// # Errors
+///
+/// Returns the first failing application's name and panic message.
+pub fn try_run_suite(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+) -> Result<SuiteRun, SuiteError> {
+    let start = Instant::now();
+    let slots: Vec<OnceLock<(SimResult, RunMetrics)>> =
+        profiles.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<SuiteError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count(profiles.len()) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(profile) = profiles.get(idx) else {
+                    return;
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let inst = run_instrumented(profile, technique, sim);
+                    let metrics =
+                        RunMetrics::from_instrumented(technique.name(), &inst, base_cache_stats());
+                    (inst.result, metrics)
+                }));
+                match outcome {
+                    Ok(pair) => {
+                        slots[idx]
+                            .set(pair)
+                            .expect("each slot is claimed exactly once");
+                    }
+                    Err(payload) => {
+                        let err = SuiteError {
+                            app: profile.name.to_string(),
+                            message: panic_message(payload),
+                        };
+                        failure
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .get_or_insert(err);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(err) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        return Err(err);
+    }
+    let mut results = Vec::with_capacity(slots.len());
+    let mut metrics = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let (r, m) = slot
+            .into_inner()
+            .expect("no failure, so every slot was filled");
+        results.push(r);
+        metrics.push(m);
+    }
+    Ok(SuiteRun {
+        results,
+        metrics,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Hit/miss counters of the process-wide base-suite cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from memory or a recorded-baseline file.
+    pub hits: u64,
+    /// Requests that had to simulate the suite.
+    pub misses: u64,
+}
+
+static BASE_HITS: AtomicU64 = AtomicU64::new(0);
+static BASE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+struct CacheState {
+    memo: HashMap<u64, Arc<SuiteRun>>,
+    /// Base-suite simulations actually executed, per fingerprint.
+    simulations: HashMap<u64, u64>,
+}
+
+static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<CacheState> {
+    CACHE.get_or_init(|| {
+        Mutex::new(CacheState {
+            memo: HashMap::new(),
+            simulations: HashMap::new(),
+        })
+    })
+}
+
+/// Process-wide counters of [`cached_base_suite`] activity.
+pub fn base_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: BASE_HITS.load(Ordering::Relaxed),
+        misses: BASE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// How many times this process actually *simulated* the base suite for
+/// `sim` (as opposed to serving it from the memo or a baseline file).
+pub fn base_suite_simulations(sim: &SimConfig) -> u64 {
+    let state = cache().lock().unwrap_or_else(PoisonError::into_inner);
+    state
+        .simulations
+        .get(&base_fingerprint(sim))
+        .copied()
+        .unwrap_or(0)
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Baseline-file schema version; bump when the row format changes.
+const BASELINE_SCHEMA: u32 = 1;
+
+/// Fingerprint of everything a base-suite run depends on: the machine
+/// configuration and every workload profile. The `Debug` representations
+/// include all fields recursively (floats in shortest-roundtrip form), so
+/// any parameter change — in the machine or in a profile — yields a new
+/// fingerprint and invalidates recorded baselines.
+pub fn base_fingerprint(sim: &SimConfig) -> u64 {
+    let identity = format!("v{BASELINE_SCHEMA}|{sim:?}|{:?}", spec2k::all());
+    fnv1a(identity.as_bytes())
+}
+
+/// Directory for recorded baselines: `$RESTUNE_CACHE_DIR` when set,
+/// otherwise `restune-cache/` inside the build's `target/` directory
+/// (located from the running executable's path).
+pub fn baseline_cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("RESTUNE_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return dir.join("restune-cache");
+            }
+        }
+    }
+    PathBuf::from("target").join("restune-cache")
+}
+
+/// Path of the recorded baseline for `sim` under [`baseline_cache_dir`].
+pub fn baseline_path(sim: &SimConfig) -> PathBuf {
+    baseline_cache_dir().join(format!("base-{:016x}.tsv", base_fingerprint(sim)))
+}
+
+/// Serializes result rows to `path`, keyed by `fingerprint`.
+///
+/// Floats are stored as `f64::to_bits` hex, so a load reproduces every row
+/// bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_baseline(path: &Path, fingerprint: u64, results: &[SimResult]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut body = Vec::new();
+    writeln!(
+        body,
+        "restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps={}",
+        results.len()
+    )?;
+    for r in results {
+        writeln!(
+            body,
+            "{}\t{}\t{}\t{:016x}\t{}\t{:016x}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}",
+            r.app,
+            r.cycles,
+            r.committed,
+            r.ipc.to_bits(),
+            r.violation_cycles,
+            r.worst_noise.volts().to_bits(),
+            r.energy_joules.to_bits(),
+            r.energy_delay.to_bits(),
+            r.first_level_cycles,
+            r.second_level_cycles,
+            r.sensor_response_cycles,
+            r.damping_bound_cycles,
+        )?;
+    }
+    std::fs::write(path, body)
+}
+
+fn parse_row(line: &str) -> Option<SimResult> {
+    let mut f = line.split('\t');
+    let name = f.next()?;
+    // Resolve through the suite so `app` stays a `&'static str`; an unknown
+    // name means the file predates a suite change and must be discarded.
+    let app = spec2k::by_name(name)?.name;
+    let uint = |s: Option<&str>| s?.parse::<u64>().ok();
+    let float = |s: Option<&str>| Some(f64::from_bits(u64::from_str_radix(s?, 16).ok()?));
+    let result = SimResult {
+        app,
+        cycles: uint(f.next())?,
+        committed: uint(f.next())?,
+        ipc: float(f.next())?,
+        violation_cycles: uint(f.next())?,
+        worst_noise: rlc::units::Volts::new(float(f.next())?),
+        energy_joules: float(f.next())?,
+        energy_delay: float(f.next())?,
+        first_level_cycles: uint(f.next())?,
+        second_level_cycles: uint(f.next())?,
+        sensor_response_cycles: uint(f.next())?,
+        damping_bound_cycles: uint(f.next())?,
+    };
+    if f.next().is_some() {
+        return None;
+    }
+    Some(result)
+}
+
+/// Loads result rows recorded by [`save_baseline`].
+///
+/// Returns `Ok(None)` when the file does not exist, carries a different
+/// fingerprint or schema version, or fails to parse — all of which mean
+/// "no usable baseline", not an error.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than the file being absent.
+pub fn load_baseline(path: &Path, fingerprint: u64) -> io::Result<Option<Vec<SimResult>>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = text.lines();
+    let expected = format!("restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps=");
+    let Some(header) = lines.next().filter(|h| h.starts_with(&expected)) else {
+        return Ok(None);
+    };
+    let Ok(apps) = header[expected.len()..].parse::<usize>() else {
+        return Ok(None);
+    };
+    let rows: Option<Vec<SimResult>> = lines.map(parse_row).collect();
+    Ok(rows.filter(|r| r.len() == apps))
+}
+
+/// The base-machine suite for `sim`, simulated at most once per process.
+///
+/// Lookup order: the in-process memo, then a recorded baseline file under
+/// [`baseline_cache_dir`], then a real [`try_run_suite`] whose rows are
+/// recorded for future processes. Concurrent callers with the same config
+/// serialize on the cache, so the suite still runs exactly once.
+///
+/// # Panics
+///
+/// Panics with the failing application's name if the base simulation
+/// panics.
+pub fn cached_base_suite(sim: &SimConfig) -> Arc<SuiteRun> {
+    let fp = base_fingerprint(sim);
+    let mut state = cache().lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(run) = state.memo.get(&fp) {
+        BASE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(run);
+    }
+
+    let path = baseline_path(sim);
+    if let Ok(Some(results)) = load_baseline(&path, fp) {
+        BASE_HITS.fetch_add(1, Ordering::Relaxed);
+        let stats = base_cache_stats();
+        let metrics = results
+            .iter()
+            .map(|r| RunMetrics::replayed("base", r, stats))
+            .collect();
+        let run = Arc::new(SuiteRun {
+            results,
+            metrics,
+            wall_seconds: 0.0,
+        });
+        state.memo.insert(fp, Arc::clone(&run));
+        return run;
+    }
+
+    BASE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let run =
+        try_run_suite(&spec2k::all(), &Technique::Base, sim).unwrap_or_else(|e| panic!("{e}"));
+    *state.simulations.entry(fp).or_insert(0) += 1;
+    // Recording is best-effort: a read-only target directory only costs
+    // later processes the cold run.
+    let _ = save_baseline(&path, fp, &run.results);
+    let run = Arc::new(run);
+    state.memo.insert(fp, Arc::clone(&run));
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TuningConfig;
+    use crate::sim::run;
+
+    fn quick_sim() -> SimConfig {
+        SimConfig::isca04(15_000)
+    }
+
+    #[test]
+    fn bounded_pool_matches_serial_order_and_values() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(5).collect();
+        let sim = quick_sim();
+        let suite = try_run_suite(&profiles, &Technique::Base, &sim).unwrap();
+        assert_eq!(suite.results.len(), 5);
+        assert_eq!(suite.metrics.len(), 5);
+        for ((r, m), p) in suite.results.iter().zip(&suite.metrics).zip(&profiles) {
+            assert_eq!(r.app, p.name);
+            assert_eq!(m.app, p.name);
+            assert_eq!(m.cycles, r.cycles);
+            assert!(m.wall_seconds > 0.0);
+            assert!(m.sim_cycles_per_second > 0.0);
+            assert!(!m.replayed);
+            assert_eq!(*r, run(p, &Technique::Base, &sim));
+        }
+        assert!(suite.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn tuning_suite_reports_detector_activity() {
+        let profiles = vec![spec2k::by_name("swim").unwrap()];
+        let sim = SimConfig::isca04(150_000);
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(100));
+        let suite = try_run_suite(&profiles, &technique, &sim).unwrap();
+        assert_eq!(suite.metrics[0].technique, "tuning");
+        assert!(suite.metrics[0].detector_events > 0);
+        assert!(suite.metrics[0].first_level_fraction > 0.0);
+    }
+
+    #[test]
+    fn failing_app_is_named() {
+        // An invalid profile trips `WorkloadProfile::validate` inside the
+        // worker; the error must carry the app's name, not a bare unwrap.
+        let good = spec2k::by_name("gzip").unwrap();
+        let mut bad = spec2k::by_name("mcf").unwrap();
+        bad.name = "broken-app";
+        bad.mean_dep = 0.0;
+        let err = try_run_suite(&[good, bad], &Technique::Base, &quick_sim())
+            .expect_err("the invalid profile must fail the suite");
+        assert_eq!(err.app, "broken-app");
+        assert!(
+            err.message.contains("mean dependence distance"),
+            "panic message should survive: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_changes() {
+        let a = base_fingerprint(&SimConfig::isca04(10_000));
+        let b = base_fingerprint(&SimConfig::isca04(10_001));
+        let a2 = base_fingerprint(&SimConfig::isca04(10_000));
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn baseline_file_round_trips_bit_exactly() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(2).collect();
+        let sim = quick_sim();
+        let results: Vec<_> = profiles
+            .iter()
+            .map(|p| run(p, &Technique::Base, &sim))
+            .collect();
+        let fp = base_fingerprint(&sim);
+        let path = std::env::temp_dir().join("restune-baseline-roundtrip.tsv");
+        save_baseline(&path, fp, &results).unwrap();
+        let loaded = load_baseline(&path, fp)
+            .unwrap()
+            .expect("fingerprint matches");
+        assert_eq!(
+            loaded, results,
+            "recorded baseline must replay bit-identically"
+        );
+        // A different fingerprint must refuse the file.
+        assert_eq!(load_baseline(&path, fp ^ 1).unwrap(), None);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_baseline_is_not_an_error() {
+        let path = std::env::temp_dir().join("restune-baseline-does-not-exist.tsv");
+        assert_eq!(load_baseline(&path, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_baseline_is_rejected() {
+        let path = std::env::temp_dir().join("restune-baseline-corrupt.tsv");
+        let fp = 0xabcdu64;
+        std::fs::write(
+            &path,
+            format!("restune-baseline v{BASELINE_SCHEMA} fp={fp:016x} apps=1\nnot-an-app\t1\n"),
+        )
+        .unwrap();
+        assert_eq!(load_baseline(&path, fp).unwrap(), None);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn base_suite_is_simulated_once_per_process() {
+        // A config unique to this test so parallel tests don't share the
+        // memo entry; delete any recorded baseline so the first call really
+        // simulates.
+        let sim = SimConfig::isca04(15_551);
+        let _ = std::fs::remove_file(baseline_path(&sim));
+        assert_eq!(base_suite_simulations(&sim), 0);
+
+        let first = cached_base_suite(&sim);
+        assert_eq!(base_suite_simulations(&sim), 1);
+        let second = cached_base_suite(&sim);
+        assert_eq!(
+            base_suite_simulations(&sim),
+            1,
+            "second request must hit the memo"
+        );
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.results.len(), spec2k::all().len());
+
+        // A fresh process would find the recorded baseline; simulate that by
+        // loading the file directly.
+        let loaded = load_baseline(&baseline_path(&sim), base_fingerprint(&sim)).unwrap();
+        assert_eq!(loaded.as_deref(), Some(first.results.as_slice()));
+        let _ = std::fs::remove_file(baseline_path(&sim));
+    }
+
+    #[test]
+    fn worker_count_is_bounded() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000) <= 1_000);
+        assert!(worker_count(1_000) >= 1);
+    }
+}

@@ -1,45 +1,42 @@
 //! Suite-level experiment drivers: run the 26-application suite under a
-//! technique (in parallel across applications) and build the rows of the
-//! paper's tables.
-
-use std::sync::Mutex;
+//! technique (on the bounded worker pool of [`crate::engine`]) and build
+//! the rows of the paper's tables.
 
 use workloads::{spec2k, WorkloadProfile};
 
 use crate::baselines::{DampingConfig, SensorConfig};
 use crate::config::TuningConfig;
+use crate::engine::{cached_base_suite, try_run_suite};
 use crate::metrics::{RelativeOutcome, Summary};
-use crate::sim::{run, SimConfig, SimResult, Technique};
+use crate::sim::{SimConfig, SimResult, Technique};
 
-/// Runs every profile under `technique`, one OS thread per application,
-/// returning results in suite order.
+/// Runs every profile under `technique` on the engine's bounded worker
+/// pool, returning results in suite order.
+///
+/// # Panics
+///
+/// Panics with the failing application's name if any run panics. Use
+/// [`crate::engine::try_run_suite`] to handle that case, or to also get
+/// per-run metrics.
 pub fn run_suite(
     profiles: &[WorkloadProfile],
     technique: &Technique,
     sim: &SimConfig,
 ) -> Vec<SimResult> {
-    let results: Mutex<Vec<Option<SimResult>>> = Mutex::new(vec![None; profiles.len()]);
-    std::thread::scope(|scope| {
-        for (idx, profile) in profiles.iter().enumerate() {
-            let results = &results;
-            let technique = technique.clone();
-            scope.spawn(move || {
-                let r = run(profile, &technique, sim);
-                results.lock().expect("no panics hold the lock")[idx] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("all threads joined")
-        .into_iter()
-        .map(|r| r.expect("every app produced a result"))
-        .collect()
+    match try_run_suite(profiles, technique, sim) {
+        Ok(suite) => suite.results,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs the full 26-app suite on the base machine.
+///
+/// Base runs are memoized per configuration ([`cached_base_suite`]): every
+/// table and figure driver in one process shares a single simulation, and a
+/// recorded baseline under `target/restune-cache/` spares later processes
+/// the cold run.
 pub fn run_base_suite(sim: &SimConfig) -> Vec<SimResult> {
-    run_suite(&spec2k::all(), &Technique::Base, sim)
+    cached_base_suite(sim).results.clone()
 }
 
 /// Pairs base and technique suite results into per-app outcomes.
@@ -49,7 +46,10 @@ pub fn run_base_suite(sim: &SimConfig) -> Vec<SimResult> {
 /// Panics if the slices have different lengths or misaligned apps.
 pub fn compare_suites(base: &[SimResult], technique: &[SimResult]) -> Vec<RelativeOutcome> {
     assert_eq!(base.len(), technique.len(), "suite size mismatch");
-    base.iter().zip(technique).map(|(b, t)| RelativeOutcome::new(b, t)).collect()
+    base.iter()
+        .zip(technique)
+        .map(|(b, t)| RelativeOutcome::new(b, t))
+        .collect()
 }
 
 /// One row of Table 2: an application's base-machine classification.
@@ -124,18 +124,18 @@ pub struct Table4Row {
 
 /// Reproduces Table 4: sweep the sensor technique's threshold, noise, and
 /// delay.
-pub fn table4(
-    sim: &SimConfig,
-    configs: &[SensorConfig],
-    base: &[SimResult],
-) -> Vec<Table4Row> {
+pub fn table4(sim: &SimConfig, configs: &[SensorConfig], base: &[SimResult]) -> Vec<Table4Row> {
     let profiles = spec2k::all();
     configs
         .iter()
         .map(|&config| {
             let results = run_suite(&profiles, &Technique::Sensor(config), sim);
             let outcomes = compare_suites(base, &results);
-            Table4Row { config, summary: Summary::from_outcomes(&outcomes), outcomes }
+            Table4Row {
+                config,
+                summary: Summary::from_outcomes(&outcomes),
+                outcomes,
+            }
         })
         .collect()
 }
@@ -160,7 +160,11 @@ pub fn table5(sim: &SimConfig, deltas: &[f64], base: &[SimResult]) -> Vec<Table5
             let technique = Technique::Damping(DampingConfig::isca04_table5(d));
             let results = run_suite(&profiles, &technique, sim);
             let outcomes = compare_suites(base, &results);
-            Table5Row { delta_relative: d, summary: Summary::from_outcomes(&outcomes), outcomes }
+            Table5Row {
+                delta_relative: d,
+                summary: Summary::from_outcomes(&outcomes),
+                outcomes,
+            }
         })
         .collect()
 }
@@ -168,6 +172,7 @@ pub fn table5(sim: &SimConfig, deltas: &[f64], base: &[SimResult]) -> Vec<Table5
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::run;
 
     fn quick_sim() -> SimConfig {
         SimConfig::isca04(20_000)
@@ -188,8 +193,10 @@ mod tests {
     fn parallel_suite_matches_serial() {
         let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
         let parallel = run_suite(&profiles, &Technique::Base, &quick_sim());
-        let serial: Vec<_> =
-            profiles.iter().map(|p| run(p, &Technique::Base, &quick_sim())).collect();
+        let serial: Vec<_> = profiles
+            .iter()
+            .map(|p| run(p, &Technique::Base, &quick_sim()))
+            .collect();
         assert_eq!(parallel, serial, "threading must not affect determinism");
     }
 
@@ -205,7 +212,12 @@ mod tests {
         let outcomes = compare_suites(&base, &tech);
         assert_eq!(outcomes.len(), 2);
         for o in &outcomes {
-            assert!(o.slowdown >= 1.0 - 1e-9, "{}: slowdown {}", o.app, o.slowdown);
+            assert!(
+                o.slowdown >= 1.0 - 1e-9,
+                "{}: slowdown {}",
+                o.app,
+                o.slowdown
+            );
         }
     }
 }

@@ -26,7 +26,10 @@
 //!   (Section 4 methodology);
 //! * [`experiment`] — suite drivers that regenerate the paper's Tables 2–5
 //!   and Figures 3–5;
-//! * [`metrics`] — slowdown / energy-delay accounting.
+//! * [`engine`] — the suite execution engine: bounded worker-pool
+//!   scheduling, memoized + recorded base runs, structured run metrics;
+//! * [`metrics`] — slowdown / energy-delay accounting and per-run
+//!   observability rows.
 //!
 //! # Quick start
 //!
@@ -52,6 +55,7 @@ pub mod analysis;
 pub mod baselines;
 pub mod config;
 pub mod detector;
+pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod response;
@@ -61,6 +65,10 @@ pub use analysis::{analyze, GuaranteeReport};
 pub use baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
 pub use config::TuningConfig;
 pub use detector::{EventDetector, Polarity, ResonantEvent, WaveletConfig, WaveletDetector};
-pub use metrics::{RelativeOutcome, Summary};
+pub use engine::{cached_base_suite, try_run_suite, CacheStats, SuiteError, SuiteRun};
+pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
-pub use sim::{run, run_observed, CycleRecord, SimConfig, SimResult, Technique};
+pub use sim::{
+    run, run_instrumented, run_observed, CycleRecord, InstrumentedRun, PhaseTimings, SimConfig,
+    SimResult, Technique,
+};

@@ -1,7 +1,9 @@
 //! Relative cost metrics: slowdown, energy, and energy-delay of a technique
-//! run against its base run, plus suite-level summaries.
+//! run against its base run, plus suite-level summaries and the structured
+//! per-run observability rows ([`RunMetrics`]) the experiment engine emits.
 
-use crate::sim::SimResult;
+use crate::engine::CacheStats;
+use crate::sim::{InstrumentedRun, SimResult};
 
 /// One application's technique-vs-base comparison.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +36,10 @@ impl RelativeOutcome {
     /// slowdown metric requires identical work).
     pub fn new(base: &SimResult, technique: &SimResult) -> Self {
         assert_eq!(base.app, technique.app, "comparing different applications");
-        assert!(base.cycles > 0 && base.energy_joules > 0.0, "base run must be non-empty");
+        assert!(
+            base.cycles > 0 && base.energy_joules > 0.0,
+            "base run must be non-empty"
+        );
         // Runs stop at the first cycle reaching the instruction budget, so
         // committed counts may differ by up to a commit width.
         let diff = base.committed.abs_diff(technique.committed);
@@ -55,6 +60,107 @@ impl RelativeOutcome {
             second_level_fraction: technique.second_level_fraction(),
             sensor_response_fraction: technique.sensor_response_fraction(),
             violation_cycles: technique.violation_cycles,
+        }
+    }
+}
+
+/// Structured observability for one application run: what the engine knows
+/// about how the simulation behaved and what it cost to execute, emitted by
+/// every harness under `--json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Application name.
+    pub app: &'static str,
+    /// Technique display name (`base`, `tuning`, ...).
+    pub technique: &'static str,
+    /// End-to-end wall time of the run in seconds (0 for replayed rows).
+    pub wall_seconds: f64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Simulated cycles per wall second (0 for replayed rows).
+    pub sim_cycles_per_second: f64,
+    /// Cycles whose supply deviation exceeded the noise margin.
+    pub violation_cycles: u64,
+    /// Fraction of cycles in the first-level tuning response.
+    pub first_level_fraction: f64,
+    /// Fraction of cycles in the second-level tuning response.
+    pub second_level_fraction: f64,
+    /// Resonant events the tuning detector raised (0 for other techniques).
+    pub detector_events: u64,
+    /// Process-wide base-suite cache hits when this row was built.
+    pub base_cache_hits: u64,
+    /// Process-wide base-suite simulations when this row was built.
+    pub base_cache_misses: u64,
+    /// Sampled wall time in the controller phase, seconds.
+    pub phase_controller_seconds: f64,
+    /// Sampled wall time in the CPU model, seconds.
+    pub phase_cpu_seconds: f64,
+    /// Sampled wall time in the power model, seconds.
+    pub phase_power_seconds: f64,
+    /// Sampled wall time in the supply integration, seconds.
+    pub phase_supply_seconds: f64,
+    /// `true` when the row was replayed from a recorded baseline rather
+    /// than simulated in this process.
+    pub replayed: bool,
+}
+
+impl RunMetrics {
+    /// Builds the row for a freshly simulated run.
+    pub fn from_instrumented(
+        technique: &'static str,
+        run: &InstrumentedRun,
+        cache: CacheStats,
+    ) -> Self {
+        let wall = run.wall.as_secs_f64();
+        Self {
+            app: run.result.app,
+            technique,
+            wall_seconds: wall,
+            cycles: run.result.cycles,
+            committed: run.result.committed,
+            sim_cycles_per_second: if wall > 0.0 {
+                run.result.cycles as f64 / wall
+            } else {
+                0.0
+            },
+            violation_cycles: run.result.violation_cycles,
+            first_level_fraction: run.result.first_level_fraction(),
+            second_level_fraction: run.result.second_level_fraction(),
+            detector_events: run.detector_events,
+            base_cache_hits: cache.hits,
+            base_cache_misses: cache.misses,
+            phase_controller_seconds: run.phases.controller.as_secs_f64(),
+            phase_cpu_seconds: run.phases.cpu.as_secs_f64(),
+            phase_power_seconds: run.phases.power.as_secs_f64(),
+            phase_supply_seconds: run.phases.supply.as_secs_f64(),
+            replayed: false,
+        }
+    }
+
+    /// Builds the row for a result replayed from a recorded baseline: the
+    /// simulation outcome is known but nothing was executed, so all timing
+    /// fields are zero.
+    pub fn replayed(technique: &'static str, result: &SimResult, cache: CacheStats) -> Self {
+        Self {
+            app: result.app,
+            technique,
+            wall_seconds: 0.0,
+            cycles: result.cycles,
+            committed: result.committed,
+            sim_cycles_per_second: 0.0,
+            violation_cycles: result.violation_cycles,
+            first_level_fraction: result.first_level_fraction(),
+            second_level_fraction: result.second_level_fraction(),
+            detector_events: 0,
+            base_cache_hits: cache.hits,
+            base_cache_misses: cache.misses,
+            phase_controller_seconds: 0.0,
+            phase_cpu_seconds: 0.0,
+            phase_power_seconds: 0.0,
+            phase_supply_seconds: 0.0,
+            replayed: true,
         }
     }
 }
@@ -94,7 +200,11 @@ impl Summary {
         let mean = |f: fn(&RelativeOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
         let worst = outcomes
             .iter()
-            .max_by(|a, b| a.slowdown.partial_cmp(&b.slowdown).expect("finite slowdowns"))
+            .max_by(|a, b| {
+                a.slowdown
+                    .partial_cmp(&b.slowdown)
+                    .expect("finite slowdowns")
+            })
             .expect("non-empty");
         Self {
             avg_slowdown: mean(|o| o.slowdown),
@@ -178,5 +288,39 @@ mod tests {
     #[should_panic(expected = "empty suite")]
     fn empty_summary_panics() {
         let _ = Summary::from_outcomes(&[]);
+    }
+
+    #[test]
+    fn run_metrics_derive_rates_from_wall_time() {
+        use crate::sim::{InstrumentedRun, PhaseTimings};
+        use std::time::Duration;
+
+        let phases = PhaseTimings {
+            cpu: Duration::from_millis(10),
+            sampled_cycles: 16,
+            ..Default::default()
+        };
+        let run = InstrumentedRun {
+            result: result("gzip", 2_000, 1.0),
+            detector_events: 3,
+            phases,
+            wall: Duration::from_millis(500),
+        };
+        let m = RunMetrics::from_instrumented("base", &run, CacheStats { hits: 2, misses: 1 });
+        assert_eq!(m.app, "gzip");
+        assert!((m.sim_cycles_per_second - 4_000.0).abs() < 1e-6);
+        assert!((m.phase_cpu_seconds - 0.010).abs() < 1e-9);
+        assert_eq!(m.detector_events, 3);
+        assert_eq!((m.base_cache_hits, m.base_cache_misses), (2, 1));
+        assert!(!m.replayed);
+    }
+
+    #[test]
+    fn replayed_metrics_carry_outcome_but_no_timing() {
+        let m = RunMetrics::replayed("base", &result("mcf", 5_000, 2.0), CacheStats::default());
+        assert!(m.replayed);
+        assert_eq!(m.cycles, 5_000);
+        assert_eq!(m.wall_seconds, 0.0);
+        assert_eq!(m.sim_cycles_per_second, 0.0);
     }
 }

@@ -190,7 +190,11 @@ mod tests {
     fn drive(t: &mut ResonanceTuner, p2p: f64, period: u64, cycles: u64) -> Vec<ResponseLevel> {
         (0..cycles)
             .map(|c| {
-                let i = if (c / (period / 2)).is_multiple_of(2) { 70.0 + p2p / 2.0 } else { 70.0 - p2p / 2.0 };
+                let i = if (c / (period / 2)).is_multiple_of(2) {
+                    70.0 + p2p / 2.0
+                } else {
+                    70.0 - p2p / 2.0
+                };
                 let _ = t.tick(i);
                 t.level()
             })
@@ -215,8 +219,14 @@ mod tests {
         let first_at = levels.iter().position(|&l| l == ResponseLevel::First);
         let second_at = levels.iter().position(|&l| l == ResponseLevel::Second);
         assert!(first_at.is_some(), "first level should engage");
-        assert!(second_at.is_some(), "sustained wave should force second level");
-        assert!(first_at.unwrap() < second_at.unwrap(), "first level engages before second");
+        assert!(
+            second_at.is_some(),
+            "sustained wave should force second level"
+        );
+        assert!(
+            first_at.unwrap() < second_at.unwrap(),
+            "first level engages before second"
+        );
         assert!(t.stats().first_level_cycles > 0);
         assert!(t.stats().second_level_cycles > 0);
     }
@@ -269,7 +279,11 @@ mod tests {
         let lb = drive(&mut b, 40.0, 100, 600);
         let fa = la.iter().position(|&l| l != ResponseLevel::None).unwrap();
         let fb = lb.iter().position(|&l| l != ResponseLevel::None).unwrap();
-        assert_eq!(fb, fa + 5, "delay must shift engagement by exactly 5 cycles");
+        assert_eq!(
+            fb,
+            fa + 5,
+            "delay must shift engagement by exactly 5 cycles"
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! (resonance tuning, the voltage-sensor technique of \[10\], or pipeline
 //! damping \[14\]) closes the loop through the pipeline throttle controls.
 
+use std::time::{Duration, Instant};
+
 use cpusim::{Cpu, CpuConfig, CycleEvents, PipelineControls};
 use powermodel::{EnergyMeter, PowerConfig, PowerModel};
 use rlc::units::{Amps, Hertz, Volts};
@@ -152,6 +154,9 @@ pub struct CycleRecord {
     pub events: CycleEvents,
 }
 
+// One instance per run, dispatched every cycle of the hot loop — worth the
+// stack size over boxing the tuner.
+#[allow(clippy::large_enum_variant)]
 enum Controller {
     Base,
     Tuning(ResonanceTuner),
@@ -159,15 +164,57 @@ enum Controller {
     Damping(PipelineDamping),
 }
 
-/// Runs one application under a technique, invoking `observer` every cycle.
-///
-/// Prefer [`run`] unless you need per-cycle traces.
-pub fn run_observed<F: FnMut(&CycleRecord)>(
+/// Wall-time attribution of the simulation loop's four stages (controller →
+/// CPU → power model → supply), sampled every
+/// [`PhaseTimings::SAMPLE_INTERVAL`] cycles so instrumented runs stay within
+/// a few percent of uninstrumented speed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time in the noise controller (detector + response selection).
+    pub controller: Duration,
+    /// Time in the out-of-order CPU model.
+    pub cpu: Duration,
+    /// Time in the Wattch-style power model.
+    pub power: Duration,
+    /// Time in the RLC supply integration.
+    pub supply: Duration,
+    /// How many cycles were sampled (each contributes to all four phases).
+    pub sampled_cycles: u64,
+}
+
+impl PhaseTimings {
+    /// One cycle in this many is timed; the rest run unobserved.
+    pub const SAMPLE_INTERVAL: u64 = 64;
+
+    /// Total sampled wall time across the four phases.
+    pub fn total(&self) -> Duration {
+        self.controller + self.cpu + self.power + self.supply
+    }
+}
+
+/// A run's outcome plus the observability data the experiment engine
+/// reports: per-phase wall time, total wall time, and detector activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstrumentedRun {
+    /// The simulation outcome (identical to what [`run`] returns).
+    pub result: SimResult,
+    /// Resonant events the tuning detector raised (0 for other techniques).
+    pub detector_events: u64,
+    /// Coarse per-phase wall-time attribution.
+    pub phases: PhaseTimings,
+    /// End-to-end wall time of the run.
+    pub wall: Duration,
+}
+
+/// The shared simulation loop behind [`run_observed`] and
+/// [`run_instrumented`]: returns the outcome and the detector's event count.
+fn run_core<F: FnMut(&CycleRecord)>(
     profile: &WorkloadProfile,
     technique: &Technique,
     sim: &SimConfig,
     mut observer: F,
-) -> SimResult {
+    mut timers: Option<&mut PhaseTimings>,
+) -> (SimResult, u64) {
     let mut power_cfg = sim.power;
     if matches!(technique, Technique::Tuning(_)) {
         // Charge the detection/prevention hardware overhead to tuning runs.
@@ -196,28 +243,52 @@ pub fn run_observed<F: FnMut(&CycleRecord)>(
     let mut cycles = 0u64;
     let mut damping_bound = 0u64;
 
-    while cpu.stats().committed < sim.instructions && cycles < sim.max_cycles {
-        let mut event_count = None;
-        let controls = match &mut controller {
-            Controller::Base => PipelineControls::free(),
-            Controller::Tuning(t) => {
-                let c = t.tick(last_current.amps());
-                event_count = t.last_event().map(|e| e.count);
-                c
-            }
-            Controller::Sensor(s) => s.tick(last_noise),
-            Controller::Damping(d) => {
-                let c = d.tick(&last_events);
-                if c.phantom.is_some() {
-                    damping_bound += 1;
-                }
-                c
+    // Times one stage when this cycle is sampled, otherwise runs it bare.
+    macro_rules! staged {
+        ($sampling:expr, $field:ident, $e:expr) => {
+            if let (true, Some(acc)) = ($sampling, timers.as_deref_mut()) {
+                let t0 = Instant::now();
+                let v = $e;
+                acc.$field += t0.elapsed();
+                v
+            } else {
+                $e
             }
         };
-        let ev = cpu.tick(controls);
-        let current = model.current_for(&ev);
-        let out = supply.tick(current);
+    }
+
+    while cpu.stats().committed < sim.instructions && cycles < sim.max_cycles {
+        let sampling = timers.is_some() && cycles.is_multiple_of(PhaseTimings::SAMPLE_INTERVAL);
+        let mut event_count = None;
+        let controls = staged!(
+            sampling,
+            controller,
+            match &mut controller {
+                Controller::Base => PipelineControls::free(),
+                Controller::Tuning(t) => {
+                    let c = t.tick(last_current.amps());
+                    event_count = t.last_event().map(|e| e.count);
+                    c
+                }
+                Controller::Sensor(s) => s.tick(last_noise),
+                Controller::Damping(d) => {
+                    let c = d.tick(&last_events);
+                    if c.phantom.is_some() {
+                        damping_bound += 1;
+                    }
+                    c
+                }
+            }
+        );
+        let ev = staged!(sampling, cpu, cpu.tick(controls));
+        let current = staged!(sampling, power, model.current_for(&ev));
+        let out = staged!(sampling, supply, supply.tick(current));
         meter.record(current);
+        if sampling {
+            if let Some(acc) = timers.as_deref_mut() {
+                acc.sampled_cycles += 1;
+            }
+        }
 
         observer(&CycleRecord {
             cycle: cycles,
@@ -246,8 +317,12 @@ pub fn run_observed<F: FnMut(&CycleRecord)>(
         Controller::Damping(d) => d.throttled_cycles() + damping_bound,
         _ => 0,
     };
+    let detector_events = match &controller {
+        Controller::Tuning(t) => t.detector().events_detected(),
+        _ => 0,
+    };
 
-    SimResult {
+    let result = SimResult {
         app: profile.name,
         cycles,
         committed: cpu.stats().committed,
@@ -260,12 +335,46 @@ pub fn run_observed<F: FnMut(&CycleRecord)>(
         second_level_cycles: second,
         sensor_response_cycles: sensor_cycles,
         damping_bound_cycles: damping_cycles,
-    }
+    };
+    (result, detector_events)
+}
+
+/// Runs one application under a technique, invoking `observer` every cycle.
+///
+/// Prefer [`run`] unless you need per-cycle traces.
+pub fn run_observed<F: FnMut(&CycleRecord)>(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    observer: F,
+) -> SimResult {
+    run_core(profile, technique, sim, observer, None).0
 }
 
 /// Runs one application under a technique.
 pub fn run(profile: &WorkloadProfile, technique: &Technique, sim: &SimConfig) -> SimResult {
     run_observed(profile, technique, sim, |_| {})
+}
+
+/// Runs one application with observability enabled: the returned
+/// [`InstrumentedRun`] carries wall time, coarse per-phase timings, and the
+/// detector's event count alongside the ordinary [`SimResult`].
+///
+/// Timing is sampled, not exact, so `result` is bit-identical to [`run`]'s.
+pub fn run_instrumented(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+) -> InstrumentedRun {
+    let mut phases = PhaseTimings::default();
+    let start = Instant::now();
+    let (result, detector_events) = run_core(profile, technique, sim, |_| {}, Some(&mut phases));
+    InstrumentedRun {
+        result,
+        detector_events,
+        phases,
+        wall: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -300,7 +409,10 @@ mod tests {
         let p = spec2k::by_name("swim").unwrap();
         let sim = SimConfig::isca04(150_000);
         let r = run(&p, &Technique::Base, &sim);
-        assert!(r.violation_cycles > 0, "swim must violate on the base machine");
+        assert!(
+            r.violation_cycles > 0,
+            "swim must violate on the base machine"
+        );
     }
 
     #[test]
@@ -308,7 +420,11 @@ mod tests {
         let p = spec2k::by_name("swim").unwrap();
         let sim = SimConfig::isca04(150_000);
         let base = run(&p, &Technique::Base, &sim);
-        let tuned = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &sim);
+        let tuned = run(
+            &p,
+            &Technique::Tuning(TuningConfig::isca04_table1(100)),
+            &sim,
+        );
         assert!(base.violation_cycles > 0);
         assert!(
             tuned.violation_cycles * 20 <= base.violation_cycles,
@@ -324,7 +440,11 @@ mod tests {
         let p = spec2k::by_name("bzip").unwrap();
         let sim = SimConfig::isca04(80_000);
         let base = run(&p, &Technique::Base, &sim);
-        let tuned = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &sim);
+        let tuned = run(
+            &p,
+            &Technique::Tuning(TuningConfig::isca04_table1(100)),
+            &sim,
+        );
         let slowdown = tuned.cycles as f64 / base.cycles as f64;
         assert!(slowdown < 1.35, "tuning slowdown {slowdown} too harsh");
         assert!(slowdown >= 1.0 - 1e-9);
@@ -334,8 +454,15 @@ mod tests {
     fn sensor_technique_responds_and_runs() {
         let p = spec2k::by_name("swim").unwrap();
         let sim = SimConfig::isca04(80_000);
-        let r = run(&p, &Technique::Sensor(SensorConfig::table4(20.0, 0.0, 0)), &sim);
-        assert!(r.sensor_response_cycles > 0, "sensor should react to swim's variations");
+        let r = run(
+            &p,
+            &Technique::Sensor(SensorConfig::table4(20.0, 0.0, 0)),
+            &sim,
+        );
+        assert!(
+            r.sensor_response_cycles > 0,
+            "sensor should react to swim's variations"
+        );
         assert!(r.committed >= 80_000);
     }
 
@@ -344,8 +471,15 @@ mod tests {
         let p = spec2k::by_name("swim").unwrap();
         let sim = SimConfig::isca04(80_000);
         let base = run(&p, &Technique::Base, &sim);
-        let damped = run(&p, &Technique::Damping(DampingConfig::isca04_table5(0.25)), &sim);
-        assert!(damped.cycles > base.cycles, "tight damping must cost cycles");
+        let damped = run(
+            &p,
+            &Technique::Damping(DampingConfig::isca04_table5(0.25)),
+            &sim,
+        );
+        assert!(
+            damped.cycles > base.cycles,
+            "tight damping must cost cycles"
+        );
         assert!(damped.violation_cycles <= base.violation_cycles);
     }
 
@@ -362,10 +496,55 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_matches_plain_run() {
+        let p = spec2k::by_name("gzip").unwrap();
+        let sim = quick_sim();
+        let plain = run(&p, &Technique::Base, &sim);
+        let inst = run_instrumented(&p, &Technique::Base, &sim);
+        assert_eq!(
+            inst.result, plain,
+            "instrumentation must not perturb the simulation"
+        );
+        assert!(inst.wall > Duration::ZERO);
+        assert!(inst.phases.sampled_cycles > 0);
+        assert_eq!(
+            inst.phases.sampled_cycles,
+            plain.cycles.div_ceil(PhaseTimings::SAMPLE_INTERVAL),
+            "every SAMPLE_INTERVAL-th cycle is timed"
+        );
+        assert!(
+            inst.phases.total() <= inst.wall,
+            "sampled time is a subset of wall time"
+        );
+        assert_eq!(inst.detector_events, 0, "base runs have no detector");
+    }
+
+    #[test]
+    fn instrumented_tuning_run_reports_detector_events() {
+        let p = spec2k::by_name("swim").unwrap();
+        let sim = SimConfig::isca04(150_000);
+        let inst = run_instrumented(
+            &p,
+            &Technique::Tuning(TuningConfig::isca04_table1(100)),
+            &sim,
+        );
+        assert!(inst.detector_events > 0, "swim must trip the detector");
+    }
+
+    #[test]
     fn technique_names() {
         assert_eq!(Technique::Base.name(), "base");
-        assert_eq!(Technique::Tuning(TuningConfig::isca04_table1(75)).name(), "tuning");
-        assert_eq!(Technique::Sensor(SensorConfig::table4(30.0, 0.0, 0)).name(), "sensor[10]");
-        assert_eq!(Technique::Damping(DampingConfig::isca04_table5(1.0)).name(), "damping[14]");
+        assert_eq!(
+            Technique::Tuning(TuningConfig::isca04_table1(75)).name(),
+            "tuning"
+        );
+        assert_eq!(
+            Technique::Sensor(SensorConfig::table4(30.0, 0.0, 0)).name(),
+            "sensor[10]"
+        );
+        assert_eq!(
+            Technique::Damping(DampingConfig::isca04_table5(1.0)).name(),
+            "damping[14]"
+        );
     }
 }

@@ -93,7 +93,10 @@ impl BranchPredictor {
     /// Panics if `entries` is not a power of two, or if a gshare history
     /// length exceeds 16 bits.
     pub fn new(kind: PredictorKind, entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "predictor table must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "predictor table must be a power of two"
+        );
         if let PredictorKind::Gshare { history_bits } = kind {
             assert!(history_bits <= 16, "history length capped at 16 bits");
         }
@@ -165,7 +168,10 @@ mod tests {
         }
         assert!(c.predict_taken());
         c.update(false);
-        assert!(c.predict_taken(), "one not-taken must not flip a saturated counter");
+        assert!(
+            c.predict_taken(),
+            "one not-taken must not flip a saturated counter"
+        );
         c.update(false);
         assert!(!c.predict_taken());
     }
@@ -178,7 +184,11 @@ mod tests {
             bp.update(0x100, true, pred);
         }
         assert!(bp.predict(0x100));
-        assert!(bp.misprediction_rate() < 0.05, "rate {}", bp.misprediction_rate());
+        assert!(
+            bp.misprediction_rate() < 0.05,
+            "rate {}",
+            bp.misprediction_rate()
+        );
     }
 
     #[test]
@@ -196,8 +206,14 @@ mod tests {
         };
         let bimodal = run(PredictorKind::Bimodal);
         let gshare = run(PredictorKind::Gshare { history_bits: 8 });
-        assert!(gshare < 0.05, "gshare must learn alternation, rate {gshare}");
-        assert!(bimodal > 0.3, "bimodal cannot learn alternation, rate {bimodal}");
+        assert!(
+            gshare < 0.05,
+            "gshare must learn alternation, rate {gshare}"
+        );
+        assert!(
+            bimodal > 0.3,
+            "bimodal cannot learn alternation, rate {bimodal}"
+        );
     }
 
     #[test]

@@ -58,15 +58,24 @@ impl CacheHierarchy {
     ) -> AccessResult {
         let l1_latency = l1.config().latency;
         if l1.access(addr) {
-            return AccessResult { latency: l1_latency, level: ServiceLevel::L1 };
+            return AccessResult {
+                latency: l1_latency,
+                level: ServiceLevel::L1,
+            };
         }
         *l2_accesses += 1;
         let l2_latency = l1_latency + l2.config().latency;
         if l2.access(addr) {
-            return AccessResult { latency: l2_latency, level: ServiceLevel::L2 };
+            return AccessResult {
+                latency: l2_latency,
+                level: ServiceLevel::L2,
+            };
         }
         *mem_accesses += 1;
-        AccessResult { latency: l2_latency + memory_latency, level: ServiceLevel::Memory }
+        AccessResult {
+            latency: l2_latency + memory_latency,
+            level: ServiceLevel::Memory,
+        }
     }
 
     /// A data access (load or store address) at `addr`.

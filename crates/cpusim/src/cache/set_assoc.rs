@@ -131,7 +131,12 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 4 sets × 2 ways × 64 B lines = 512 B.
-        SetAssocCache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]

@@ -119,11 +119,31 @@ impl CpuConfig {
             fetch_buffer: 16,
             mem_ports: 2,
             mispredict_penalty: 10,
-            l1i: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 2 },
-            l1d: CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 2 },
-            l2: CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 8, line_bytes: 64, latency: 12 },
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 2 * 1024 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 12,
+            },
             memory_latency: 80,
-            fu: FuConfig { int_alu: 8, int_mul_div: 2, fp_alu: 4, fp_mul_div: 2 },
+            fu: FuConfig {
+                int_alu: 8,
+                int_mul_div: 2,
+                fp_alu: 4,
+                fp_mul_div: 2,
+            },
             latency: LatencyConfig {
                 int_alu: 1,
                 int_mul: 3,
@@ -157,7 +177,10 @@ impl CpuConfig {
             ms.validate();
         }
         if let BranchModel::Predictor { entries, .. } = self.branch_model {
-            assert!(entries.is_power_of_two(), "predictor table must be a power of two");
+            assert!(
+                entries.is_power_of_two(),
+                "predictor table must be a power of two"
+            );
         }
         // Cache geometry checks (sets() panics on bad geometry).
         let _ = self.l1i.sets();
@@ -201,23 +224,43 @@ mod tests {
 
     #[test]
     fn cache_sets_computation() {
-        let c = CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, latency: 2 };
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency: 2,
+        };
         assert_eq!(c.sets(), 512);
-        let l2 = CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 8, line_bytes: 64, latency: 12 };
+        let l2 = CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 12,
+        };
         assert_eq!(l2.sets(), 4096);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panics() {
-        let c = CacheConfig { size_bytes: 3 * 1024, ways: 2, line_bytes: 64, latency: 1 };
+        let c = CacheConfig {
+            size_bytes: 3 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
         let _ = c.sets();
     }
 
     #[test]
     #[should_panic(expected = "zero sets")]
     fn zero_sets_panics() {
-        let c = CacheConfig { size_bytes: 64, ways: 2, line_bytes: 64, latency: 1 };
+        let c = CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
         let _ = c.sets();
     }
 

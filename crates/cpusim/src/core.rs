@@ -103,9 +103,7 @@ impl<S: InstructionStream> Cpu<S> {
         let miss_tracker = config.memory_system.map(MissTracker::new);
         let predictor = match config.branch_model {
             BranchModel::Profile => None,
-            BranchModel::Predictor { kind, entries } => {
-                Some(BranchPredictor::new(kind, entries))
-            }
+            BranchModel::Predictor { kind, entries } => Some(BranchPredictor::new(kind, entries)),
         };
         Self {
             miss_tracker,
@@ -159,7 +157,9 @@ impl<S: InstructionStream> Cpu<S> {
     /// every *resolution* (squash-replayed branches resolve more than
     /// once, as speculative hardware does).
     pub fn predictor_stats(&self) -> Option<(u64, f64)> {
-        self.predictor.as_ref().map(|bp| (bp.predictions(), bp.misprediction_rate()))
+        self.predictor
+            .as_ref()
+            .map(|bp| (bp.predictions(), bp.misprediction_rate()))
     }
 
     /// Looks up a window entry by sequence number. The window is contiguous
@@ -267,7 +267,9 @@ impl<S: InstructionStream> Cpu<S> {
     }
 
     fn next_instruction(&mut self) -> SynthInst {
-        self.replay.pop_front().unwrap_or_else(|| self.stream.next_inst())
+        self.replay
+            .pop_front()
+            .unwrap_or_else(|| self.stream.next_inst())
     }
 
     fn fetch(&mut self, controls: &PipelineControls, events: &mut CycleEvents) {
@@ -321,7 +323,9 @@ impl<S: InstructionStream> Cpu<S> {
         while dispatched < self.config.dispatch_width
             && self.rob.len() < self.config.rob_entries as usize
         {
-            let Some(&inst) = self.fetch_buffer.front() else { break };
+            let Some(&inst) = self.fetch_buffer.front() else {
+                break;
+            };
             if inst.op.is_mem() && self.lsq_occupancy >= self.config.lsq_entries {
                 break;
             }
@@ -329,7 +333,11 @@ impl<S: InstructionStream> Cpu<S> {
             if inst.op.is_mem() {
                 self.lsq_occupancy += 1;
             }
-            self.rob.push_back(RobEntry { seq: self.next_seq, inst, state: InstState::Waiting });
+            self.rob.push_back(RobEntry {
+                seq: self.next_seq,
+                inst,
+                state: InstState::Waiting,
+            });
             self.next_seq += 1;
             dispatched += 1;
         }
@@ -417,7 +425,9 @@ impl<S: InstructionStream> Cpu<S> {
             }
             let e = &mut self.rob[idx];
             debug_assert_eq!(e.seq, seq);
-            e.state = InstState::Executing { done_at: self.cycle + latency };
+            e.state = InstState::Executing {
+                done_at: self.cycle + latency,
+            };
             events.issued[inst.op.index()] += 1;
         }
     }
@@ -543,7 +553,6 @@ pub fn apriori_issue_current(op: OpClass) -> f64 {
     }
 }
 
-
 impl<S: InstructionStream> Cpu<S> {
     /// One-line internal state summary for debugging and tests.
     pub fn debug_state(&self) -> String {
@@ -576,7 +585,10 @@ mod tests {
             cpu.tick(PipelineControls::free());
         }
         let ipc = cpu.stats().ipc();
-        assert!(ipc > 7.0, "independent ALU stream should approach width 8, got {ipc}");
+        assert!(
+            ipc > 7.0,
+            "independent ALU stream should approach width 8, got {ipc}"
+        );
     }
 
     #[test]
@@ -587,7 +599,10 @@ mod tests {
             cpu.tick(PipelineControls::free());
         }
         let ipc = cpu.stats().ipc();
-        assert!((0.8..=1.1).contains(&ipc), "serial chain IPC should be ~1, got {ipc}");
+        assert!(
+            (0.8..=1.1).contains(&ipc),
+            "serial chain IPC should be ~1, got {ipc}"
+        );
     }
 
     #[test]
@@ -615,13 +630,16 @@ mod tests {
         for _ in 0..50 {
             cpu.tick(PipelineControls::second_level());
         }
-        assert_eq!(cpu.stats().committed, committed_before, "stalled core must not commit");
+        assert_eq!(
+            cpu.stats().committed,
+            committed_before,
+            "stalled core must not commit"
+        );
     }
 
     #[test]
     fn mem_port_limit_bounds_load_throughput() {
-        let body: Vec<SynthInst> =
-            (0..8).map(|k| SynthInst::load(64 * k, 0)).collect();
+        let body: Vec<SynthInst> = (0..8).map(|k| SynthInst::load(64 * k, 0)).collect();
         let mut warm = cpu_with(body.clone());
         for _ in 0..3_000 {
             warm.tick(PipelineControls::free());
@@ -640,7 +658,10 @@ mod tests {
             limited_ipc < free_ipc * 0.7,
             "1 port ({limited_ipc}) should be well below 2 ports ({free_ipc})"
         );
-        assert!(limited_ipc <= 1.05, "1 port caps load IPC at ~1, got {limited_ipc}");
+        assert!(
+            limited_ipc <= 1.05,
+            "1 port caps load IPC at ~1, got {limited_ipc}"
+        );
     }
 
     #[test]
@@ -682,7 +703,11 @@ mod tests {
         for _ in 0..5_000 {
             b.tick(PipelineControls::free());
         }
-        assert!(b.stats().mispredicts > 50, "mispredicts = {}", b.stats().mispredicts);
+        assert!(
+            b.stats().mispredicts > 50,
+            "mispredicts = {}",
+            b.stats().mispredicts
+        );
         assert!(
             b.stats().ipc() < a.stats().ipc() * 0.8,
             "mispredicting stream IPC {} should trail clean stream {}",
@@ -701,7 +726,11 @@ mod tests {
         for _ in 0..2_000 {
             cpu.tick(PipelineControls::free());
         }
-        assert!(cpu.stats().committed > 500, "committed = {}", cpu.stats().committed);
+        assert!(
+            cpu.stats().committed > 500,
+            "committed = {}",
+            cpu.stats().committed
+        );
         // Branches commit too.
         assert!(cpu.stats().committed_by_class[OpClass::Branch.index()] > 100);
     }
@@ -723,7 +752,10 @@ mod tests {
             max_occ = max_occ.max(ev.rob_occupancy);
         }
         assert!(max_occ <= 128);
-        assert!(max_occ > 32, "slow loads should back up the window, got {max_occ}");
+        assert!(
+            max_occ > 32,
+            "slow loads should back up the window, got {max_occ}"
+        );
     }
 
     #[test]
@@ -737,13 +769,19 @@ mod tests {
     fn divider_is_unpipelined() {
         // Back-to-back independent divides cannot exceed 1 per 12 cycles
         // per 2 units.
-        let body = vec![SynthInst { op: OpClass::IntDiv, ..SynthInst::int_alu() }];
+        let body = vec![SynthInst {
+            op: OpClass::IntDiv,
+            ..SynthInst::int_alu()
+        }];
         let mut cpu = cpu_with(body);
         for _ in 0..2_000 {
             cpu.tick(PipelineControls::free());
         }
         let ipc = cpu.stats().ipc();
-        assert!(ipc < 0.30, "unpipelined divides should throttle IPC, got {ipc}");
+        assert!(
+            ipc < 0.30,
+            "unpipelined divides should throttle IPC, got {ipc}"
+        );
     }
 
     #[test]
@@ -794,7 +832,10 @@ mod feature_tests {
         }
         let rate = cpu.stats().mispredicts as f64
             / cpu.stats().committed_by_class[OpClass::Branch.index()].max(1) as f64;
-        assert!(rate < 0.05, "biased branch must be learned, mispredict rate {rate}");
+        assert!(
+            rate < 0.05,
+            "biased branch must be learned, mispredict rate {rate}"
+        );
     }
 
     #[test]
@@ -802,27 +843,37 @@ mod feature_tests {
         // Branch directions alternate pseudo-randomly with a bimodal
         // predictor: mispredicts (and their squashes) must occur.
         let mut config = CpuConfig::isca04_table1();
-        config.branch_model =
-            BranchModel::Predictor { kind: PredictorKind::Bimodal, entries: 64 };
+        config.branch_model = BranchModel::Predictor {
+            kind: PredictorKind::Bimodal,
+            entries: 64,
+        };
         let mut flip = 0u64;
         let stream = move || {
             flip = flip.wrapping_mul(6364136223846793005).wrapping_add(1);
-            SynthInst::branch(false).with_taken(flip >> 63 == 1).at_pc(0x200)
+            SynthInst::branch(false)
+                .with_taken(flip >> 63 == 1)
+                .at_pc(0x200)
         };
         let mut cpu = Cpu::new(config, stream);
         for _ in 0..3_000 {
             cpu.tick(PipelineControls::free());
         }
-        assert!(cpu.stats().mispredicts > 50, "got {} mispredicts", cpu.stats().mispredicts);
-        assert!(cpu.stats().committed > 300, "machine must keep making progress");
+        assert!(
+            cpu.stats().mispredicts > 50,
+            "got {} mispredicts",
+            cpu.stats().mispredicts
+        );
+        assert!(
+            cpu.stats().committed > 300,
+            "machine must keep making progress"
+        );
     }
 
     #[test]
     fn mshr_limit_slows_memory_parallel_loads() {
         // Independent memory-missing loads: unlimited MSHRs overlap them;
         // a single MSHR serializes them.
-        let body: Vec<SynthInst> =
-            (0..8).map(|k| SynthInst::load(1 << (28 + k), 0)).collect();
+        let body: Vec<SynthInst> = (0..8).map(|k| SynthInst::load(1 << (28 + k), 0)).collect();
         let run = |memory_system: Option<MemorySystemConfig>| -> f64 {
             let mut config = CpuConfig::isca04_table1();
             config.memory_system = memory_system;
@@ -839,7 +890,10 @@ mod feature_tests {
             cpu.stats().ipc()
         };
         let unlimited = run(None);
-        let one_mshr = run(Some(MemorySystemConfig { mshrs: 1, mem_interval: 1 }));
+        let one_mshr = run(Some(MemorySystemConfig {
+            mshrs: 1,
+            mem_interval: 1,
+        }));
         assert!(
             one_mshr < unlimited * 0.25,
             "1 MSHR ({one_mshr}) must serialize far below unlimited ({unlimited})"
@@ -851,8 +905,10 @@ mod feature_tests {
     fn bandwidth_limit_throttles_memory_streams() {
         let run = |interval: u32| -> f64 {
             let mut config = CpuConfig::isca04_table1();
-            config.memory_system =
-                Some(MemorySystemConfig { mshrs: 64, mem_interval: interval });
+            config.memory_system = Some(MemorySystemConfig {
+                mshrs: 64,
+                mem_interval: interval,
+            });
             let mut n = 0u64;
             let stream = move || {
                 n += 1;

@@ -104,17 +104,32 @@ impl SynthInst {
 
     /// A load from `addr` depending on the instruction `dist` back.
     pub fn load(addr: u64, dist: u32) -> Self {
-        Self { op: OpClass::Load, src1_dist: dist, addr, ..Self::int_alu() }
+        Self {
+            op: OpClass::Load,
+            src1_dist: dist,
+            addr,
+            ..Self::int_alu()
+        }
     }
 
     /// A store to `addr`.
     pub fn store(addr: u64, dist: u32) -> Self {
-        Self { op: OpClass::Store, src1_dist: dist, addr, ..Self::int_alu() }
+        Self {
+            op: OpClass::Store,
+            src1_dist: dist,
+            addr,
+            ..Self::int_alu()
+        }
     }
 
     /// A branch; `mispredict` marks it as mispredicted (profile model).
     pub fn branch(mispredict: bool) -> Self {
-        Self { op: OpClass::Branch, src1_dist: 1, mispredict, ..Self::int_alu() }
+        Self {
+            op: OpClass::Branch,
+            src1_dist: 1,
+            mispredict,
+            ..Self::int_alu()
+        }
     }
 
     /// Returns a copy with the given actual branch direction (predictor

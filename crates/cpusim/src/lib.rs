@@ -54,8 +54,8 @@ pub mod stats;
 
 pub use crate::core::{apriori_issue_current, Cpu};
 pub use branch::{BranchModel, BranchPredictor, PredictorKind};
-pub use memsys::{MemorySystemConfig, MissTracker};
 pub use config::{CacheConfig, CpuConfig, FuConfig, LatencyConfig};
 pub use control::{PhantomLevel, PipelineControls};
 pub use isa::{InstructionStream, OpClass, SynthInst};
+pub use memsys::{MemorySystemConfig, MissTracker};
 pub use stats::{CycleEvents, RunStats};

@@ -28,7 +28,10 @@ impl MemorySystemConfig {
     /// A representative contemporary configuration: 8 MSHRs, one memory
     /// access per 4 cycles.
     pub fn typical() -> Self {
-        Self { mshrs: 8, mem_interval: 4 }
+        Self {
+            mshrs: 8,
+            mem_interval: 4,
+        }
     }
 
     /// Validates the configuration.
@@ -127,7 +130,10 @@ mod tests {
     use super::*;
 
     fn tracker(mshrs: u32, interval: u32) -> MissTracker {
-        MissTracker::new(MemorySystemConfig { mshrs, mem_interval: interval })
+        MissTracker::new(MemorySystemConfig {
+            mshrs,
+            mem_interval: interval,
+        })
     }
 
     #[test]

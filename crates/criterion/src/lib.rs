@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of criterion's API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], throughput
+//! annotations, and `Bencher::iter`. Each benchmark is timed with
+//! `std::time::Instant` over an adaptive iteration count and reported as
+//! mean wall time per iteration (plus element throughput when declared).
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// `--test` mode: run each benchmark once, skip timing loops.
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver honoring the harness arguments cargo passes
+    /// (`--test` makes `cargo test --benches` cheap).
+    pub fn from_args() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; the adaptive timing loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Accepted for API compatibility; the adaptive timing loop ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) {}
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id);
+            return;
+        }
+        let iters = b.iterations.max(1);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(", {:.1} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(", {:.1} MB/s", n as f64 / per_iter / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:.3} ms/iter over {} iters{}",
+            self.name,
+            id,
+            per_iter * 1e3,
+            iters,
+            rate
+        );
+    }
+
+    /// Ends the group (printing happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly — one warm-up, then enough timed iterations to
+    /// fill ~300 ms (at most 1000) — and records the total wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iterations = 1;
+            return;
+        }
+        black_box(f()); // warm-up, untimed
+        let budget = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 1_000 {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iterations = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Binds benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(10);
+        g.bench_function("sum_100", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function(format!("sum_{}", 200), |b| {
+            b.iter(|| (0..200u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("once");
+        g.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    criterion_group!(example_group, sample_bench);
+
+    #[test]
+    fn macros_compose() {
+        // criterion_main! can't be invoked in a test crate (it defines
+        // main), but the group binder must produce a callable.
+        example_group();
+    }
+}

@@ -98,7 +98,10 @@ impl StructureWeights {
             self.commit,
         ];
         for w in all {
-            assert!(w.is_finite() && w >= 0.0, "structure weight must be finite and >= 0");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "structure weight must be finite and >= 0"
+            );
         }
         assert!(self.total() > 0.0, "weights must not all be zero");
     }
@@ -155,7 +158,10 @@ impl PowerConfig {
     pub fn isca04_table1_with_detector() -> Self {
         // ~9 seven-bit adders + shift registers + sensors: comparable to one
         // 64-bit adder, a rounding error against a 105 W chip. Charge 0.3 A.
-        Self { detector_overhead: Amps::new(0.3), ..Self::isca04_table1() }
+        Self {
+            detector_overhead: Amps::new(0.3),
+            ..Self::isca04_table1()
+        }
     }
 
     /// The dynamic current range (peak − idle).
@@ -218,7 +224,10 @@ mod tests {
     fn detector_variant_adds_overhead() {
         let c = PowerConfig::isca04_table1_with_detector();
         assert!(c.detector_overhead.amps() > 0.0);
-        assert!(c.detector_overhead.amps() < 1.0, "overhead must stay <1% of chip current");
+        assert!(
+            c.detector_overhead.amps() < 1.0,
+            "overhead must stay <1% of chip current"
+        );
     }
 
     #[test]

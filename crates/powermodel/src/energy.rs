@@ -22,9 +22,20 @@ impl EnergyMeter {
     ///
     /// Panics if `clock` or `vdd` is not finite and positive.
     pub fn new(vdd: Volts, clock: Hertz) -> Self {
-        assert!(vdd.volts().is_finite() && vdd.volts() > 0.0, "Vdd must be positive");
-        assert!(clock.hertz().is_finite() && clock.hertz() > 0.0, "clock must be positive");
-        Self { vdd, cycle_time: 1.0 / clock.hertz(), joules: 0.0, cycles: 0 }
+        assert!(
+            vdd.volts().is_finite() && vdd.volts() > 0.0,
+            "Vdd must be positive"
+        );
+        assert!(
+            clock.hertz().is_finite() && clock.hertz() > 0.0,
+            "clock must be positive"
+        );
+        Self {
+            vdd,
+            cycle_time: 1.0 / clock.hertz(),
+            joules: 0.0,
+            cycles: 0,
+        }
     }
 
     /// Records one cycle at the given current.
@@ -77,10 +88,17 @@ impl RelativeCost {
     ///
     /// Panics if the base run is empty.
     pub fn from_meters(base: &EnergyMeter, technique: &EnergyMeter) -> Self {
-        assert!(base.cycles() > 0 && base.joules() > 0.0, "base run must be non-empty");
+        assert!(
+            base.cycles() > 0 && base.joules() > 0.0,
+            "base run must be non-empty"
+        );
         let slowdown = technique.cycles() as f64 / base.cycles() as f64;
         let relative_energy = technique.joules() / base.joules();
-        Self { slowdown, relative_energy, relative_energy_delay: relative_energy * slowdown }
+        Self {
+            slowdown,
+            relative_energy,
+            relative_energy_delay: relative_energy * slowdown,
+        }
     }
 }
 

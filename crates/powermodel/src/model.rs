@@ -161,7 +161,8 @@ impl PowerModel {
         }
         // L2 accesses begin after the L1 latency and occupy the L2 pipeline.
         if ev.l2_accesses > 0 {
-            self.l2_spread.schedule(cpu.l1d.latency, cpu.l2.latency, ev.l2_accesses as f64);
+            self.l2_spread
+                .schedule(cpu.l1d.latency, cpu.l2.latency, ev.l2_accesses as f64);
         }
         // Memory accesses begin after L1+L2 and keep the bus/DRAM active.
         if ev.mem_accesses > 0 {
@@ -243,8 +244,10 @@ impl PowerModel {
             let target = match level {
                 PhantomLevel::Medium => self.power.idle_current.amps() + 0.5 * range,
                 PhantomLevel::High => self.power.idle_current.amps() + 0.95 * range,
-                PhantomLevel::Floor(amps) => (amps as f64)
-                    .clamp(self.power.idle_current.amps(), self.power.peak_current.amps()),
+                PhantomLevel::Floor(amps) => (amps as f64).clamp(
+                    self.power.idle_current.amps(),
+                    self.power.peak_current.amps(),
+                ),
             };
             if target > current {
                 phantom_amps = target - current;
@@ -252,8 +255,11 @@ impl PowerModel {
             }
         }
 
-        let detector_amps =
-            if self.detector_enabled { self.power.detector_overhead.amps() } else { 0.0 };
+        let detector_amps = if self.detector_enabled {
+            self.power.detector_overhead.amps()
+        } else {
+            0.0
+        };
         current += detector_amps;
 
         // Per-structure amps; when the weighted sum saturated at 1.0, scale
@@ -354,7 +360,11 @@ mod tests {
         let mut hi: f64 = 0.0;
         let mut lo: f64 = f64::MAX;
         for c in 0..400 {
-            let ev = if (c / 50) % 2 == 0 { busy_events() } else { CycleEvents::default() };
+            let ev = if (c / 50) % 2 == 0 {
+                busy_events()
+            } else {
+                CycleEvents::default()
+            };
             let i = m.current_for(&ev).amps();
             if c > 100 {
                 hi = hi.max(i);
@@ -367,16 +377,25 @@ mod tests {
     #[test]
     fn phantom_medium_floors_current_at_midpoint() {
         let mut m = model();
-        let ev = CycleEvents { phantom: Some(PhantomLevel::Medium), ..CycleEvents::default() };
+        let ev = CycleEvents {
+            phantom: Some(PhantomLevel::Medium),
+            ..CycleEvents::default()
+        };
         let i = m.current_for(&ev);
-        assert!((i.amps() - 70.0).abs() < 1e-9, "medium phantom current = {i}");
+        assert!(
+            (i.amps() - 70.0).abs() < 1e-9,
+            "medium phantom current = {i}"
+        );
         assert_eq!(m.medium_current(), Amps::new(70.0));
     }
 
     #[test]
     fn phantom_high_approaches_peak() {
         let mut m = model();
-        let ev = CycleEvents { phantom: Some(PhantomLevel::High), ..CycleEvents::default() };
+        let ev = CycleEvents {
+            phantom: Some(PhantomLevel::High),
+            ..CycleEvents::default()
+        };
         let i = m.current_for(&ev);
         assert!(i.amps() > 95.0, "high phantom current = {i}");
     }
@@ -386,9 +405,13 @@ mod tests {
         let mut a = model();
         let mut b = model();
         let mut ev = busy_events();
-        let plain = (0..20).map(|_| a.current_for(&ev).amps()).fold(0.0, f64::max);
+        let plain = (0..20)
+            .map(|_| a.current_for(&ev).amps())
+            .fold(0.0, f64::max);
         ev.phantom = Some(PhantomLevel::Medium);
-        let with_phantom = (0..20).map(|_| b.current_for(&ev).amps()).fold(0.0, f64::max);
+        let with_phantom = (0..20)
+            .map(|_| b.current_for(&ev).amps())
+            .fold(0.0, f64::max);
         assert!(with_phantom >= plain - 1e-9);
     }
 
@@ -411,7 +434,10 @@ mod tests {
             }
         }
         assert!(first < 105.0);
-        assert!(elevated > 60, "memory current should persist, saw {elevated} elevated cycles");
+        assert!(
+            elevated > 60,
+            "memory current should persist, saw {elevated} elevated cycles"
+        );
     }
 
     #[test]
@@ -419,8 +445,8 @@ mod tests {
         let mut m = model();
         for _ in 0..30 {
             let b = m.breakdown_for(&busy_events());
-            let reconstructed = b.idle.amps() + b.dynamic_total().amps() + b.phantom.amps()
-                + b.detector.amps();
+            let reconstructed =
+                b.idle.amps() + b.dynamic_total().amps() + b.phantom.amps() + b.detector.amps();
             assert!(
                 (reconstructed - b.total.amps()).abs() < 1e-9,
                 "breakdown {reconstructed} vs total {}",
@@ -432,9 +458,16 @@ mod tests {
     #[test]
     fn breakdown_attributes_phantom_current() {
         let mut m = model();
-        let ev = CycleEvents { phantom: Some(PhantomLevel::High), ..CycleEvents::default() };
+        let ev = CycleEvents {
+            phantom: Some(PhantomLevel::High),
+            ..CycleEvents::default()
+        };
         let b = m.breakdown_for(&ev);
-        assert!(b.phantom.amps() > 60.0, "idle chip + high phantom, got {}", b.phantom);
+        assert!(
+            b.phantom.amps() > 60.0,
+            "idle chip + high phantom, got {}",
+            b.phantom
+        );
         assert!(
             (b.idle.amps() + b.dynamic_total().amps() + b.phantom.amps() - b.total.amps()).abs()
                 < 1e-9
@@ -444,10 +477,16 @@ mod tests {
     #[test]
     fn breakdown_shows_cache_heavy_cycles() {
         let mut m = model();
-        let ev = CycleEvents { l1d_accesses: 2, ..CycleEvents::default() };
+        let ev = CycleEvents {
+            l1d_accesses: 2,
+            ..CycleEvents::default()
+        };
         let _ = m.breakdown_for(&ev);
         let b = m.breakdown_for(&CycleEvents::default());
-        assert!(b.l1d.amps() > 0.0, "spread L1D current must appear in the breakdown");
+        assert!(
+            b.l1d.amps() > 0.0,
+            "spread L1D current must appear in the breakdown"
+        );
         assert!(b.fetch.amps() == 0.0);
     }
 

@@ -23,7 +23,10 @@ impl ActivitySpreader {
     /// Panics if `horizon` is zero.
     pub fn new(horizon: usize) -> Self {
         assert!(horizon > 0, "spreader horizon must be nonzero");
-        Self { ring: vec![0.0; horizon], head: 0 }
+        Self {
+            ring: vec![0.0; horizon],
+            head: 0,
+        }
     }
 
     /// Schedules `amount` of activity spread evenly over `duration` cycles

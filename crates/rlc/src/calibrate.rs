@@ -70,7 +70,9 @@ pub fn max_tolerated_variation(
     resolution: Amps,
 ) -> Result<Amps, RlcError> {
     if !sustained_wave_violates(params, clock, max_p2p, period) {
-        return Err(RlcError::CalibrationFailed { what: "max tolerated variation" });
+        return Err(RlcError::CalibrationFailed {
+            what: "max tolerated variation",
+        });
     }
     let mut lo = 0.0; // tolerated
     let mut hi = max_p2p.amps(); // violates
@@ -145,13 +147,15 @@ pub fn calibrate(
             Err(_) => max_variation,
         }
     };
-    let band_edge_tolerance =
-        edge_tolerance(band_periods.0).max(edge_tolerance(band_periods.1));
+    let band_edge_tolerance = edge_tolerance(band_periods.0).max(edge_tolerance(band_periods.1));
 
     let excitation = band_edge_tolerance.min(max_variation);
     let max_repetition_tolerance =
-        repetitions_to_violation(params, clock, excitation, SETTLE_PERIODS)
-            .ok_or(RlcError::CalibrationFailed { what: "maximum repetition tolerance" })?;
+        repetitions_to_violation(params, clock, excitation, SETTLE_PERIODS).ok_or(
+            RlcError::CalibrationFailed {
+                what: "maximum repetition tolerance",
+            },
+        )?;
 
     Ok(Calibration {
         variation_threshold,
@@ -241,16 +245,21 @@ mod tests {
     #[test]
     fn below_threshold_never_violates() {
         let p = table1();
-        let m = max_tolerated_variation(
+        let m =
+            max_tolerated_variation(&p, GHZ10, Cycles::new(100), Amps::new(70.0), Amps::new(0.5))
+                .unwrap();
+        assert!(!sustained_wave_violates(
             &p,
             GHZ10,
-            Cycles::new(100),
-            Amps::new(70.0),
-            Amps::new(0.5),
-        )
-        .unwrap();
-        assert!(!sustained_wave_violates(&p, GHZ10, Amps::new(m.amps() - 1.0), Cycles::new(100)));
-        assert!(sustained_wave_violates(&p, GHZ10, Amps::new(m.amps() + 2.0), Cycles::new(100)));
+            Amps::new(m.amps() - 1.0),
+            Cycles::new(100)
+        ));
+        assert!(sustained_wave_violates(
+            &p,
+            GHZ10,
+            Amps::new(m.amps() + 2.0),
+            Cycles::new(100)
+        ));
     }
 
     #[test]

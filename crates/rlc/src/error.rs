@@ -72,11 +72,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = RlcError::InvalidElement { element: "R", value: -1.0 };
+        let e = RlcError::InvalidElement {
+            element: "R",
+            value: -1.0,
+        };
         assert!(e.to_string().contains('R'));
         assert!(e.to_string().contains("-1"));
 
-        let e = RlcError::NotUnderdamped { r_squared: 4.0, four_l_over_c: 1.0 };
+        let e = RlcError::NotUnderdamped {
+            r_squared: 4.0,
+            four_l_over_c: 1.0,
+        };
         assert!(e.to_string().contains("underdamped"));
 
         let e = RlcError::InvalidNoiseMargin { margin: 0.0 };

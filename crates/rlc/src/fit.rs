@@ -64,11 +64,16 @@ pub fn fit_supply(
     noise_margin: Volts,
 ) -> Result<FitResult, RlcError> {
     if samples.len() < 8 {
-        return Err(RlcError::CalibrationFailed { what: "impedance fit (too few samples)" });
+        return Err(RlcError::CalibrationFailed {
+            what: "impedance fit (too few samples)",
+        });
     }
     let mut sorted: Vec<ImpedanceSample> = samples.to_vec();
     sorted.sort_by(|a, b| {
-        a.frequency.hertz().partial_cmp(&b.frequency.hertz()).expect("finite frequencies")
+        a.frequency
+            .hertz()
+            .partial_cmp(&b.frequency.hertz())
+            .expect("finite frequencies")
     });
 
     // 1. Peak location (must be interior).
@@ -76,11 +81,16 @@ pub fn fit_supply(
         .iter()
         .enumerate()
         .max_by(|a, b| {
-            a.1.magnitude.ohms().partial_cmp(&b.1.magnitude.ohms()).expect("finite magnitudes")
+            a.1.magnitude
+                .ohms()
+                .partial_cmp(&b.1.magnitude.ohms())
+                .expect("finite magnitudes")
         })
         .expect("non-empty samples");
     if peak_idx == 0 || peak_idx == sorted.len() - 1 {
-        return Err(RlcError::CalibrationFailed { what: "impedance fit (peak not interior)" });
+        return Err(RlcError::CalibrationFailed {
+            what: "impedance fit (peak not interior)",
+        });
     }
     let f0 = peak.frequency.hertz();
     let z_peak = peak.magnitude.ohms();
@@ -101,10 +111,12 @@ pub fn fit_supply(
         }
         None
     };
-    let f_low = cross(&mut (0..=peak_idx).rev())
-        .ok_or(RlcError::CalibrationFailed { what: "impedance fit (low half-power point)" })?;
-    let f_high = cross(&mut (peak_idx..sorted.len()))
-        .ok_or(RlcError::CalibrationFailed { what: "impedance fit (high half-power point)" })?;
+    let f_low = cross(&mut (0..=peak_idx).rev()).ok_or(RlcError::CalibrationFailed {
+        what: "impedance fit (low half-power point)",
+    })?;
+    let f_high = cross(&mut (peak_idx..sorted.len())).ok_or(RlcError::CalibrationFailed {
+        what: "impedance fit (high half-power point)",
+    })?;
 
     // 3. Invert the closed forms.
     let q = f0 / (f_high - f_low);
@@ -121,7 +133,9 @@ pub fn fit_supply(
         vdd,
         noise_margin,
     )
-    .map_err(|_| RlcError::CalibrationFailed { what: "impedance fit (degenerate seed)" })?;
+    .map_err(|_| RlcError::CalibrationFailed {
+        what: "impedance fit (degenerate seed)",
+    })?;
 
     // 4. Coordinate-descent polish on (R, L, C), multiplicative steps.
     let mut best_err = rms_error(&best, &sorted);
@@ -163,7 +177,10 @@ pub fn fit_supply(
             }
         }
     }
-    Ok(FitResult { params: best, rms_relative_error: best_err })
+    Ok(FitResult {
+        params: best,
+        rms_relative_error: best_err,
+    })
 }
 
 #[cfg(test)]
@@ -171,12 +188,25 @@ mod tests {
     use super::*;
     use crate::impedance::ImpedanceSweep;
 
-    fn samples_of(params: &SupplyParams, lo_mhz: f64, hi_mhz: f64, n: usize) -> Vec<ImpedanceSample> {
-        ImpedanceSweep::linear(params, Hertz::from_mega(lo_mhz), Hertz::from_mega(hi_mhz), n)
-            .points()
-            .iter()
-            .map(|p| ImpedanceSample { frequency: p.frequency, magnitude: p.magnitude })
-            .collect()
+    fn samples_of(
+        params: &SupplyParams,
+        lo_mhz: f64,
+        hi_mhz: f64,
+        n: usize,
+    ) -> Vec<ImpedanceSample> {
+        ImpedanceSweep::linear(
+            params,
+            Hertz::from_mega(lo_mhz),
+            Hertz::from_mega(hi_mhz),
+            n,
+        )
+        .points()
+        .iter()
+        .map(|p| ImpedanceSample {
+            frequency: p.frequency,
+            magnitude: p.magnitude,
+        })
+        .collect()
     }
 
     #[test]
@@ -184,14 +214,17 @@ mod tests {
         let truth = SupplyParams::isca04_table1();
         let samples = samples_of(&truth, 30.0, 200.0, 160);
         let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin()).unwrap();
-        assert!(fit.rms_relative_error < 0.01, "residual {}", fit.rms_relative_error);
-        let f_err = (fit.params.resonant_frequency().hertz()
-            - truth.resonant_frequency().hertz())
-        .abs()
+        assert!(
+            fit.rms_relative_error < 0.01,
+            "residual {}",
+            fit.rms_relative_error
+        );
+        let f_err = (fit.params.resonant_frequency().hertz() - truth.resonant_frequency().hertz())
+            .abs()
             / truth.resonant_frequency().hertz();
         assert!(f_err < 0.01, "resonant frequency error {f_err}");
-        let q_err = (fit.params.quality_factor() - truth.quality_factor()).abs()
-            / truth.quality_factor();
+        let q_err =
+            (fit.params.quality_factor() - truth.quality_factor()).abs() / truth.quality_factor();
         assert!(q_err < 0.05, "Q error {q_err}");
     }
 
@@ -205,8 +238,14 @@ mod tests {
         let clock = Hertz::from_giga(10.0);
         let (t_lo, t_hi) = truth.resonance_band_cycles(clock).unwrap();
         let (f_lo, f_hi) = fit.params.resonance_band_cycles(clock).unwrap();
-        assert!(t_lo.count().abs_diff(f_lo.count()) <= 2, "band lo {f_lo} vs {t_lo}");
-        assert!(t_hi.count().abs_diff(f_hi.count()) <= 2, "band hi {f_hi} vs {t_hi}");
+        assert!(
+            t_lo.count().abs_diff(f_lo.count()) <= 2,
+            "band lo {f_lo} vs {t_lo}"
+        );
+        assert!(
+            t_hi.count().abs_diff(f_hi.count()) <= 2,
+            "band hi {f_hi} vs {t_hi}"
+        );
     }
 
     #[test]
@@ -219,9 +258,8 @@ mod tests {
             s.magnitude = Ohms::new(s.magnitude.ohms() * wiggle);
         }
         let fit = fit_supply(&samples, truth.vdd(), truth.noise_margin()).unwrap();
-        let f_err = (fit.params.resonant_frequency().hertz()
-            - truth.resonant_frequency().hertz())
-        .abs()
+        let f_err = (fit.params.resonant_frequency().hertz() - truth.resonant_frequency().hertz())
+            .abs()
             / truth.resonant_frequency().hertz();
         assert!(f_err < 0.03, "resonant frequency error {f_err} under noise");
     }

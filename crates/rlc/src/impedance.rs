@@ -109,7 +109,10 @@ impl ImpedanceSweep {
     /// Panics if `n < 2` or if `f_start >= f_end`.
     pub fn linear(params: &SupplyParams, f_start: Hertz, f_end: Hertz, n: usize) -> Self {
         assert!(n >= 2, "need at least two sweep points");
-        assert!(f_start.hertz() < f_end.hertz(), "sweep range must be increasing");
+        assert!(
+            f_start.hertz() < f_end.hertz(),
+            "sweep range must be increasing"
+        );
         let step = (f_end.hertz() - f_start.hertz()) / (n - 1) as f64;
         let points = (0..n)
             .map(|k| {

@@ -29,7 +29,10 @@ pub struct SupplyState {
 impl SupplyState {
     /// The steady state for a constant CPU current: `i_l = i`, `v = −R·i`.
     pub fn steady(params: &SupplyParams, i_cpu: Amps) -> Self {
-        Self { v: -params.resistance().ohms() * i_cpu.amps(), i_l: i_cpu.amps() }
+        Self {
+            v: -params.resistance().ohms() * i_cpu.amps(),
+            i_l: i_cpu.amps(),
+        }
     }
 
     /// The *inductive-noise* voltage: the node-voltage deviation with the
@@ -66,7 +69,10 @@ fn derivative(params: &SupplyParams, s: SupplyState, i_cpu: f64) -> Derivative {
     let c = params.capacitance().farads();
     let l = params.inductance().henries();
     let r = params.resistance().ohms();
-    Derivative { dv: (s.i_l - i_cpu) / c, di_l: (-s.v - r * s.i_l) / l }
+    Derivative {
+        dv: (s.i_l - i_cpu) / c,
+        di_l: (-s.v - r * s.i_l) / l,
+    }
 }
 
 /// Advances the state by one step of length `dt`, with the CPU current equal
@@ -87,8 +93,10 @@ pub fn step(
     match method {
         Method::Heun => {
             let k1 = derivative(params, state, i_start.amps());
-            let predictor =
-                SupplyState { v: state.v + h * k1.dv, i_l: state.i_l + h * k1.di_l };
+            let predictor = SupplyState {
+                v: state.v + h * k1.dv,
+                i_l: state.i_l + h * k1.di_l,
+            };
             let k2 = derivative(params, predictor, i_end.amps());
             SupplyState {
                 v: state.v + 0.5 * h * (k1.dv + k2.dv),
@@ -108,7 +116,10 @@ pub fn step(
                 i_l: state.i_l + 0.5 * h * k2.di_l,
             };
             let k3 = derivative(params, s3, i_mid);
-            let s4 = SupplyState { v: state.v + h * k3.dv, i_l: state.i_l + h * k3.di_l };
+            let s4 = SupplyState {
+                v: state.v + h * k3.dv,
+                i_l: state.i_l + h * k3.di_l,
+            };
             let k4 = derivative(params, s4, i_end.amps());
             SupplyState {
                 v: state.v + h / 6.0 * (k1.dv + 2.0 * k2.dv + 2.0 * k3.dv + k4.dv),
@@ -182,7 +193,12 @@ mod tests {
             s.v,
             exact.v
         );
-        assert!((s.i_l - exact.i_l).abs() < 2.0, "i_l {} vs {}", s.i_l, exact.i_l);
+        assert!(
+            (s.i_l - exact.i_l).abs() < 2.0,
+            "i_l {} vs {}",
+            s.i_l,
+            exact.i_l
+        );
     }
 
     #[test]
@@ -199,7 +215,10 @@ mod tests {
         let exact = exact_free_decay(&p, s0, Seconds::new(DT.seconds() * n as f64));
         let err_heun = (heun.v - exact.v).abs();
         let err_rk4 = (rk4.v - exact.v).abs();
-        assert!(err_rk4 <= err_heun, "rk4 err {err_rk4} vs heun err {err_heun}");
+        assert!(
+            err_rk4 <= err_heun,
+            "rk4 err {err_rk4} vs heun err {err_heun}"
+        );
     }
 
     #[test]
@@ -257,7 +276,11 @@ mod tests {
             let mut cur = 70.0;
             let mut prev = 70.0;
             for cycle in 0..4000u64 {
-                let next = if (cycle / half_period).is_multiple_of(2) { 70.0 } else { 36.0 };
+                let next = if (cycle / half_period).is_multiple_of(2) {
+                    70.0
+                } else {
+                    36.0
+                };
                 s = step(&p, Method::Heun, s, Amps::new(prev), Amps::new(cur), DT);
                 prev = cur;
                 cur = next;
@@ -271,6 +294,9 @@ mod tests {
             resonant > 3.0 * off,
             "resonant peak {resonant} should dwarf off-band peak {off}"
         );
-        assert!(resonant > 0.05, "34 A resonant square wave should violate the margin");
+        assert!(
+            resonant > 0.05,
+            "34 A resonant square wave should violate the margin"
+        );
     }
 }

@@ -7,7 +7,7 @@
 //! factor, resonance band, damping rate) derive from `R`, `L`, `C`.
 
 use crate::error::RlcError;
-use crate::units::{Cycles, Farads, Hertz, Henries, Ohms, Seconds, Volts};
+use crate::units::{Cycles, Farads, Henries, Hertz, Ohms, Seconds, Volts};
 
 /// The three circuit elements of the second-order power-supply model plus the
 /// supply voltage and noise margin.
@@ -66,14 +66,25 @@ impl SupplyParams {
         check("C", capacitance.farads())?;
         check("Vdd", vdd.volts())?;
         if !noise_margin.volts().is_finite() || noise_margin.volts() <= 0.0 {
-            return Err(RlcError::InvalidNoiseMargin { margin: noise_margin.volts() });
+            return Err(RlcError::InvalidNoiseMargin {
+                margin: noise_margin.volts(),
+            });
         }
         let r_squared = resistance.ohms() * resistance.ohms();
         let four_l_over_c = 4.0 * inductance.henries() / capacitance.farads();
         if r_squared >= four_l_over_c {
-            return Err(RlcError::NotUnderdamped { r_squared, four_l_over_c });
+            return Err(RlcError::NotUnderdamped {
+                r_squared,
+                four_l_over_c,
+            });
         }
-        Ok(Self { resistance, inductance, capacitance, vdd, noise_margin })
+        Ok(Self {
+            resistance,
+            inductance,
+            capacitance,
+            vdd,
+            noise_margin,
+        })
     }
 
     /// The aggressive future design point the paper evaluates (Table 1):
@@ -173,7 +184,10 @@ impl SupplyParams {
         let q = self.quality_factor();
         let half = 1.0 / (2.0 * q);
         let root = (1.0 + half * half).sqrt();
-        (Hertz::new(f0 * (root - half)), Hertz::new(f0 * (root + half)))
+        (
+            Hertz::new(f0 * (root - half)),
+            Hertz::new(f0 * (root + half)),
+        )
     }
 
     /// The damping rate α = πf/Q in nepers per second: voltage variations
@@ -200,7 +214,10 @@ impl SupplyParams {
     /// quarter period), and [`RlcError::InvalidElement`] for a bad clock.
     pub fn resonant_period_cycles(&self, clock: Hertz) -> Result<Cycles, RlcError> {
         if !clock.hertz().is_finite() || clock.hertz() <= 0.0 {
-            return Err(RlcError::InvalidElement { element: "clock", value: clock.hertz() });
+            return Err(RlcError::InvalidElement {
+                element: "clock",
+                value: clock.hertz(),
+            });
         }
         let cycles = clock.hertz() / self.resonant_frequency().hertz();
         if cycles < 8.0 {
@@ -219,7 +236,10 @@ impl SupplyParams {
     /// to the short-period edge.
     pub fn resonance_band_cycles(&self, clock: Hertz) -> Result<(Cycles, Cycles), RlcError> {
         if !clock.hertz().is_finite() || clock.hertz() <= 0.0 {
-            return Err(RlcError::InvalidElement { element: "clock", value: clock.hertz() });
+            return Err(RlcError::InvalidElement {
+                element: "clock",
+                value: clock.hertz(),
+            });
         }
         let (f_low, f_high) = self.resonance_band();
         let short = clock.hertz() / f_high.hertz();
@@ -227,7 +247,10 @@ impl SupplyParams {
         if short < 8.0 {
             return Err(RlcError::PeriodTooShort { cycles: short });
         }
-        Ok((Cycles::new(short.round() as u64), Cycles::new(long.round() as u64)))
+        Ok((
+            Cycles::new(short.round() as u64),
+            Cycles::new(long.round() as u64),
+        ))
     }
 }
 
@@ -263,15 +286,27 @@ mod tests {
     fn table1_band_frequencies_match_paper() {
         let p = SupplyParams::isca04_table1();
         let (f_low, f_high) = p.resonance_band();
-        assert!((f_low.hertz() / 1e6 - 83.9).abs() < 0.5, "low edge {}", f_low);
-        assert!((f_high.hertz() / 1e6 - 119.0).abs() < 1.0, "high edge {}", f_high);
+        assert!(
+            (f_low.hertz() / 1e6 - 83.9).abs() < 0.5,
+            "low edge {}",
+            f_low
+        );
+        assert!(
+            (f_high.hertz() / 1e6 - 119.0).abs() < 1.0,
+            "high edge {}",
+            f_high
+        );
     }
 
     #[test]
     fn table1_dissipates_about_66_percent_per_period() {
         let p = SupplyParams::isca04_table1();
         let surviving = p.decay_per_period();
-        assert!((1.0 - surviving - 0.66).abs() < 0.02, "dissipated = {}", 1.0 - surviving);
+        assert!(
+            (1.0 - surviving - 0.66).abs() < 0.02,
+            "dissipated = {}",
+            1.0 - surviving
+        );
     }
 
     #[test]
@@ -281,7 +316,10 @@ mod tests {
         assert!((f - 100.0).abs() < 1.0, "f = {f} MHz");
         // ~40% dissipation per period.
         let dissipated = 1.0 - p.decay_per_period();
-        assert!((dissipated - 0.40).abs() < 0.03, "dissipated = {dissipated}");
+        assert!(
+            (dissipated - 0.40).abs() < 0.03,
+            "dissipated = {dissipated}"
+        );
         // Resonance band ≈ 92–108 MHz.
         let (lo, hi) = p.resonance_band();
         assert!((lo.hertz() / 1e6 - 92.0).abs() < 1.5, "lo = {lo}");
@@ -318,7 +356,10 @@ mod tests {
             Volts::new(1.0),
             Volts::new(0.05),
         );
-        assert!(matches!(bad, Err(RlcError::InvalidElement { element: "R", .. })));
+        assert!(matches!(
+            bad,
+            Err(RlcError::InvalidElement { element: "R", .. })
+        ));
 
         let bad = SupplyParams::new(
             Ohms::from_micro(375.0),
@@ -327,7 +368,10 @@ mod tests {
             Volts::new(1.0),
             Volts::new(0.05),
         );
-        assert!(matches!(bad, Err(RlcError::InvalidElement { element: "L", .. })));
+        assert!(matches!(
+            bad,
+            Err(RlcError::InvalidElement { element: "L", .. })
+        ));
 
         let bad = SupplyParams::new(
             Ohms::from_micro(375.0),
@@ -343,9 +387,13 @@ mod tests {
     fn rejects_too_fast_resonance_for_slow_clock() {
         let p = SupplyParams::isca04_table1();
         // 100 MHz clock -> 1 cycle per resonant period: too short.
-        let err = p.resonant_period_cycles(Hertz::from_mega(100.0)).unwrap_err();
+        let err = p
+            .resonant_period_cycles(Hertz::from_mega(100.0))
+            .unwrap_err();
         assert!(matches!(err, RlcError::PeriodTooShort { .. }));
-        let err = p.resonance_band_cycles(Hertz::from_mega(100.0)).unwrap_err();
+        let err = p
+            .resonance_band_cycles(Hertz::from_mega(100.0))
+            .unwrap_err();
         assert!(matches!(err, RlcError::PeriodTooShort { .. }));
     }
 

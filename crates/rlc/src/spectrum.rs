@@ -83,8 +83,8 @@ pub fn resonance_band_ratio(trace: &[Amps], clock: Hertz, supply: &SupplyParams)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::waveform::{PeriodicWave, Shape, Waveform};
     use crate::units::Cycles;
+    use crate::waveform::{PeriodicWave, Shape, Waveform};
 
     const GHZ10: Hertz = Hertz::new(10e9);
 
@@ -125,8 +125,9 @@ mod tests {
         // Square wave p2p X: fundamental amplitude 2X/π, power (X/π)².
         let wave =
             PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(20.0), Cycles::new(100));
-        let trace: Vec<Amps> =
-            (0..20_000).map(|c| wave.current_at(Cycles::new(c))).collect();
+        let trace: Vec<Amps> = (0..20_000)
+            .map(|c| wave.current_at(Cycles::new(c)))
+            .collect();
         let p = power_at(&trace, GHZ10, Hertz::from_mega(100.0));
         let expect = (20.0 / std::f64::consts::PI).powi(2);
         assert!((p - expect).abs() / expect < 0.05, "power {p} vs {expect}");
@@ -136,25 +137,26 @@ mod tests {
     fn resonant_workload_has_high_band_ratio() {
         let supply = SupplyParams::isca04_table1();
         let resonant = {
-            let wave = PeriodicWave::sustained_square(
-                Amps::new(70.0),
-                Amps::new(30.0),
-                Cycles::new(100),
-            );
-            (0..30_000).map(|c| wave.current_at(Cycles::new(c))).collect::<Vec<_>>()
+            let wave =
+                PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(30.0), Cycles::new(100));
+            (0..30_000)
+                .map(|c| wave.current_at(Cycles::new(c)))
+                .collect::<Vec<_>>()
         };
         let off_band = {
-            let wave = PeriodicWave::sustained_square(
-                Amps::new(70.0),
-                Amps::new(30.0),
-                Cycles::new(40),
-            );
-            (0..30_000).map(|c| wave.current_at(Cycles::new(c))).collect::<Vec<_>>()
+            let wave =
+                PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(30.0), Cycles::new(40));
+            (0..30_000)
+                .map(|c| wave.current_at(Cycles::new(c)))
+                .collect::<Vec<_>>()
         };
         let r_res = resonance_band_ratio(&resonant, GHZ10, &supply);
         let r_off = resonance_band_ratio(&off_band, GHZ10, &supply);
         assert!(r_res > 50.0, "resonant trace ratio {r_res}");
-        assert!(r_off < r_res / 10.0, "off-band ratio {r_off} vs resonant {r_res}");
+        assert!(
+            r_off < r_res / 10.0,
+            "off-band ratio {r_off} vs resonant {r_res}"
+        );
     }
 
     #[test]
@@ -170,8 +172,9 @@ mod tests {
                 Cycles::new(0),
                 Cycles::new(u64::MAX),
             );
-            let trace: Vec<Amps> =
-                (0..20_000).map(|c| wave.current_at(Cycles::new(c))).collect();
+            let trace: Vec<Amps> = (0..20_000)
+                .map(|c| wave.current_at(Cycles::new(c)))
+                .collect();
             power_at(&trace, GHZ10, Hertz::from_mega(100.0))
         };
         assert!(mk(Shape::Triangle) < mk(Shape::Square));

@@ -95,7 +95,14 @@ impl PowerSupply {
     /// Advances one clock cycle during which the CPU draws `current`, and
     /// returns the end-of-cycle noise voltage and violation flag.
     pub fn tick(&mut self, current: Amps) -> SupplyOutput {
-        self.state = step(&self.params, self.method, self.state, self.prev_current, current, self.dt);
+        self.state = step(
+            &self.params,
+            self.method,
+            self.state,
+            self.prev_current,
+            current,
+            self.dt,
+        );
         self.prev_current = current;
         let noise = self.state.noise_voltage(&self.params);
         let violation = noise.abs().volts() > self.params.noise_margin().volts();
@@ -105,7 +112,11 @@ impl PowerSupply {
         if noise.abs().volts() > self.worst_noise.abs().volts() {
             self.worst_noise = noise;
         }
-        let out = SupplyOutput { cycle: self.cycle, noise, violation };
+        let out = SupplyOutput {
+            cycle: self.cycle,
+            noise,
+            violation,
+        };
         self.cycle = self.cycle + Cycles::new(1);
         out
     }
@@ -192,7 +203,12 @@ pub fn simulate_waveform<W: Waveform + ?Sized>(
             violation_cycles.push(out.cycle);
         }
     }
-    WaveformTrace { current, noise, violation_cycles, worst_noise: supply.worst_noise() }
+    WaveformTrace {
+        current,
+        noise,
+        violation_cycles,
+        worst_noise: supply.worst_noise(),
+    }
 }
 
 #[cfg(test)]
@@ -255,7 +271,10 @@ mod tests {
         // Peak noise in successive post-stimulus periods decays ~66% per
         // period (Q = 2.83).
         let peak_in = |lo: usize, hi: usize| -> f64 {
-            trace.noise[lo..hi].iter().map(|v| v.abs().volts()).fold(0.0, f64::max)
+            trace.noise[lo..hi]
+                .iter()
+                .map(|v| v.abs().volts())
+                .fold(0.0, f64::max)
         };
         let p1 = peak_in(520, 620);
         let p2 = peak_in(620, 720);
@@ -263,8 +282,14 @@ mod tests {
         let r1 = p2 / p1;
         let r2 = p3 / p2;
         let expect = table1().decay_per_period();
-        assert!((r1 - expect).abs() < 0.12, "decay ratio {r1} vs e^(-pi/Q) {expect}");
-        assert!((r2 - expect).abs() < 0.12, "decay ratio {r2} vs e^(-pi/Q) {expect}");
+        assert!(
+            (r1 - expect).abs() < 0.12,
+            "decay ratio {r1} vs e^(-pi/Q) {expect}"
+        );
+        assert!(
+            (r2 - expect).abs() < 0.12,
+            "decay ratio {r2} vs e^(-pi/Q) {expect}"
+        );
     }
 
     #[test]
@@ -295,7 +320,10 @@ mod tests {
             s.tick(Amps::new(i));
         }
         assert_eq!(s.cycles(), Cycles::new(600));
-        assert!(s.violation_cycles() > 0, "40 A resonant swing should violate");
+        assert!(
+            s.violation_cycles() > 0,
+            "40 A resonant swing should violate"
+        );
         assert!(s.worst_noise().abs().volts() > 0.05);
         s.reset(Amps::new(70.0));
         assert_eq!(s.cycles(), Cycles::new(0));
@@ -312,7 +340,8 @@ mod tests {
     #[test]
     fn heun_and_rk4_agree_on_resonant_drive() {
         let p = table1();
-        let wave = PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(20.0), Cycles::new(100));
+        let wave =
+            PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(20.0), Cycles::new(100));
         let mut heun = PowerSupply::with_method(p, GHZ10, Amps::new(80.0), Method::Heun);
         let mut rk4 = PowerSupply::with_method(p, GHZ10, Amps::new(80.0), Method::Rk4);
         let mut max_diff: f64 = 0.0;

@@ -60,7 +60,10 @@ impl TwoStageParams {
         let r_squared = r1.ohms() * r1.ohms();
         let four_l_over_c = 4.0 * l1.henries() / c1.farads();
         if r_squared >= four_l_over_c {
-            return Err(RlcError::NotUnderdamped { r_squared, four_l_over_c });
+            return Err(RlcError::NotUnderdamped {
+                r_squared,
+                four_l_over_c,
+            });
         }
         Ok(Self { r1, l1, c1, on_die })
     }
@@ -101,7 +104,10 @@ impl TwoStageParams {
     /// Returns [`RlcError::InvalidElement`] for a bad clock.
     pub fn low_band_cycles(&self, clock: Hertz) -> Result<(Cycles, Cycles), RlcError> {
         if !clock.hertz().is_finite() || clock.hertz() <= 0.0 {
-            return Err(RlcError::InvalidElement { element: "clock", value: clock.hertz() });
+            return Err(RlcError::InvalidElement {
+                element: "clock",
+                value: clock.hertz(),
+            });
         }
         let f0 = self.low_resonant_frequency().hertz();
         let q = self.low_quality_factor();
@@ -159,7 +165,12 @@ impl TwoStageState {
     pub fn steady(params: &TwoStageParams, i_cpu: Amps) -> Self {
         let i = i_cpu.amps();
         let v1 = -params.r1.ohms() * i;
-        Self { v1, i1: i, v2: v1 - params.on_die.resistance().ohms() * i, i2: i }
+        Self {
+            v1,
+            i1: i,
+            v2: v1 - params.on_die.resistance().ohms() * i,
+            i2: i,
+        }
     }
 
     /// The inductive-noise voltage at the die with both stages' quasi-static
@@ -184,8 +195,7 @@ fn derivative(p: &TwoStageParams, s: TwoStageState, i_cpu: f64) -> Derivative {
         dv1: (s.i1 - s.i2) / p.c1.farads(),
         di1: (-s.v1 - p.r1.ohms() * s.i1) / p.l1.henries(),
         dv2: (s.i2 - i_cpu) / p.on_die.capacitance().farads(),
-        di2: (s.v1 - s.v2 - p.on_die.resistance().ohms() * s.i2)
-            / p.on_die.inductance().henries(),
+        di2: (s.v1 - s.v2 - p.on_die.resistance().ohms() * s.i2) / p.on_die.inductance().henries(),
     }
 }
 
@@ -257,7 +267,13 @@ impl TwoStageSupply {
     /// Advances one cycle at the given CPU current; returns the die-level
     /// noise voltage.
     pub fn tick(&mut self, current: Amps) -> Volts {
-        self.state = step_two_stage(&self.params, self.state, self.prev_current, current, self.dt);
+        self.state = step_two_stage(
+            &self.params,
+            self.state,
+            self.prev_current,
+            current,
+            self.dt,
+        );
         self.prev_current = current;
         self.cycle = self.cycle + Cycles::new(1);
         let noise = self.state.noise_voltage(&self.params);
@@ -296,7 +312,10 @@ mod tests {
         let p = preset();
         let f = p.low_resonant_frequency().hertz() / 1e6;
         assert!((1.0..5.0).contains(&f), "low peak at {f} MHz");
-        assert!(p.low_quality_factor() > 1.0, "low loop must be underdamped-resonant");
+        assert!(
+            p.low_quality_factor() > 1.0,
+            "low loop must be underdamped-resonant"
+        );
     }
 
     #[test]
@@ -331,12 +350,21 @@ mod tests {
         let z_low = max_in(0.5, 6.0);
         let z_mid = max_in(60.0, 140.0);
         let z_valley = min_in(8.0, 50.0);
-        assert!(z_low > 2.0 * z_valley, "low peak {z_low} vs valley {z_valley}");
-        assert!(z_mid > 1.5 * z_valley, "mid peak {z_mid} vs valley {z_valley}");
+        assert!(
+            z_low > 2.0 * z_valley,
+            "low peak {z_low} vs valley {z_valley}"
+        );
+        assert!(
+            z_mid > 1.5 * z_valley,
+            "mid peak {z_mid} vs valley {z_valley}"
+        );
         // The low peak's frequency is where the analytic estimate says.
         let f_est = p.low_resonant_frequency().hertz();
         let z_at_est = p.impedance_at(Hertz::new(f_est)).magnitude();
-        assert!(z_at_est > 0.8 * z_low, "estimate {f_est} Hz should sit near the peak");
+        assert!(
+            z_at_est > 0.8 * z_low,
+            "estimate {f_est} Hz should sit near the peak"
+        );
     }
 
     #[test]
@@ -367,7 +395,11 @@ mod tests {
         let drive = |per: u64| -> f64 {
             let mut s = TwoStageSupply::new(p, GHZ10, Amps::new(70.0));
             for c in 0..per * 30 {
-                let i = if (c / (per / 2)).is_multiple_of(2) { 85.0 } else { 55.0 };
+                let i = if (c / (per / 2)).is_multiple_of(2) {
+                    85.0
+                } else {
+                    55.0
+                };
                 s.tick(Amps::new(i));
             }
             s.worst_noise().abs().volts()
@@ -391,7 +423,10 @@ mod tests {
             let i = if (c / 50) % 2 == 0 { 90.0 } else { 50.0 };
             worst = worst.max(s.tick(Amps::new(i)).abs().volts());
         }
-        assert!(worst > 0.05, "medium-frequency resonance must persist, got {worst}");
+        assert!(
+            worst > 0.05,
+            "medium-frequency resonance must persist, got {worst}"
+        );
     }
 
     #[test]
@@ -424,6 +459,9 @@ mod tests {
             Farads::from_micro(5.0),
             SupplyParams::isca04_table1(),
         );
-        assert!(matches!(bad, Err(RlcError::InvalidElement { element: "R1", .. })));
+        assert!(matches!(
+            bad,
+            Err(RlcError::InvalidElement { element: "R1", .. })
+        ));
     }
 }

@@ -233,7 +233,10 @@ impl Seconds {
     /// Panics if the period is zero.
     #[inline]
     pub fn frequency(self) -> Hertz {
-        assert!(self.seconds() != 0.0, "frequency of zero period is undefined");
+        assert!(
+            self.seconds() != 0.0,
+            "frequency of zero period is undefined"
+        );
         Hertz::new(1.0 / self.seconds())
     }
 }

@@ -107,13 +107,30 @@ impl PeriodicWave {
         end: Cycles,
     ) -> Self {
         assert!(period.count() > 0, "waveform period must be nonzero");
-        assert!(peak_to_peak.amps() >= 0.0, "peak-to-peak amplitude must be non-negative");
-        Self { shape, baseline, peak_to_peak, period, start, end }
+        assert!(
+            peak_to_peak.amps() >= 0.0,
+            "peak-to-peak amplitude must be non-negative"
+        );
+        Self {
+            shape,
+            baseline,
+            peak_to_peak,
+            period,
+            start,
+            end,
+        }
     }
 
     /// A square wave running forever from cycle 0 (calibration stimulus).
     pub fn sustained_square(baseline: Amps, peak_to_peak: Amps, period: Cycles) -> Self {
-        Self::new(Shape::Square, baseline, peak_to_peak, period, Cycles::new(0), Cycles::new(u64::MAX))
+        Self::new(
+            Shape::Square,
+            baseline,
+            peak_to_peak,
+            period,
+            Cycles::new(0),
+            Cycles::new(u64::MAX),
+        )
     }
 
     /// The wave's period in cycles.
@@ -146,7 +163,11 @@ impl Waveform for PeriodicWave {
             Shape::Sine => half_amp * (2.0 * std::f64::consts::PI * phase).sin(),
             Shape::Triangle => {
                 // Rise 0→1 over the first half, fall back over the second.
-                let tri = if phase < 0.5 { 4.0 * phase - 1.0 } else { 3.0 - 4.0 * phase };
+                let tri = if phase < 0.5 {
+                    4.0 * phase - 1.0
+                } else {
+                    3.0 - 4.0 * phase
+                };
                 half_amp * tri
             }
         };
@@ -156,7 +177,9 @@ impl Waveform for PeriodicWave {
 
 /// Samples any waveform into a per-cycle vector `[0, n)`.
 pub fn sample<W: Waveform + ?Sized>(wave: &W, n: Cycles) -> Vec<Amps> {
-    (0..n.count()).map(|c| wave.current_at(Cycles::new(c))).collect()
+    (0..n.count())
+        .map(|c| wave.current_at(Cycles::new(c)))
+        .collect()
 }
 
 #[cfg(test)]

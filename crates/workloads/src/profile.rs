@@ -256,14 +256,22 @@ impl WorkloadProfile {
     ///
     /// Panics on out-of-range probabilities or degenerate parameters.
     pub fn validate(&self) {
-        assert!(self.mean_dep >= 1.0, "{}: mean dependence distance must be >= 1", self.name);
+        assert!(
+            self.mean_dep >= 1.0,
+            "{}: mean dependence distance must be >= 1",
+            self.name
+        );
         let probs = [
             ("l2_fraction", self.l2_fraction),
             ("mem_fraction", self.mem_fraction),
             ("mispredict_rate", self.mispredict_rate),
         ];
         for (what, p) in probs {
-            assert!((0.0..=1.0).contains(&p), "{}: {what} out of [0,1]", self.name);
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{}: {what} out of [0,1]",
+                self.name
+            );
         }
         assert!(
             self.l2_fraction + self.mem_fraction <= 1.0,
@@ -272,9 +280,21 @@ impl WorkloadProfile {
         );
         assert!(self.mix.total() > 0.0, "{}: empty op mix", self.name);
         if let Some(ep) = &self.episode {
-            assert!(ep.chain_ops > 0 && ep.burst_ops > 0, "{}: degenerate episode", self.name);
-            assert!(ep.periods > 0, "{}: episode needs at least one period", self.name);
-            assert!((0.0..=1.0).contains(&ep.rate), "{}: episode rate out of range", self.name);
+            assert!(
+                ep.chain_ops > 0 && ep.burst_ops > 0,
+                "{}: degenerate episode",
+                self.name
+            );
+            assert!(
+                ep.periods > 0,
+                "{}: episode needs at least one period",
+                self.name
+            );
+            assert!(
+                (0.0..=1.0).contains(&ep.rate),
+                "{}: episode rate out of range",
+                self.name
+            );
             assert!(
                 (0.0..=1.0).contains(&ep.continue_prob),
                 "{}: continue probability out of range",

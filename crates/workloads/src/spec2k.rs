@@ -41,65 +41,321 @@ pub fn all() -> Vec<WorkloadProfile> {
         Option<Episode>,
     )> = vec![
         // ---- Applications with noise-margin violations (Table 2 top) ----
-        ("applu", 1.97, true, fp, 5.5, 0.040, 0.0040, false, 0.010,
-         Some(Episode::resonant(95, 10, 6.0e-4).with_continue_prob(0.66))),
-        ("art", 1.49, true, fp, 3.1, 0.100, 0.0060, false, 0.010,
-         Some(Episode::resonant(98, 10, 7.0e-4).with_continue_prob(0.66))),
-        ("bzip", 2.19, true, int, 4.0, 0.030, 0.0020, false, 0.030,
-         Some(Episode::resonant(100, 12, 1.2e-3).with_continue_prob(0.55))),
-        ("crafty", 2.25, true, int, 5.5, 0.020, 0.0010, false, 0.040,
-         Some(Episode::resonant(102, 8, 5.0e-4).with_continue_prob(0.55))),
-        ("facerec", 2.60, true, fp, 9.0, 0.030, 0.0020, false, 0.010,
-         Some(Episode::resonant(96, 12, 4.0e-4).with_continue_prob(0.72))),
-        ("gcc", 2.13, true, int, 5.5, 0.030, 0.0020, false, 0.045,
-         Some(Episode::resonant(108, 8, 3.0e-4).with_continue_prob(0.55))),
-        ("lucas", 0.85, true, fp, 2.2, 0.060, 0.0400, false, 0.005,
-         Some(Episode::resonant(100, 12, 1.8e-3).with_continue_prob(0.65))),
-        ("mcf", 0.38, true, int, 2.5, 0.080, 0.1000, true, 0.040,
-         Some(Episode::resonant(96, 10, 3.0e-4).with_continue_prob(0.70))),
-        ("mgrid", 2.88, true, fp, 11.0, 0.040, 0.0020, false, 0.004,
-         Some(Episode::resonant(98, 12, 6.0e-4).with_continue_prob(0.72))),
-        ("parser", 1.71, true, int, 3.3, 0.050, 0.0060, false, 0.035,
-         Some(Episode::resonant(100, 8, 9.0e-4).with_continue_prob(0.55).with_miss_chance(0.15))),
-        ("swim", 1.99, true, fp, 4.0, 0.080, 0.0060, false, 0.004,
-         Some(Episode::resonant(104, 12, 1.5e-3).with_continue_prob(0.62))),
-        ("wupwise", 3.47, true, fp, 14.0, 0.020, 0.0010, false, 0.004,
-         Some(Episode::resonant(95, 10, 1.0e-3).with_continue_prob(0.66))),
+        (
+            "applu",
+            1.97,
+            true,
+            fp,
+            5.5,
+            0.040,
+            0.0040,
+            false,
+            0.010,
+            Some(Episode::resonant(95, 10, 6.0e-4).with_continue_prob(0.66)),
+        ),
+        (
+            "art",
+            1.49,
+            true,
+            fp,
+            3.1,
+            0.100,
+            0.0060,
+            false,
+            0.010,
+            Some(Episode::resonant(98, 10, 7.0e-4).with_continue_prob(0.66)),
+        ),
+        (
+            "bzip",
+            2.19,
+            true,
+            int,
+            4.0,
+            0.030,
+            0.0020,
+            false,
+            0.030,
+            Some(Episode::resonant(100, 12, 1.2e-3).with_continue_prob(0.55)),
+        ),
+        (
+            "crafty",
+            2.25,
+            true,
+            int,
+            5.5,
+            0.020,
+            0.0010,
+            false,
+            0.040,
+            Some(Episode::resonant(102, 8, 5.0e-4).with_continue_prob(0.55)),
+        ),
+        (
+            "facerec",
+            2.60,
+            true,
+            fp,
+            9.0,
+            0.030,
+            0.0020,
+            false,
+            0.010,
+            Some(Episode::resonant(96, 12, 4.0e-4).with_continue_prob(0.72)),
+        ),
+        (
+            "gcc",
+            2.13,
+            true,
+            int,
+            5.5,
+            0.030,
+            0.0020,
+            false,
+            0.045,
+            Some(Episode::resonant(108, 8, 3.0e-4).with_continue_prob(0.55)),
+        ),
+        (
+            "lucas",
+            0.85,
+            true,
+            fp,
+            2.2,
+            0.060,
+            0.0400,
+            false,
+            0.005,
+            Some(Episode::resonant(100, 12, 1.8e-3).with_continue_prob(0.65)),
+        ),
+        (
+            "mcf",
+            0.38,
+            true,
+            int,
+            2.5,
+            0.080,
+            0.1000,
+            true,
+            0.040,
+            Some(Episode::resonant(96, 10, 3.0e-4).with_continue_prob(0.70)),
+        ),
+        (
+            "mgrid",
+            2.88,
+            true,
+            fp,
+            11.0,
+            0.040,
+            0.0020,
+            false,
+            0.004,
+            Some(Episode::resonant(98, 12, 6.0e-4).with_continue_prob(0.72)),
+        ),
+        (
+            "parser",
+            1.71,
+            true,
+            int,
+            3.3,
+            0.050,
+            0.0060,
+            false,
+            0.035,
+            Some(
+                Episode::resonant(100, 8, 9.0e-4)
+                    .with_continue_prob(0.55)
+                    .with_miss_chance(0.15),
+            ),
+        ),
+        (
+            "swim",
+            1.99,
+            true,
+            fp,
+            4.0,
+            0.080,
+            0.0060,
+            false,
+            0.004,
+            Some(Episode::resonant(104, 12, 1.5e-3).with_continue_prob(0.62)),
+        ),
+        (
+            "wupwise",
+            3.47,
+            true,
+            fp,
+            14.0,
+            0.020,
+            0.0010,
+            false,
+            0.004,
+            Some(Episode::resonant(95, 10, 1.0e-3).with_continue_prob(0.66)),
+        ),
         // ---- Applications without noise-margin violations ----
-        ("ammp", 0.44, false, fp, 2.2, 0.080, 0.1000, true, 0.010,
-         Some(Episode::weak(100, 2, 8.0e-4))),
-        ("apsi", 1.85, false, fp, 5.5, 0.040, 0.0030, false, 0.010,
-         Some(Episode::weak(64, 3, 8.0e-4))), // out-of-band period
-        ("eon", 2.72, false, int, 7.5, 0.010, 0.0005, false, 0.020,
-         Some(Episode::weak(95, 2, 1.6e-3))),
+        (
+            "ammp",
+            0.44,
+            false,
+            fp,
+            2.2,
+            0.080,
+            0.1000,
+            true,
+            0.010,
+            Some(Episode::weak(100, 2, 8.0e-4)),
+        ),
+        (
+            "apsi",
+            1.85,
+            false,
+            fp,
+            5.5,
+            0.040,
+            0.0030,
+            false,
+            0.010,
+            Some(Episode::weak(64, 3, 8.0e-4)),
+        ), // out-of-band period
+        (
+            "eon",
+            2.72,
+            false,
+            int,
+            7.5,
+            0.010,
+            0.0005,
+            false,
+            0.020,
+            Some(Episode::weak(95, 2, 1.6e-3)),
+        ),
         // equake runs near peak IPC: even shallow episode dips swing ~34 A
         // against its high baseline and (rarely) graze the margin, so its
         // profile carries no episodes — variation comes from its natural
         // miss/mispredict structure alone.
-        ("equake", 4.00, false, fp, 14.0, 0.015, 0.0008, false, 0.004, None),
-        ("fma3d", 4.11, false, fp, 22.0, 0.010, 0.0005, false, 0.003,
-         // Isolated in-band variations: die after 1–2 periods, never
-         // building to violations — but plenty for threshold-based schemes
-         // to react to.
-         Some(Episode::weak(98, 2, 2.4e-3).with_continue_prob(0.25))),
-        ("galgel", 3.61, false, fp, 15.0, 0.020, 0.0010, false, 0.004,
-         Some(Episode::weak(100, 3, 2.4e-3))),
-        ("gap", 2.84, false, int, 9.0, 0.020, 0.0010, false, 0.020,
-         Some(Episode::weak(98, 2, 1.6e-3))),
-        ("gzip", 2.01, false, int, 5.0, 0.030, 0.0010, false, 0.025,
-         Some(Episode::resonant(48, 3, 1.2e-3))), // out-of-band period
-        ("mesa", 3.34, false, fp, 14.0, 0.010, 0.0005, false, 0.010,
-         Some(Episode::weak(92, 2, 1.6e-3))),
-        ("perlbmk", 1.34, false, int, 3.2, 0.030, 0.0020, false, 0.055,
-         Some(Episode::weak(100, 2, 1.0e-3))),
-        ("sixtrack", 3.31, false, fp, 14.0, 0.010, 0.0005, false, 0.004,
-         Some(Episode::weak(108, 2, 1.6e-3))),
-        ("twolf", 1.35, false, int, 3.4, 0.060, 0.0040, false, 0.045,
-         Some(Episode::weak(96, 2, 1.0e-3))),
-        ("vortex", 2.40, false, int, 6.5, 0.030, 0.0015, false, 0.020,
-         Some(Episode::weak(135, 2, 8.0e-4))), // out-of-band period
-        ("vpr", 1.39, false, int, 3.4, 0.050, 0.0030, false, 0.045,
-         Some(Episode::weak(102, 2, 1.0e-3))),
+        (
+            "equake", 4.00, false, fp, 14.0, 0.015, 0.0008, false, 0.004, None,
+        ),
+        (
+            "fma3d",
+            4.11,
+            false,
+            fp,
+            22.0,
+            0.010,
+            0.0005,
+            false,
+            0.003,
+            // Isolated in-band variations: die after 1–2 periods, never
+            // building to violations — but plenty for threshold-based schemes
+            // to react to.
+            Some(Episode::weak(98, 2, 2.4e-3).with_continue_prob(0.25)),
+        ),
+        (
+            "galgel",
+            3.61,
+            false,
+            fp,
+            15.0,
+            0.020,
+            0.0010,
+            false,
+            0.004,
+            Some(Episode::weak(100, 3, 2.4e-3)),
+        ),
+        (
+            "gap",
+            2.84,
+            false,
+            int,
+            9.0,
+            0.020,
+            0.0010,
+            false,
+            0.020,
+            Some(Episode::weak(98, 2, 1.6e-3)),
+        ),
+        (
+            "gzip",
+            2.01,
+            false,
+            int,
+            5.0,
+            0.030,
+            0.0010,
+            false,
+            0.025,
+            Some(Episode::resonant(48, 3, 1.2e-3)),
+        ), // out-of-band period
+        (
+            "mesa",
+            3.34,
+            false,
+            fp,
+            14.0,
+            0.010,
+            0.0005,
+            false,
+            0.010,
+            Some(Episode::weak(92, 2, 1.6e-3)),
+        ),
+        (
+            "perlbmk",
+            1.34,
+            false,
+            int,
+            3.2,
+            0.030,
+            0.0020,
+            false,
+            0.055,
+            Some(Episode::weak(100, 2, 1.0e-3)),
+        ),
+        (
+            "sixtrack",
+            3.31,
+            false,
+            fp,
+            14.0,
+            0.010,
+            0.0005,
+            false,
+            0.004,
+            Some(Episode::weak(108, 2, 1.6e-3)),
+        ),
+        (
+            "twolf",
+            1.35,
+            false,
+            int,
+            3.4,
+            0.060,
+            0.0040,
+            false,
+            0.045,
+            Some(Episode::weak(96, 2, 1.0e-3)),
+        ),
+        (
+            "vortex",
+            2.40,
+            false,
+            int,
+            6.5,
+            0.030,
+            0.0015,
+            false,
+            0.020,
+            Some(Episode::weak(135, 2, 8.0e-4)),
+        ), // out-of-band period
+        (
+            "vpr",
+            1.39,
+            false,
+            int,
+            3.4,
+            0.050,
+            0.0030,
+            false,
+            0.045,
+            Some(Episode::weak(102, 2, 1.0e-3)),
+        ),
     ];
 
     rows.into_iter()
@@ -182,14 +438,20 @@ mod tests {
     fn violating_apps_have_in_band_episodes() {
         // Table 1 band at 10 GHz: 84–119-cycle periods.
         for p in violating() {
-            let ep = p.episode.unwrap_or_else(|| panic!("{} must have an episode", p.name));
+            let ep = p
+                .episode
+                .unwrap_or_else(|| panic!("{} must have an episode", p.name));
             let t = ep.approx_period_cycles();
             assert!(
                 (84..=119).contains(&t),
                 "{}: episode period {t} outside the resonance band",
                 p.name
             );
-            assert!(ep.periods >= 5, "{}: needs enough repetitions to violate", p.name);
+            assert!(
+                ep.periods >= 5,
+                "{}: needs enough repetitions to violate",
+                p.name
+            );
         }
     }
 

@@ -184,14 +184,12 @@ impl StreamGen {
                 self.pc = layout::CODE_BASE + head * 192;
             } else {
                 // ...or a rare far jump that misses the I-cache.
-                self.pc = layout::FAR_CODE_BASE
-                    + self.rng.gen_range(0..layout::FAR_CODE_SIZE / 4) * 4;
+                self.pc =
+                    layout::FAR_CODE_BASE + self.rng.gen_range(0..layout::FAR_CODE_SIZE / 4) * 4;
             }
         } else {
             self.pc += 4;
-            if self.pc >= layout::CODE_BASE + layout::CODE_SIZE
-                && self.pc < layout::FAR_CODE_BASE
-            {
+            if self.pc >= layout::CODE_BASE + layout::CODE_SIZE && self.pc < layout::FAR_CODE_BASE {
                 self.pc = layout::CODE_BASE;
             }
             if self.pc >= layout::FAR_CODE_BASE + layout::FAR_CODE_SIZE {
@@ -247,21 +245,32 @@ impl StreamGen {
     }
 
     fn maybe_start_episode(&mut self) -> bool {
-        let Some(ep) = self.profile.episode else { return false };
+        let Some(ep) = self.profile.episode else {
+            return false;
+        };
         if !self.rng.gen_bool(ep.rate.clamp(0.0, 1.0)) {
             return false;
         }
         self.periods_left = ep.periods;
         let head_is_miss = self.rng.gen_bool(ep.miss_chance);
-        self.mode = Mode::Chain { remaining: ep.chain_ops, head_is_miss };
+        self.mode = Mode::Chain {
+            remaining: ep.chain_ops,
+            head_is_miss,
+        };
         true
     }
 
     fn episode_step(&mut self) -> SynthInst {
-        let ep = self.profile.episode.expect("in episode implies episode config");
+        let ep = self
+            .profile
+            .episode
+            .expect("in episode implies episode config");
         match self.mode {
             Mode::Normal => unreachable!("episode_step in normal mode"),
-            Mode::Chain { remaining, head_is_miss } => {
+            Mode::Chain {
+                remaining,
+                head_is_miss,
+            } => {
                 let is_head = remaining == ep.chain_ops;
                 let inst = if is_head && head_is_miss {
                     // A memory-missing load at the chain head: the "long
@@ -274,9 +283,15 @@ impl StreamGen {
                 };
                 self.bump_episode_pc();
                 if remaining == 1 {
-                    self.mode = Mode::Burst { remaining: ep.burst_ops, total: ep.burst_ops };
+                    self.mode = Mode::Burst {
+                        remaining: ep.burst_ops,
+                        total: ep.burst_ops,
+                    };
                 } else {
-                    self.mode = Mode::Chain { remaining: remaining - 1, head_is_miss };
+                    self.mode = Mode::Chain {
+                        remaining: remaining - 1,
+                        head_is_miss,
+                    };
                 }
                 inst
             }
@@ -308,13 +323,19 @@ impl StreamGen {
                     self.periods_left -= 1;
                     if self.periods_left > 0 && self.rng.gen_bool(ep.continue_prob) {
                         let head_is_miss = self.rng.gen_bool(ep.miss_chance);
-                        self.mode = Mode::Chain { remaining: ep.chain_ops, head_is_miss };
+                        self.mode = Mode::Chain {
+                            remaining: ep.chain_ops,
+                            head_is_miss,
+                        };
                     } else {
                         self.periods_left = 0;
                         self.mode = Mode::Normal;
                     }
                 } else {
-                    self.mode = Mode::Burst { remaining: remaining - 1, total };
+                    self.mode = Mode::Burst {
+                        remaining: remaining - 1,
+                        total,
+                    };
                 }
                 inst
             }
@@ -374,7 +395,10 @@ mod tests {
         p2.seed = 43;
         let mut b = StreamGen::new(p2);
         let same = (0..1000).filter(|_| a.next_inst() == b.next_inst()).count();
-        assert!(same < 500, "streams with different seeds should diverge ({same} identical)");
+        assert!(
+            same < 500,
+            "streams with different seeds should diverge ({same} identical)"
+        );
     }
 
     #[test]
@@ -476,8 +500,14 @@ mod tests {
                 run = 0;
             }
         }
-        assert!(saw_chain_run > 5, "expected chain segments, saw {saw_chain_run}");
-        assert!(longest_dep1_run >= 99, "chains should reach ~100 ops, got {longest_dep1_run}");
+        assert!(
+            saw_chain_run > 5,
+            "expected chain segments, saw {saw_chain_run}"
+        );
+        assert!(
+            longest_dep1_run >= 99,
+            "chains should reach ~100 ops, got {longest_dep1_run}"
+        );
     }
 
     #[test]

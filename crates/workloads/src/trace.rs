@@ -25,7 +25,9 @@ impl RecordedTrace {
     /// Panics if `n` is zero (an empty trace cannot be replayed).
     pub fn record<S: InstructionStream>(stream: &mut S, n: usize) -> Self {
         assert!(n > 0, "cannot record an empty trace");
-        Self { instructions: (0..n).map(|_| stream.next_inst()).collect() }
+        Self {
+            instructions: (0..n).map(|_| stream.next_inst()).collect(),
+        }
     }
 
     /// The recorded instructions.
@@ -45,7 +47,11 @@ impl RecordedTrace {
 
     /// An infinite stream replaying this trace in a loop.
     pub fn replay(&self) -> TraceReplay<'_> {
-        TraceReplay { trace: self, pos: 0, loops: 0 }
+        TraceReplay {
+            trace: self,
+            pos: 0,
+            loops: 0,
+        }
     }
 
     /// Characterizes the trace.
@@ -84,8 +90,11 @@ impl RecordedTrace {
                 }
             }
         }
-        s.mean_dep_distance =
-            if dep_count > 0 { dep_sum as f64 / dep_count as f64 } else { 0.0 };
+        s.mean_dep_distance = if dep_count > 0 {
+            dep_sum as f64 / dep_count as f64
+        } else {
+            0.0
+        };
         s.branch_fraction = s.class_counts[OpClass::Branch.index()] as f64 / n;
         s.mem_fraction = (s.class_counts[OpClass::Load.index()]
             + s.class_counts[OpClass::Store.index()]) as f64
@@ -175,8 +184,16 @@ mod tests {
         let s = trace.summary();
         // Integer mix: ~14% branches and ~36% memory ops in normal phases,
         // diluted by branch-free episode instructions.
-        assert!((0.08..0.16).contains(&s.branch_fraction), "branches {}", s.branch_fraction);
-        assert!((0.26..0.44).contains(&s.mem_fraction), "mem {}", s.mem_fraction);
+        assert!(
+            (0.08..0.16).contains(&s.branch_fraction),
+            "branches {}",
+            s.branch_fraction
+        );
+        assert!(
+            (0.26..0.44).contains(&s.mem_fraction),
+            "mem {}",
+            s.mem_fraction
+        );
         // Mean dependence distance near the profile's parameter (episodes
         // pull it down slightly with their dist-2 chains).
         assert!(
@@ -198,7 +215,10 @@ mod tests {
         let branches = s.class_counts[OpClass::Branch.index()];
         assert!(branches > 1_000);
         let taken_frac = s.taken_branches as f64 / branches as f64;
-        assert!((taken_frac - 0.5).abs() < 0.1, "taken fraction {taken_frac}");
+        assert!(
+            (taken_frac - 0.5).abs() < 0.1,
+            "taken fraction {taken_frac}"
+        );
         let mis_frac = s.mispredicted_branches as f64 / branches as f64;
         assert!(
             (mis_frac - profile.mispredict_rate).abs() < 0.02,

@@ -16,9 +16,18 @@ use workloads::spec2k;
 fn main() {
     let sim = SimConfig::isca04(120_000);
     let techniques: Vec<(&str, Technique)> = vec![
-        ("resonance tuning (100cy)", Technique::Tuning(TuningConfig::isca04_table1(100))),
-        ("sensor [10] 20/10/5", Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5))),
-        ("damping [14] δ=0.5", Technique::Damping(DampingConfig::isca04_table5(0.5))),
+        (
+            "resonance tuning (100cy)",
+            Technique::Tuning(TuningConfig::isca04_table1(100)),
+        ),
+        (
+            "sensor [10] 20/10/5",
+            Technique::Sensor(SensorConfig::table4(20.0, 10.0, 5)),
+        ),
+        (
+            "damping [14] δ=0.5",
+            Technique::Damping(DampingConfig::isca04_table5(0.5)),
+        ),
     ];
 
     for app in ["swim", "parser", "fma3d"] {

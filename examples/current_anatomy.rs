@@ -45,7 +45,14 @@ fn dissect(app: &str) -> Anatomy {
         sums[5] += b.l2.amps() + b.mem_bus.amps();
     }
     let n = CYCLES as f64;
-    let labels = ["frontend+commit", "window+regfile+bus", "integer units", "fp units", "L1 caches", "L2+memory"];
+    let labels = [
+        "frontend+commit",
+        "window+regfile+bus",
+        "integer units",
+        "fp units",
+        "L1 caches",
+        "L2+memory",
+    ];
     let supply = SupplyParams::isca04_table1();
     let (lo, hi) = supply.resonance_band();
     Anatomy {
@@ -60,7 +67,10 @@ fn main() {
     println!("=== Current anatomy: swim (violating) vs eon (clean) ===\n");
     for app in ["swim", "eon"] {
         let a = dissect(app);
-        println!("{app}: mean current {:.1} A (35 A idle floor + dynamic):", a.mean);
+        println!(
+            "{app}: mean current {:.1} A (35 A idle floor + dynamic):",
+            a.mean
+        );
         for (label, amps) in &a.breakdown_means {
             let bar = "#".repeat((amps * 4.0).round() as usize);
             println!("  {label:20} {amps:5.2} A {bar}");

@@ -55,7 +55,13 @@ fn main() {
     }
 
     println!("\n--- observation 2: only repetition matters ---");
-    let step = move |c: Cycles| if c.count() < 1_500 { mid } else { Amps::new(100.0) };
+    let step = move |c: Cycles| {
+        if c.count() < 1_500 {
+            mid
+        } else {
+            Amps::new(100.0)
+        }
+    };
     scenario("isolated 30 A step (no repetition)", &step, 3_000);
     let two_pulses = PeriodicWave::new(
         Shape::Square,
@@ -86,7 +92,11 @@ fn main() {
             zero,
             forever,
         );
-        scenario(&format!("{p2p:4.0} A square @ resonant period"), &wave, 4_000);
+        scenario(
+            &format!("{p2p:4.0} A square @ resonant period"),
+            &wave,
+            4_000,
+        );
     }
     println!("\n(The detector reacts to the sustained in-band waves that actually build");
     println!("toward violations, and stays quiet for off-band, isolated, or small ones.)");

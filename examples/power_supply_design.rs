@@ -51,21 +51,19 @@ fn main() {
     println!("Lower R is where scaling pushes designs — and it raises Q, making");
     println!("the inductive-noise problem worse:\n");
     for micro_ohms in [188.0, 375.0, 750.0, 1500.0] {
-        let p = SupplyParams::new(
-            Ohms::from_micro(micro_ohms),
-            base_l,
-            base_c,
-            vdd,
-            margin,
-        )
-        .expect("sweep stays underdamped");
+        let p = SupplyParams::new(Ohms::from_micro(micro_ohms), base_l, base_c, vdd, margin)
+            .expect("sweep stays underdamped");
         describe(&format!("R = {micro_ohms:6.0} µΩ"), &p, clock);
     }
 
     println!("\n=== Technology-scaling trend (Section 3.2 of the paper) ===");
     println!("C grows with integration while L stays fixed: the resonant period in");
     println!("cycles grows every generation, giving resonance tuning more time:\n");
-    for (gen, nf, ghz) in [("today", 500.0, 5.0), ("paper design", 1500.0, 10.0), ("+2 gens", 4000.0, 16.0)] {
+    for (gen, nf, ghz) in [
+        ("today", 500.0, 5.0),
+        ("paper design", 1500.0, 10.0),
+        ("+2 gens", 4000.0, 16.0),
+    ] {
         let p = SupplyParams::new(base_r, base_l, Farads::from_nano(nf), vdd, margin)
             .expect("scaling stays underdamped");
         let period = p

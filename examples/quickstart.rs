@@ -16,10 +16,17 @@ fn main() {
     //    375 µΩ / 1.69 pH / 1500 nF at 1.0 V, ±5 % noise margin.
     let supply = SupplyParams::isca04_table1();
     let clock = Hertz::from_giga(10.0);
-    println!("resonant frequency: {:.1} MHz", supply.resonant_frequency().hertz() / 1e6);
+    println!(
+        "resonant frequency: {:.1} MHz",
+        supply.resonant_frequency().hertz() / 1e6
+    );
     println!("quality factor Q:   {:.2}", supply.quality_factor());
     let (lo, hi) = supply.resonance_band_cycles(clock).expect("valid clock");
-    println!("resonance band:     {}–{} cycle periods at 10 GHz", lo.count(), hi.count());
+    println!(
+        "resonance band:     {}–{} cycle periods at 10 GHz",
+        lo.count(),
+        hi.count()
+    );
 
     // 2. A workload with resonant behavior: parser (Figure 4's subject).
     let parser = spec2k::by_name("parser").expect("parser is in the suite");

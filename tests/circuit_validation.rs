@@ -24,7 +24,10 @@ fn table1_resonance_parameters_match_paper() {
 #[test]
 fn calibrated_tolerance_matches_table1() {
     let cal = calibrate(&SupplyParams::isca04_table1(), GHZ10, Amps::new(70.0)).unwrap();
-    assert_eq!(cal.max_repetition_tolerance, 4, "paper Table 1: tolerance 4");
+    assert_eq!(
+        cal.max_repetition_tolerance, 4,
+        "paper Table 1: tolerance 4"
+    );
     assert!((20.0..40.0).contains(&cal.variation_threshold.amps()));
 }
 
@@ -42,7 +45,9 @@ fn figure3_violation_occurs_at_the_repetition_tolerance() {
         Cycles::new(500),
     );
     let trace = simulate_waveform(&p, GHZ10, &wave, Cycles::new(1000));
-    let violation = trace.first_violation().expect("34 A resonant wave violates");
+    let violation = trace
+        .first_violation()
+        .expect("34 A resonant wave violates");
 
     let mut detector = EventDetector::new(TuningConfig::isca04_table1(100));
     let mut count_at_violation = 0;
@@ -102,10 +107,17 @@ fn heun_and_rk4_agree_with_exact_decay() {
         heun = rlc::step(&p, Method::Heun, heun, Amps::new(0.0), Amps::new(0.0), dt);
         rk4 = rlc::step(&p, Method::Rk4, rk4, Amps::new(0.0), Amps::new(0.0), dt);
     }
-    let exact =
-        exact_free_decay(&p, s0, rlc::units::Seconds::new(dt.seconds() * n as f64));
-    assert!((heun.v - exact.v).abs() < 5e-4, "Heun drift {}", (heun.v - exact.v).abs());
-    assert!((rk4.v - exact.v).abs() < 5e-5, "RK4 drift {}", (rk4.v - exact.v).abs());
+    let exact = exact_free_decay(&p, s0, rlc::units::Seconds::new(dt.seconds() * n as f64));
+    assert!(
+        (heun.v - exact.v).abs() < 5e-4,
+        "Heun drift {}",
+        (heun.v - exact.v).abs()
+    );
+    assert!(
+        (rk4.v - exact.v).abs() < 5e-5,
+        "RK4 drift {}",
+        (rk4.v - exact.v).abs()
+    );
 }
 
 #[test]
@@ -130,7 +142,10 @@ fn current_sensing_not_voltage_avoids_ringing_false_positives() {
         .iter()
         .map(|v| v.abs().volts())
         .fold(0.0, f64::max);
-    assert!(ringing > 0.010, "expected ringing after stimulus, got {ringing}");
+    assert!(
+        ringing > 0.010,
+        "expected ringing after stimulus, got {ringing}"
+    );
 
     // ...but the current-based detector raises no events in that window.
     let mut detector = EventDetector::new(TuningConfig::isca04_table1(100));

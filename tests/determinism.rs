@@ -1,0 +1,100 @@
+//! Determinism regression: the engine's bounded scheduler, the old serial
+//! path, and a recorded-baseline replay must all produce bit-identical
+//! `SimResult` rows.
+
+use restune::engine::{
+    base_fingerprint, cached_base_suite, load_baseline, save_baseline, try_run_suite,
+};
+use restune::experiment::run_suite;
+use restune::{run, SimConfig, Technique, TuningConfig};
+use workloads::spec2k;
+
+const APPS: [&str; 3] = ["mcf", "parser", "fma3d"];
+
+fn profiles() -> Vec<workloads::WorkloadProfile> {
+    APPS.iter()
+        .map(|n| spec2k::by_name(n).expect("app is in the suite"))
+        .collect()
+}
+
+#[test]
+fn scheduler_serial_and_replay_agree_bit_for_bit() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(30_000);
+
+    // 1. The bounded worker pool.
+    let pooled = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+    // 2. The public suite API (same pool, panicking wrapper).
+    let suite = run_suite(&profiles, &Technique::Base, &sim);
+    // 3. A plain serial loop.
+    let serial: Vec<_> = profiles
+        .iter()
+        .map(|p| run(p, &Technique::Base, &sim))
+        .collect();
+    // 4. A save/load round trip through the recorded-baseline format.
+    let fp = base_fingerprint(&sim);
+    let path = std::env::temp_dir().join("restune-determinism-baseline.tsv");
+    save_baseline(&path, fp, &serial).expect("baseline writes");
+    let replayed = load_baseline(&path, fp)
+        .expect("baseline reads")
+        .expect("fingerprint matches");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        pooled.results, serial,
+        "worker pool must match the serial loop"
+    );
+    assert_eq!(suite, serial, "run_suite must match the serial loop");
+    assert_eq!(replayed, serial, "baseline replay must be bit-identical");
+}
+
+#[test]
+fn scheduler_is_deterministic_under_techniques_too() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(30_000);
+    let technique = Technique::Tuning(TuningConfig::isca04_table1(100));
+    let a = run_suite(&profiles, &technique, &sim);
+    let b = run_suite(&profiles, &technique, &sim);
+    let serial: Vec<_> = profiles.iter().map(|p| run(p, &technique, &sim)).collect();
+    assert_eq!(a, b, "repeated pooled runs must agree");
+    assert_eq!(a, serial, "pooled tuning runs must match serial");
+}
+
+#[test]
+fn one_worker_pool_matches_wide_pool() {
+    // RESTUNE_WORKERS is read per suite call, so pin it for a narrow run.
+    // (Env mutation is process-wide; restore promptly and tolerate the
+    // variable being observed by a concurrent suite — determinism means the
+    // results cannot differ either way.)
+    let profiles = profiles();
+    let sim = SimConfig::isca04(20_000);
+    let wide = run_suite(&profiles, &Technique::Base, &sim);
+    std::env::set_var("RESTUNE_WORKERS", "1");
+    let narrow = run_suite(&profiles, &Technique::Base, &sim);
+    std::env::remove_var("RESTUNE_WORKERS");
+    assert_eq!(wide, narrow, "pool width must not affect results");
+}
+
+#[test]
+fn table_drivers_share_one_base_simulation() {
+    // The acceptance check for the memoized engine: run the table3 driver's
+    // flow twice in one process and count actual base-suite simulations.
+    let sim = SimConfig::isca04(12_345);
+    let _ = std::fs::remove_file(restune::engine::baseline_path(&sim));
+    assert_eq!(restune::engine::base_suite_simulations(&sim), 0);
+
+    for _ in 0..2 {
+        let base = cached_base_suite(&sim);
+        let rows = restune::experiment::table3(&sim, &[100], &base.results);
+        assert_eq!(rows.len(), 1);
+    }
+
+    assert_eq!(
+        restune::engine::base_suite_simulations(&sim),
+        1,
+        "two table3 drivers in one process must share a single base simulation"
+    );
+    let stats = restune::engine::base_cache_stats();
+    assert!(stats.hits >= 1, "the second driver must hit the cache");
+    let _ = std::fs::remove_file(restune::engine::baseline_path(&sim));
+}

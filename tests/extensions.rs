@@ -60,7 +60,10 @@ fn wavelet_detector_agrees_with_exact_detector_on_suite_current() {
         }
     }
     assert!(!exact_hits.is_empty(), "swim must show count-3 resonance");
-    assert!(!wavelet_hits.is_empty(), "wavelet detector must warn on swim");
+    assert!(
+        !wavelet_hits.is_empty(),
+        "wavelet detector must warn on swim"
+    );
     // Most exact count-3 detections have a wavelet warning within half a
     // resonant period.
     let near = exact_hits
@@ -81,17 +84,28 @@ fn two_stage_supply_reduces_to_single_stage_at_medium_frequency() {
     let single = {
         let mut s = rlc::PowerSupply::new(SupplyParams::isca04_table1(), GHZ10, Amps::new(70.0));
         for c in 0..2_000u64 {
-            let i = if (c / 50).is_multiple_of(2) { 85.0 } else { 55.0 };
+            let i = if (c / 50).is_multiple_of(2) {
+                85.0
+            } else {
+                55.0
+            };
             s.tick(Amps::new(i));
         }
         s.worst_noise().abs().volts()
     };
     let cascade = {
-        let mut s =
-            TwoStageSupply::new(TwoStageParams::isca04_low_frequency(), GHZ10, Amps::new(70.0));
+        let mut s = TwoStageSupply::new(
+            TwoStageParams::isca04_low_frequency(),
+            GHZ10,
+            Amps::new(70.0),
+        );
         let mut worst: f64 = 0.0;
         for c in 0..2_000u64 {
-            let i = if (c / 50).is_multiple_of(2) { 85.0 } else { 55.0 };
+            let i = if (c / 50).is_multiple_of(2) {
+                85.0
+            } else {
+                55.0
+            };
             worst = worst.max(s.tick(Amps::new(i)).abs().volts());
         }
         worst
@@ -134,7 +148,10 @@ fn predictor_driven_suite_run_completes_with_realistic_rates() {
         (0.05..0.40).contains(&rate),
         "bimodal misprediction rate {rate} out of plausible range"
     );
-    assert!(cpu.stats().ipc() > 0.3, "squash churn must not collapse the machine");
+    assert!(
+        cpu.stats().ipc() > 0.3,
+        "squash churn must not collapse the machine"
+    );
 }
 
 #[test]
@@ -150,14 +167,20 @@ fn memory_limits_slow_memory_bound_apps_most() {
         }
         cpu.stats().ipc()
     };
-    let tight = Some(MemorySystemConfig { mshrs: 1, mem_interval: 90 });
+    let tight = Some(MemorySystemConfig {
+        mshrs: 1,
+        mem_interval: 90,
+    });
     let lucas_hit = run_ipc("lucas", None) / run_ipc("lucas", tight);
     let eon_hit = run_ipc("eon", None) / run_ipc("eon", tight);
     assert!(
         lucas_hit > eon_hit,
         "memory-bound lucas ({lucas_hit}) must suffer more than eon ({eon_hit})"
     );
-    assert!(lucas_hit > 1.02, "tight memory system must visibly slow lucas: {lucas_hit}");
+    assert!(
+        lucas_hit > 1.02,
+        "tight memory system must visibly slow lucas: {lucas_hit}"
+    );
 }
 
 #[test]
@@ -203,11 +226,8 @@ fn guarantee_report_matches_tuning_outcomes() {
 
     // Physics agrees: sustained 24 A at resonance stays inside the margin
     // (the circuit-level tolerance is ~26 A; the analytic boundary ~30 A).
-    let wave = rlc::PeriodicWave::sustained_square(
-        Amps::new(70.0),
-        Amps::new(24.0),
-        Cycles::new(100),
-    );
+    let wave =
+        rlc::PeriodicWave::sustained_square(Amps::new(70.0), Amps::new(24.0), Cycles::new(100));
     let trace = rlc::simulate_waveform(&supply, GHZ10, &wave, Cycles::new(4_000));
     assert!(!trace.violated(), "24 A must stay within the guarantee");
 }
@@ -227,10 +247,17 @@ fn low_band_detector_catches_low_frequency_resonance() {
     let mut det = restune::EventDetector::new(config);
     let mut max_count = 0;
     for c in 0..period * 12 {
-        let i = if (c / (period / 2)).is_multiple_of(2) { 90 } else { 50 };
+        let i = if (c / (period / 2)).is_multiple_of(2) {
+            90
+        } else {
+            50
+        };
         if let Some(ev) = det.observe(i) {
             max_count = max_count.max(ev.count);
         }
     }
-    assert!(max_count >= 3, "low-band detector must chain, got {max_count}");
+    assert!(
+        max_count >= 3,
+        "low-band detector must chain, got {max_count}"
+    );
 }

@@ -15,7 +15,12 @@ fn full_suite_base_runs_complete() {
     let cfg = sim(15_000);
     for p in spec2k::all() {
         let r = run(&p, &Technique::Base, &cfg);
-        assert!(r.committed >= 15_000, "{}: committed {}", p.name, r.committed);
+        assert!(
+            r.committed >= 15_000,
+            "{}: committed {}",
+            p.name,
+            r.committed
+        );
         assert!(r.ipc > 0.05 && r.ipc < 8.0, "{}: IPC {}", p.name, r.ipc);
         assert!(r.energy_joules > 0.0, "{}: no energy recorded", p.name);
         assert!(
@@ -43,7 +48,10 @@ fn ipc_ranking_matches_paper_extremes() {
     assert!(ammp < 0.8, "ammp must be memory-bound, got {ammp}");
     assert!(fma3d > 2.0, "fma3d must be high-ILP, got {fma3d}");
     assert!(equake > 2.0, "equake must be high-ILP, got {equake}");
-    assert!(mcf < parser && parser < fma3d, "ordering: {mcf} < {parser} < {fma3d}");
+    assert!(
+        mcf < parser && parser < fma3d,
+        "ordering: {mcf} < {parser} < {fma3d}"
+    );
 }
 
 #[test]
@@ -51,7 +59,10 @@ fn violating_and_clean_apps_classify_as_in_table2() {
     // A heavy violator and a clean app behave per the paper's Table 2.
     let cfg = sim(120_000);
     let swim = run(&spec2k::by_name("swim").unwrap(), &Technique::Base, &cfg);
-    assert!(swim.violation_cycles > 0, "swim must violate on the base machine");
+    assert!(
+        swim.violation_cycles > 0,
+        "swim must violate on the base machine"
+    );
     let eon = run(&spec2k::by_name("eon").unwrap(), &Technique::Base, &cfg);
     assert_eq!(eon.violation_cycles, 0, "eon must stay within the margin");
 }
@@ -66,7 +77,10 @@ fn tuning_eliminates_nearly_all_violations_suite_wide() {
         base_total += run(&p, &Technique::Base, &cfg).violation_cycles;
         tuned_total += run(&p, &tuning, &cfg).violation_cycles;
     }
-    assert!(base_total > 100, "violating apps must violate (got {base_total})");
+    assert!(
+        base_total > 100,
+        "violating apps must violate (got {base_total})"
+    );
     assert!(
         tuned_total * 20 <= base_total,
         "tuning must remove ≥95% of violation cycles ({tuned_total} of {base_total} remain)"
@@ -102,15 +116,26 @@ fn runs_are_bit_deterministic() {
     let tuning = Technique::Tuning(TuningConfig::isca04_table1(75));
     let a = run(&p, &tuning, &cfg);
     let b = run(&p, &tuning, &cfg);
-    assert_eq!(a, b, "identical configurations must reproduce bit-identical results");
+    assert_eq!(
+        a, b,
+        "identical configurations must reproduce bit-identical results"
+    );
 }
 
 #[test]
 fn longer_initial_response_spends_more_time_in_first_level() {
     let cfg = sim(60_000);
     let p = spec2k::by_name("swim").unwrap();
-    let short = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(75)), &cfg);
-    let long = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(200)), &cfg);
+    let short = run(
+        &p,
+        &Technique::Tuning(TuningConfig::isca04_table1(75)),
+        &cfg,
+    );
+    let long = run(
+        &p,
+        &Technique::Tuning(TuningConfig::isca04_table1(200)),
+        &cfg,
+    );
     assert!(
         long.first_level_fraction() > short.first_level_fraction(),
         "L1 fraction must grow with response time: {} vs {}",
@@ -126,7 +151,11 @@ fn detector_energy_overhead_is_small() {
     let cfg = sim(40_000);
     let p = spec2k::by_name("apsi").unwrap(); // never triggers responses
     let base = run(&p, &Technique::Base, &cfg);
-    let tuned = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &cfg);
+    let tuned = run(
+        &p,
+        &Technique::Tuning(TuningConfig::isca04_table1(100)),
+        &cfg,
+    );
     let cost = RelativeOutcome::new(&base, &tuned);
     assert!(
         cost.relative_energy < 1.01,

@@ -11,12 +11,12 @@ use workloads::{Episode, OpMix, StreamGen, WorkloadProfile};
 
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        1.5f64..20.0,   // mean_dep
-        0.0f64..0.15,   // l2_fraction
-        0.0f64..0.08,   // mem_fraction
-        any::<bool>(),  // pointer_chase
-        0.0f64..0.08,   // mispredict_rate
-        any::<u64>(),   // seed
+        1.5f64..20.0,  // mean_dep
+        0.0f64..0.15,  // l2_fraction
+        0.0f64..0.08,  // mem_fraction
+        any::<bool>(), // pointer_chase
+        0.0f64..0.08,  // mispredict_rate
+        any::<u64>(),  // seed
         prop::option::of((90u32..115, 2u32..8, 0.0f64..0.003)),
     )
         .prop_map(|(dep, l2f, memf, chase, mp, seed, ep)| WorkloadProfile {
@@ -148,7 +148,11 @@ fn alu_loop_is_cycle_exact() {
     for _ in 0..100 {
         cpu.tick(PipelineControls::free());
     }
-    assert_eq!(cpu.stats().committed - before, 800, "steady state must commit 8/cycle");
+    assert_eq!(
+        cpu.stats().committed - before,
+        800,
+        "steady state must commit 8/cycle"
+    );
 }
 
 #[test]
@@ -164,7 +168,11 @@ fn dependence_chain_is_cycle_exact() {
     for _ in 0..100 {
         cpu.tick(PipelineControls::free());
     }
-    assert_eq!(cpu.stats().committed - before, 100, "serial chain commits 1/cycle");
+    assert_eq!(
+        cpu.stats().committed - before,
+        100,
+        "serial chain commits 1/cycle"
+    );
 }
 
 #[test]

@@ -42,18 +42,28 @@ fn sensor_cost_rises_with_noise_and_delay() {
     let cfg = sim();
     let base = run(&p, &Technique::Base, &cfg);
     let cost = |threshold: f64, noise: f64, delay: u32| {
-        let r = run(&p, &Technique::Sensor(SensorConfig::table4(threshold, noise, delay)), &cfg);
+        let r = run(
+            &p,
+            &Technique::Sensor(SensorConfig::table4(threshold, noise, delay)),
+            &cfg,
+        );
         RelativeOutcome::new(&base, &r).relative_energy_delay
     };
     let ideal = cost(30.0, 0.0, 0);
     let noisy = cost(30.0, 15.0, 0);
     let realistic = cost(20.0, 15.0, 3);
-    assert!(ideal <= noisy + 1e-9, "noise must not reduce cost: {ideal} vs {noisy}");
+    assert!(
+        ideal <= noisy + 1e-9,
+        "noise must not reduce cost: {ideal} vs {noisy}"
+    );
     assert!(
         noisy < realistic,
         "noise+delay must cost more: {noisy} vs {realistic}"
     );
-    assert!(realistic > 1.05, "realistic sensing must be visibly expensive: {realistic}");
+    assert!(
+        realistic > 1.05,
+        "realistic sensing must be visibly expensive: {realistic}"
+    );
 }
 
 #[test]
@@ -63,13 +73,20 @@ fn damping_cost_rises_as_delta_tightens() {
     let cfg = sim();
     let base = run(&p, &Technique::Base, &cfg);
     let cost = |rel: f64| {
-        let r = run(&p, &Technique::Damping(DampingConfig::isca04_table5(rel)), &cfg);
+        let r = run(
+            &p,
+            &Technique::Damping(DampingConfig::isca04_table5(rel)),
+            &cfg,
+        );
         RelativeOutcome::new(&base, &r).relative_energy_delay
     };
     let loose = cost(1.0);
     let mid = cost(0.5);
     let tight = cost(0.25);
-    assert!(loose < mid && mid < tight, "δ sweep must be monotone: {loose} {mid} {tight}");
+    assert!(
+        loose < mid && mid < tight,
+        "δ sweep must be monotone: {loose} {mid} {tight}"
+    );
 }
 
 #[test]
@@ -84,7 +101,8 @@ fn tuning_beats_realistic_baselines_on_energy_delay() {
     for name in apps {
         let p = spec2k::by_name(name).unwrap();
         let base = run(&p, &Technique::Base, &cfg);
-        let ed = |t: &Technique| RelativeOutcome::new(&base, &run(&p, t, &cfg)).relative_energy_delay;
+        let ed =
+            |t: &Technique| RelativeOutcome::new(&base, &run(&p, t, &cfg)).relative_energy_delay;
         tuning_total += ed(&Technique::Tuning(TuningConfig::isca04_table1(100)));
         sensor_total += ed(&Technique::Sensor(SensorConfig::table4(20.0, 15.0, 3)));
         damping_total += ed(&Technique::Damping(DampingConfig::isca04_table5(0.25)));
@@ -102,7 +120,11 @@ fn tuning_delay_tolerance() {
     let p = spec2k::by_name("swim").unwrap();
     let cfg = sim();
     let base = run(&p, &Technique::Base, &cfg);
-    let on_time = run(&p, &Technique::Tuning(TuningConfig::isca04_table1(100)), &cfg);
+    let on_time = run(
+        &p,
+        &Technique::Tuning(TuningConfig::isca04_table1(100)),
+        &cfg,
+    );
     let delayed = run(
         &p,
         &Technique::Tuning(TuningConfig::isca04_table1(100).with_response_delay(5)),
@@ -150,7 +172,11 @@ fn phantom_techniques_cost_energy_not_just_time() {
     let p = spec2k::by_name("lucas").unwrap();
     let cfg = sim();
     let base = run(&p, &Technique::Base, &cfg);
-    let r = run(&p, &Technique::Sensor(SensorConfig::table4(20.0, 15.0, 0)), &cfg);
+    let r = run(
+        &p,
+        &Technique::Sensor(SensorConfig::table4(20.0, 15.0, 0)),
+        &cfg,
+    );
     let o = RelativeOutcome::new(&base, &r);
     assert!(
         o.relative_energy > o.slowdown,
