@@ -18,4 +18,19 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> fault-injection smoke (seeded plan, degraded run must exit 0)"
+# Seed 42 injects at least one fault across the suite (pinned by the
+# seeded_plan_injects_somewhere_across_a_suite unit test). The degraded run
+# must still exit 0 and its JSON must carry a populated failures section.
+smoke_out=$(RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --faults 42 --timeout 60 --json)
+echo "$smoke_out" | grep -q '"failures"' || {
+    echo "fault smoke: no failures section in --json output" >&2
+    exit 1
+}
+echo "$smoke_out" | grep -q '"injected"' || {
+    echo "fault smoke: seeded plan injected nothing" >&2
+    exit 1
+}
+
 echo "==> tier-1 green"

@@ -4,21 +4,30 @@
 //! damping \[14\] (δ = 0.5 and 0.25).
 
 use bench::{
-    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
-    Report,
+    failure_report_section, format_table, json_document, outcomes_report, print_failure_reports,
+    push_outcomes, run_metrics_report, HarnessArgs, Report,
 };
-use restune::engine::cached_base_suite;
-use restune::experiment::{compare_suites, run_suite};
+use restune::engine::{cached_base_suite, SupervisedSuite};
+use restune::experiment::{
+    base_suite_supervised, compare_suites, paired_outcomes, run_suite, run_suite_policed,
+};
 use restune::{DampingConfig, SensorConfig, SimConfig, Summary, Technique, TuningConfig};
 use workloads::spec2k;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
 
     let profiles = spec2k::all();
-    let base_suite = cached_base_suite(&sim);
-    let base = &base_suite.results;
+    let supervised_base: Option<SupervisedSuite> =
+        (!policy.is_inert()).then(|| base_suite_supervised(&sim, &policy));
+    let plain_base = policy.is_inert().then(|| cached_base_suite(&sim));
+    let base: Vec<_> = match (&plain_base, &supervised_base) {
+        (Some(suite), _) => suite.results.clone(),
+        (None, Some(_)) => Vec::new(),
+        (None, None) => unreachable!("one base path is always taken"),
+    };
 
     let points: Vec<(&str, Technique)> = vec![
         (
@@ -51,9 +60,26 @@ fn main() {
     let mut bars = Vec::new();
     let mut fig5 = Report::new(&["design_point", "avg_energy_delay", "avg_slowdown"]);
     let mut outcome_rows = outcomes_report();
+    let mut reports = Vec::new();
+    if let Some(b) = &supervised_base {
+        reports.push(b.report.clone());
+    }
     for (label, technique) in &points {
-        let results = run_suite(&profiles, technique, &sim);
-        let outcomes = compare_suites(base, &results);
+        let outcomes = match &supervised_base {
+            None => {
+                let results = run_suite(&profiles, technique, &sim);
+                compare_suites(&base, &results)
+            }
+            Some(b) => {
+                let suite = run_suite_policed(&profiles, technique, &sim, &policy, label);
+                let outcomes = paired_outcomes(b, &suite);
+                reports.push(suite.report);
+                outcomes
+            }
+        };
+        if outcomes.is_empty() {
+            continue; // every pair failed at this design point
+        }
         let s = Summary::from_outcomes(&outcomes);
         rows.push(vec![
             label.to_string(),
@@ -70,15 +96,22 @@ fn main() {
     }
 
     if args.json {
-        let metrics = run_metrics_report(&base_suite.metrics);
-        println!(
-            "{}",
-            json_document(&[
-                ("fig5", fig5),
-                ("outcomes", outcome_rows),
-                ("run_metrics", metrics),
-            ])
-        );
+        let metrics = match (&plain_base, &supervised_base) {
+            (Some(suite), _) => run_metrics_report(&suite.metrics),
+            (_, Some(b)) => {
+                run_metrics_report(&b.metrics.iter().filter_map(|m| *m).collect::<Vec<_>>())
+            }
+            (None, None) => unreachable!("one base path is always taken"),
+        };
+        let mut sections = vec![
+            ("fig5", fig5),
+            ("outcomes", outcome_rows),
+            ("run_metrics", metrics),
+        ];
+        if !policy.is_inert() {
+            sections.push(("failures", failure_report_section(&reports)));
+        }
+        println!("{}", json_document(&sections));
         return;
     }
 
@@ -100,4 +133,5 @@ fn main() {
         "\npaper: tuning 1.052/1.057 < damping 1.17/1.26 < [10] 1.19/1.46\n\
          (resonance tuning outperforms both prior schemes at realistic design points)"
     );
+    print_failure_reports(&reports);
 }

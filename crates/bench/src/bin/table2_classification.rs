@@ -1,15 +1,23 @@
 //! Table 2: classification of the 26 SPEC2K applications by noise-margin
 //! violations on the base machine, with IPCs and violation-cycle fractions.
 
-use bench::{format_table, json_document, run_metrics_report, HarnessArgs, Report};
+use bench::{
+    failure_report_section, format_table, json_document, print_failure_reports, run_metrics_report,
+    HarnessArgs, Report,
+};
 use restune::engine::cached_base_suite;
-use restune::experiment::table2;
+use restune::experiment::{base_suite_supervised, table2, table2_from_supervised};
 use restune::SimConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
-    let rows = table2(&sim);
+    let supervised = (!policy.is_inert()).then(|| base_suite_supervised(&sim, &policy));
+    let rows = match &supervised {
+        Some(base) => table2_from_supervised(base),
+        None => table2(&sim),
+    };
 
     if args.json {
         let mut table = Report::new(&[
@@ -31,11 +39,29 @@ fn main() {
                 (violating == r.paper_violating).into(),
             ]);
         }
-        let metrics = run_metrics_report(&cached_base_suite(&sim).metrics);
-        println!(
-            "{}",
-            json_document(&[("table2", table), ("run_metrics", metrics)])
-        );
+        match &supervised {
+            Some(base) => {
+                let metrics: Vec<_> = base.metrics.iter().filter_map(|m| *m).collect();
+                println!(
+                    "{}",
+                    json_document(&[
+                        ("table2", table),
+                        ("run_metrics", run_metrics_report(&metrics)),
+                        (
+                            "failures",
+                            failure_report_section(std::slice::from_ref(&base.report)),
+                        ),
+                    ])
+                );
+            }
+            None => {
+                let metrics = run_metrics_report(&cached_base_suite(&sim).metrics);
+                println!(
+                    "{}",
+                    json_document(&[("table2", table), ("run_metrics", metrics)])
+                );
+            }
+        }
         return;
     }
 
@@ -94,6 +120,12 @@ fn main() {
         .iter()
         .filter(|r| (r.violation_fraction > 0.0) == r.paper_violating)
         .count();
-    println!("classification agreement with the paper: {matches}/26");
+    println!(
+        "classification agreement with the paper: {matches}/{}",
+        rows.len()
+    );
     println!("(paper: 12 violating / 14 clean; violation fractions 3.2e-8 … 5.6e-3)");
+    if let Some(base) = &supervised {
+        print_failure_reports(std::slice::from_ref(&base.report));
+    }
 }

@@ -3,11 +3,14 @@
 //! average slowdowns, apps over 15 % slowdown, and relative energy-delay.
 
 use bench::{
-    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
-    Report,
+    failure_report_section, format_table, json_document, outcomes_report, print_failure_reports,
+    push_outcomes, run_metrics_report, HarnessArgs, Report,
 };
 use restune::engine::cached_base_suite;
-use restune::experiment::{compare_suites, run_suite, table3, Table3Row};
+use restune::experiment::{
+    base_suite_supervised, compare_suites, paired_outcomes, run_suite, run_suite_policed, table3,
+    table3_supervised, Table3Row,
+};
 use restune::{SimConfig, Summary};
 
 fn summary_report(rows: &[Table3Row]) -> (Report, Report) {
@@ -47,35 +50,59 @@ fn summary_report(rows: &[Table3Row]) -> (Report, Report) {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
-    let base_suite = cached_base_suite(&sim);
-    let base = &base_suite.results;
-    let rows = table3(&sim, &[75, 100, 125, 150, 200], base);
-
-    // The delay-sensitivity experiment of Section 5.2: 5-cycle response
-    // delay at a 100-cycle initial response time.
-    let delayed = run_suite(
-        &workloads::spec2k::all(),
-        &restune::Technique::Tuning(
-            restune::TuningConfig::isca04_table1(100).with_response_delay(5),
-        ),
-        &sim,
+    let response_times = [75, 100, 125, 150, 200];
+    let delayed_technique = restune::Technique::Tuning(
+        restune::TuningConfig::isca04_table1(100).with_response_delay(5),
     );
-    let delayed_outcomes = compare_suites(base, &delayed);
-    let delayed_summary = Summary::from_outcomes(&delayed_outcomes);
+
+    // The delay-sensitivity experiment of Section 5.2 rides along: 5-cycle
+    // response delay at a 100-cycle initial response time.
+    let (rows, delayed_outcomes, metrics, reports) = if policy.is_inert() {
+        let base_suite = cached_base_suite(&sim);
+        let base = &base_suite.results;
+        let rows = table3(&sim, &response_times, base);
+        let delayed = run_suite(&workloads::spec2k::all(), &delayed_technique, &sim);
+        let delayed_outcomes = compare_suites(base, &delayed);
+        (
+            rows,
+            delayed_outcomes,
+            base_suite.metrics.clone(),
+            Vec::new(),
+        )
+    } else {
+        let base = base_suite_supervised(&sim, &policy);
+        let (rows, mut reports) = table3_supervised(&sim, &response_times, &base, &policy);
+        let delayed = run_suite_policed(
+            &workloads::spec2k::all(),
+            &delayed_technique,
+            &sim,
+            &policy,
+            "tuning-100-delay-5",
+        );
+        let delayed_outcomes = paired_outcomes(&base, &delayed);
+        reports.insert(0, base.report.clone());
+        reports.push(delayed.report);
+        let metrics: Vec<_> = base.metrics.iter().filter_map(|m| *m).collect();
+        (rows, delayed_outcomes, metrics, reports)
+    };
+    let delayed_summary =
+        (!delayed_outcomes.is_empty()).then(|| Summary::from_outcomes(&delayed_outcomes));
 
     if args.json {
         let (table, mut outcomes) = summary_report(&rows);
         push_outcomes(&mut outcomes, "tuning-100-delay-5", &delayed_outcomes);
-        let metrics = run_metrics_report(&base_suite.metrics);
-        println!(
-            "{}",
-            json_document(&[
-                ("table3", table),
-                ("outcomes", outcomes),
-                ("run_metrics", metrics),
-            ])
-        );
+        let metrics = run_metrics_report(&metrics);
+        let mut sections = vec![
+            ("table3", table),
+            ("outcomes", outcomes),
+            ("run_metrics", metrics),
+        ];
+        if !policy.is_inert() {
+            sections.push(("failures", failure_report_section(&reports)));
+        }
+        println!("{}", json_document(&sections));
         return;
     }
 
@@ -119,12 +146,15 @@ fn main() {
          avg energy-delay 1.052→1.088, worst 1.19–1.35 (wupwise/galgel), zero violations"
     );
 
-    println!("\n--- sensing-to-response delay sensitivity (initial response 100) ---");
-    println!(
-        "delay 5 cycles: avg slowdown {:.3}, avg energy-delay {:.3}, residual violations {}",
-        delayed_summary.avg_slowdown,
-        delayed_summary.avg_energy_delay,
-        delayed_summary.total_violation_cycles
-    );
-    println!("(paper: 5.8 % slowdown and 6.6 % energy-delay — ~1–2 % above the no-delay case)");
+    if let Some(delayed_summary) = &delayed_summary {
+        println!("\n--- sensing-to-response delay sensitivity (initial response 100) ---");
+        println!(
+            "delay 5 cycles: avg slowdown {:.3}, avg energy-delay {:.3}, residual violations {}",
+            delayed_summary.avg_slowdown,
+            delayed_summary.avg_energy_delay,
+            delayed_summary.total_violation_cycles
+        );
+        println!("(paper: 5.8 % slowdown and 6.6 % energy-delay — ~1–2 % above the no-delay case)");
+    }
+    print_failure_reports(&reports);
 }

@@ -2,19 +2,18 @@
 //! threshold, sensor noise, and sensing-to-response delay.
 
 use bench::{
-    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
-    Report,
+    failure_report_section, format_table, json_document, outcomes_report, print_failure_reports,
+    push_outcomes, run_metrics_report, HarnessArgs, Report,
 };
 use restune::engine::cached_base_suite;
-use restune::experiment::table4;
+use restune::experiment::{base_suite_supervised, table4, table4_supervised};
 use restune::{SensorConfig, SimConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
 
-    let base_suite = cached_base_suite(&sim);
-    let base = &base_suite.results;
     // The paper's five rows: (target threshold mV, noise mV p-p, delay).
     let configs = [
         SensorConfig::table4(30.0, 0.0, 0),
@@ -23,7 +22,17 @@ fn main() {
         SensorConfig::table4(20.0, 10.0, 5),
         SensorConfig::table4(20.0, 15.0, 3),
     ];
-    let rows = table4(&sim, &configs, base);
+    let (rows, metrics, reports) = if policy.is_inert() {
+        let base_suite = cached_base_suite(&sim);
+        let rows = table4(&sim, &configs, &base_suite.results);
+        (rows, base_suite.metrics.clone(), Vec::new())
+    } else {
+        let base = base_suite_supervised(&sim, &policy);
+        let (rows, mut reports) = table4_supervised(&sim, &configs, &base, &policy);
+        reports.insert(0, base.report.clone());
+        let metrics: Vec<_> = base.metrics.iter().filter_map(|m| *m).collect();
+        (rows, metrics, reports)
+    };
 
     if args.json {
         let mut table = Report::new(&[
@@ -59,15 +68,16 @@ fn main() {
             ]);
             push_outcomes(&mut outcomes, &label, &r.outcomes);
         }
-        let metrics = run_metrics_report(&base_suite.metrics);
-        println!(
-            "{}",
-            json_document(&[
-                ("table4", table),
-                ("outcomes", outcomes),
-                ("run_metrics", metrics),
-            ])
-        );
+        let metrics = run_metrics_report(&metrics);
+        let mut sections = vec![
+            ("table4", table),
+            ("outcomes", outcomes),
+            ("run_metrics", metrics),
+        ];
+        if !policy.is_inert() {
+            sections.push(("failures", failure_report_section(&reports)));
+        }
+        println!("{}", json_document(&sections));
         return;
     }
 
@@ -110,4 +120,5 @@ fn main() {
         "paper: frac 0.002→0.27, avg slowdown 1.005→1.236, avg energy-delay 1.030→1.460\n\
          (ideal sensors are cheap; realistic noise + delay make [10] expensive)"
     );
+    print_failure_reports(&reports);
 }

@@ -3,19 +3,30 @@
 //! to cover the whole resonance band).
 
 use bench::{
-    format_table, json_document, outcomes_report, push_outcomes, run_metrics_report, HarnessArgs,
-    Report,
+    failure_report_section, format_table, json_document, outcomes_report, print_failure_reports,
+    push_outcomes, run_metrics_report, HarnessArgs, Report,
 };
 use restune::engine::cached_base_suite;
-use restune::experiment::table5;
+use restune::experiment::{base_suite_supervised, table5, table5_supervised};
 use restune::SimConfig;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
 
-    let base_suite = cached_base_suite(&sim);
-    let rows = table5(&sim, &[1.0, 0.5, 0.25], &base_suite.results);
+    let deltas = [1.0, 0.5, 0.25];
+    let (rows, metrics, reports) = if policy.is_inert() {
+        let base_suite = cached_base_suite(&sim);
+        let rows = table5(&sim, &deltas, &base_suite.results);
+        (rows, base_suite.metrics.clone(), Vec::new())
+    } else {
+        let base = base_suite_supervised(&sim, &policy);
+        let (rows, mut reports) = table5_supervised(&sim, &deltas, &base, &policy);
+        reports.insert(0, base.report.clone());
+        let metrics: Vec<_> = base.metrics.iter().filter_map(|m| *m).collect();
+        (rows, metrics, reports)
+    };
 
     if args.json {
         let mut table = Report::new(&[
@@ -43,15 +54,16 @@ fn main() {
                 &r.outcomes,
             );
         }
-        let metrics = run_metrics_report(&base_suite.metrics);
-        println!(
-            "{}",
-            json_document(&[
-                ("table5", table),
-                ("outcomes", outcomes),
-                ("run_metrics", metrics),
-            ])
-        );
+        let metrics = run_metrics_report(&metrics);
+        let mut sections = vec![
+            ("table5", table),
+            ("outcomes", outcomes),
+            ("run_metrics", metrics),
+        ];
+        if !policy.is_inert() {
+            sections.push(("failures", failure_report_section(&reports)));
+        }
+        println!("{}", json_document(&sections));
         return;
     }
 
@@ -88,4 +100,5 @@ fn main() {
         "paper: avg slowdown 1.10 / 1.15 / 1.24, avg energy-delay 1.12 / 1.17 / 1.26\n\
          (worst: fma3d — high-ILP apps pay most under per-cycle current caps)"
     );
+    print_failure_reports(&reports);
 }

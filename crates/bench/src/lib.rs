@@ -12,23 +12,36 @@ pub mod report;
 pub use report::Report;
 
 /// The usage text every harness prints for `--help` and argument errors.
-pub const USAGE: &str = "usage: <harness> [--instructions N] [--json]
+pub const USAGE: &str =
+    "usage: <harness> [--instructions N] [--json] [--faults SEED] [--timeout SECS] [--resume]
   --instructions N, -n N  committed instructions per application run
                           (default 120000)
   --json                  print results as a JSON document on stdout
                           instead of human-readable tables
+  --faults SEED           enable deterministic fault injection from SEED
+                          (off by default; clean runs are bit-exact)
+  --timeout SECS          per-application watchdog deadline in seconds
+                          (fractions allowed; off by default)
+  --resume                checkpoint completed applications and resume an
+                          interrupted suite from its checkpoint
   --help, -h              print this message";
 
 /// Exit code for malformed command-line arguments.
 pub const EXIT_USAGE: i32 = 2;
 
 /// Options shared by the suite harnesses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HarnessArgs {
     /// Committed instructions per application run.
     pub instructions: u64,
     /// Emit machine-readable JSON instead of human tables.
     pub json: bool,
+    /// Seed of the deterministic fault plan; `None` disables injection.
+    pub faults: Option<u64>,
+    /// Per-application watchdog deadline in seconds.
+    pub timeout_secs: Option<f64>,
+    /// Checkpoint completed applications and resume interrupted suites.
+    pub resume: bool,
 }
 
 impl Default for HarnessArgs {
@@ -36,12 +49,15 @@ impl Default for HarnessArgs {
         Self {
             instructions: 120_000,
             json: false,
+            faults: None,
+            timeout_secs: None,
+            resume: false,
         }
     }
 }
 
 /// What [`HarnessArgs::try_parse`] found on the command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Parsed {
     /// Options to run with.
     Args(HarnessArgs),
@@ -74,11 +90,43 @@ impl HarnessArgs {
                     }
                 }
                 "--json" => parsed.json = true,
+                "--faults" => {
+                    let v = iter.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    parsed.faults =
+                        Some(v.parse().map_err(|_| format!("invalid fault seed: {v}"))?);
+                }
+                "--timeout" => {
+                    let v = iter.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    let secs: f64 = v.parse().map_err(|_| format!("invalid timeout: {v}"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(String::from("timeout must be a positive number of seconds"));
+                    }
+                    parsed.timeout_secs = Some(secs);
+                }
+                "--resume" => parsed.resume = true,
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument: {other}")),
             }
         }
         Ok(Parsed::Args(parsed))
+    }
+
+    /// Builds the engine [`restune::RunPolicy`] these options describe: the
+    /// seeded fault plan (or none), the watchdog timeout, and checkpointing.
+    /// With none of the supervision flags given, the policy is inert and
+    /// every harness output is bit-identical to the unsupervised engine.
+    pub fn policy(&self) -> restune::RunPolicy {
+        restune::RunPolicy {
+            supervisor: restune::SupervisorConfig {
+                timeout: self.timeout_secs.map(std::time::Duration::from_secs_f64),
+                resume: self.resume,
+                ..restune::SupervisorConfig::default()
+            },
+            plan: self
+                .faults
+                .map(restune::FaultPlan::seeded)
+                .unwrap_or_else(restune::FaultPlan::none),
+        }
     }
 
     /// Parses `std::env::args`, printing [`USAGE`] and exiting — with code 0
@@ -159,6 +207,102 @@ pub fn run_metrics_report(metrics: &[restune::RunMetrics]) -> report::Report {
         ]);
     }
     r
+}
+
+/// The machine-readable rows of one or more scope-labelled failure
+/// reports: every injection, recovery, terminal failure, and storage
+/// incident the supervisor observed. Appended as a `failures` section to
+/// `--json` output when supervision is active.
+pub fn failure_report_section(reports: &[restune::FailureReport]) -> report::Report {
+    let mut r = report::Report::new(&["scope", "event", "app", "kind", "attempts", "detail"]);
+    for rep in reports {
+        for i in &rep.injections {
+            r.push(vec![
+                rep.scope.as_str().into(),
+                "injected".into(),
+                i.app.as_str().into(),
+                i.class.into(),
+                u64::from(i.attempt + 1).into(),
+                "".into(),
+            ]);
+        }
+        for rec in &rep.recoveries {
+            r.push(vec![
+                rep.scope.as_str().into(),
+                "recovered".into(),
+                rec.app.as_str().into(),
+                rec.kind.as_str().into(),
+                u64::from(rec.attempts).into(),
+                rec.message.as_str().into(),
+            ]);
+        }
+        for f in &rep.failures {
+            r.push(vec![
+                rep.scope.as_str().into(),
+                "failed".into(),
+                f.app.as_str().into(),
+                f.kind.as_str().into(),
+                u64::from(f.attempts).into(),
+                f.message.as_str().into(),
+            ]);
+        }
+        for s in &rep.storage {
+            r.push(vec![
+                rep.scope.as_str().into(),
+                if s.recovered {
+                    "storage-recovered".into()
+                } else {
+                    "storage".into()
+                },
+                s.path.as_str().into(),
+                "storage".into(),
+                0u64.into(),
+                s.detail.as_str().into(),
+            ]);
+        }
+    }
+    r
+}
+
+/// Prints the human-readable failure section: one summary line per
+/// non-empty report, then each event indented beneath it.
+pub fn print_failure_reports(reports: &[restune::FailureReport]) {
+    let interesting: Vec<_> = reports.iter().filter(|r| !r.is_empty()).collect();
+    if interesting.is_empty() {
+        return;
+    }
+    println!("\n--- supervision report ---");
+    for rep in interesting {
+        println!("{}", rep.summary());
+        for i in &rep.injections {
+            println!(
+                "  injected  {:10} attempt {} {}",
+                i.app,
+                i.attempt + 1,
+                i.class
+            );
+        }
+        for rec in &rep.recoveries {
+            println!(
+                "  recovered {:10} after {} attempts ({}: {})",
+                rec.app, rec.attempts, rec.kind, rec.message
+            );
+        }
+        for f in &rep.failures {
+            println!(
+                "  FAILED    {:10} after {} attempts ({}: {})",
+                f.app, f.attempts, f.kind, f.message
+            );
+        }
+        for s in &rep.storage {
+            println!(
+                "  storage   {} — {}{}",
+                s.path,
+                s.detail,
+                if s.recovered { " (recovered)" } else { "" }
+            );
+        }
+    }
 }
 
 /// An empty per-app outcome report; fill with [`push_outcomes`].
@@ -366,6 +510,88 @@ mod tests {
         assert_eq!(parse(&["--help"]), Ok(Parsed::Help));
         assert_eq!(parse(&["-h"]), Ok(Parsed::Help));
         assert!(USAGE.contains("--json"), "--help must document --json");
+        for flag in ["--faults", "--timeout", "--resume"] {
+            assert!(USAGE.contains(flag), "--help must document {flag}");
+        }
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let Ok(Parsed::Args(args)) = parse(&["--faults", "42", "--timeout", "2.5", "--resume"])
+        else {
+            panic!("supervision flags must parse");
+        };
+        assert_eq!(args.faults, Some(42));
+        assert_eq!(args.timeout_secs, Some(2.5));
+        assert!(args.resume);
+
+        let policy = args.policy();
+        assert!(policy.plan.is_enabled());
+        assert_eq!(
+            policy.supervisor.timeout,
+            Some(std::time::Duration::from_secs_f64(2.5))
+        );
+        assert!(policy.supervisor.resume);
+        assert!(!policy.is_inert());
+    }
+
+    #[test]
+    fn default_policy_is_inert() {
+        assert!(HarnessArgs::default().policy().is_inert());
+    }
+
+    #[test]
+    fn malformed_supervision_flags_are_reported() {
+        assert!(parse(&["--faults"]).unwrap_err().contains("requires"));
+        assert!(parse(&["--faults", "xyz"]).unwrap_err().contains("invalid"));
+        assert!(parse(&["--timeout", "-1"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--timeout", "soon"])
+            .unwrap_err()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn failure_section_covers_every_event_class() {
+        use restune::{AppFailure, FailureKind, FailureReport, StorageIncident};
+
+        let mut rep = FailureReport::new("tuning-100");
+        rep.injections.push(restune::fault::InjectionEvent {
+            app: "gzip".into(),
+            attempt: 0,
+            class: "worker-panic",
+        });
+        rep.recoveries.push(restune::fault::RecoveryEvent {
+            app: "gzip".into(),
+            kind: FailureKind::Panic,
+            message: "injected worker panic".into(),
+            attempts: 2,
+        });
+        rep.failures.push(AppFailure {
+            app: "mcf".into(),
+            kind: FailureKind::Timeout,
+            message: "watchdog deadline exceeded at cycle 4096".into(),
+            attempts: 3,
+        });
+        rep.storage.push(StorageIncident {
+            path: "/tmp/base.tsv".into(),
+            detail: "injected storage-truncate — re-simulated".into(),
+            recovered: true,
+        });
+        let section = failure_report_section(&[rep]);
+        assert_eq!(section.len(), 4);
+        let json = section.to_json();
+        for needle in [
+            "\"event\": \"injected\"",
+            "\"event\": \"recovered\"",
+            "\"event\": \"failed\"",
+            "\"event\": \"storage-recovered\"",
+            "\"scope\": \"tuning-100\"",
+            "\"kind\": \"timeout\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]
@@ -414,6 +640,7 @@ mod tests {
             phase_power_seconds: 0.1,
             phase_supply_seconds: 0.1,
             replayed: false,
+            attempts: 1,
         };
         let r = run_metrics_report(&[m]);
         assert_eq!(r.len(), 1);

@@ -178,6 +178,78 @@ impl TuningConfig {
     }
 }
 
+/// How the supervised experiment engine wraps each application run: watchdog
+/// deadline, bounded-backoff retries, and checkpoint/resume behavior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Per-run watchdog deadline; `None` disables the watchdog.
+    pub timeout: Option<std::time::Duration>,
+    /// How many times a failed run is retried (retries only help transient
+    /// faults; persistent ones fail identically every attempt).
+    pub max_retries: u32,
+    /// First retry delay; doubles per failure.
+    pub backoff_base: std::time::Duration,
+    /// Upper bound on any single retry delay.
+    pub backoff_cap: std::time::Duration,
+    /// When `true`, completed per-app results are checkpointed to disk and
+    /// an interrupted suite resumes them instead of recomputing.
+    pub resume: bool,
+    /// Override for the checkpoint directory; `None` uses
+    /// `<cache>/checkpoints` next to the baseline cache.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            timeout: None,
+            max_retries: 2,
+            backoff_base: std::time::Duration::from_millis(25),
+            backoff_cap: std::time::Duration::from_millis(250),
+            resume: false,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The delay before the retry that follows `failures` failed attempts:
+    /// exponential from [`SupervisorConfig::backoff_base`], capped at
+    /// [`SupervisorConfig::backoff_cap`].
+    pub fn backoff_delay(&self, failures: u32) -> std::time::Duration {
+        let doublings = failures.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+/// The complete robustness policy for a suite run: supervision parameters
+/// plus the fault-injection plan. The default policy is inert — no faults,
+/// no watchdog, no resume — and is bit-exact-neutral.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunPolicy {
+    /// Watchdog / retry / resume configuration.
+    pub supervisor: SupervisorConfig,
+    /// The fault-injection plan ([`crate::fault::FaultPlan::none`] by
+    /// default).
+    pub plan: crate::fault::FaultPlan,
+}
+
+impl RunPolicy {
+    /// The inert policy.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when this policy changes nothing about how a suite executes:
+    /// no fault plan, no watchdog, no resume. The engine uses this to take
+    /// the exact code path of the unsupervised engine.
+    pub fn is_inert(&self) -> bool {
+        !self.plan.is_enabled() && self.supervisor.timeout.is_none() && !self.supervisor.resume
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +322,36 @@ mod tests {
     fn delay_builder() {
         let c = TuningConfig::isca04_table1(100).with_response_delay(5);
         assert_eq!(c.response_delay, 5);
+    }
+}
+
+#[cfg(test)]
+mod supervisor_tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let sup = SupervisorConfig::default();
+        assert_eq!(sup.backoff_delay(1), Duration::from_millis(25));
+        assert_eq!(sup.backoff_delay(2), Duration::from_millis(50));
+        assert_eq!(sup.backoff_delay(3), Duration::from_millis(100));
+        assert_eq!(sup.backoff_delay(4), Duration::from_millis(200));
+        assert_eq!(sup.backoff_delay(5), Duration::from_millis(250), "capped");
+        assert_eq!(sup.backoff_delay(40), Duration::from_millis(250), "capped");
+    }
+
+    #[test]
+    fn default_policy_is_inert() {
+        let policy = RunPolicy::none();
+        assert!(policy.is_inert());
+        let mut with_timeout = RunPolicy::none();
+        with_timeout.supervisor.timeout = Some(Duration::from_secs(1));
+        assert!(!with_timeout.is_inert());
+        let with_plan = RunPolicy {
+            plan: crate::fault::FaultPlan::seeded(1),
+            ..RunPolicy::none()
+        };
+        assert!(!with_plan.is_inert());
     }
 }

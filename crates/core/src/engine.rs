@@ -27,8 +27,13 @@ use std::time::Instant;
 
 use workloads::{spec2k, WorkloadProfile};
 
+use crate::config::SupervisorConfig;
+use crate::fault::{
+    AppFailure, FailureKind, FailureReport, FaultPlan, FaultSignal, InjectionEvent, RecoveryEvent,
+    StorageFault, StorageIncident,
+};
 use crate::metrics::RunMetrics;
-use crate::sim::{run_instrumented, SimConfig, SimResult, Technique};
+use crate::sim::{run_supervised, SimConfig, SimResult, Technique};
 
 /// A suite run failed: the named application's simulation panicked.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,11 +65,22 @@ pub struct SuiteRun {
 
 /// Worker-pool width: `RESTUNE_WORKERS` when set to a positive integer,
 /// otherwise the machine's available parallelism, never more than `jobs`.
+/// A non-numeric or zero `RESTUNE_WORKERS` prints a clear error to stderr
+/// and falls back to the default rather than being silently ignored.
 fn worker_count(jobs: usize) -> usize {
-    let configured = std::env::var("RESTUNE_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0);
+    let configured = match std::env::var("RESTUNE_WORKERS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!(
+                    "restune: invalid RESTUNE_WORKERS='{raw}' (need a positive integer); \
+                     using the default worker count"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    };
     let hw = configured.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -86,26 +102,205 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Runs every profile under `technique` on a bounded worker pool, returning
 /// results in suite order.
 ///
-/// The pool claims applications through an atomic counter and each worker
-/// writes into that application's dedicated slot, so the output order — and
-/// the output itself, since runs share no mutable state — is identical to a
-/// serial loop. A panicking run surfaces as a [`SuiteError`] naming the
-/// application; remaining workers finish their current runs first.
+/// This is the unsupervised front door: no fault injection, no watchdog, no
+/// retries — a thin wrapper over [`run_suite_supervised`] with the inert
+/// policy. A panicking run surfaces as a [`SuiteError`] naming the
+/// application; remaining workers finish their runs.
 ///
 /// # Errors
 ///
-/// Returns the first failing application's name and panic message.
+/// Returns the first (in suite order) failing application's name and panic
+/// message.
 pub fn try_run_suite(
     profiles: &[WorkloadProfile],
     technique: &Technique,
     sim: &SimConfig,
 ) -> Result<SuiteRun, SuiteError> {
-    let start = Instant::now();
-    let slots: Vec<OnceLock<(SimResult, RunMetrics)>> =
-        profiles.iter().map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    let failure: Mutex<Option<SuiteError>> = Mutex::new(None);
+    let sup = SupervisorConfig {
+        max_retries: 0,
+        ..SupervisorConfig::default()
+    };
+    let suite = run_suite_supervised(profiles, technique, sim, &sup, &FaultPlan::none());
+    let wall_seconds = suite.wall_seconds;
+    let mut results = Vec::with_capacity(suite.outcomes.len());
+    let mut metrics = Vec::with_capacity(suite.outcomes.len());
+    for (outcome, m) in suite.outcomes.into_iter().zip(suite.metrics) {
+        match outcome {
+            Ok(r) => {
+                results.push(r);
+                metrics.push(m.expect("a successful slot always carries metrics"));
+            }
+            Err(f) => {
+                return Err(SuiteError {
+                    app: f.app,
+                    message: f.message,
+                })
+            }
+        }
+    }
+    Ok(SuiteRun {
+        results,
+        metrics,
+        wall_seconds,
+    })
+}
 
+/// A supervised suite run: one `Result` slot per application instead of an
+/// all-or-nothing suite, plus the failure report that explains every slot.
+#[derive(Debug, Clone)]
+pub struct SupervisedSuite {
+    /// Per-application outcome, in suite order: the result, or the
+    /// classified failure that exhausted its retries.
+    pub outcomes: Vec<Result<SimResult, AppFailure>>,
+    /// One [`RunMetrics`] row per *successful* application, aligned with
+    /// `outcomes` (`None` where the run failed).
+    pub metrics: Vec<Option<RunMetrics>>,
+    /// Injections, recoveries, storage incidents, and terminal failures.
+    pub report: FailureReport,
+    /// End-to-end wall time of the whole suite in seconds.
+    pub wall_seconds: f64,
+}
+
+impl SupervisedSuite {
+    fn from_suite_run(run: &SuiteRun, scope: &str) -> Self {
+        Self {
+            outcomes: run.results.iter().copied().map(Ok).collect(),
+            metrics: run.metrics.iter().copied().map(Some).collect(),
+            report: FailureReport::new(scope),
+            wall_seconds: run.wall_seconds,
+        }
+    }
+
+    /// How many applications completed successfully.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// All results when every application succeeded, `None` otherwise.
+    pub fn all_results(&self) -> Option<Vec<SimResult>> {
+        self.outcomes
+            .iter()
+            .map(|o| o.as_ref().ok().copied())
+            .collect()
+    }
+}
+
+/// Classifies an unwound panic payload: a typed [`FaultSignal`] carries its
+/// own failure kind; anything else is an unclassified worker panic.
+fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (FailureKind, String) {
+    match payload.downcast::<FaultSignal>() {
+        Ok(signal) => (signal.kind, signal.message),
+        Err(other) => (FailureKind::Panic, panic_message(other)),
+    }
+}
+
+/// Runs one application under supervision: injects the plan's faults for
+/// each attempt, enforces the watchdog deadline, classifies any unwind, and
+/// retries with bounded exponential backoff.
+fn supervise_one(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    report: &Mutex<FailureReport>,
+) -> Result<(SimResult, RunMetrics), AppFailure> {
+    let mut last: Option<(FailureKind, String)> = None;
+    for attempt in 0..=sup.max_retries {
+        let specs = plan.faults_for(profile.name, attempt);
+        if !specs.is_empty() {
+            let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner);
+            for spec in &specs {
+                rep.injections.push(InjectionEvent {
+                    app: profile.name.to_string(),
+                    attempt,
+                    class: spec.class(),
+                });
+            }
+        }
+        let deadline = sup.timeout.map(|t| Instant::now() + t);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_supervised(profile, technique, sim, &specs, deadline)
+        }));
+        match outcome {
+            Ok(inst) => {
+                let mut metrics =
+                    RunMetrics::from_instrumented(technique.name(), &inst, base_cache_stats());
+                metrics.attempts = attempt + 1;
+                if let Some((kind, message)) = last {
+                    report
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .recoveries
+                        .push(RecoveryEvent {
+                            app: profile.name.to_string(),
+                            kind,
+                            message,
+                            attempts: attempt + 1,
+                        });
+                }
+                return Ok((inst.result, metrics));
+            }
+            Err(payload) => {
+                let (kind, message) = classify_payload(payload);
+                last = Some((kind, message));
+                if attempt < sup.max_retries {
+                    std::thread::sleep(sup.backoff_delay(attempt + 1));
+                }
+            }
+        }
+    }
+    let (kind, message) = last.expect("the retry loop only exits failed with a recorded failure");
+    Err(AppFailure {
+        app: profile.name.to_string(),
+        kind,
+        message,
+        attempts: sup.max_retries + 1,
+    })
+}
+
+/// Runs every profile under `technique` on the bounded worker pool, with
+/// the full supervision stack: per-attempt fault injection from `plan`,
+/// watchdog deadlines, classified failures, bounded-backoff retries, and —
+/// when `sup.resume` is set — checkpoint/resume of completed applications.
+///
+/// Unlike [`try_run_suite`], one failing application does not abort the
+/// suite: its slot carries the classified [`AppFailure`] and every other
+/// application still completes (graceful degradation).
+pub fn run_suite_supervised(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> SupervisedSuite {
+    let start = Instant::now();
+    // FaultSignal unwinds are classified control flow, not crashes; keep
+    // the default hook's backtraces off stderr for them.
+    crate::fault::install_signal_quieting_hook();
+    let report = Mutex::new(FailureReport::new(technique.name()));
+    let slots: Vec<OnceLock<Result<(SimResult, RunMetrics), AppFailure>>> =
+        profiles.iter().map(|_| OnceLock::new()).collect();
+
+    // Resume: pre-fill slots from a prior interrupted run of the *same*
+    // suite (fingerprint covers machine, technique, profiles, and the
+    // result-perturbing part of the fault plan).
+    let checkpoint = sup.resume.then(|| {
+        let fp = suite_fingerprint(profiles, technique, sim, plan);
+        let path = checkpoint_path(sup, fp);
+        let rows = load_checkpoint(&path, fp, profiles);
+        (path, fp, rows)
+    });
+    if let Some((_, _, rows)) = &checkpoint {
+        let stats = base_cache_stats();
+        for (idx, result) in rows {
+            let metrics = RunMetrics::replayed(technique.name(), result, stats);
+            let _ = slots[*idx].set(Ok((*result, metrics)));
+        }
+    }
+
+    let next = AtomicUsize::new(0);
+    let ckpt_append = Mutex::new(());
     std::thread::scope(|scope| {
         for _ in 0..worker_count(profiles.len()) {
             scope.spawn(|| loop {
@@ -113,51 +308,235 @@ pub fn try_run_suite(
                 let Some(profile) = profiles.get(idx) else {
                     return;
                 };
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let inst = run_instrumented(profile, technique, sim);
-                    let metrics =
-                        RunMetrics::from_instrumented(technique.name(), &inst, base_cache_stats());
-                    (inst.result, metrics)
-                }));
-                match outcome {
-                    Ok(pair) => {
-                        slots[idx]
-                            .set(pair)
-                            .expect("each slot is claimed exactly once");
-                    }
-                    Err(payload) => {
-                        let err = SuiteError {
-                            app: profile.name.to_string(),
-                            message: panic_message(payload),
-                        };
-                        failure
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .get_or_insert(err);
-                        return;
-                    }
+                if slots[idx].get().is_some() {
+                    continue; // replayed from the checkpoint
                 }
+                let outcome = supervise_one(profile, technique, sim, sup, plan, &report);
+                if let (Ok((result, _)), Some((path, fp, _))) = (&outcome, &checkpoint) {
+                    let _guard = ckpt_append.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _ = append_checkpoint(path, *fp, idx, result);
+                }
+                let stored = slots[idx].set(outcome).is_ok();
+                assert!(stored, "each unfilled slot is claimed exactly once");
             });
         }
     });
 
-    if let Some(err) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
-        return Err(err);
-    }
-    let mut results = Vec::with_capacity(slots.len());
+    let mut outcomes = Vec::with_capacity(slots.len());
     let mut metrics = Vec::with_capacity(slots.len());
     for slot in slots {
-        let (r, m) = slot
+        match slot
             .into_inner()
-            .expect("no failure, so every slot was filled");
-        results.push(r);
-        metrics.push(m);
+            .expect("every slot was claimed or pre-filled")
+        {
+            Ok((r, m)) => {
+                outcomes.push(Ok(r));
+                metrics.push(Some(m));
+            }
+            Err(f) => {
+                outcomes.push(Err(f));
+                metrics.push(None);
+            }
+        }
     }
-    Ok(SuiteRun {
-        results,
+    let mut report = report.into_inner().unwrap_or_else(PoisonError::into_inner);
+    for outcome in &outcomes {
+        if let Err(f) = outcome {
+            report.failures.push(f.clone());
+        }
+    }
+    // A fully successful suite retires its checkpoint; a degraded one keeps
+    // it so a fixed-up rerun only repeats the failed applications.
+    if let Some((path, _, _)) = &checkpoint {
+        if outcomes.iter().all(Result::is_ok) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    SupervisedSuite {
+        outcomes,
         metrics,
+        report,
         wall_seconds: start.elapsed().as_secs_f64(),
-    })
+    }
+}
+
+/// Checkpoint-file schema version; bump when the row format changes.
+const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// Fingerprint of everything a supervised suite's *results* depend on: the
+/// machine configuration, the technique (with its config), every workload
+/// profile, and the result-perturbing (sensor) part of the fault plan.
+/// Worker/numeric faults and supervisor settings are excluded on purpose —
+/// they change *whether* a run completes, never *what* it computes.
+pub fn suite_fingerprint(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+    plan: &FaultPlan,
+) -> u64 {
+    let mut identity = format!("ckpt-v{CHECKPOINT_SCHEMA}|{sim:?}|{technique:?}|");
+    for p in profiles {
+        identity.push_str(&format!("{}:{:?};", p.name, plan.result_faults(p.name)));
+    }
+    identity.push_str(&format!("|{profiles:?}"));
+    fnv1a(identity.as_bytes())
+}
+
+/// Directory for suite checkpoints: the supervisor's override when set,
+/// otherwise `checkpoints/` under [`baseline_cache_dir`].
+pub fn checkpoint_dir(sup: &SupervisorConfig) -> PathBuf {
+    sup.checkpoint_dir
+        .clone()
+        .unwrap_or_else(|| baseline_cache_dir().join("checkpoints"))
+}
+
+/// Path of the checkpoint for fingerprint `fp` under [`checkpoint_dir`].
+pub fn checkpoint_path(sup: &SupervisorConfig, fp: u64) -> PathBuf {
+    checkpoint_dir(sup).join(format!("ckpt-{fp:016x}.tsv"))
+}
+
+/// Appends one completed application to the checkpoint, creating the file
+/// (with its header) on first use.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_checkpoint(path: &Path, fp: u64, idx: usize, result: &SimResult) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if file.metadata()?.len() == 0 {
+        writeln!(file, "restune-checkpoint v{CHECKPOINT_SCHEMA} fp={fp:016x}")?;
+    }
+    writeln!(file, "{idx}\t{}", result_row(result))
+}
+
+/// Loads the completed rows of a checkpoint written by
+/// [`append_checkpoint`], keyed by suite index.
+///
+/// A missing file is an empty resume. A stale fingerprint or header is
+/// discarded with a warning. A *truncated tail* is expected — the previous
+/// process may have been killed mid-append — so parsing stops at the first
+/// bad row and keeps everything before it.
+pub fn load_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    profiles: &[WorkloadProfile],
+) -> Vec<(usize, SimResult)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut lines = text.lines();
+    let expected = format!("restune-checkpoint v{CHECKPOINT_SCHEMA} fp={fingerprint:016x}");
+    if lines.next() != Some(expected.as_str()) {
+        discard_stale(path, "stale or corrupt checkpoint");
+        return Vec::new();
+    }
+    let mut rows: HashMap<usize, SimResult> = HashMap::new();
+    for line in lines {
+        let Some((idx, result)) = parse_checkpoint_row(line, profiles) else {
+            break;
+        };
+        rows.insert(idx, result);
+    }
+    let mut out: Vec<_> = rows.into_iter().collect();
+    out.sort_by_key(|(idx, _)| *idx);
+    out
+}
+
+fn parse_checkpoint_row(line: &str, profiles: &[WorkloadProfile]) -> Option<(usize, SimResult)> {
+    let (idx, row) = line.split_once('\t')?;
+    let idx = idx.parse::<usize>().ok()?;
+    let result = parse_row(row)?;
+    if profiles.get(idx)?.name != result.app {
+        return None;
+    }
+    Some((idx, result))
+}
+
+/// Damages a cache file in place according to the storage fault.
+fn corrupt_file(path: &Path, fault: StorageFault) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let mid = bytes.len() / 2;
+    match fault {
+        StorageFault::Truncate => bytes.truncate(mid),
+        StorageFault::BitFlip => {
+            if let Some(b) = bytes.get_mut(mid) {
+                // Flipping bit 4 maps every digit, hex letter, tab, and
+                // newline outside its class, so the damage always parses as
+                // corruption rather than as a different valid value.
+                *b ^= 0x10;
+            }
+        }
+    }
+    std::fs::write(path, bytes)
+}
+
+/// The supervised counterpart of [`cached_base_suite`]: the base-machine
+/// suite with storage-fault injection, damaged-baseline recovery, and
+/// graceful degradation.
+///
+/// With an inert policy this is *exactly* the unsupervised cached path
+/// (same memo, same counters, bit-identical results). With faults enabled
+/// it bypasses the in-process memo — a partial or perturbed base suite must
+/// never poison the clean cache — applies any planned storage fault to the
+/// recorded baseline, recovers by re-simulating, and re-records on success.
+pub fn cached_base_suite_supervised(
+    sim: &SimConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> SupervisedSuite {
+    let policy_is_inert = !plan.is_enabled() && sup.timeout.is_none() && !sup.resume;
+    if policy_is_inert {
+        return SupervisedSuite::from_suite_run(&cached_base_suite(sim), "base");
+    }
+
+    let path = baseline_path(sim);
+    let mut incidents = Vec::new();
+    if let Some(fault) = plan.storage_fault() {
+        if path.exists() && corrupt_file(&path, fault).is_ok() {
+            incidents.push(StorageIncident {
+                path: path.display().to_string(),
+                detail: format!("injected {}", fault.class()),
+                recovered: false,
+            });
+        }
+    }
+
+    let fp = base_fingerprint(sim);
+    if let Ok(Some(results)) = load_baseline(&path, fp) {
+        let stats = base_cache_stats();
+        let metrics = results
+            .iter()
+            .map(|r| Some(RunMetrics::replayed("base", r, stats)))
+            .collect();
+        let mut report = FailureReport::new("base");
+        report.storage = incidents;
+        return SupervisedSuite {
+            outcomes: results.into_iter().map(Ok).collect(),
+            metrics,
+            report,
+            wall_seconds: 0.0,
+        };
+    }
+
+    let mut suite = run_suite_supervised(&spec2k::all(), &Technique::Base, sim, sup, plan);
+    suite.report.scope = String::from("base");
+    if let Some(results) = suite.all_results() {
+        if !plan.has_result_faults() {
+            let _ = save_baseline(&path, fp, &results);
+        }
+        for incident in &mut incidents {
+            incident.recovered = true;
+            incident.detail.push_str(" — re-simulated");
+        }
+    }
+    suite.report.storage.splice(0..0, incidents);
+    suite
 }
 
 /// Hit/miss counters of the process-wide base-suite cache.
@@ -274,24 +653,29 @@ pub fn save_baseline(path: &Path, fingerprint: u64, results: &[SimResult]) -> io
         results.len()
     )?;
     for r in results {
-        writeln!(
-            body,
-            "{}\t{}\t{}\t{:016x}\t{}\t{:016x}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}",
-            r.app,
-            r.cycles,
-            r.committed,
-            r.ipc.to_bits(),
-            r.violation_cycles,
-            r.worst_noise.volts().to_bits(),
-            r.energy_joules.to_bits(),
-            r.energy_delay.to_bits(),
-            r.first_level_cycles,
-            r.second_level_cycles,
-            r.sensor_response_cycles,
-            r.damping_bound_cycles,
-        )?;
+        writeln!(body, "{}", result_row(r))?;
     }
     std::fs::write(path, body)
+}
+
+/// The bit-exact TSV serialization of one result row, shared by baseline
+/// files and checkpoints.
+fn result_row(r: &SimResult) -> String {
+    format!(
+        "{}\t{}\t{}\t{:016x}\t{}\t{:016x}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}",
+        r.app,
+        r.cycles,
+        r.committed,
+        r.ipc.to_bits(),
+        r.violation_cycles,
+        r.worst_noise.volts().to_bits(),
+        r.energy_joules.to_bits(),
+        r.energy_delay.to_bits(),
+        r.first_level_cycles,
+        r.second_level_cycles,
+        r.sensor_response_cycles,
+        r.damping_bound_cycles,
+    )
 }
 
 fn parse_row(line: &str) -> Option<SimResult> {
@@ -322,11 +706,20 @@ fn parse_row(line: &str) -> Option<SimResult> {
     Some(result)
 }
 
+/// Deletes a stale or damaged cache file and says so on stderr, once, so
+/// the next run doesn't trip over it again.
+fn discard_stale(path: &Path, why: &str) {
+    let _ = std::fs::remove_file(path);
+    eprintln!("restune: discarded {} ({why})", path.display());
+}
+
 /// Loads result rows recorded by [`save_baseline`].
 ///
 /// Returns `Ok(None)` when the file does not exist, carries a different
 /// fingerprint or schema version, or fails to parse — all of which mean
-/// "no usable baseline", not an error.
+/// "no usable baseline", not an error. A stale or corrupt file is deleted
+/// (with a one-line stderr warning) so it is re-recorded on the next run
+/// instead of being rediscovered broken every time.
 ///
 /// # Errors
 ///
@@ -337,16 +730,20 @@ pub fn load_baseline(path: &Path, fingerprint: u64) -> io::Result<Option<Vec<Sim
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
+    let rows = parse_baseline(&text, fingerprint);
+    if rows.is_none() {
+        discard_stale(path, "stale or corrupt recorded baseline");
+    }
+    Ok(rows)
+}
+
+fn parse_baseline(text: &str, fingerprint: u64) -> Option<Vec<SimResult>> {
     let mut lines = text.lines();
     let expected = format!("restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps=");
-    let Some(header) = lines.next().filter(|h| h.starts_with(&expected)) else {
-        return Ok(None);
-    };
-    let Ok(apps) = header[expected.len()..].parse::<usize>() else {
-        return Ok(None);
-    };
+    let header = lines.next().filter(|h| h.starts_with(&expected))?;
+    let apps = header[expected.len()..].parse::<usize>().ok()?;
     let rows: Option<Vec<SimResult>> = lines.map(parse_row).collect();
-    Ok(rows.filter(|r| r.len() == apps))
+    rows.filter(|r| r.len() == apps)
 }
 
 /// The base-machine suite for `sim`, simulated at most once per process.
@@ -482,9 +879,10 @@ mod tests {
             loaded, results,
             "recorded baseline must replay bit-identically"
         );
-        // A different fingerprint must refuse the file.
+        // A different fingerprint must refuse the file — and discard it so
+        // the stale artifact is not rediscovered broken forever.
         assert_eq!(load_baseline(&path, fp ^ 1).unwrap(), None);
-        let _ = std::fs::remove_file(path);
+        assert!(!path.exists(), "stale baseline must be deleted");
     }
 
     #[test]
@@ -503,7 +901,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(load_baseline(&path, fp).unwrap(), None);
-        let _ = std::fs::remove_file(path);
+        assert!(!path.exists(), "corrupt baseline must be deleted");
     }
 
     #[test]
@@ -539,5 +937,186 @@ mod tests {
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1_000) <= 1_000);
         assert!(worker_count(1_000) >= 1);
+    }
+
+    #[test]
+    fn invalid_workers_env_warns_and_falls_back() {
+        // Only the return value is checked (a stderr warning is emitted);
+        // an invalid value must behave exactly like an unset variable. The
+        // variable only tunes parallelism, never results, so this is safe
+        // alongside concurrently running suite tests.
+        std::env::set_var("RESTUNE_WORKERS", "three");
+        let n = worker_count(8);
+        std::env::remove_var("RESTUNE_WORKERS");
+        assert!((1..=8).contains(&n));
+
+        std::env::set_var("RESTUNE_WORKERS", "0");
+        let z = worker_count(8);
+        std::env::remove_var("RESTUNE_WORKERS");
+        assert!((1..=8).contains(&z));
+    }
+
+    #[test]
+    fn supervised_suite_degrades_instead_of_aborting() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let victim = profiles[1].name;
+        let sim = quick_sim();
+        let plan =
+            FaultPlan::none().with_persistent_fault(victim, crate::fault::FaultSpec::WorkerPanic);
+        let sup = SupervisorConfig {
+            max_retries: 1,
+            ..SupervisorConfig::default()
+        };
+        let suite = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan);
+
+        assert_eq!(suite.completed(), 2, "the other apps must still finish");
+        assert!(suite.all_results().is_none());
+        let failure = suite.outcomes[1].as_ref().expect_err("victim fails");
+        assert_eq!(failure.app, victim);
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert_eq!(failure.attempts, 2, "one retry was spent");
+        assert_eq!(suite.report.failures.len(), 1);
+        assert_eq!(suite.report.injections.len(), 2, "both attempts injected");
+        assert!(!suite.report.is_clean());
+        // Healthy slots match an unsupervised run bit-for-bit.
+        assert_eq!(
+            suite.outcomes[0].as_ref().unwrap(),
+            &run(&profiles[0], &Technique::Base, &sim)
+        );
+    }
+
+    #[test]
+    fn transient_fault_recovers_with_backoff_retry() {
+        let profiles = vec![spec2k::by_name("gzip").unwrap()];
+        let sim = quick_sim();
+        let plan =
+            FaultPlan::none().with_transient_fault("gzip", crate::fault::FaultSpec::WorkerPanic);
+        let sup = SupervisorConfig {
+            max_retries: 2,
+            backoff_base: std::time::Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let suite = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan);
+
+        assert_eq!(suite.completed(), 1, "retry must rescue the run");
+        assert!(suite.report.is_clean());
+        assert_eq!(suite.report.recoveries.len(), 1);
+        assert_eq!(suite.report.recoveries[0].kind, FailureKind::Panic);
+        assert_eq!(suite.report.recoveries[0].attempts, 2);
+        let metrics = suite.metrics[0].as_ref().unwrap();
+        assert_eq!(metrics.attempts, 2);
+        // The clean retry reproduces the unfaulted run bit-for-bit.
+        assert_eq!(
+            suite.outcomes[0].as_ref().unwrap(),
+            &run(&profiles[0], &Technique::Base, &sim)
+        );
+    }
+
+    #[test]
+    fn inert_supervised_suite_matches_try_run_suite() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let sim = quick_sim();
+        let plain = try_run_suite(&profiles, &Technique::Base, &sim).unwrap();
+        let supervised = run_suite_supervised(
+            &profiles,
+            &Technique::Base,
+            &sim,
+            &SupervisorConfig::default(),
+            &FaultPlan::none(),
+        );
+        assert!(supervised.report.is_empty());
+        assert_eq!(supervised.all_results().unwrap(), plain.results);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_tolerates_a_truncated_tail() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let sim = quick_sim();
+        let results: Vec<_> = profiles
+            .iter()
+            .map(|p| run(p, &Technique::Base, &sim))
+            .collect();
+        let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+        let path = std::env::temp_dir().join("restune-ckpt-roundtrip.tsv");
+        let _ = std::fs::remove_file(&path);
+
+        append_checkpoint(&path, fp, 0, &results[0]).unwrap();
+        append_checkpoint(&path, fp, 2, &results[2]).unwrap();
+        let loaded = load_checkpoint(&path, fp, &profiles);
+        assert_eq!(loaded, vec![(0, results[0]), (2, results[2])]);
+
+        // A kill mid-append leaves a truncated last row: everything before
+        // it must survive.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("1\tgzip\t12"); // unfinished row
+        std::fs::write(&path, text).unwrap();
+        let partial = load_checkpoint(&path, fp, &profiles);
+        assert_eq!(partial, vec![(0, results[0]), (2, results[2])]);
+
+        // A stale fingerprint discards the file entirely.
+        assert!(load_checkpoint(&path, fp ^ 1, &profiles).is_empty());
+        assert!(!path.exists(), "stale checkpoint must be deleted");
+    }
+
+    #[test]
+    fn suite_fingerprint_tracks_result_perturbing_faults_only() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(2).collect();
+        let sim = quick_sim();
+        let clean = FaultPlan::none();
+        let sensor = FaultPlan::none().with_persistent_fault(
+            profiles[0].name,
+            crate::fault::FaultSpec::SensorDelay { cycles: 3 },
+        );
+        let worker = FaultPlan::none()
+            .with_persistent_fault(profiles[0].name, crate::fault::FaultSpec::WorkerPanic);
+        let fp = |plan: &FaultPlan| suite_fingerprint(&profiles, &Technique::Base, &sim, plan);
+        assert_ne!(
+            fp(&clean),
+            fp(&sensor),
+            "sensor faults change results, so they must change the fingerprint"
+        );
+        assert_eq!(
+            fp(&clean),
+            fp(&worker),
+            "worker faults never change results, so checkpoints stay shareable"
+        );
+    }
+
+    #[test]
+    fn resumed_suite_replays_checkpointed_rows_bit_exactly() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let sim = quick_sim();
+        let dir = std::env::temp_dir().join("restune-ckpt-resume-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sup = SupervisorConfig {
+            resume: true,
+            checkpoint_dir: Some(dir.clone()),
+            ..SupervisorConfig::default()
+        };
+        let plan = FaultPlan::none();
+
+        // Simulate an interrupted run: only app 1 completed and was
+        // checkpointed before the kill.
+        let partial = run(&profiles[1], &Technique::Base, &sim);
+        let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &plan);
+        append_checkpoint(&checkpoint_path(&sup, fp), fp, 1, &partial).unwrap();
+
+        let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan);
+        assert!(
+            resumed.metrics[1].as_ref().unwrap().replayed,
+            "the checkpointed app must be replayed, not re-simulated"
+        );
+        assert!(!resumed.metrics[0].as_ref().unwrap().replayed);
+
+        // The resumed suite equals an uninterrupted one bit-for-bit.
+        let uninterrupted = try_run_suite(&profiles, &Technique::Base, &sim).unwrap();
+        assert_eq!(resumed.all_results().unwrap(), uninterrupted.results);
+
+        // Full success retires the checkpoint.
+        assert!(
+            !checkpoint_path(&sup, fp).exists(),
+            "completed suite must delete its checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

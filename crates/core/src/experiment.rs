@@ -5,8 +5,12 @@
 use workloads::{spec2k, WorkloadProfile};
 
 use crate::baselines::{DampingConfig, SensorConfig};
-use crate::config::TuningConfig;
-use crate::engine::{cached_base_suite, try_run_suite};
+use crate::config::{RunPolicy, TuningConfig};
+use crate::engine::{
+    cached_base_suite, cached_base_suite_supervised, run_suite_supervised, try_run_suite,
+    SupervisedSuite,
+};
+use crate::fault::FailureReport;
 use crate::metrics::{RelativeOutcome, Summary};
 use crate::sim::{SimConfig, SimResult, Technique};
 
@@ -49,6 +53,57 @@ pub fn compare_suites(base: &[SimResult], technique: &[SimResult]) -> Vec<Relati
     base.iter()
         .zip(technique)
         .map(|(b, t)| RelativeOutcome::new(b, t))
+        .collect()
+}
+
+/// Runs the suite under the policy's supervision and fault plan, labelling
+/// the failure report with `scope` (a design-point label such as
+/// `tuning-100`).
+pub fn run_suite_policed(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+    policy: &RunPolicy,
+    scope: &str,
+) -> SupervisedSuite {
+    let mut suite =
+        run_suite_supervised(profiles, technique, sim, &policy.supervisor, &policy.plan);
+    suite.report.scope = scope.to_string();
+    suite
+}
+
+/// The base suite under supervision: storage faults are applied to the
+/// recorded baseline, damaged files are recovered by re-simulating, and a
+/// failing application degrades its slot rather than the whole suite.
+///
+/// With an inert policy this is bit-identical to [`run_base_suite`].
+pub fn base_suite_supervised(sim: &SimConfig, policy: &RunPolicy) -> SupervisedSuite {
+    cached_base_suite_supervised(sim, &policy.supervisor, &policy.plan)
+}
+
+/// Pairs the applications that succeeded in *both* supervised suites into
+/// per-app outcomes, skipping any slot that failed on either side — the
+/// degraded analogue of [`compare_suites`].
+///
+/// # Panics
+///
+/// Panics if the suites have different lengths.
+pub fn paired_outcomes(
+    base: &SupervisedSuite,
+    technique: &SupervisedSuite,
+) -> Vec<RelativeOutcome> {
+    assert_eq!(
+        base.outcomes.len(),
+        technique.outcomes.len(),
+        "suite size mismatch"
+    );
+    base.outcomes
+        .iter()
+        .zip(&technique.outcomes)
+        .filter_map(|(b, t)| match (b, t) {
+            (Ok(b), Ok(t)) if b.app == t.app => Some(RelativeOutcome::new(b, t)),
+            _ => None,
+        })
         .collect()
 }
 
@@ -169,6 +224,111 @@ pub fn table5(sim: &SimConfig, deltas: &[f64], base: &[SimResult]) -> Vec<Table5
         .collect()
 }
 
+/// Builds the Table 2 rows a supervised base suite can still support: one
+/// row per *successful* application (a failed slot simply has no row).
+pub fn table2_from_supervised(base: &SupervisedSuite) -> Vec<Table2Row> {
+    base.outcomes
+        .iter()
+        .zip(&spec2k::all())
+        .filter_map(|(outcome, p)| {
+            outcome.as_ref().ok().map(|r| Table2Row {
+                app: r.app,
+                paper_violating: p.paper_violating,
+                ipc: r.ipc,
+                violation_fraction: r.violation_fraction(),
+            })
+        })
+        .collect()
+}
+
+/// Supervised Table 3: each response-time design point runs under the
+/// policy; a row covers the apps that succeeded in both that point and the
+/// base suite, and a design point with no surviving pairs yields no row.
+/// One scope-labelled [`FailureReport`] is returned per design point.
+pub fn table3_supervised(
+    sim: &SimConfig,
+    response_times: &[u32],
+    base: &SupervisedSuite,
+    policy: &RunPolicy,
+) -> (Vec<Table3Row>, Vec<FailureReport>) {
+    let profiles = spec2k::all();
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for &t in response_times {
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(t));
+        let suite = run_suite_policed(&profiles, &technique, sim, policy, &format!("tuning-{t}"));
+        let outcomes = paired_outcomes(base, &suite);
+        if !outcomes.is_empty() {
+            rows.push(Table3Row {
+                initial_response_time: t,
+                summary: Summary::from_outcomes(&outcomes),
+                outcomes,
+            });
+        }
+        reports.push(suite.report);
+    }
+    (rows, reports)
+}
+
+/// Supervised Table 4 (see [`table3_supervised`] for the degradation
+/// rules).
+pub fn table4_supervised(
+    sim: &SimConfig,
+    configs: &[SensorConfig],
+    base: &SupervisedSuite,
+    policy: &RunPolicy,
+) -> (Vec<Table4Row>, Vec<FailureReport>) {
+    let profiles = spec2k::all();
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for &config in configs {
+        let scope = format!(
+            "sensor-{:.0}mV-{:.0}mV-{}cy",
+            config.target_threshold.volts() * 1e3,
+            config.sensor_noise_pp.volts() * 1e3,
+            config.delay_cycles
+        );
+        let suite = run_suite_policed(&profiles, &Technique::Sensor(config), sim, policy, &scope);
+        let outcomes = paired_outcomes(base, &suite);
+        if !outcomes.is_empty() {
+            rows.push(Table4Row {
+                config,
+                summary: Summary::from_outcomes(&outcomes),
+                outcomes,
+            });
+        }
+        reports.push(suite.report);
+    }
+    (rows, reports)
+}
+
+/// Supervised Table 5 (see [`table3_supervised`] for the degradation
+/// rules).
+pub fn table5_supervised(
+    sim: &SimConfig,
+    deltas: &[f64],
+    base: &SupervisedSuite,
+    policy: &RunPolicy,
+) -> (Vec<Table5Row>, Vec<FailureReport>) {
+    let profiles = spec2k::all();
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    for &d in deltas {
+        let technique = Technique::Damping(DampingConfig::isca04_table5(d));
+        let suite = run_suite_policed(&profiles, &technique, sim, policy, &format!("damping-{d}"));
+        let outcomes = paired_outcomes(base, &suite);
+        if !outcomes.is_empty() {
+            rows.push(Table5Row {
+                delta_relative: d,
+                summary: Summary::from_outcomes(&outcomes),
+                outcomes,
+            });
+        }
+        reports.push(suite.report);
+    }
+    (rows, reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +379,49 @@ mod tests {
                 o.slowdown
             );
         }
+    }
+
+    #[test]
+    fn inert_policy_pairs_exactly_like_compare_suites() {
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let sim = quick_sim();
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(100));
+        let policy = RunPolicy::none();
+
+        let base_sup = run_suite_policed(&profiles, &Technique::Base, &sim, &policy, "base");
+        let tech_sup = run_suite_policed(&profiles, &technique, &sim, &policy, "tuning-100");
+        assert!(base_sup.report.is_empty() && tech_sup.report.is_empty());
+
+        let base = run_suite(&profiles, &Technique::Base, &sim);
+        let tech = run_suite(&profiles, &technique, &sim);
+        assert_eq!(
+            paired_outcomes(&base_sup, &tech_sup),
+            compare_suites(&base, &tech),
+            "inert supervision must be the identity"
+        );
+    }
+
+    #[test]
+    fn paired_outcomes_skip_apps_that_failed_either_side() {
+        use crate::fault::{FaultPlan, FaultSpec};
+
+        let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
+        let victim = profiles[2].name;
+        let sim = quick_sim();
+        let clean = RunPolicy::none();
+        let faulty = RunPolicy {
+            plan: FaultPlan::none().with_persistent_fault(victim, FaultSpec::WorkerPanic),
+            ..RunPolicy::none()
+        };
+
+        let base = run_suite_policed(&profiles, &Technique::Base, &sim, &clean, "base");
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(100));
+        let tech = run_suite_policed(&profiles, &technique, &sim, &faulty, "tuning-100");
+
+        let outcomes = paired_outcomes(&base, &tech);
+        assert_eq!(outcomes.len(), 2, "the failed app must be dropped");
+        assert!(outcomes.iter().all(|o| o.app != victim));
+        assert_eq!(tech.report.failures.len(), 1);
+        assert_eq!(tech.report.scope, "tuning-100");
     }
 }

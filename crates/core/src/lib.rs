@@ -57,18 +57,25 @@ pub mod config;
 pub mod detector;
 pub mod engine;
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod response;
 pub mod sim;
 
 pub use analysis::{analyze, GuaranteeReport};
 pub use baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
-pub use config::TuningConfig;
+pub use config::{RunPolicy, SupervisorConfig, TuningConfig};
 pub use detector::{EventDetector, Polarity, ResonantEvent, WaveletConfig, WaveletDetector};
-pub use engine::{cached_base_suite, try_run_suite, CacheStats, SuiteError, SuiteRun};
+pub use engine::{
+    cached_base_suite, cached_base_suite_supervised, run_suite_supervised, try_run_suite,
+    CacheStats, SuiteError, SuiteRun, SupervisedSuite,
+};
+pub use fault::{
+    AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, StorageFault, StorageIncident,
+};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
 pub use sim::{
-    run, run_instrumented, run_observed, CycleRecord, InstrumentedRun, PhaseTimings, SimConfig,
-    SimResult, Technique,
+    run, run_instrumented, run_observed, run_supervised, CycleRecord, InstrumentedRun,
+    PhaseTimings, SimConfig, SimResult, Technique,
 };

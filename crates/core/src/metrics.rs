@@ -104,6 +104,8 @@ pub struct RunMetrics {
     /// `true` when the row was replayed from a recorded baseline rather
     /// than simulated in this process.
     pub replayed: bool,
+    /// Supervisor attempts this run took (1 = first try succeeded).
+    pub attempts: u32,
 }
 
 impl RunMetrics {
@@ -136,6 +138,7 @@ impl RunMetrics {
             phase_power_seconds: run.phases.power.as_secs_f64(),
             phase_supply_seconds: run.phases.supply.as_secs_f64(),
             replayed: false,
+            attempts: 1,
         }
     }
 
@@ -161,6 +164,7 @@ impl RunMetrics {
             phase_power_seconds: 0.0,
             phase_supply_seconds: 0.0,
             replayed: true,
+            attempts: 1,
         }
     }
 }

@@ -17,7 +17,13 @@ use workloads::{stream::warm_caches, StreamGen, WorkloadProfile};
 
 use crate::baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
 use crate::config::TuningConfig;
+use crate::fault::{FaultRuntime, FaultSignal, FaultSpec};
 use crate::response::ResonanceTuner;
+
+/// How often (in cycles) the hot loop checks the watchdog deadline: rare
+/// enough to stay off the profile, frequent enough that a stuck run is
+/// caught within a fraction of a millisecond of simulated work.
+const WATCHDOG_CHECK_MASK: u64 = 0xFFF;
 
 /// The inductive-noise control technique applied during a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,14 +212,24 @@ pub struct InstrumentedRun {
     pub wall: Duration,
 }
 
-/// The shared simulation loop behind [`run_observed`] and
-/// [`run_instrumented`]: returns the outcome and the detector's event count.
+/// The shared simulation loop behind [`run_observed`], [`run_instrumented`]
+/// and [`run_supervised`]: returns the outcome and the detector's event
+/// count.
+///
+/// `faults` is the per-run fault state machine (the identity for ordinary
+/// runs — the inert fast path returns every value bit-for-bit) and
+/// `deadline` the optional watchdog deadline, checked every
+/// `WATCHDOG_CHECK_MASK + 1` cycles. Watchdog expiry and surfaced
+/// integration errors unwind with a typed [`FaultSignal`] payload so the
+/// supervisor can classify them.
 fn run_core<F: FnMut(&CycleRecord)>(
     profile: &WorkloadProfile,
     technique: &Technique,
     sim: &SimConfig,
     mut observer: F,
     mut timers: Option<&mut PhaseTimings>,
+    faults: &mut FaultRuntime,
+    deadline: Option<Instant>,
 ) -> (SimResult, u64) {
     let mut power_cfg = sim.power;
     if matches!(technique, Technique::Tuning(_)) {
@@ -258,6 +274,11 @@ fn run_core<F: FnMut(&CycleRecord)>(
     }
 
     while cpu.stats().committed < sim.instructions && cycles < sim.max_cycles {
+        if let Some(deadline) = deadline {
+            if cycles & WATCHDOG_CHECK_MASK == 0 && Instant::now() >= deadline {
+                std::panic::panic_any(FaultSignal::timeout(cycles));
+            }
+        }
         let sampling = timers.is_some() && cycles.is_multiple_of(PhaseTimings::SAMPLE_INTERVAL);
         let mut event_count = None;
         let controls = staged!(
@@ -266,11 +287,12 @@ fn run_core<F: FnMut(&CycleRecord)>(
             match &mut controller {
                 Controller::Base => PipelineControls::free(),
                 Controller::Tuning(t) => {
-                    let c = t.tick(last_current.amps());
+                    let c = t.tick(faults.sense(cycles, last_current.amps()));
                     event_count = t.last_event().map(|e| e.count);
                     c
                 }
-                Controller::Sensor(s) => s.tick(last_noise),
+                Controller::Sensor(s) =>
+                    s.tick(Volts::new(faults.sense(cycles, last_noise.volts()))),
                 Controller::Damping(d) => {
                     let c = d.tick(&last_events);
                     if c.phantom.is_some() {
@@ -281,8 +303,19 @@ fn run_core<F: FnMut(&CycleRecord)>(
             }
         );
         let ev = staged!(sampling, cpu, cpu.tick(controls));
-        let current = staged!(sampling, power, model.current_for(&ev));
-        let out = staged!(sampling, supply, supply.tick(current));
+        let current = staged!(
+            sampling,
+            power,
+            Amps::new(faults.perturb_current(cycles, model.current_for(&ev).amps()))
+        );
+        let out = staged!(
+            sampling,
+            supply,
+            match supply.try_tick(current) {
+                Ok(out) => out,
+                Err(e) => std::panic::panic_any(FaultSignal::numerical(e, cycles)),
+            }
+        );
         meter.record(current);
         if sampling {
             if let Some(acc) = timers.as_deref_mut() {
@@ -348,7 +381,16 @@ pub fn run_observed<F: FnMut(&CycleRecord)>(
     sim: &SimConfig,
     observer: F,
 ) -> SimResult {
-    run_core(profile, technique, sim, observer, None).0
+    run_core(
+        profile,
+        technique,
+        sim,
+        observer,
+        None,
+        &mut FaultRuntime::none(),
+        None,
+    )
+    .0
 }
 
 /// Runs one application under a technique.
@@ -368,7 +410,66 @@ pub fn run_instrumented(
 ) -> InstrumentedRun {
     let mut phases = PhaseTimings::default();
     let start = Instant::now();
-    let (result, detector_events) = run_core(profile, technique, sim, |_| {}, Some(&mut phases));
+    let (result, detector_events) = run_core(
+        profile,
+        technique,
+        sim,
+        |_| {},
+        Some(&mut phases),
+        &mut FaultRuntime::none(),
+        None,
+    );
+    InstrumentedRun {
+        result,
+        detector_events,
+        phases,
+        wall: start.elapsed(),
+    }
+}
+
+/// The natural magnitude of what a technique's controller senses: relative
+/// sensor-noise sigmas are scaled by this. The tuning detector watches
+/// current (amps, against its variation threshold); the voltage sensor and
+/// everything else watch supply deviation (volts, against the noise margin).
+fn sense_scale(technique: &Technique, sim: &SimConfig) -> f64 {
+    match technique {
+        Technique::Tuning(cfg) => cfg.variation_threshold.amps(),
+        _ => sim.supply.noise_margin().volts(),
+    }
+}
+
+/// Runs one application with the given faults armed and an optional absolute
+/// watchdog deadline — the supervised engine's per-attempt entry point.
+///
+/// With no faults and no deadline this is bit-identical to
+/// [`run_instrumented`]. Injected worker faults fire before the simulation
+/// starts; watchdog expiry and surfaced integration errors unwind with a
+/// typed [`crate::fault::FaultSignal`] payload, so callers should wrap this
+/// in `catch_unwind` and downcast to classify.
+///
+/// # Panics
+///
+/// Panics (by design) when an armed fault or the watchdog fires.
+pub fn run_supervised(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    specs: &[FaultSpec],
+    deadline: Option<Instant>,
+) -> InstrumentedRun {
+    let mut faults = FaultRuntime::from_specs(specs, sense_scale(technique, sim));
+    faults.pre_run();
+    let mut phases = PhaseTimings::default();
+    let start = Instant::now();
+    let (result, detector_events) = run_core(
+        profile,
+        technique,
+        sim,
+        |_| {},
+        Some(&mut phases),
+        &mut faults,
+        deadline,
+    );
     InstrumentedRun {
         result,
         detector_events,
@@ -529,6 +630,74 @@ mod tests {
             &sim,
         );
         assert!(inst.detector_events > 0, "swim must trip the detector");
+    }
+
+    #[test]
+    fn supervised_run_without_faults_is_bit_identical() {
+        let p = spec2k::by_name("gzip").unwrap();
+        let sim = quick_sim();
+        let plain = run(&p, &Technique::Base, &sim);
+        let supervised = run_supervised(&p, &Technique::Base, &sim, &[], None);
+        assert_eq!(supervised.result, plain);
+    }
+
+    #[test]
+    fn numeric_fault_unwinds_with_a_classified_signal() {
+        use crate::fault::{FailureKind, FaultSignal, FaultSpec};
+        let p = spec2k::by_name("gzip").unwrap();
+        let sim = SimConfig::isca04(20_000);
+        let specs = [FaultSpec::NumericNan { at_cycle: 500 }];
+        let payload = std::panic::catch_unwind(|| {
+            let _ = run_supervised(&p, &Technique::Base, &sim, &specs, None);
+        })
+        .expect_err("NaN current must unwind");
+        let signal = payload
+            .downcast::<FaultSignal>()
+            .expect("payload is a FaultSignal");
+        assert_eq!(signal.kind, FailureKind::Numerical);
+        assert!(signal.message.contains("cycle 500"), "{}", signal.message);
+    }
+
+    #[test]
+    fn watchdog_deadline_unwinds_as_timeout() {
+        use crate::fault::{FailureKind, FaultSignal};
+        let p = spec2k::by_name("gzip").unwrap();
+        let sim = SimConfig::isca04(200_000);
+        let deadline = Some(Instant::now()); // already expired
+        let payload = std::panic::catch_unwind(|| {
+            let _ = run_supervised(&p, &Technique::Base, &sim, &[], deadline);
+        })
+        .expect_err("expired deadline must unwind");
+        let signal = payload
+            .downcast::<FaultSignal>()
+            .expect("payload is a FaultSignal");
+        assert_eq!(signal.kind, FailureKind::Timeout);
+    }
+
+    #[test]
+    fn sensor_faults_perturb_sensing_techniques_but_not_base() {
+        use crate::fault::FaultSpec;
+        let p = spec2k::by_name("swim").unwrap();
+        let sim = SimConfig::isca04(60_000);
+        let specs = [FaultSpec::SensorNoise {
+            sigma: 0.5,
+            seed: 11,
+        }];
+
+        let base_clean = run(&p, &Technique::Base, &sim);
+        let base_faulted = run_supervised(&p, &Technique::Base, &sim, &specs, None);
+        assert_eq!(
+            base_faulted.result, base_clean,
+            "base has no sensor: sensor faults must not touch it"
+        );
+
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(100));
+        let clean = run(&p, &technique, &sim);
+        let faulted = run_supervised(&p, &technique, &sim, &specs, None);
+        assert_ne!(
+            faulted.result, clean,
+            "heavy detector noise must change the tuning run"
+        );
     }
 
     #[test]

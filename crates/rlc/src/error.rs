@@ -66,6 +66,63 @@ impl fmt::Display for RlcError {
 
 impl StdError for RlcError {}
 
+/// Error surfaced by the guarded integrator entry points
+/// ([`crate::integrator::try_step`], [`crate::PowerSupply::try_tick`]) when a
+/// step cannot produce a trustworthy state.
+///
+/// The integrator retries a failing step once at half the step size before
+/// surfacing these (see [`crate::integrator::try_step`]), so an error here
+/// means the failure survived the retry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntegrationError {
+    /// The requested step size was zero, negative, or non-finite.
+    InvalidStep {
+        /// The offending step size in seconds.
+        h: f64,
+    },
+    /// The integrated state came back NaN or infinite — typically a
+    /// non-finite current was fed in, or intermediate products overflowed.
+    NonFiniteState {
+        /// Node voltage after the failed step.
+        v: f64,
+        /// Inductor current after the failed step.
+        i_l: f64,
+    },
+    /// The state stayed finite but the node voltage left the physically
+    /// plausible envelope — the integration has diverged.
+    BlowUp {
+        /// Node voltage after the failed step.
+        v: f64,
+        /// The envelope that was exceeded, in volts.
+        limit: f64,
+    },
+}
+
+impl fmt::Display for IntegrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrationError::InvalidStep { h } => {
+                write!(f, "invalid step size {h} s (must be finite and positive)")
+            }
+            IntegrationError::NonFiniteState { v, i_l } => {
+                write!(
+                    f,
+                    "non-finite supply state after step: v = {v}, i_l = {i_l}"
+                )
+            }
+            IntegrationError::BlowUp { v, limit } => {
+                write!(
+                    f,
+                    "supply integration blew up: |v| = {} exceeds {limit} V",
+                    v.abs()
+                )
+            }
+        }
+    }
+}
+
+impl StdError for IntegrationError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +156,25 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: StdError + Send + Sync + 'static>() {}
         assert_err::<RlcError>();
+        assert_err::<IntegrationError>();
+    }
+
+    #[test]
+    fn integration_error_messages_are_informative() {
+        let e = IntegrationError::InvalidStep { h: -1e-12 };
+        assert!(e.to_string().contains("step size"));
+
+        let e = IntegrationError::NonFiniteState {
+            v: f64::NAN,
+            i_l: 0.0,
+        };
+        assert!(e.to_string().contains("non-finite"));
+
+        let e = IntegrationError::BlowUp {
+            v: -2e6,
+            limit: 1e6,
+        };
+        assert!(e.to_string().contains("blew up"));
+        assert!(e.to_string().contains("2000000"));
     }
 }

@@ -13,8 +13,17 @@
 //! implement Heun as the default and RK4 plus the exact free-decay solution
 //! for cross-validation in tests.
 
+use crate::error::IntegrationError;
 use crate::params::SupplyParams;
 use crate::units::{Amps, Seconds, Volts};
+
+/// Node-voltage magnitude beyond which the integration is declared divergent.
+///
+/// The physical simulations stay below ~1 V of deviation, so a megavolt of
+/// computed deviation can only mean the step has lost all meaning (bad inputs
+/// or a numerically unstable step). Generous on purpose: the guard must never
+/// fire on a legitimate run.
+pub const BLOW_UP_LIMIT_VOLTS: f64 = 1e6;
 
 /// The two-element state of the supply network.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -80,6 +89,13 @@ fn derivative(params: &SupplyParams, s: SupplyState, i_cpu: f64) -> Derivative {
 ///
 /// For per-cycle simulation, call with `dt` = one clock period and
 /// `i_start`/`i_end` the currents of the adjacent cycles.
+///
+/// # Panics
+///
+/// Panics when the guarded [`try_step`] fails: a non-positive or non-finite
+/// step size, or a step whose result is non-finite or beyond
+/// [`BLOW_UP_LIMIT_VOLTS`] even after the halved retry. Callers that want to
+/// handle those conditions should use [`try_step`] directly.
 pub fn step(
     params: &SupplyParams,
     method: Method,
@@ -88,24 +104,98 @@ pub fn step(
     i_end: Amps,
     dt: Seconds,
 ) -> SupplyState {
+    try_step(params, method, state, i_start, i_end, dt)
+        .unwrap_or_else(|e| panic!("supply integration failed: {e}"))
+}
+
+/// The guarded integrator entry point: validates the step size, advances the
+/// state, and checks the result for NaN/infinity and for divergence beyond
+/// [`BLOW_UP_LIMIT_VOLTS`].
+///
+/// A failing step is retried once as two half-size steps (the CPU current at
+/// the midpoint is taken as the endpoint average, consistent with the
+/// piecewise-linear current model). This rescues marginal cases where a
+/// too-coarse step overshoots the envelope that a finer step tracks
+/// accurately; a genuinely divergent or non-finite state survives the retry
+/// and is surfaced as an [`IntegrationError`].
+///
+/// For well-posed inputs this returns exactly the bits of the unguarded
+/// arithmetic: the guards only inspect, never perturb.
+///
+/// # Errors
+///
+/// [`IntegrationError::InvalidStep`] for a bad `dt`;
+/// [`IntegrationError::NonFiniteState`] or [`IntegrationError::BlowUp`] when
+/// both the full step and the halved retry produce an unusable state.
+pub fn try_step(
+    params: &SupplyParams,
+    method: Method,
+    state: SupplyState,
+    i_start: Amps,
+    i_end: Amps,
+    dt: Seconds,
+) -> Result<SupplyState, IntegrationError> {
     let h = dt.seconds();
-    debug_assert!(h > 0.0 && h.is_finite(), "step size must be positive");
+    if !(h > 0.0 && h.is_finite()) {
+        return Err(IntegrationError::InvalidStep { h });
+    }
+    let full = raw_step(params, method, state, i_start.amps(), i_end.amps(), h);
+    if let Err(first) = check_state(full) {
+        // One step-halving retry before surfacing the failure.
+        let i_mid = 0.5 * (i_start.amps() + i_end.amps());
+        let half = 0.5 * h;
+        let s1 = raw_step(params, method, state, i_start.amps(), i_mid, half);
+        let s2 = raw_step(params, method, s1, i_mid, i_end.amps(), half);
+        return match check_state(s2) {
+            Ok(()) => Ok(s2),
+            // Report the retry's failure; it is the better-resolved attempt.
+            Err(second) => Err(if matches!(second, IntegrationError::InvalidStep { .. }) {
+                first
+            } else {
+                second
+            }),
+        };
+    }
+    Ok(full)
+}
+
+fn check_state(s: SupplyState) -> Result<(), IntegrationError> {
+    if !s.v.is_finite() || !s.i_l.is_finite() {
+        return Err(IntegrationError::NonFiniteState { v: s.v, i_l: s.i_l });
+    }
+    if s.v.abs() > BLOW_UP_LIMIT_VOLTS {
+        return Err(IntegrationError::BlowUp {
+            v: s.v,
+            limit: BLOW_UP_LIMIT_VOLTS,
+        });
+    }
+    Ok(())
+}
+
+fn raw_step(
+    params: &SupplyParams,
+    method: Method,
+    state: SupplyState,
+    i_start: f64,
+    i_end: f64,
+    h: f64,
+) -> SupplyState {
     match method {
         Method::Heun => {
-            let k1 = derivative(params, state, i_start.amps());
+            let k1 = derivative(params, state, i_start);
             let predictor = SupplyState {
                 v: state.v + h * k1.dv,
                 i_l: state.i_l + h * k1.di_l,
             };
-            let k2 = derivative(params, predictor, i_end.amps());
+            let k2 = derivative(params, predictor, i_end);
             SupplyState {
                 v: state.v + 0.5 * h * (k1.dv + k2.dv),
                 i_l: state.i_l + 0.5 * h * (k1.di_l + k2.di_l),
             }
         }
         Method::Rk4 => {
-            let i_mid = 0.5 * (i_start.amps() + i_end.amps());
-            let k1 = derivative(params, state, i_start.amps());
+            let i_mid = 0.5 * (i_start + i_end);
+            let k1 = derivative(params, state, i_start);
             let s2 = SupplyState {
                 v: state.v + 0.5 * h * k1.dv,
                 i_l: state.i_l + 0.5 * h * k1.di_l,
@@ -120,7 +210,7 @@ pub fn step(
                 v: state.v + h * k3.dv,
                 i_l: state.i_l + h * k3.di_l,
             };
-            let k4 = derivative(params, s4, i_end.amps());
+            let k4 = derivative(params, s4, i_end);
             SupplyState {
                 v: state.v + h / 6.0 * (k1.dv + 2.0 * k2.dv + 2.0 * k3.dv + k4.dv),
                 i_l: state.i_l + h / 6.0 * (k1.di_l + 2.0 * k2.di_l + 2.0 * k3.di_l + k4.di_l),
@@ -263,6 +353,126 @@ mod tests {
             s.noise_voltage(&p)
         );
         assert!((s.i_l - 105.0).abs() < 0.5);
+    }
+
+    /// An underdamped circuit with ω₀ = 1 rad/s where multi-second steps are
+    /// numerically marginal — lets the guard paths be exercised with modest
+    /// state values.
+    fn gentle_unit_circuit() -> SupplyParams {
+        use crate::units::{Farads, Henries, Ohms};
+        SupplyParams::new(
+            Ohms::new(0.01),
+            Henries::new(1.0),
+            Farads::new(1.0),
+            Volts::new(1.0),
+            Volts::new(0.05),
+        )
+        .expect("unit circuit is underdamped")
+    }
+
+    #[test]
+    fn try_step_is_bit_identical_to_step_on_nominal_input() {
+        let p = table1();
+        let s = SupplyState::steady(&p, Amps::new(70.0));
+        let a = step(&p, Method::Heun, s, Amps::new(70.0), Amps::new(90.0), DT);
+        let b = try_step(&p, Method::Heun, s, Amps::new(70.0), Amps::new(90.0), DT)
+            .expect("nominal step succeeds");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_step_sizes_are_rejected_even_in_release() {
+        let p = table1();
+        let s = SupplyState::default();
+        for h in [0.0, -1e-12, f64::NAN, f64::INFINITY] {
+            let got = try_step(
+                &p,
+                Method::Heun,
+                s,
+                Amps::new(0.0),
+                Amps::new(0.0),
+                Seconds::new(h),
+            );
+            assert!(
+                matches!(got, Err(crate::error::IntegrationError::InvalidStep { .. })),
+                "h = {h} must be rejected, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supply integration failed")]
+    fn unguarded_step_panics_on_bad_step_size() {
+        let p = table1();
+        let _ = step(
+            &p,
+            Method::Heun,
+            SupplyState::default(),
+            Amps::new(0.0),
+            Amps::new(0.0),
+            Seconds::new(0.0),
+        );
+    }
+
+    #[test]
+    fn non_finite_current_surfaces_as_non_finite_state() {
+        let p = table1();
+        let s = SupplyState::steady(&p, Amps::new(70.0));
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let got = try_step(&p, Method::Heun, s, Amps::new(70.0), Amps::new(bad), DT);
+            assert!(
+                matches!(
+                    got,
+                    Err(crate::error::IntegrationError::NonFiniteState { .. })
+                ),
+                "current {bad} must surface as NonFiniteState, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_halving_rescues_a_marginal_overshoot() {
+        // At h = 3 s (h·ω₀ = 3) a single Heun step of the unit circuit
+        // overshoots the blow-up envelope from |v| = 4×10⁵; the same interval
+        // as two half steps stays inside it. The guard's one halved retry
+        // must therefore turn a would-be BlowUp into a success, and return
+        // exactly the two-half-step composition.
+        let p = gentle_unit_circuit();
+        let s = SupplyState { v: 4.0e5, i_l: 0.0 };
+        let (zero, h) = (Amps::new(0.0), Seconds::new(3.0));
+
+        let full = raw_step(&p, Method::Heun, s, 0.0, 0.0, 3.0);
+        assert!(
+            full.v.abs() > BLOW_UP_LIMIT_VOLTS,
+            "full step must overshoot (v = {})",
+            full.v
+        );
+
+        let rescued = try_step(&p, Method::Heun, s, zero, zero, h).expect("halved retry rescues");
+        assert!(rescued.v.abs() <= BLOW_UP_LIMIT_VOLTS);
+        let s1 = raw_step(&p, Method::Heun, s, 0.0, 0.0, 1.5);
+        let s2 = raw_step(&p, Method::Heun, s1, 0.0, 0.0, 1.5);
+        assert_eq!(rescued, s2, "rescue must be the two-half-step composition");
+    }
+
+    #[test]
+    fn genuine_divergence_survives_the_retry_and_surfaces() {
+        // Starting already far outside the envelope, halving cannot help:
+        // the guard must report BlowUp rather than loop or mask it.
+        let p = gentle_unit_circuit();
+        let s = SupplyState { v: 5.0e6, i_l: 0.0 };
+        let got = try_step(
+            &p,
+            Method::Heun,
+            s,
+            Amps::new(0.0),
+            Amps::new(0.0),
+            Seconds::new(3.0),
+        );
+        assert!(
+            matches!(got, Err(crate::error::IntegrationError::BlowUp { .. })),
+            "got {got:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! steps once per clock cycle. [`simulate_waveform`] is the batch driver used
 //! by the circuit-level experiments (Figure 3, calibration).
 
-use crate::integrator::{step, Method, SupplyState};
+use crate::error::IntegrationError;
+use crate::integrator::{try_step, Method, SupplyState};
 use crate::params::SupplyParams;
 use crate::units::{Amps, Cycles, Hertz, Seconds, Volts};
 use crate::waveform::Waveform;
@@ -94,15 +95,30 @@ impl PowerSupply {
 
     /// Advances one clock cycle during which the CPU draws `current`, and
     /// returns the end-of-cycle noise voltage and violation flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the guarded integration step fails (see
+    /// [`PowerSupply::try_tick`] for the fallible form).
     pub fn tick(&mut self, current: Amps) -> SupplyOutput {
-        self.state = step(
+        self.try_tick(current)
+            .unwrap_or_else(|e| panic!("supply integration failed: {e}"))
+    }
+
+    /// The fallible form of [`PowerSupply::tick`]: advances one cycle, or
+    /// returns the [`IntegrationError`] when the step produced an unusable
+    /// state even after the integrator's halved retry. On error the supply
+    /// state is left untouched, so a caller may recover by replaying the
+    /// cycle with a sanitized current.
+    pub fn try_tick(&mut self, current: Amps) -> Result<SupplyOutput, IntegrationError> {
+        self.state = try_step(
             &self.params,
             self.method,
             self.state,
             self.prev_current,
             current,
             self.dt,
-        );
+        )?;
         self.prev_current = current;
         let noise = self.state.noise_voltage(&self.params);
         let violation = noise.abs().volts() > self.params.noise_margin().volts();
@@ -118,7 +134,7 @@ impl PowerSupply {
             violation,
         };
         self.cycle = self.cycle + Cycles::new(1);
-        out
+        Ok(out)
     }
 
     /// The current inductive-noise voltage without advancing time.
@@ -329,6 +345,32 @@ mod tests {
         assert_eq!(s.cycles(), Cycles::new(0));
         assert_eq!(s.violation_cycles(), 0);
         assert_eq!(s.noise().volts(), 0.0);
+    }
+
+    #[test]
+    fn try_tick_rejects_non_finite_current_and_preserves_state() {
+        let mut s = PowerSupply::new(table1(), GHZ10, Amps::new(70.0));
+        for _ in 0..10 {
+            s.tick(Amps::new(90.0));
+        }
+        let before = s.state();
+        let cycles_before = s.cycles();
+        let err = s
+            .try_tick(Amps::new(f64::NAN))
+            .expect_err("NaN current must fail");
+        assert!(matches!(err, IntegrationError::NonFiniteState { .. }));
+        assert_eq!(s.state(), before, "failed tick must not corrupt state");
+        assert_eq!(s.cycles(), cycles_before);
+        // The supply remains usable afterwards.
+        let out = s.try_tick(Amps::new(90.0)).expect("recovers");
+        assert_eq!(out.cycle, cycles_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply integration failed")]
+    fn tick_panics_on_non_finite_current() {
+        let mut s = PowerSupply::new(table1(), GHZ10, Amps::new(70.0));
+        let _ = s.tick(Amps::new(f64::INFINITY));
     }
 
     #[test]

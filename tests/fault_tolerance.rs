@@ -1,0 +1,227 @@
+//! Fault-tolerance integration: the supervised engine must classify every
+//! fault class, retry transient ones, degrade instead of aborting, resume an
+//! interrupted suite bit-exactly, and — with the policy disabled — stay
+//! bit-identical to the unsupervised path.
+
+use std::time::Duration;
+
+use restune::engine::{
+    base_fingerprint, checkpoint_path, load_baseline, run_suite_supervised, save_baseline,
+    suite_fingerprint, try_run_suite,
+};
+use restune::{FailureKind, FaultPlan, FaultSpec, SimConfig, SupervisorConfig, Technique};
+use workloads::spec2k;
+
+const APPS: [&str; 3] = ["mcf", "parser", "fma3d"];
+
+fn profiles() -> Vec<workloads::WorkloadProfile> {
+    APPS.iter()
+        .map(|n| spec2k::by_name(n).expect("app is in the suite"))
+        .collect()
+}
+
+fn fast_retries() -> SupervisorConfig {
+    SupervisorConfig {
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        ..SupervisorConfig::default()
+    }
+}
+
+#[test]
+fn disabled_plan_is_bit_identical_to_the_unsupervised_engine() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(30_000);
+
+    let unsupervised = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+    let supervised = run_suite_supervised(
+        &profiles,
+        &Technique::Base,
+        &sim,
+        &SupervisorConfig::default(),
+        &FaultPlan::none(),
+    );
+
+    assert!(supervised.report.is_empty(), "no events without a plan");
+    assert_eq!(
+        supervised.all_results().expect("every app completes"),
+        unsupervised.results,
+        "FaultPlan::none() must be bit-exact-neutral"
+    );
+}
+
+#[test]
+fn every_fault_class_is_classified_and_transients_recover() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(20_000);
+
+    // One fault per class: a transient panic (recovers on retry), a
+    // persistent numerical fault (retries cannot help), and a transient
+    // stall long enough to trip the watchdog once.
+    let plan = FaultPlan::none()
+        .with_transient_fault(APPS[0], FaultSpec::WorkerPanic)
+        .with_persistent_fault(APPS[1], FaultSpec::NumericNan { at_cycle: 1_000 })
+        .with_transient_fault(APPS[2], FaultSpec::WorkerStall { millis: 1_500 });
+    let sup = SupervisorConfig {
+        timeout: Some(Duration::from_secs(1)),
+        ..fast_retries()
+    };
+
+    let suite = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan);
+
+    // Degradation: exactly the numerically-poisoned app fails; the other
+    // two still deliver results.
+    assert_eq!(suite.completed(), 2);
+    assert!(suite.outcomes[0].is_ok() && suite.outcomes[2].is_ok());
+    let failure = suite.outcomes[1].as_ref().expect_err("NaN app fails");
+    assert_eq!(failure.kind, FailureKind::Numerical);
+    assert_eq!(failure.attempts, sup.max_retries + 1);
+
+    // Classification: each recovery carries the kind of the attempt that
+    // failed, not a generic label.
+    let kind_for = |app: &str| {
+        suite
+            .report
+            .recoveries
+            .iter()
+            .find(|r| r.app == app)
+            .unwrap_or_else(|| panic!("{app} must recover"))
+            .kind
+    };
+    assert_eq!(kind_for(APPS[0]), FailureKind::Panic);
+    assert_eq!(kind_for(APPS[2]), FailureKind::Timeout);
+
+    // Every injection was recorded with its class label.
+    let classes: Vec<_> = suite.report.injections.iter().map(|i| i.class).collect();
+    for class in ["worker-panic", "numeric-nan", "worker-stall"] {
+        assert!(classes.contains(&class), "missing injection class {class}");
+    }
+
+    // Recovered apps must match a clean run bit-for-bit: worker faults
+    // never perturb results.
+    let clean = try_run_suite(&profiles, &Technique::Base, &sim).expect("clean suite");
+    assert_eq!(suite.outcomes[0].as_ref().unwrap(), &clean.results[0]);
+    assert_eq!(suite.outcomes[2].as_ref().unwrap(), &clean.results[2]);
+}
+
+#[test]
+fn sensor_faults_are_injected_deterministically() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(20_000);
+    let technique = Technique::Tuning(restune::TuningConfig::isca04_table1(100));
+    let plan = FaultPlan::none().with_persistent_fault(
+        APPS[0],
+        FaultSpec::SensorNoise {
+            sigma: 2.0,
+            seed: 7,
+        },
+    );
+
+    let a = run_suite_supervised(&profiles, &technique, &sim, &fast_retries(), &plan);
+    let b = run_suite_supervised(&profiles, &technique, &sim, &fast_retries(), &plan);
+
+    assert_eq!(
+        a.all_results(),
+        b.all_results(),
+        "a seeded sensor fault must reproduce bit-exactly"
+    );
+    assert!(
+        a.report
+            .injections
+            .iter()
+            .any(|i| i.class == "sensor-noise"),
+        "the sensor fault must be recorded"
+    );
+    // Un-faulted apps are untouched by a neighbour's sensor fault.
+    let clean = try_run_suite(&profiles, &technique, &sim).expect("clean suite");
+    assert_eq!(a.outcomes[1].as_ref().unwrap(), &clean.results[1]);
+    assert_eq!(a.outcomes[2].as_ref().unwrap(), &clean.results[2]);
+}
+
+#[test]
+fn interrupted_suite_resumes_bit_exactly() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(25_000);
+    let dir = std::env::temp_dir().join(format!("restune-ft-resume-{}", std::process::id()));
+    let sup = SupervisorConfig {
+        resume: true,
+        checkpoint_dir: Some(dir.clone()),
+        max_retries: 0,
+        ..fast_retries()
+    };
+
+    // The uninterrupted reference run.
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+
+    // "Interrupt" the suite: a persistent panic takes one app down, so the
+    // run ends degraded and leaves its checkpoint on disk.
+    let crash_plan = FaultPlan::none().with_persistent_fault(APPS[1], FaultSpec::WorkerPanic);
+    let interrupted = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &crash_plan);
+    assert_eq!(interrupted.completed(), 2);
+
+    // Worker faults are excluded from the fingerprint (they change whether a
+    // run completes, never what it computes), so the clean resume finds the
+    // same checkpoint.
+    let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+    assert_eq!(
+        fp,
+        suite_fingerprint(&profiles, &Technique::Base, &sim, &crash_plan)
+    );
+    let path = checkpoint_path(&sup, fp);
+    assert!(path.exists(), "a degraded run keeps its checkpoint");
+
+    // Resume without the fault: the two completed apps replay from the
+    // checkpoint, the crashed one is simulated, and the total is
+    // bit-identical to the uninterrupted reference.
+    let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none());
+    assert_eq!(
+        resumed.all_results().expect("resume completes the suite"),
+        reference.results
+    );
+    let replayed: Vec<bool> = resumed
+        .metrics
+        .iter()
+        .map(|m| m.expect("all apps have metrics").replayed)
+        .collect();
+    assert_eq!(
+        replayed,
+        vec![true, false, true],
+        "checkpointed apps replay; the crashed one re-simulates"
+    );
+    assert!(
+        !path.exists(),
+        "a fully successful suite retires its checkpoint"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_recorded_baselines_are_discarded_not_trusted() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(15_000);
+    let results: Vec<_> = try_run_suite(&profiles, &Technique::Base, &sim)
+        .expect("suite runs")
+        .results;
+    let fp = base_fingerprint(&sim);
+
+    for label in ["truncated", "bit-flipped"] {
+        let path = std::env::temp_dir().join(format!(
+            "restune-ft-corrupt-{label}-{}.tsv",
+            std::process::id()
+        ));
+        save_baseline(&path, fp, &results).expect("baseline writes");
+        let mut bytes = std::fs::read(&path).expect("baseline reads back");
+        let mid = bytes.len() / 2;
+        if label == "truncated" {
+            bytes.truncate(mid);
+        } else {
+            bytes[mid] ^= 0x10;
+        }
+        std::fs::write(&path, &bytes).expect("damage lands");
+
+        let loaded = load_baseline(&path, fp).expect("load survives corruption");
+        assert!(loaded.is_none(), "{label} baseline must not be trusted");
+        assert!(!path.exists(), "{label} baseline must be deleted");
+    }
+}
