@@ -33,4 +33,35 @@ echo "$smoke_out" | grep -q '"injected"' || {
     exit 1
 }
 
+echo "==> kernel bench smoke (--test mode + BENCH_kernel.json schema)"
+# The kernel bench in --test mode runs each benchmark body once on shrunk
+# workloads and still writes its JSON document (to a scratch path here, so
+# the committed full-scale BENCH_kernel.json is not overwritten). The
+# validator guards the schema only — numbers vary by machine, the shape
+# must not.
+smoke_json="$(mktemp -d)/BENCH_kernel.json"
+RESTUNE_BENCH_OUT="$smoke_json" cargo bench -q --bench kernel --offline -- --test
+python3 - "$smoke_json" BENCH_kernel.json <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "restune-kernel-bench-v1", \
+        f"{path}: schema drift: {doc.get('schema')!r}"
+    for key in ("mode", "batch_size", "benchmarks", "table3_suite"):
+        assert key in doc, f"{path}: missing top-level key {key!r}"
+    assert doc["benchmarks"], f"{path}: no benchmark rows"
+    for row in doc["benchmarks"]:
+        for key in ("name", "path", "instructions_per_run", "runs", "cycles",
+                    "wall_seconds", "ns_per_cycle", "cycles_per_second"):
+            assert key in row, f"{path}: benchmark row missing {key!r}"
+    suite = doc["table3_suite"]
+    for key in ("apps", "instructions_per_app",
+                "fused_wall_seconds", "fused_cycles_per_second",
+                "reference_wall_seconds", "reference_cycles_per_second",
+                "speedup_cycles_per_second"):
+        assert key in suite, f"{path}: table3_suite missing {key!r}"
+    print(f"{path}: schema ok ({doc['mode']} mode)")
+EOF
+
 echo "==> tier-1 green"

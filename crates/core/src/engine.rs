@@ -1013,6 +1013,41 @@ mod tests {
     }
 
     #[test]
+    fn final_failed_attempt_does_not_sleep_backoff() {
+        let profiles = vec![spec2k::by_name("gzip").unwrap()];
+        let sim = quick_sim();
+        let plan =
+            FaultPlan::none().with_persistent_fault("gzip", crate::fault::FaultSpec::WorkerPanic);
+        let base = std::time::Duration::from_millis(60);
+        let sup = SupervisorConfig {
+            max_retries: 2,
+            backoff_base: base,
+            backoff_cap: std::time::Duration::from_secs(10),
+            ..SupervisorConfig::default()
+        };
+
+        let t0 = std::time::Instant::now();
+        let suite = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan);
+        let wall = t0.elapsed();
+
+        let failure = suite.outcomes[0]
+            .as_ref()
+            .expect_err("persistent fault fails");
+        assert_eq!(failure.attempts, sup.max_retries + 1);
+        // Backoff runs *between* attempts only: after attempts 1 and 2
+        // (60 ms, then 120 ms). Sleeping after the final attempt would add
+        // another 240 ms for nothing — the suite is already lost.
+        assert!(
+            wall >= base * 3,
+            "both inter-attempt backoffs must run, got {wall:?}"
+        );
+        assert!(
+            wall < base * 7,
+            "the final failed attempt must not sleep its 240 ms backoff, got {wall:?}"
+        );
+    }
+
+    #[test]
     fn inert_supervised_suite_matches_try_run_suite() {
         let profiles: Vec<_> = spec2k::all().into_iter().take(3).collect();
         let sim = quick_sim();

@@ -24,6 +24,9 @@
 //!   sensing (\[10\]) and pipeline damping (\[14\]);
 //! * [`sim`] — the integrated CPU + power + supply simulation loop
 //!   (Section 4 methodology);
+//! * [`kernel`] — the fused batched hot-path engine behind `sim` (flat
+//!   current buffers, batched supply flushes, shared workload decode),
+//!   bit-exact with the per-cycle reference loop;
 //! * [`experiment`] — suite drivers that regenerate the paper's Tables 2–5
 //!   and Figures 3–5;
 //! * [`engine`] — the suite execution engine: bounded worker-pool
@@ -58,6 +61,7 @@ pub mod detector;
 pub mod engine;
 pub mod experiment;
 pub mod fault;
+pub mod kernel;
 pub mod metrics;
 pub mod response;
 pub mod sim;
@@ -73,6 +77,7 @@ pub use engine::{
 pub use fault::{
     AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, StorageFault, StorageIncident,
 };
+pub use kernel::{run_on_path, run_with_batch, EnginePath};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
 pub use sim::{

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use cpusim::{Cpu, CpuConfig, CycleEvents, PipelineControls};
+use cpusim::{Cpu, CpuConfig, CycleEvents, PipelineControls, ScanMode};
 use powermodel::{EnergyMeter, PowerConfig, PowerModel};
 use rlc::units::{Amps, Hertz, Volts};
 use rlc::{PowerSupply, SupplyParams};
@@ -23,7 +23,7 @@ use crate::response::ResonanceTuner;
 /// How often (in cycles) the hot loop checks the watchdog deadline: rare
 /// enough to stay off the profile, frequent enough that a stuck run is
 /// caught within a fraction of a millisecond of simulated work.
-const WATCHDOG_CHECK_MASK: u64 = 0xFFF;
+pub(crate) const WATCHDOG_CHECK_MASK: u64 = 0xFFF;
 
 /// The inductive-noise control technique applied during a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,13 +161,26 @@ pub struct CycleRecord {
 }
 
 // One instance per run, dispatched every cycle of the hot loop — worth the
-// stack size over boxing the tuner.
+// stack size over boxing the tuner. Enum dispatch (not a trait object) so
+// the per-cycle update inlines in both the reference loop and the fused
+// kernel.
 #[allow(clippy::large_enum_variant)]
-enum Controller {
+pub(crate) enum Controller {
     Base,
     Tuning(ResonanceTuner),
     Sensor(VoltageSensor),
     Damping(PipelineDamping),
+}
+
+impl Controller {
+    pub(crate) fn for_technique(technique: &Technique) -> Self {
+        match technique {
+            Technique::Base => Controller::Base,
+            Technique::Tuning(cfg) => Controller::Tuning(ResonanceTuner::new(*cfg)),
+            Technique::Sensor(cfg) => Controller::Sensor(VoltageSensor::new(*cfg)),
+            Technique::Damping(cfg) => Controller::Damping(PipelineDamping::new(*cfg)),
+        }
+    }
 }
 
 /// Wall-time attribution of the simulation loop's four stages (controller →
@@ -212,9 +225,104 @@ pub struct InstrumentedRun {
     pub wall: Duration,
 }
 
-/// The shared simulation loop behind [`run_observed`], [`run_instrumented`]
+/// The power configuration a technique actually runs with: tuning runs are
+/// charged the detection/prevention hardware overhead.
+pub(crate) fn effective_power_config(technique: &Technique, sim: &SimConfig) -> PowerConfig {
+    if matches!(technique, Technique::Tuning(_)) {
+        PowerConfig {
+            detector_overhead: Amps::new(0.3),
+            ..sim.power
+        }
+    } else {
+        sim.power
+    }
+}
+
+/// Assembles a run's [`SimResult`] and detector-event count from the final
+/// component states — shared by the reference loop and the fused kernel so
+/// the two paths cannot drift in how they report a run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_run(
+    profile: &WorkloadProfile,
+    cycles: u64,
+    committed: u64,
+    ipc: f64,
+    supply: &PowerSupply,
+    meter: &powermodel::EnergyMeter,
+    controller: &Controller,
+    damping_bound: u64,
+) -> (SimResult, u64) {
+    let (first, second) = match controller {
+        Controller::Tuning(t) => (t.stats().first_level_cycles, t.stats().second_level_cycles),
+        _ => (0, 0),
+    };
+    let sensor_cycles = match controller {
+        Controller::Sensor(s) => s.response_cycles(),
+        _ => 0,
+    };
+    let damping_cycles = match controller {
+        Controller::Damping(d) => d.throttled_cycles() + damping_bound,
+        _ => 0,
+    };
+    let detector_events = match controller {
+        Controller::Tuning(t) => t.detector().events_detected(),
+        _ => 0,
+    };
+
+    let result = SimResult {
+        app: profile.name,
+        cycles,
+        committed,
+        ipc,
+        violation_cycles: supply.violation_cycles(),
+        worst_noise: supply.worst_noise(),
+        energy_joules: meter.joules(),
+        energy_delay: meter.energy_delay(),
+        first_level_cycles: first,
+        second_level_cycles: second,
+        sensor_response_cycles: sensor_cycles,
+        damping_bound_cycles: damping_cycles,
+    };
+    (result, detector_events)
+}
+
+/// The shared simulation entry behind [`run_observed`], [`run_instrumented`]
 /// and [`run_supervised`]: returns the outcome and the detector's event
 /// count.
+///
+/// Dispatches to the fused batched kernel ([`crate::kernel`]) unless the
+/// `RESTUNE_KERNEL=off` escape hatch selects the per-cycle reference loop.
+/// The two paths are bit-exact (proven by the golden-trace fixtures and the
+/// property suite), so the choice is purely a performance matter.
+fn run_core<F: FnMut(&CycleRecord)>(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    observer: F,
+    timers: Option<&mut PhaseTimings>,
+    faults: &mut FaultRuntime,
+    deadline: Option<Instant>,
+) -> (SimResult, u64) {
+    if crate::kernel::fused_enabled() {
+        crate::kernel::run_fused(
+            profile,
+            technique,
+            sim,
+            crate::kernel::batch_size(),
+            observer,
+            timers,
+            faults,
+            deadline,
+        )
+    } else {
+        run_core_reference(profile, technique, sim, observer, timers, faults, deadline)
+    }
+}
+
+/// The pre-kernel per-cycle simulation loop, kept as the bit-exactness
+/// reference and A/B baseline for the fused kernel: classic full-window CPU
+/// scheduling ([`ScanMode::FullScan`]), a private stream decode, and one
+/// supply step per cycle.
 ///
 /// `faults` is the per-run fault state machine (the identity for ordinary
 /// runs — the inert fast path returns every value bit-for-bit) and
@@ -222,7 +330,7 @@ pub struct InstrumentedRun {
 /// `WATCHDOG_CHECK_MASK + 1` cycles. Watchdog expiry and surfaced
 /// integration errors unwind with a typed [`FaultSignal`] payload so the
 /// supervisor can classify them.
-fn run_core<F: FnMut(&CycleRecord)>(
+pub(crate) fn run_core_reference<F: FnMut(&CycleRecord)>(
     profile: &WorkloadProfile,
     technique: &Technique,
     sim: &SimConfig,
@@ -231,27 +339,15 @@ fn run_core<F: FnMut(&CycleRecord)>(
     faults: &mut FaultRuntime,
     deadline: Option<Instant>,
 ) -> (SimResult, u64) {
-    let mut power_cfg = sim.power;
-    if matches!(technique, Technique::Tuning(_)) {
-        // Charge the detection/prevention hardware overhead to tuning runs.
-        power_cfg = PowerConfig {
-            detector_overhead: Amps::new(0.3),
-            ..power_cfg
-        };
-    }
-    let mut cpu = Cpu::new(sim.cpu, StreamGen::new(*profile));
+    let power_cfg = effective_power_config(technique, sim);
+    let mut cpu = Cpu::with_scan_mode(sim.cpu, StreamGen::new(*profile), ScanMode::FullScan);
     warm_caches(&mut cpu);
     let mut model = PowerModel::new(power_cfg, sim.cpu);
     let idle = power_cfg.idle_current;
     let mut supply = PowerSupply::new(sim.supply, sim.clock, idle);
     let mut meter = EnergyMeter::new(power_cfg.vdd, sim.clock);
 
-    let mut controller = match technique {
-        Technique::Base => Controller::Base,
-        Technique::Tuning(cfg) => Controller::Tuning(ResonanceTuner::new(*cfg)),
-        Technique::Sensor(cfg) => Controller::Sensor(VoltageSensor::new(*cfg)),
-        Technique::Damping(cfg) => Controller::Damping(PipelineDamping::new(*cfg)),
-    };
+    let mut controller = Controller::for_technique(technique);
 
     let mut last_current = idle;
     let mut last_noise = Volts::new(0.0);
@@ -338,38 +434,16 @@ fn run_core<F: FnMut(&CycleRecord)>(
         cycles += 1;
     }
 
-    let (first, second) = match &controller {
-        Controller::Tuning(t) => (t.stats().first_level_cycles, t.stats().second_level_cycles),
-        _ => (0, 0),
-    };
-    let sensor_cycles = match &controller {
-        Controller::Sensor(s) => s.response_cycles(),
-        _ => 0,
-    };
-    let damping_cycles = match &controller {
-        Controller::Damping(d) => d.throttled_cycles() + damping_bound,
-        _ => 0,
-    };
-    let detector_events = match &controller {
-        Controller::Tuning(t) => t.detector().events_detected(),
-        _ => 0,
-    };
-
-    let result = SimResult {
-        app: profile.name,
+    finish_run(
+        profile,
         cycles,
-        committed: cpu.stats().committed,
-        ipc: cpu.stats().ipc(),
-        violation_cycles: supply.violation_cycles(),
-        worst_noise: supply.worst_noise(),
-        energy_joules: meter.joules(),
-        energy_delay: meter.energy_delay(),
-        first_level_cycles: first,
-        second_level_cycles: second,
-        sensor_response_cycles: sensor_cycles,
-        damping_bound_cycles: damping_cycles,
-    };
-    (result, detector_events)
+        cpu.stats().committed,
+        cpu.stats().ipc(),
+        &supply,
+        &meter,
+        &controller,
+        damping_bound,
+    )
 }
 
 /// Runs one application under a technique, invoking `observer` every cycle.

@@ -52,7 +52,7 @@ pub mod isa;
 pub mod memsys;
 pub mod stats;
 
-pub use crate::core::{apriori_issue_current, Cpu};
+pub use crate::core::{apriori_issue_current, Cpu, ScanMode};
 pub use branch::{BranchModel, BranchPredictor, PredictorKind};
 pub use config::{CacheConfig, CpuConfig, FuConfig, LatencyConfig};
 pub use control::{PhantomLevel, PipelineControls};

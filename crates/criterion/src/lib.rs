@@ -59,6 +59,25 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
 }
 
+/// One benchmark's timing, returned by [`BenchmarkGroup::bench_function`]
+/// so harnesses can persist results (real criterion writes these to
+/// `target/criterion`; the shim hands them back instead). `None` in
+/// `--test` mode, where nothing is timed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Timed iterations (warm-up excluded).
+    pub iterations: u64,
+    /// Total wall time over the timed iterations.
+    pub total_seconds: f64,
+}
+
+impl Measurement {
+    /// Mean wall time of one iteration, in seconds.
+    pub fn seconds_per_iter(&self) -> f64 {
+        self.total_seconds / self.iterations.max(1) as f64
+    }
+}
+
 impl BenchmarkGroup<'_> {
     /// Declares the per-iteration work of subsequent benchmarks.
     pub fn throughput(&mut self, t: Throughput) {
@@ -71,8 +90,13 @@ impl BenchmarkGroup<'_> {
     /// Accepted for API compatibility; the adaptive timing loop ignores it.
     pub fn measurement_time(&mut self, _d: Duration) {}
 
-    /// Runs one benchmark and prints its mean iteration time.
-    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) {
+    /// Runs one benchmark, prints its mean iteration time, and returns the
+    /// measurement (`None` in `--test` mode).
+    pub fn bench_function<I: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> Option<Measurement> {
         let id = id.into();
         let mut b = Bencher {
             iterations: 0,
@@ -82,7 +106,7 @@ impl BenchmarkGroup<'_> {
         f(&mut b);
         if self.test_mode {
             println!("{}/{}: ok (test mode)", self.name, id);
-            return;
+            return None;
         }
         let iters = b.iterations.max(1);
         let per_iter = b.elapsed.as_secs_f64() / iters as f64;
@@ -103,6 +127,10 @@ impl BenchmarkGroup<'_> {
             iters,
             rate
         );
+        Some(Measurement {
+            iterations: iters,
+            total_seconds: b.elapsed.as_secs_f64(),
+        })
     }
 
     /// Ends the group (printing happens per benchmark).
@@ -189,13 +217,27 @@ mod tests {
         let mut c = Criterion { test_mode: true };
         let mut runs = 0;
         let mut g = c.benchmark_group("once");
-        g.bench_function("counted", |b| {
+        let m = g.bench_function("counted", |b| {
             b.iter(|| {
                 runs += 1;
             })
         });
         g.finish();
         assert_eq!(runs, 1);
+        assert_eq!(m, None, "test mode times nothing");
+    }
+
+    #[test]
+    fn measurements_are_returned_outside_test_mode() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("measured");
+        let m = g
+            .bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()))
+            .expect("timed run must yield a measurement");
+        g.finish();
+        assert!(m.iterations >= 1);
+        assert!(m.total_seconds >= 0.0);
+        assert!(m.seconds_per_iter() <= m.total_seconds + f64::EPSILON);
     }
 
     criterion_group!(example_group, sample_bench);

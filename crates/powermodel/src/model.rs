@@ -78,6 +78,17 @@ impl CurrentBreakdown {
     }
 }
 
+/// One advance of the model: everything `breakdown_for` needs, of which the
+/// total-only path reads just `total`.
+struct ModelStep {
+    contributions: [f64; 13],
+    weighted: f64,
+    scale: f64,
+    phantom_amps: f64,
+    detector_amps: f64,
+    total: f64,
+}
+
 /// Converts per-cycle pipeline events into processor current.
 ///
 /// The model is stateful because of current spreading: the current of a
@@ -135,17 +146,71 @@ impl PowerModel {
     ///
     /// Must be called exactly once per simulated cycle (the spreaders
     /// advance time internally).
+    ///
+    /// This is the total-only fast path: it runs the same model step as
+    /// [`PowerModel::breakdown_for`] — the total is fully determined before
+    /// any per-structure attribution — but skips assembling the 13-entry
+    /// [`CurrentBreakdown`], which the per-cycle hot loop never reads.
     pub fn current_for(&mut self, ev: &CycleEvents) -> Amps {
-        self.breakdown_for(ev).total
+        Amps::new(self.step(ev).total)
+    }
+
+    /// Converts a batch of per-cycle events into per-cycle chip current
+    /// (amps), appended to `out`.
+    ///
+    /// The spreaders are stateful, so the batch is evaluated serially; a
+    /// batch call is bit-exact with the equivalent [`PowerModel::current_for`]
+    /// loop for any batch size. Exists so flat-buffer kernels can fill a
+    /// current buffer in one call per chunk.
+    pub fn current_for_batch(&mut self, events: &[CycleEvents], out: &mut Vec<f64>) {
+        out.reserve(events.len());
+        for ev in events {
+            out.push(self.step(ev).total);
+        }
     }
 
     /// Like [`PowerModel::current_for`], but also reporting how the dynamic
     /// current splits across pipeline structures (for characterization and
     /// the per-structure plots a power methodology paper would show).
     ///
-    /// Must be called exactly once per simulated cycle — it *is* the model
-    /// step; `current_for` is a thin wrapper over it.
+    /// Must be called exactly once per simulated cycle — like `current_for`
+    /// it advances the model by one step; the two differ only in how much of
+    /// the step's result they report.
     pub fn breakdown_for(&mut self, ev: &CycleEvents) -> CurrentBreakdown {
+        let s = self.step(ev);
+        // Per-structure amps; when the weighted sum saturated at 1.0, scale
+        // contributions down proportionally so they still add up.
+        let saturation = if s.weighted > 1.0 {
+            1.0 / s.weighted
+        } else {
+            1.0
+        };
+        let amps = |c: f64| c * s.scale * saturation;
+        CurrentBreakdown {
+            idle: self.power.idle_current,
+            fetch: Amps::new(amps(s.contributions[0])),
+            dispatch: Amps::new(amps(s.contributions[1])),
+            window: Amps::new(amps(s.contributions[2])),
+            regfile: Amps::new(amps(s.contributions[3])),
+            int_alu: Amps::new(amps(s.contributions[4])),
+            int_mul: Amps::new(amps(s.contributions[5])),
+            fp: Amps::new(amps(s.contributions[6])),
+            l1i: Amps::new(amps(s.contributions[7])),
+            l1d: Amps::new(amps(s.contributions[8])),
+            l2: Amps::new(amps(s.contributions[9])),
+            mem_bus: Amps::new(amps(s.contributions[10])),
+            result_bus: Amps::new(amps(s.contributions[11])),
+            commit: Amps::new(amps(s.contributions[12])),
+            phantom: Amps::new(s.phantom_amps),
+            detector: Amps::new(s.detector_amps),
+            total: Amps::new(s.total),
+        }
+    }
+
+    /// Advances the model by one cycle: schedules this cycle's spread
+    /// activity, drains the spreaders, and computes the chip current. The
+    /// single implementation behind both `current_for` and `breakdown_for`.
+    fn step(&mut self, ev: &CycleEvents) -> ModelStep {
         let w = self.power.weights;
         let norm = w.total();
         let cpu = self.cpu;
@@ -262,28 +327,13 @@ impl PowerModel {
         };
         current += detector_amps;
 
-        // Per-structure amps; when the weighted sum saturated at 1.0, scale
-        // contributions down proportionally so they still add up.
-        let saturation = if weighted > 1.0 { 1.0 / weighted } else { 1.0 };
-        let amps = |c: f64| c * scale * saturation;
-        CurrentBreakdown {
-            idle: self.power.idle_current,
-            fetch: Amps::new(amps(contributions[0])),
-            dispatch: Amps::new(amps(contributions[1])),
-            window: Amps::new(amps(contributions[2])),
-            regfile: Amps::new(amps(contributions[3])),
-            int_alu: Amps::new(amps(contributions[4])),
-            int_mul: Amps::new(amps(contributions[5])),
-            fp: Amps::new(amps(contributions[6])),
-            l1i: Amps::new(amps(contributions[7])),
-            l1d: Amps::new(amps(contributions[8])),
-            l2: Amps::new(amps(contributions[9])),
-            mem_bus: Amps::new(amps(contributions[10])),
-            result_bus: Amps::new(amps(contributions[11])),
-            commit: Amps::new(amps(contributions[12])),
-            phantom: Amps::new(phantom_amps),
-            detector: Amps::new(detector_amps),
-            total: Amps::new(current),
+        ModelStep {
+            contributions,
+            weighted,
+            scale,
+            phantom_amps,
+            detector_amps,
+            total: current,
         }
     }
 
@@ -488,6 +538,59 @@ mod tests {
             "spread L1D current must appear in the breakdown"
         );
         assert!(b.fetch.amps() == 0.0);
+    }
+
+    /// A deterministic mixed stream: busy bursts, idle gaps, memory traffic,
+    /// phantom cycles — every branch of the model step.
+    fn mixed_stream(n: usize) -> Vec<CycleEvents> {
+        (0..n)
+            .map(|c| match c % 7 {
+                0..=2 => busy_events(),
+                3 => CycleEvents {
+                    l1d_accesses: 2,
+                    l2_accesses: 1,
+                    mem_accesses: 1,
+                    ..busy_events()
+                },
+                4 => CycleEvents {
+                    phantom: Some(PhantomLevel::Medium),
+                    ..CycleEvents::default()
+                },
+                _ => CycleEvents::default(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn current_for_matches_breakdown_total_bit_exactly() {
+        // The total-only fast path and the breakdown path must advance the
+        // same state and compute the same total, bit for bit.
+        let mut fast = model();
+        let mut full = model();
+        for (c, ev) in mixed_stream(500).iter().enumerate() {
+            let a = fast.current_for(ev).amps();
+            let b = full.breakdown_for(ev).total.amps();
+            assert_eq!(a.to_bits(), b.to_bits(), "total diverged at cycle {c}");
+        }
+    }
+
+    #[test]
+    fn batch_current_matches_serial_bit_exactly() {
+        let stream = mixed_stream(600);
+        let mut serial = model();
+        let mut batched = model();
+        let serial_out: Vec<f64> = stream
+            .iter()
+            .map(|ev| serial.current_for(ev).amps())
+            .collect();
+        let mut batch_out = Vec::new();
+        for chunk in stream.chunks(113) {
+            batched.current_for_batch(chunk, &mut batch_out);
+        }
+        assert_eq!(serial_out.len(), batch_out.len());
+        for (c, (a, b)) in serial_out.iter().zip(&batch_out).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "batch diverged at cycle {c}");
+        }
     }
 
     #[test]

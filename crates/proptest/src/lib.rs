@@ -222,14 +222,45 @@ pub mod option {
     }
 }
 
+/// Strategies over collections.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.inner.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Yields a `Vec` whose length is drawn from `len` and whose elements
+    /// are drawn independently from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
     };
 
-    /// Namespaced strategy combinators (`prop::option::of`, ...).
+    /// Namespaced strategy combinators (`prop::option::of`,
+    /// `prop::collection::vec`, ...).
     pub mod prop {
+        pub use crate::collection;
         pub use crate::option;
     }
 }

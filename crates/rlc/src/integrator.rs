@@ -74,10 +74,7 @@ struct Derivative {
 }
 
 #[inline]
-fn derivative(params: &SupplyParams, s: SupplyState, i_cpu: f64) -> Derivative {
-    let c = params.capacitance().farads();
-    let l = params.inductance().henries();
-    let r = params.resistance().ohms();
+fn derivative(c: f64, l: f64, r: f64, s: SupplyState, i_cpu: f64) -> Derivative {
     Derivative {
         dv: (s.i_l - i_cpu) / c,
         di_l: (-s.v - r * s.i_l) / l,
@@ -135,28 +132,98 @@ pub fn try_step(
     i_end: Amps,
     dt: Seconds,
 ) -> Result<SupplyState, IntegrationError> {
-    let h = dt.seconds();
-    if !(h > 0.0 && h.is_finite()) {
-        return Err(IntegrationError::InvalidStep { h });
+    PreparedStep::new(*params, method, dt)?.advance(state, i_start, i_end)
+}
+
+/// A step with its size validated and its circuit coefficients (C, L, R)
+/// loaded once, for per-cycle hot loops that advance the same circuit with
+/// the same `dt` millions of times.
+///
+/// [`PreparedStep::advance`] runs the exact arithmetic of [`try_step`] —
+/// `try_step` itself is implemented as `PreparedStep::new(..)?.advance(..)`
+/// — so preparing a step can never change a single result bit; it only
+/// hoists the per-call validation and parameter loads out of the loop.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedStep {
+    method: Method,
+    h: f64,
+    c: f64,
+    l: f64,
+    r: f64,
+}
+
+impl PreparedStep {
+    /// Validates `dt` once and captures the circuit coefficients.
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrationError::InvalidStep`] when `dt` is not positive and
+    /// finite.
+    pub fn new(
+        params: SupplyParams,
+        method: Method,
+        dt: Seconds,
+    ) -> Result<Self, IntegrationError> {
+        let h = dt.seconds();
+        if !(h > 0.0 && h.is_finite()) {
+            return Err(IntegrationError::InvalidStep { h });
+        }
+        Ok(Self {
+            method,
+            h,
+            c: params.capacitance().farads(),
+            l: params.inductance().henries(),
+            r: params.resistance().ohms(),
+        })
     }
-    let full = raw_step(params, method, state, i_start.amps(), i_end.amps(), h);
-    if let Err(first) = check_state(full) {
-        // One step-halving retry before surfacing the failure.
-        let i_mid = 0.5 * (i_start.amps() + i_end.amps());
-        let half = 0.5 * h;
-        let s1 = raw_step(params, method, state, i_start.amps(), i_mid, half);
-        let s2 = raw_step(params, method, s1, i_mid, i_end.amps(), half);
-        return match check_state(s2) {
-            Ok(()) => Ok(s2),
-            // Report the retry's failure; it is the better-resolved attempt.
-            Err(second) => Err(if matches!(second, IntegrationError::InvalidStep { .. }) {
-                first
-            } else {
-                second
-            }),
-        };
+
+    /// Advances the state by one prepared step, including the guard checks
+    /// and the one halved retry of [`try_step`].
+    ///
+    /// # Errors
+    ///
+    /// [`IntegrationError::NonFiniteState`] or [`IntegrationError::BlowUp`]
+    /// when both the full step and the halved retry produce an unusable
+    /// state.
+    pub fn advance(
+        &self,
+        state: SupplyState,
+        i_start: Amps,
+        i_end: Amps,
+    ) -> Result<SupplyState, IntegrationError> {
+        let full = self.raw(state, i_start.amps(), i_end.amps(), self.h);
+        if let Err(first) = check_state(full) {
+            // One step-halving retry before surfacing the failure.
+            let i_mid = 0.5 * (i_start.amps() + i_end.amps());
+            let half = 0.5 * self.h;
+            let s1 = self.raw(state, i_start.amps(), i_mid, half);
+            let s2 = self.raw(s1, i_mid, i_end.amps(), half);
+            return match check_state(s2) {
+                Ok(()) => Ok(s2),
+                // Report the retry's failure; it is the better-resolved
+                // attempt.
+                Err(second) => Err(if matches!(second, IntegrationError::InvalidStep { .. }) {
+                    first
+                } else {
+                    second
+                }),
+            };
+        }
+        Ok(full)
     }
-    Ok(full)
+
+    fn raw(&self, state: SupplyState, i_start: f64, i_end: f64, h: f64) -> SupplyState {
+        raw_step_coeffs(
+            self.c,
+            self.l,
+            self.r,
+            self.method,
+            state,
+            i_start,
+            i_end,
+            h,
+        )
+    }
 }
 
 fn check_state(s: SupplyState) -> Result<(), IntegrationError> {
@@ -172,6 +239,7 @@ fn check_state(s: SupplyState) -> Result<(), IntegrationError> {
     Ok(())
 }
 
+#[cfg(test)]
 fn raw_step(
     params: &SupplyParams,
     method: Method,
@@ -180,14 +248,37 @@ fn raw_step(
     i_end: f64,
     h: f64,
 ) -> SupplyState {
+    raw_step_coeffs(
+        params.capacitance().farads(),
+        params.inductance().henries(),
+        params.resistance().ohms(),
+        method,
+        state,
+        i_start,
+        i_end,
+        h,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn raw_step_coeffs(
+    c: f64,
+    l: f64,
+    r: f64,
+    method: Method,
+    state: SupplyState,
+    i_start: f64,
+    i_end: f64,
+    h: f64,
+) -> SupplyState {
     match method {
         Method::Heun => {
-            let k1 = derivative(params, state, i_start);
+            let k1 = derivative(c, l, r, state, i_start);
             let predictor = SupplyState {
                 v: state.v + h * k1.dv,
                 i_l: state.i_l + h * k1.di_l,
             };
-            let k2 = derivative(params, predictor, i_end);
+            let k2 = derivative(c, l, r, predictor, i_end);
             SupplyState {
                 v: state.v + 0.5 * h * (k1.dv + k2.dv),
                 i_l: state.i_l + 0.5 * h * (k1.di_l + k2.di_l),
@@ -195,22 +286,22 @@ fn raw_step(
         }
         Method::Rk4 => {
             let i_mid = 0.5 * (i_start + i_end);
-            let k1 = derivative(params, state, i_start);
+            let k1 = derivative(c, l, r, state, i_start);
             let s2 = SupplyState {
                 v: state.v + 0.5 * h * k1.dv,
                 i_l: state.i_l + 0.5 * h * k1.di_l,
             };
-            let k2 = derivative(params, s2, i_mid);
+            let k2 = derivative(c, l, r, s2, i_mid);
             let s3 = SupplyState {
                 v: state.v + 0.5 * h * k2.dv,
                 i_l: state.i_l + 0.5 * h * k2.di_l,
             };
-            let k3 = derivative(params, s3, i_mid);
+            let k3 = derivative(c, l, r, s3, i_mid);
             let s4 = SupplyState {
                 v: state.v + h * k3.dv,
                 i_l: state.i_l + h * k3.di_l,
             };
-            let k4 = derivative(params, s4, i_end);
+            let k4 = derivative(c, l, r, s4, i_end);
             SupplyState {
                 v: state.v + h / 6.0 * (k1.dv + 2.0 * k2.dv + 2.0 * k3.dv + k4.dv),
                 i_l: state.i_l + h / 6.0 * (k1.di_l + 2.0 * k2.di_l + 2.0 * k3.di_l + k4.di_l),
@@ -453,6 +544,56 @@ mod tests {
         let s1 = raw_step(&p, Method::Heun, s, 0.0, 0.0, 1.5);
         let s2 = raw_step(&p, Method::Heun, s1, 0.0, 0.0, 1.5);
         assert_eq!(rescued, s2, "rescue must be the two-half-step composition");
+    }
+
+    #[test]
+    fn prepared_step_matches_try_step_bit_exactly() {
+        // A prepared step must reproduce try_step bit-for-bit across a long
+        // resonant trajectory, for both integrators — including the halved
+        // retry (exercised separately below).
+        let p = SupplyParams::isca04_table1();
+        let dt = Seconds::new(1e-10);
+        for method in [Method::Heun, Method::Rk4] {
+            let prepared = PreparedStep::new(p, method, dt).unwrap();
+            let mut a = SupplyState { v: 0.01, i_l: 75.0 };
+            let mut b = a;
+            for c in 0..5_000u64 {
+                let swing = if (c / 50) % 2 == 0 { 90.0 } else { 55.0 };
+                let (i0, i1) = (Amps::new(swing), Amps::new(swing + 0.25));
+                a = try_step(&p, method, a, i0, i1, dt).unwrap();
+                b = prepared.advance(b, i0, i1).unwrap();
+                assert_eq!(a.v.to_bits(), b.v.to_bits(), "v diverged at {c}");
+                assert_eq!(a.i_l.to_bits(), b.i_l.to_bits(), "i_l diverged at {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_step_rejects_bad_dt_at_construction() {
+        let p = gentle_unit_circuit();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let got = PreparedStep::new(p, Method::Heun, Seconds::new(bad));
+            assert!(
+                matches!(got, Err(IntegrationError::InvalidStep { .. })),
+                "dt {bad} must be rejected, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_step_performs_the_halved_rescue() {
+        // Same marginal-overshoot setup as the try_step rescue test: the
+        // prepared path must run the identical retry and return the same
+        // two-half-step composition.
+        let p = gentle_unit_circuit();
+        let s = SupplyState { v: 4.0e5, i_l: 0.0 };
+        let (zero, h) = (Amps::new(0.0), Seconds::new(3.0));
+        let via_try = try_step(&p, Method::Heun, s, zero, zero, h).expect("rescued");
+        let via_prepared = PreparedStep::new(p, Method::Heun, h)
+            .unwrap()
+            .advance(s, zero, zero)
+            .expect("rescued");
+        assert_eq!(via_try, via_prepared);
     }
 
     #[test]

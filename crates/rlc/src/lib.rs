@@ -52,7 +52,9 @@ pub use calibrate::{calibrate, Calibration};
 pub use error::{IntegrationError, RlcError};
 pub use fit::{fit_supply, FitResult, ImpedanceSample};
 pub use impedance::{impedance_at, ImpedancePoint, ImpedanceSweep};
-pub use integrator::{exact_free_decay, step, try_step, Method, SupplyState, BLOW_UP_LIMIT_VOLTS};
+pub use integrator::{
+    exact_free_decay, step, try_step, Method, PreparedStep, SupplyState, BLOW_UP_LIMIT_VOLTS,
+};
 pub use params::SupplyParams;
 pub use spectrum::{band_power, power_at, resonance_band_ratio};
 pub use supply::{simulate_waveform, PowerSupply, SupplyOutput, WaveformTrace};

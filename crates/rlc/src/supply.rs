@@ -6,7 +6,7 @@
 //! by the circuit-level experiments (Figure 3, calibration).
 
 use crate::error::IntegrationError;
-use crate::integrator::{try_step, Method, SupplyState};
+use crate::integrator::{try_step, Method, PreparedStep, SupplyState};
 use crate::params::SupplyParams;
 use crate::units::{Amps, Cycles, Hertz, Seconds, Volts};
 use crate::waveform::Waveform;
@@ -135,6 +135,50 @@ impl PowerSupply {
         };
         self.cycle = self.cycle + Cycles::new(1);
         Ok(out)
+    }
+
+    /// Advances one clock cycle per element of `currents` (amps), appending
+    /// each end-of-cycle noise voltage (volts) to `noise_out`.
+    ///
+    /// This is the batch form of [`PowerSupply::try_tick`] for flat-buffer
+    /// hot loops: the step size is validated and the circuit coefficients
+    /// are loaded once per call via [`PreparedStep`], then every element
+    /// runs exactly the per-cycle operation sequence of `try_tick` — state
+    /// step, previous-current update, noise evaluation, violation count,
+    /// worst-noise update, cycle advance — so a batch call is bit-exact
+    /// with the equivalent serial `try_tick` loop, for any batch size.
+    ///
+    /// # Errors
+    ///
+    /// On a failed step at index `k`, returns `(k, error)` with `noise_out`
+    /// holding the `k` completed cycles and the supply state exactly as a
+    /// serial loop would leave it after cycle `k - 1`: cycle `k` itself is
+    /// untouched and may be replayed with a sanitized current.
+    pub fn try_tick_batch(
+        &mut self,
+        currents: &[f64],
+        noise_out: &mut Vec<f64>,
+    ) -> Result<(), (usize, IntegrationError)> {
+        let prepared = PreparedStep::new(self.params, self.method, self.dt).map_err(|e| (0, e))?;
+        noise_out.reserve(currents.len());
+        for (k, &amps) in currents.iter().enumerate() {
+            let current = Amps::new(amps);
+            self.state = prepared
+                .advance(self.state, self.prev_current, current)
+                .map_err(|e| (k, e))?;
+            self.prev_current = current;
+            let noise = self.state.noise_voltage(&self.params);
+            let violation = noise.abs().volts() > self.params.noise_margin().volts();
+            if violation {
+                self.violations += 1;
+            }
+            if noise.abs().volts() > self.worst_noise.abs().volts() {
+                self.worst_noise = noise;
+            }
+            self.cycle = self.cycle + Cycles::new(1);
+            noise_out.push(noise.volts());
+        }
+        Ok(())
     }
 
     /// The current inductive-noise voltage without advancing time.
@@ -377,6 +421,80 @@ mod tests {
     #[should_panic(expected = "clock frequency")]
     fn bad_clock_panics() {
         let _ = PowerSupply::new(table1(), Hertz::new(0.0), Amps::new(70.0));
+    }
+
+    /// A deterministic current sequence mixing resonant swings, ramps, and
+    /// quiet stretches, for batch-vs-serial comparisons.
+    fn mixed_currents(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|c| {
+                let swing = if (c / 50) % 2 == 0 { 20.0 } else { -20.0 };
+                let ramp = (c % 137) as f64 * 0.11;
+                70.0 + swing + ramp
+            })
+            .collect()
+    }
+
+    #[test]
+    fn try_tick_batch_matches_serial_ticks_bit_exactly() {
+        let currents = mixed_currents(3_000);
+        for method in [Method::Heun, Method::Rk4] {
+            let mut serial = PowerSupply::with_method(table1(), GHZ10, Amps::new(70.0), method);
+            let mut batched = serial.clone();
+
+            let mut serial_noise = Vec::new();
+            for &i in &currents {
+                serial_noise.push(serial.try_tick(Amps::new(i)).unwrap().noise.volts());
+            }
+
+            // Ragged batch sizes, including 1 and a remainder chunk.
+            let mut batch_noise = Vec::new();
+            for chunk in currents.chunks(257) {
+                batched.try_tick_batch(chunk, &mut batch_noise).unwrap();
+            }
+
+            assert_eq!(serial_noise.len(), batch_noise.len());
+            for (c, (a, b)) in serial_noise.iter().zip(&batch_noise).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "noise diverged at cycle {c} ({method:?})"
+                );
+            }
+            assert_eq!(serial.state(), batched.state());
+            assert_eq!(serial.cycles(), batched.cycles());
+            assert_eq!(serial.violation_cycles(), batched.violation_cycles());
+            assert_eq!(
+                serial.worst_noise().volts().to_bits(),
+                batched.worst_noise().volts().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn try_tick_batch_error_reports_index_and_preserves_prefix() {
+        let mut currents = mixed_currents(100);
+        currents[42] = f64::NAN;
+
+        let mut reference = PowerSupply::new(table1(), GHZ10, Amps::new(70.0));
+        for &i in &currents[..42] {
+            reference.tick(Amps::new(i));
+        }
+
+        let mut batched = PowerSupply::new(table1(), GHZ10, Amps::new(70.0));
+        let mut noise = Vec::new();
+        let (k, err) = batched
+            .try_tick_batch(&currents, &mut noise)
+            .expect_err("NaN mid-batch must fail");
+        assert_eq!(k, 42);
+        assert!(matches!(err, IntegrationError::NonFiniteState { .. }));
+        // The 42 completed cycles are emitted and the state is exactly the
+        // serial state after cycle 41; the failed cycle is replayable.
+        assert_eq!(noise.len(), 42);
+        assert_eq!(batched.state(), reference.state());
+        assert_eq!(batched.cycles(), reference.cycles());
+        let out = batched.try_tick(Amps::new(70.0)).expect("replayable");
+        assert_eq!(out.cycle, Cycles::new(42));
     }
 
     #[test]

@@ -38,9 +38,11 @@
 
 pub mod profile;
 pub mod spec2k;
+pub mod store;
 pub mod stream;
 pub mod trace;
 
 pub use profile::{Episode, OpMix, WorkloadProfile};
+pub use store::{shared_stream, SharedStream};
 pub use stream::StreamGen;
 pub use trace::{RecordedTrace, TraceReplay, TraceSummary};

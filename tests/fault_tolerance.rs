@@ -197,6 +197,55 @@ fn interrupted_suite_resumes_bit_exactly() {
 }
 
 #[test]
+fn checkpoint_resumes_bit_exactly_across_kernel_batch_sizes() {
+    // The kernel's supply-flush batch length (`RESTUNE_BATCH`) is pure
+    // scheduling: it is deliberately excluded from the checkpoint
+    // fingerprint, so a suite checkpointed at one batch size must resume at
+    // another and still replay bit-exactly.
+    let profiles = profiles();
+    let sim = SimConfig::isca04(25_000);
+    let dir = std::env::temp_dir().join(format!("restune-ft-batch-{}", std::process::id()));
+    let sup = SupervisorConfig {
+        resume: true,
+        checkpoint_dir: Some(dir.clone()),
+        max_retries: 0,
+        ..fast_retries()
+    };
+
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+
+    // Interrupt a run at a tiny batch size, leaving its checkpoint behind.
+    std::env::set_var("RESTUNE_BATCH", "7");
+    let crash_plan = FaultPlan::none().with_persistent_fault(APPS[1], FaultSpec::WorkerPanic);
+    let interrupted = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &crash_plan);
+    assert_eq!(interrupted.completed(), 2);
+
+    // Resume at a very different batch size: the checkpoint is found (the
+    // fingerprint never saw the batch length) and the completed apps replay.
+    std::env::set_var("RESTUNE_BATCH", "1019");
+    let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none());
+    std::env::remove_var("RESTUNE_BATCH");
+
+    assert_eq!(
+        resumed.all_results().expect("resume completes the suite"),
+        reference.results,
+        "resume across batch sizes must be bit-exact"
+    );
+    let replayed: Vec<bool> = resumed
+        .metrics
+        .iter()
+        .map(|m| m.expect("all apps have metrics").replayed)
+        .collect();
+    assert_eq!(
+        replayed,
+        vec![true, false, true],
+        "the checkpoint taken at batch 7 must be honored at batch 1019"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_recorded_baselines_are_discarded_not_trusted() {
     let profiles = profiles();
     let sim = SimConfig::isca04(15_000);

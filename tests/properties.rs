@@ -1,10 +1,10 @@
 //! Property-based tests (proptest) on the core invariants of the circuit,
-//! the detector, and the metrics.
+//! the detector, the metrics, and the fused simulation kernel.
 
 use proptest::prelude::*;
-use restune::{EventDetector, TuningConfig};
+use restune::{run, run_with_batch, EventDetector, SimConfig, Technique, TuningConfig};
 use rlc::units::{Amps, Cycles, Farads, Henries, Hertz, Ohms, Volts};
-use rlc::{impedance_at, simulate_waveform, PeriodicWave, SupplyParams};
+use rlc::{impedance_at, simulate_waveform, PeriodicWave, PowerSupply, SupplyParams};
 
 const GHZ10: Hertz = Hertz::new(10e9);
 
@@ -188,5 +188,87 @@ proptest! {
             max_count >= 3,
             "period {period}, {p2p:.0} A: max count {max_count} below second-level threshold"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batched supply stepping is bit-exact with per-cycle stepping for any
+    /// current sequence and any chunking — the contract the fused kernel's
+    /// deferred flushes rest on.
+    #[test]
+    fn batched_supply_stepping_is_bit_exact(
+        currents in prop::collection::vec(0.0..150.0f64, 1..400),
+        chunk in 1usize..64,
+    ) {
+        let params = table1();
+        let idle = Amps::new(20.0);
+        let mut serial = PowerSupply::new(params, GHZ10, idle);
+        let mut batched = PowerSupply::new(params, GHZ10, idle);
+
+        let mut serial_noise = Vec::with_capacity(currents.len());
+        for &amps in &currents {
+            let out = serial.try_tick(Amps::new(amps)).expect("bounded currents step");
+            serial_noise.push(out.noise.volts());
+        }
+        let mut batched_noise = Vec::new();
+        for c in currents.chunks(chunk) {
+            let mut out = Vec::new();
+            batched.try_tick_batch(c, &mut out).expect("bounded currents step");
+            batched_noise.extend(out);
+        }
+
+        prop_assert_eq!(serial_noise.len(), batched_noise.len());
+        for (k, (a, b)) in serial_noise.iter().zip(&batched_noise).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "noise diverged at cycle {}", k);
+        }
+        prop_assert_eq!(serial.state().v.to_bits(), batched.state().v.to_bits());
+        prop_assert_eq!(serial.state().i_l.to_bits(), batched.state().i_l.to_bits());
+        prop_assert_eq!(serial.violation_cycles(), batched.violation_cycles());
+        prop_assert_eq!(
+            serial.worst_noise().volts().to_bits(),
+            batched.worst_noise().volts().to_bits()
+        );
+        prop_assert_eq!(serial.cycles(), batched.cycles());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The kernel's flush batch length is pure scheduling: for any batch
+    /// size, every field of the outcome — detector events included — is
+    /// bit-identical to batch-of-one execution.
+    #[test]
+    fn kernel_results_are_batch_size_invariant(batch in 1usize..2_048) {
+        use std::sync::OnceLock;
+        static BASELINE: OnceLock<(restune::SimResult, u64)> = OnceLock::new();
+
+        let profile = workloads::spec2k::by_name("swim").expect("swim is in the suite");
+        let sim = SimConfig::isca04(6_000);
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(100));
+        let baseline =
+            BASELINE.get_or_init(|| run_with_batch(&profile, &technique, &sim, 1));
+
+        let (result, events) = run_with_batch(&profile, &technique, &sim, batch);
+        prop_assert_eq!(&result, &baseline.0, "results diverged at batch {}", batch);
+        prop_assert_eq!(events, baseline.1, "detector events diverged at batch {}", batch);
+    }
+
+    /// An inert fault plan is bit-exact-neutral through the kernel path:
+    /// supervised execution with `FaultPlan::none()`'s (empty) spec list
+    /// reproduces the plain run exactly, for any tuning design point.
+    #[test]
+    fn inert_fault_plan_is_neutral_through_the_kernel(initial_response in 75u32..200) {
+        let profile = workloads::spec2k::by_name("art").expect("art is in the suite");
+        let sim = SimConfig::isca04(6_000);
+        let technique = Technique::Tuning(TuningConfig::isca04_table1(initial_response));
+
+        let specs = restune::FaultPlan::none().faults_for(profile.name, 0);
+        prop_assert!(specs.is_empty(), "FaultPlan::none() must schedule nothing");
+        let supervised = restune::run_supervised(&profile, &technique, &sim, &specs, None);
+        let plain = run(&profile, &technique, &sim);
+        prop_assert_eq!(supervised.result, plain);
     }
 }
