@@ -33,6 +33,43 @@ echo "$smoke_out" | grep -q '"injected"' || {
     exit 1
 }
 
+echo "==> chaos smoke (process isolation: abort + SIGKILL workers, bit-exact resume)"
+# Two workers die hard — one aborts, one SIGKILLs itself. Under
+# RESTUNE_ISOLATION=process the suite must contain both crashes to their
+# slots and exit 0 (the plan is enabled, so the failures are the
+# experiment). A second invocation against the same cache dir resumes the
+# checkpoint, heals the crashed applications, and must be bit-identical to
+# an uninterrupted reference run against a fresh cache.
+chaos_dir=$(mktemp -d)
+ref_dir=$(mktemp -d)
+RESTUNE_CACHE_DIR="$chaos_dir" RESTUNE_ISOLATION=process \
+    ./target/release/suite_check -n 20000 --timeout 60 --resume --json \
+    --fault mcf=abort --fault swim=kill > "$chaos_dir/chaos.json"
+RESTUNE_CACHE_DIR="$chaos_dir" RESTUNE_ISOLATION=process \
+    ./target/release/suite_check -n 20000 --timeout 60 --resume --json \
+    > "$chaos_dir/resumed.json"
+RESTUNE_CACHE_DIR="$ref_dir" \
+    ./target/release/suite_check -n 20000 --timeout 60 --resume --json \
+    > "$ref_dir/reference.json"
+python3 - "$chaos_dir/chaos.json" "$chaos_dir/resumed.json" "$ref_dir/reference.json" <<'EOF'
+import json, sys
+chaos, resumed, reference = (json.load(open(p)) for p in sys.argv[1:])
+failed = [r for r in chaos["failures"] if r["event"] == "failed"]
+assert failed, "chaos run recorded no terminal failures"
+assert {r["app"] for r in failed} == {"mcf", "swim"}, failed
+assert {r["kind"] for r in failed} == {"crash"}, failed
+surviving = {r["app"] for r in chaos["suite_check"]}
+assert surviving, "every other application must still complete"
+assert not {"mcf", "swim"} & surviving, surviving
+assert not [r for r in resumed["failures"] if r["event"] == "failed"], \
+    "the resumed run must heal the crashed applications"
+replays = sum(1 for r in resumed["run_metrics"] if r["replayed"])
+assert replays, "the resumed run must replay checkpointed applications"
+assert resumed["suite_check"] == reference["suite_check"], \
+    "resumed suite must be bit-identical to an uninterrupted reference"
+print(f"chaos ok: {len(failed)} contained crashes, {replays} replayed rows")
+EOF
+
 echo "==> kernel bench smoke (--test mode + BENCH_kernel.json schema)"
 # The kernel bench in --test mode runs each benchmark body once on shrunk
 # workloads and still writes its JSON document (to a scratch path here, so

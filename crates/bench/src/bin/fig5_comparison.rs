@@ -15,6 +15,7 @@ use restune::{DampingConfig, SensorConfig, SimConfig, Summary, Technique, Tuning
 use workloads::spec2k;
 
 fn main() {
+    let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);

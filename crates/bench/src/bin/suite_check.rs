@@ -17,6 +17,7 @@ use restune::{SimConfig, Technique, TuningConfig};
 use workloads::spec2k;
 
 fn main() {
+    let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);

@@ -49,6 +49,7 @@ fn summary_report(rows: &[Table3Row]) -> (Report, Report) {
 }
 
 fn main() {
+    let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);

@@ -10,6 +10,7 @@ use restune::experiment::{base_suite_supervised, table4, table4_supervised};
 use restune::{SensorConfig, SimConfig};
 
 fn main() {
+    let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);

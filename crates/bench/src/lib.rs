@@ -13,13 +13,18 @@ pub use report::Report;
 
 /// The usage text every harness prints for `--help` and argument errors.
 pub const USAGE: &str =
-    "usage: <harness> [--instructions N] [--json] [--faults SEED] [--timeout SECS] [--resume]
+    "usage: <harness> [--instructions N] [--json] [--faults SEED] [--fault APP=KIND]
+                 [--timeout SECS] [--resume]
   --instructions N, -n N  committed instructions per application run
                           (default 120000)
   --json                  print results as a JSON document on stdout
                           instead of human-readable tables
   --faults SEED           enable deterministic fault injection from SEED
                           (off by default; clean runs are bit-exact)
+  --fault APP=KIND        inject a persistent targeted fault into APP; KIND
+                          is panic, stall[:MILLIS], abort, or kill
+                          (abort/kill need RESTUNE_ISOLATION=process to be
+                          contained for real); repeatable
   --timeout SECS          per-application watchdog deadline in seconds
                           (fractions allowed; off by default)
   --resume                checkpoint completed applications and resume an
@@ -30,7 +35,7 @@ pub const USAGE: &str =
 pub const EXIT_USAGE: i32 = 2;
 
 /// Options shared by the suite harnesses.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {
     /// Committed instructions per application run.
     pub instructions: u64,
@@ -38,6 +43,9 @@ pub struct HarnessArgs {
     pub json: bool,
     /// Seed of the deterministic fault plan; `None` disables injection.
     pub faults: Option<u64>,
+    /// Explicit `--fault APP=KIND` injections, applied persistently on top
+    /// of any seeded plan.
+    pub targeted_faults: Vec<(String, restune::FaultSpec)>,
     /// Per-application watchdog deadline in seconds.
     pub timeout_secs: Option<f64>,
     /// Checkpoint completed applications and resume interrupted suites.
@@ -50,6 +58,7 @@ impl Default for HarnessArgs {
             instructions: 120_000,
             json: false,
             faults: None,
+            targeted_faults: Vec::new(),
             timeout_secs: None,
             resume: false,
         }
@@ -57,7 +66,7 @@ impl Default for HarnessArgs {
 }
 
 /// What [`HarnessArgs::try_parse`] found on the command line.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Parsed {
     /// Options to run with.
     Args(HarnessArgs),
@@ -103,6 +112,10 @@ impl HarnessArgs {
                     }
                     parsed.timeout_secs = Some(secs);
                 }
+                "--fault" => {
+                    let v = iter.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    parsed.targeted_faults.push(parse_fault_arg(&v)?);
+                }
                 "--resume" => parsed.resume = true,
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument: {other}")),
@@ -116,16 +129,22 @@ impl HarnessArgs {
     /// With none of the supervision flags given, the policy is inert and
     /// every harness output is bit-identical to the unsupervised engine.
     pub fn policy(&self) -> restune::RunPolicy {
+        let mut plan = self
+            .faults
+            .map(restune::FaultPlan::seeded)
+            .unwrap_or_else(restune::FaultPlan::none);
+        for (app, spec) in &self.targeted_faults {
+            // Persistent on purpose: a `--fault` must survive retries, so
+            // the chaos stage exercises the terminal-failure path.
+            plan = plan.with_persistent_fault(app, *spec);
+        }
         restune::RunPolicy {
             supervisor: restune::SupervisorConfig {
                 timeout: self.timeout_secs.map(std::time::Duration::from_secs_f64),
                 resume: self.resume,
                 ..restune::SupervisorConfig::default()
             },
-            plan: self
-                .faults
-                .map(restune::FaultPlan::seeded)
-                .unwrap_or_else(restune::FaultPlan::none),
+            plan,
         }
     }
 
@@ -143,6 +162,67 @@ impl HarnessArgs {
                 eprintln!("error: {message}\n{USAGE}");
                 std::process::exit(EXIT_USAGE);
             }
+        }
+    }
+}
+
+/// Parses one `--fault APP=KIND` argument into its targeted fault spec.
+fn parse_fault_arg(value: &str) -> Result<(String, restune::FaultSpec), String> {
+    let (app, kind) = value
+        .split_once('=')
+        .ok_or_else(|| format!("invalid --fault '{value}' (expected APP=KIND)"))?;
+    if app.is_empty() {
+        return Err(format!(
+            "invalid --fault '{value}' (empty application name)"
+        ));
+    }
+    let spec = match kind {
+        "panic" => restune::FaultSpec::WorkerPanic,
+        "abort" => restune::FaultSpec::WorkerAbort,
+        "kill" => restune::FaultSpec::WorkerKill,
+        stall if stall == "stall" || stall.starts_with("stall:") => {
+            let millis = match stall.strip_prefix("stall:") {
+                None => 1500,
+                Some(ms) => ms
+                    .parse()
+                    .map_err(|_| format!("invalid --fault stall duration: {ms}"))?,
+            };
+            restune::FaultSpec::WorkerStall { millis }
+        }
+        other => {
+            return Err(format!(
+                "unknown --fault kind '{other}' (expected panic, stall[:MILLIS], abort, or kill)"
+            ))
+        }
+    };
+    Ok((app.to_string(), spec))
+}
+
+/// Everything a harness `main` must do before touching its arguments:
+/// install this binary's worker entry (so `RESTUNE_ISOLATION=process` can
+/// self-exec it) and arm the SIGINT/SIGTERM graceful-shutdown handlers.
+/// Bind the returned guard for the whole of `main` — when a shutdown signal
+/// arrived during the run, its drop exits 130 after the partial report has
+/// been printed.
+#[must_use = "bind the guard for the whole of main so the interrupted exit fires"]
+pub fn harness_init() -> ShutdownGuard {
+    restune::maybe_run_worker();
+    restune::install_signal_handlers();
+    ShutdownGuard { _priv: () }
+}
+
+/// See [`harness_init`].
+#[derive(Debug)]
+pub struct ShutdownGuard {
+    _priv: (),
+}
+
+impl Drop for ShutdownGuard {
+    fn drop(&mut self) {
+        if restune::shutdown_requested() {
+            eprintln!("restune: interrupted by signal; reported results are partial");
+            // 130 = 128 + SIGINT, the conventional interrupted exit.
+            std::process::exit(130);
         }
     }
 }
@@ -260,6 +340,16 @@ pub fn failure_report_section(reports: &[restune::FailureReport]) -> report::Rep
                 s.detail.as_str().into(),
             ]);
         }
+        if rep.checkpoint_degraded {
+            r.push(vec![
+                rep.scope.as_str().into(),
+                "checkpoint-degraded".into(),
+                "".into(),
+                "storage".into(),
+                0u64.into(),
+                "a checkpoint write failed; a resume would re-run the unrecorded apps".into(),
+            ]);
+        }
     }
     r
 }
@@ -301,6 +391,9 @@ pub fn print_failure_reports(reports: &[restune::FailureReport]) {
                 s.detail,
                 if s.recovered { " (recovered)" } else { "" }
             );
+        }
+        if rep.checkpoint_degraded {
+            println!("  WARNING   checkpoint writes failed; this suite will not fully resume");
         }
     }
 }
@@ -510,9 +603,52 @@ mod tests {
         assert_eq!(parse(&["--help"]), Ok(Parsed::Help));
         assert_eq!(parse(&["-h"]), Ok(Parsed::Help));
         assert!(USAGE.contains("--json"), "--help must document --json");
-        for flag in ["--faults", "--timeout", "--resume"] {
+        for flag in ["--faults", "--fault APP=KIND", "--timeout", "--resume"] {
             assert!(USAGE.contains(flag), "--help must document {flag}");
         }
+    }
+
+    #[test]
+    fn parses_targeted_faults() {
+        let Ok(Parsed::Args(args)) = parse(&[
+            "--fault",
+            "mcf=abort",
+            "--fault",
+            "swim=kill",
+            "--fault",
+            "gzip=stall:250",
+            "--fault",
+            "art=panic",
+        ]) else {
+            panic!("--fault flags must parse");
+        };
+        assert_eq!(
+            args.targeted_faults,
+            vec![
+                ("mcf".to_string(), restune::FaultSpec::WorkerAbort),
+                ("swim".to_string(), restune::FaultSpec::WorkerKill),
+                (
+                    "gzip".to_string(),
+                    restune::FaultSpec::WorkerStall { millis: 250 }
+                ),
+                ("art".to_string(), restune::FaultSpec::WorkerPanic),
+            ]
+        );
+        let policy = args.policy();
+        assert!(policy.plan.is_enabled());
+        // Persistent: the fault applies on retries too.
+        assert_eq!(
+            policy.plan.faults_for("mcf", 2),
+            vec![restune::FaultSpec::WorkerAbort]
+        );
+
+        for bad in ["mcf", "=abort", "mcf=melt", "mcf=stall:soon"] {
+            assert!(
+                parse(&["--fault", bad]).is_err(),
+                "'{bad}' must be rejected"
+            );
+        }
+        assert!(parse(&["--fault"]).unwrap_err().contains("requires"));
     }
 
     #[test]
@@ -579,14 +715,16 @@ mod tests {
             detail: "injected storage-truncate — re-simulated".into(),
             recovered: true,
         });
+        rep.checkpoint_degraded = true;
         let section = failure_report_section(&[rep]);
-        assert_eq!(section.len(), 4);
+        assert_eq!(section.len(), 5);
         let json = section.to_json();
         for needle in [
             "\"event\": \"injected\"",
             "\"event\": \"recovered\"",
             "\"event\": \"failed\"",
             "\"event\": \"storage-recovered\"",
+            "\"event\": \"checkpoint-degraded\"",
             "\"scope\": \"tuning-100\"",
             "\"kind\": \"timeout\"",
         ] {

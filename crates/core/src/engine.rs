@@ -33,7 +33,7 @@ use crate::fault::{
     StorageFault, StorageIncident,
 };
 use crate::metrics::RunMetrics;
-use crate::sim::{run_supervised, SimConfig, SimResult, Technique};
+use crate::sim::{run_supervised, InstrumentedRun, SimConfig, SimResult, Technique};
 
 /// A suite run failed: the named application's simulation panicked.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -187,7 +187,7 @@ impl SupervisedSuite {
 
 /// Classifies an unwound panic payload: a typed [`FaultSignal`] carries its
 /// own failure kind; anything else is an unclassified worker panic.
-fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (FailureKind, String) {
+pub(crate) fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (FailureKind, String) {
     match payload.downcast::<FaultSignal>() {
         Ok(signal) => (signal.kind, signal.message),
         Err(other) => (FailureKind::Panic, panic_message(other)),
@@ -207,6 +207,14 @@ fn supervise_one(
 ) -> Result<(SimResult, RunMetrics), AppFailure> {
     let mut last: Option<(FailureKind, String)> = None;
     for attempt in 0..=sup.max_retries {
+        if crate::isolation::shutdown_requested() {
+            return Err(AppFailure {
+                app: profile.name.to_string(),
+                kind: FailureKind::Interrupted,
+                message: String::from("suite interrupted by signal"),
+                attempts: attempt,
+            });
+        }
         let specs = plan.faults_for(profile.name, attempt);
         if !specs.is_empty() {
             let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner);
@@ -218,10 +226,33 @@ fn supervise_one(
                 });
             }
         }
-        let deadline = sup.timeout.map(|t| Instant::now() + t);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_supervised(profile, technique, sim, &specs, deadline)
-        }));
+        // Tier dispatch: a child process when RESTUNE_ISOLATION resolves to
+        // it and the job is wire-encodable, otherwise in-process. Hard-crash
+        // faults (abort/SIGKILL) would take down the whole suite in-process,
+        // so the thread tier records them as simulated crashes instead of
+        // executing them.
+        let outcome: Result<InstrumentedRun, (FailureKind, String)> =
+            match crate::isolation::process_attempt(profile, technique, sim, &specs, sup.timeout) {
+                Some(outcome) => outcome,
+                None => {
+                    if let Some(spec) = specs.iter().find(|s| s.is_hard_crash()) {
+                        Err((
+                            FailureKind::Crash,
+                            format!(
+                                "injected {} (simulated: containing a hard crash \
+                                 requires RESTUNE_ISOLATION=process)",
+                                spec.class()
+                            ),
+                        ))
+                    } else {
+                        let deadline = sup.timeout.map(|t| Instant::now() + t);
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_supervised(profile, technique, sim, &specs, deadline)
+                        }))
+                        .map_err(classify_payload)
+                    }
+                }
+            };
         match outcome {
             Ok(inst) => {
                 let mut metrics =
@@ -241,9 +272,12 @@ fn supervise_one(
                 }
                 return Ok((inst.result, metrics));
             }
-            Err(payload) => {
-                let (kind, message) = classify_payload(payload);
+            Err((kind, message)) => {
+                let interrupted = kind == FailureKind::Interrupted;
                 last = Some((kind, message));
+                if interrupted {
+                    break; // a drained suite must not retry, only record
+                }
                 if attempt < sup.max_retries {
                     std::thread::sleep(sup.backoff_delay(attempt + 1));
                 }
@@ -311,10 +345,38 @@ pub fn run_suite_supervised(
                 if slots[idx].get().is_some() {
                     continue; // replayed from the checkpoint
                 }
+                // Graceful shutdown: once a signal arrives, stop claiming
+                // work — unclaimed apps become `interrupted` slots, the
+                // checkpoint keeps everything already completed, and the
+                // partial report goes out as usual.
+                if crate::isolation::shutdown_requested() {
+                    let stored = slots[idx]
+                        .set(Err(AppFailure {
+                            app: profile.name.to_string(),
+                            kind: FailureKind::Interrupted,
+                            message: String::from("suite interrupted by signal"),
+                            attempts: 0,
+                        }))
+                        .is_ok();
+                    assert!(stored, "each unfilled slot is claimed exactly once");
+                    continue;
+                }
                 let outcome = supervise_one(profile, technique, sim, sup, plan, &report);
                 if let (Ok((result, _)), Some((path, fp, _))) = (&outcome, &checkpoint) {
                     let _guard = ckpt_append.lock().unwrap_or_else(PoisonError::into_inner);
-                    let _ = append_checkpoint(path, *fp, idx, result);
+                    if let Err(e) = append_checkpoint(path, *fp, idx, result) {
+                        let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner);
+                        // Warn once per suite; every later failure only
+                        // keeps the flag set.
+                        if !rep.checkpoint_degraded {
+                            rep.checkpoint_degraded = true;
+                            eprintln!(
+                                "restune: checkpoint append failed for {} ({e}); \
+                                 this suite will not fully resume",
+                                path.display()
+                            );
+                        }
+                    }
                 }
                 let stored = slots[idx].set(outcome).is_ok();
                 assert!(stored, "each unfilled slot is claimed exactly once");
@@ -361,7 +423,47 @@ pub fn run_suite_supervised(
 }
 
 /// Checkpoint-file schema version; bump when the row format changes.
-const CHECKPOINT_SCHEMA: u32 = 1;
+/// v2 added the per-row CRC32 and the tmp+fsync+rename write path.
+const CHECKPOINT_SCHEMA: u32 = 2;
+
+/// Writes `bytes` to `path` crash-consistently: the data goes to a sibling
+/// tmp file, is fsynced, and is renamed over the target, so a crash or
+/// SIGKILL at any instant leaves either the old complete file or the new
+/// one — never a torn mix.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Appends the CRC32 trailer to one serialized row: `<core>\tcrc=<hex8>`.
+fn crc_line(core: &str) -> String {
+    format!("{core}\tcrc={:08x}", crate::wire::crc32(core.as_bytes()))
+}
+
+/// Splits a CRC-trailed row into its core and whether the CRC verifies.
+/// `None` means the line is structurally torn (no trailer at all — an
+/// interrupted write); `Some((core, false))` means the row is complete but
+/// damaged (bit rot, an injected flip).
+fn split_crc_line(line: &str) -> Option<(&str, bool)> {
+    let (core, crc) = line.rsplit_once("\tcrc=")?;
+    if crc.len() != 8 {
+        return None;
+    }
+    let recorded = u32::from_str_radix(crc, 16).ok()?;
+    Some((core, recorded == crate::wire::crc32(core.as_bytes())))
+}
 
 /// Fingerprint of everything a supervised suite's *results* depend on: the
 /// machine configuration, the technique (with its config), every workload
@@ -398,30 +500,41 @@ pub fn checkpoint_path(sup: &SupervisorConfig, fp: u64) -> PathBuf {
 /// Appends one completed application to the checkpoint, creating the file
 /// (with its header) on first use.
 ///
+/// The append is a read-modify-write through [`atomic_write`]: checkpoints
+/// hold at most one small row per application, so rewriting the whole file
+/// is cheap, and a crash mid-append can never tear an already-recorded row.
+/// Each row carries its own CRC32 so later damage is detected per-row.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn append_checkpoint(path: &Path, fp: u64, idx: usize, result: &SimResult) -> io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+    let header = format!("restune-checkpoint v{CHECKPOINT_SCHEMA} fp={fp:016x}");
+    let mut body = match std::fs::read_to_string(path) {
+        Ok(text) if text.lines().next() == Some(header.as_str()) => text,
+        // Missing, stale, or unreadable: start the file over.
+        _ => format!("{header}\n"),
+    };
+    if !body.ends_with('\n') {
+        body.push('\n'); // a torn tail must not concatenate with the new row
     }
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    if file.metadata()?.len() == 0 {
-        writeln!(file, "restune-checkpoint v{CHECKPOINT_SCHEMA} fp={fp:016x}")?;
-    }
-    writeln!(file, "{idx}\t{}", result_row(result))
+    body.push_str(&crc_line(&format!("{idx}\t{}", result_row(result))));
+    body.push('\n');
+    atomic_write(path, body.as_bytes())
 }
 
 /// Loads the completed rows of a checkpoint written by
 /// [`append_checkpoint`], keyed by suite index.
 ///
 /// A missing file is an empty resume. A stale fingerprint or header is
-/// discarded with a warning. A *truncated tail* is expected — the previous
-/// process may have been killed mid-append — so parsing stops at the first
-/// bad row and keeps everything before it.
+/// discarded with a warning. Damage is recovered at row granularity:
+///
+/// * a row whose CRC32 does not verify is *skipped* — only that
+///   application re-runs, everything else replays;
+/// * a structurally torn line (no CRC trailer, or a row that no longer
+///   parses) stops the scan — the intact prefix is kept, the tail after
+///   the tear is re-run. Expected when the previous process died
+///   mid-write.
 pub fn load_checkpoint(
     path: &Path,
     fingerprint: u64,
@@ -438,8 +551,14 @@ pub fn load_checkpoint(
     }
     let mut rows: HashMap<usize, SimResult> = HashMap::new();
     for line in lines {
-        let Some((idx, result)) = parse_checkpoint_row(line, profiles) else {
-            break;
+        let Some((core, intact)) = split_crc_line(line) else {
+            break; // torn tail: keep the prefix
+        };
+        if !intact {
+            continue; // damaged row: re-run just this application
+        }
+        let Some((idx, result)) = parse_checkpoint_row(core, profiles) else {
+            break; // verified CRC but unparseable: schema drift, stop
         };
         rows.insert(idx, result);
     }
@@ -590,7 +709,7 @@ pub fn base_suite_simulations(sim: &SimConfig) -> u64 {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in bytes {
         h ^= b as u64;
@@ -600,7 +719,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Baseline-file schema version; bump when the row format changes.
-const BASELINE_SCHEMA: u32 = 1;
+/// v2 added the per-row CRC32 and the tmp+fsync+rename write path.
+const BASELINE_SCHEMA: u32 = 2;
 
 /// Fingerprint of everything a base-suite run depends on: the machine
 /// configuration and every workload profile. The `Debug` representations
@@ -637,25 +757,23 @@ pub fn baseline_path(sim: &SimConfig) -> PathBuf {
 /// Serializes result rows to `path`, keyed by `fingerprint`.
 ///
 /// Floats are stored as `f64::to_bits` hex, so a load reproduces every row
-/// bit-for-bit.
+/// bit-for-bit. The write is crash-consistent ([`atomic_write`]) and every
+/// row carries a CRC32, so a reader can tell damage from staleness.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn save_baseline(path: &Path, fingerprint: u64, results: &[SimResult]) -> io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut body = Vec::new();
-    writeln!(
-        body,
-        "restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps={}",
+    let mut body = String::new();
+    body.push_str(&format!(
+        "restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps={}\n",
         results.len()
-    )?;
+    ));
     for r in results {
-        writeln!(body, "{}", result_row(r))?;
+        body.push_str(&crc_line(&result_row(r)));
+        body.push('\n');
     }
-    std::fs::write(path, body)
+    atomic_write(path, body.as_bytes())
 }
 
 /// The bit-exact TSV serialization of one result row, shared by baseline
@@ -742,7 +860,14 @@ fn parse_baseline(text: &str, fingerprint: u64) -> Option<Vec<SimResult>> {
     let expected = format!("restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps=");
     let header = lines.next().filter(|h| h.starts_with(&expected))?;
     let apps = header[expected.len()..].parse::<usize>().ok()?;
-    let rows: Option<Vec<SimResult>> = lines.map(parse_row).collect();
+    // Baselines are all-or-nothing (a partial base suite is useless), so
+    // any torn or CRC-damaged row discards the whole file.
+    let rows: Option<Vec<SimResult>> = lines
+        .map(|line| {
+            let (core, intact) = split_crc_line(line)?;
+            intact.then(|| parse_row(core))?
+        })
+        .collect();
     rows.filter(|r| r.len() == apps)
 }
 
@@ -942,18 +1067,15 @@ mod tests {
     #[test]
     fn invalid_workers_env_warns_and_falls_back() {
         // Only the return value is checked (a stderr warning is emitted);
-        // an invalid value must behave exactly like an unset variable. The
-        // variable only tunes parallelism, never results, so this is safe
-        // alongside concurrently running suite tests.
-        std::env::set_var("RESTUNE_WORKERS", "three");
-        let n = worker_count(8);
-        std::env::remove_var("RESTUNE_WORKERS");
-        assert!((1..=8).contains(&n));
-
-        std::env::set_var("RESTUNE_WORKERS", "0");
-        let z = worker_count(8);
-        std::env::remove_var("RESTUNE_WORKERS");
-        assert!((1..=8).contains(&z));
+        // an invalid value must behave exactly like an unset variable. All
+        // environment mutation goes through the shared lock so parallel
+        // tests never observe a half-restored variable.
+        for bad in ["three", "0", " ", "-2"] {
+            let n = crate::testenv::with_env(&[("RESTUNE_WORKERS", Some(bad))], || worker_count(8));
+            assert!((1..=8).contains(&n), "RESTUNE_WORKERS='{bad}' gave {n}");
+        }
+        let unset = crate::testenv::with_env(&[("RESTUNE_WORKERS", None)], || worker_count(8));
+        assert!((1..=8).contains(&unset));
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub enum FailureKind {
     Numerical,
     /// A recorded-baseline cache file was corrupt or unreadable.
     Storage,
+    /// The worker process died without unwinding: a signal (SIGKILL,
+    /// SIGABRT, SIGSEGV), a non-zero exit, or — in the in-process tier —
+    /// a hard-crash fault that only `RESTUNE_ISOLATION=process` can
+    /// actually execute.
+    Crash,
+    /// The worker exited cleanly but its reply frame was missing, corrupt,
+    /// or inconsistent with the job (wire codec drift).
+    Transport,
+    /// The run was abandoned because the suite received SIGINT/SIGTERM.
+    Interrupted,
 }
 
 impl FailureKind {
@@ -48,6 +58,9 @@ impl FailureKind {
             FailureKind::Timeout => "timeout",
             FailureKind::Numerical => "numerical",
             FailureKind::Storage => "storage",
+            FailureKind::Crash => "crash",
+            FailureKind::Transport => "transport",
+            FailureKind::Interrupted => "interrupted",
         }
     }
 }
@@ -162,6 +175,14 @@ pub enum FaultSpec {
         /// Stall duration in milliseconds.
         millis: u64,
     },
+    /// The worker calls [`std::process::abort`] before the run starts. A
+    /// hard crash: no unwinding, no reply — only the process-isolation
+    /// tier can contain it (the in-process tier records it as a simulated
+    /// [`FailureKind::Crash`] without executing).
+    WorkerAbort,
+    /// The worker SIGKILLs itself before the run starts (indistinguishable
+    /// from the OOM killer). Same containment rules as [`WorkerAbort`].
+    WorkerKill,
 }
 
 impl FaultSpec {
@@ -176,7 +197,15 @@ impl FaultSpec {
             FaultSpec::NumericOverflow { .. } => "numeric-overflow",
             FaultSpec::WorkerPanic => "worker-panic",
             FaultSpec::WorkerStall { .. } => "worker-stall",
+            FaultSpec::WorkerAbort => "worker-abort",
+            FaultSpec::WorkerKill => "worker-kill",
         }
+    }
+
+    /// `true` for faults that kill the worker process outright (no unwind,
+    /// no reply frame). Containable only under `RESTUNE_ISOLATION=process`.
+    pub fn is_hard_crash(&self) -> bool {
+        matches!(self, FaultSpec::WorkerAbort | FaultSpec::WorkerKill)
     }
 
     /// `true` for faults that perturb the *result* of a successful run
@@ -429,6 +458,8 @@ struct DelayState {
 enum PreRunFault {
     Panic,
     Stall { millis: u64 },
+    Abort,
+    Kill,
 }
 
 /// Draws one standard gaussian via Box–Muller.
@@ -499,6 +530,8 @@ impl FaultRuntime {
                 FaultSpec::WorkerStall { millis } => {
                     runtime.pre.push(PreRunFault::Stall { millis })
                 }
+                FaultSpec::WorkerAbort => runtime.pre.push(PreRunFault::Abort),
+                FaultSpec::WorkerKill => runtime.pre.push(PreRunFault::Kill),
             }
         }
         runtime.inert = runtime.stuck.is_none()
@@ -515,7 +548,9 @@ impl FaultRuntime {
     }
 
     /// Fires pre-run worker faults: stalls sleep, panics unwind with a
-    /// classified [`FaultSignal`].
+    /// classified [`FaultSignal`], and the hard-crash faults take the
+    /// process down for real (the supervisor only lets them execute inside
+    /// an isolated worker process).
     pub fn pre_run(&self) {
         for fault in &self.pre {
             match fault {
@@ -523,6 +558,8 @@ impl FaultRuntime {
                     std::thread::sleep(std::time::Duration::from_millis(*millis));
                 }
                 PreRunFault::Panic => std::panic::panic_any(FaultSignal::injected_panic()),
+                PreRunFault::Abort => std::process::abort(),
+                PreRunFault::Kill => crate::isolation::kill_self(),
             }
         }
     }
@@ -644,6 +681,10 @@ pub struct FailureReport {
     pub injections: Vec<InjectionEvent>,
     /// Baseline-cache files found damaged.
     pub storage: Vec<StorageIncident>,
+    /// `true` when at least one checkpoint append failed: results are
+    /// still correct, but a crash now loses the unwritten rows (resume
+    /// would re-run them).
+    pub checkpoint_degraded: bool,
 }
 
 impl FailureReport {
@@ -667,17 +708,23 @@ impl FailureReport {
             && self.recoveries.is_empty()
             && self.injections.is_empty()
             && self.storage.is_empty()
+            && !self.checkpoint_degraded
     }
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "[{}] {} injected, {} recovered, {} failed, {} storage incidents",
+            "[{}] {} injected, {} recovered, {} failed, {} storage incidents{}",
             self.scope,
             self.injections.len(),
             self.recoveries.len(),
             self.failures.len(),
-            self.storage.len()
+            self.storage.len(),
+            if self.checkpoint_degraded {
+                ", checkpoint degraded"
+            } else {
+                ""
+            }
         )
     }
 }

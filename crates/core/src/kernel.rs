@@ -55,12 +55,29 @@ const MAX_BATCH: usize = 1 << 20;
 /// The kernel's supply-flush batch length: `RESTUNE_BATCH` cycles when set
 /// to a positive integer, [`DEFAULT_BATCH`] otherwise. Read per run so tests
 /// can vary it; never fingerprinted (it cannot affect results).
+///
+/// A non-numeric or zero value is rejected with a stderr warning and falls
+/// back to the default, matching `RESTUNE_WORKERS`. The warning fires once
+/// per process — this function runs on every simulation, so a per-call
+/// warning would flood a suite.
 pub fn batch_size() -> usize {
-    std::env::var("RESTUNE_BATCH")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .map_or(DEFAULT_BATCH, |n| n.min(MAX_BATCH))
+    match std::env::var("RESTUNE_BATCH") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n.min(MAX_BATCH),
+            _ => {
+                use std::sync::atomic::{AtomicBool, Ordering};
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "restune: invalid RESTUNE_BATCH='{raw}' (need a positive integer); \
+                         using the default batch of {DEFAULT_BATCH}"
+                    );
+                }
+                DEFAULT_BATCH
+            }
+        },
+        Err(_) => DEFAULT_BATCH,
+    }
 }
 
 /// `false` when `RESTUNE_KERNEL` is `off`/`0` — the escape hatch that
@@ -348,13 +365,22 @@ mod tests {
 
     #[test]
     fn batch_size_defaults_and_parses() {
-        // Whatever the ambient env, the parse contract holds: positive
-        // integers are honored, everything else falls back to the default.
-        match std::env::var("RESTUNE_BATCH") {
-            Ok(v) if v.parse::<usize>().map(|n| n > 0).unwrap_or(false) => {
-                assert_eq!(batch_size(), v.parse::<usize>().unwrap().min(1 << 20));
-            }
-            _ => assert_eq!(batch_size(), DEFAULT_BATCH),
+        use crate::testenv::with_env;
+        // Positive integers are honored (clamped to the bound), everything
+        // else warns once and falls back to the default — the same contract
+        // as RESTUNE_WORKERS.
+        let cases: [(Option<&str>, usize); 7] = [
+            (None, DEFAULT_BATCH),
+            (Some("7"), 7),
+            (Some(" 512 "), 512),
+            (Some("9999999999"), MAX_BATCH),
+            (Some("0"), DEFAULT_BATCH),
+            (Some("huge"), DEFAULT_BATCH),
+            (Some("-1"), DEFAULT_BATCH),
+        ];
+        for (value, expected) in cases {
+            let got = with_env(&[("RESTUNE_BATCH", value)], batch_size);
+            assert_eq!(got, expected, "RESTUNE_BATCH={value:?}");
         }
     }
 }

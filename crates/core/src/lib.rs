@@ -61,10 +61,13 @@ pub mod detector;
 pub mod engine;
 pub mod experiment;
 pub mod fault;
+pub mod isolation;
 pub mod kernel;
 pub mod metrics;
 pub mod response;
 pub mod sim;
+pub mod testenv;
+mod wire;
 
 pub use analysis::{analyze, GuaranteeReport};
 pub use baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
@@ -76,6 +79,9 @@ pub use engine::{
 };
 pub use fault::{
     AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, StorageFault, StorageIncident,
+};
+pub use isolation::{
+    install_signal_handlers, isolation_mode, maybe_run_worker, shutdown_requested, IsolationMode,
 };
 pub use kernel::{run_on_path, run_with_batch, EnginePath};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};

@@ -1,0 +1,98 @@
+//! A process-global environment-variable lock for tests.
+//!
+//! `std::env::set_var` mutates process-wide state; two tests touching any
+//! environment variable under the parallel test runner race — one test's
+//! `remove_var` can land in the middle of another's set/read/restore
+//! window. Every test (unit or integration) that mutates the environment
+//! must go through [`with_env`], which serializes the mutation on one
+//! global mutex and restores the previous values afterwards, even on
+//! panic.
+//!
+//! This module is part of the public API only so integration tests can
+//! reach it; it is not meant for production code, which should treat the
+//! environment as read-only.
+
+use std::sync::{Mutex, PoisonError};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the saved environment on drop, so a panicking closure cannot
+/// leak its mutations into the next test.
+struct Restore {
+    saved: Vec<(String, Option<String>)>,
+}
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        for (key, value) in &self.saved {
+            match value {
+                Some(v) => std::env::set_var(key, v),
+                None => std::env::remove_var(key),
+            }
+        }
+    }
+}
+
+/// Runs `f` with the given environment overrides (`Some` sets, `None`
+/// unsets), holding the global environment lock for the whole call and
+/// restoring the previous values afterwards — panic-safe.
+pub fn with_env<R>(vars: &[(&str, Option<&str>)], f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let _restore = Restore {
+        saved: vars
+            .iter()
+            .map(|(key, _)| ((*key).to_string(), std::env::var(key).ok()))
+            .collect(),
+    };
+    for (key, value) in vars {
+        match value {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+    }
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_env_sets_unsets_and_restores() {
+        std::env::set_var("RESTUNE_TESTENV_PROBE", "outer");
+        with_env(
+            &[
+                ("RESTUNE_TESTENV_PROBE", Some("inner")),
+                ("RESTUNE_TESTENV_ABSENT", None),
+            ],
+            || {
+                assert_eq!(
+                    std::env::var("RESTUNE_TESTENV_PROBE").as_deref(),
+                    Ok("inner")
+                );
+                assert!(std::env::var("RESTUNE_TESTENV_ABSENT").is_err());
+            },
+        );
+        assert_eq!(
+            std::env::var("RESTUNE_TESTENV_PROBE").as_deref(),
+            Ok("outer")
+        );
+        std::env::remove_var("RESTUNE_TESTENV_PROBE");
+    }
+
+    #[test]
+    fn with_env_restores_after_a_panic() {
+        std::env::set_var("RESTUNE_TESTENV_PANIC", "before");
+        let result = std::panic::catch_unwind(|| {
+            with_env(&[("RESTUNE_TESTENV_PANIC", Some("during"))], || {
+                panic!("boom")
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(
+            std::env::var("RESTUNE_TESTENV_PANIC").as_deref(),
+            Ok("before")
+        );
+        std::env::remove_var("RESTUNE_TESTENV_PANIC");
+    }
+}

@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use restune::engine::{
-    base_fingerprint, checkpoint_path, load_baseline, run_suite_supervised, save_baseline,
-    suite_fingerprint, try_run_suite,
+    append_checkpoint, base_fingerprint, checkpoint_path, load_baseline, load_checkpoint,
+    run_suite_supervised, save_baseline, suite_fingerprint, try_run_suite,
 };
 use restune::{FailureKind, FaultPlan, FaultSpec, SimConfig, SupervisorConfig, Technique};
 use workloads::spec2k;
@@ -215,16 +215,17 @@ fn checkpoint_resumes_bit_exactly_across_kernel_batch_sizes() {
     let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
 
     // Interrupt a run at a tiny batch size, leaving its checkpoint behind.
-    std::env::set_var("RESTUNE_BATCH", "7");
     let crash_plan = FaultPlan::none().with_persistent_fault(APPS[1], FaultSpec::WorkerPanic);
-    let interrupted = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &crash_plan);
+    let interrupted = restune::testenv::with_env(&[("RESTUNE_BATCH", Some("7"))], || {
+        run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &crash_plan)
+    });
     assert_eq!(interrupted.completed(), 2);
 
     // Resume at a very different batch size: the checkpoint is found (the
     // fingerprint never saw the batch length) and the completed apps replay.
-    std::env::set_var("RESTUNE_BATCH", "1019");
-    let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none());
-    std::env::remove_var("RESTUNE_BATCH");
+    let resumed = restune::testenv::with_env(&[("RESTUNE_BATCH", Some("1019"))], || {
+        run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none())
+    });
 
     assert_eq!(
         resumed.all_results().expect("resume completes the suite"),
@@ -273,4 +274,180 @@ fn corrupt_recorded_baselines_are_discarded_not_trusted() {
         assert!(loaded.is_none(), "{label} baseline must not be trusted");
         assert!(!path.exists(), "{label} baseline must be deleted");
     }
+}
+
+#[test]
+fn torn_checkpoints_recover_at_row_granularity() {
+    // Crash-consistency contract: a checkpoint damaged mid-write loses at
+    // most the rows that were actually damaged. A row whose CRC no longer
+    // verifies is skipped (only that app re-runs); a structurally torn tail
+    // is truncated (the intact prefix replays).
+    let profiles = profiles();
+    let sim = SimConfig::isca04(25_000);
+    let dir = std::env::temp_dir().join(format!("restune-ft-torn-{}", std::process::id()));
+    let sup = SupervisorConfig {
+        resume: true,
+        checkpoint_dir: Some(dir.clone()),
+        max_retries: 0,
+        ..fast_retries()
+    };
+
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+    let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+    let path = checkpoint_path(&sup, fp);
+    for (idx, result) in reference.results.iter().enumerate() {
+        append_checkpoint(&path, fp, idx, result).expect("checkpoint writes");
+    }
+
+    // Damage the file the way a crash would: flip a CRC digit on the middle
+    // row, and leave a half-written row dangling at the tail.
+    let text = std::fs::read_to_string(&path).expect("checkpoint reads back");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    assert_eq!(lines.len(), 4, "header plus one row per app");
+    let flipped = match lines[2].pop().expect("row is nonempty") {
+        '0' => '1',
+        _ => '0',
+    };
+    lines[2].push(flipped);
+    let torn = lines[3][..lines[3].len() / 2].to_string();
+    lines.push(torn);
+    std::fs::write(&path, lines.join("\n")).expect("damage lands");
+
+    // Row-granular recovery: rows 0 and 2 survive, the damaged row 1 does
+    // not, and the torn tail never reaches the parser.
+    let rows = load_checkpoint(&path, fp, &profiles);
+    assert_eq!(
+        rows.iter().map(|(idx, _)| *idx).collect::<Vec<_>>(),
+        vec![0, 2],
+        "only the intact rows may be trusted"
+    );
+    assert_eq!(rows[0].1, reference.results[0]);
+    assert_eq!(rows[1].1, reference.results[2]);
+
+    // A resumed suite replays exactly those rows and re-runs the damaged
+    // one, landing bit-identical to the uninterrupted reference.
+    let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none());
+    assert_eq!(
+        resumed.all_results().expect("resume completes the suite"),
+        reference.results
+    );
+    let replayed: Vec<bool> = resumed
+        .metrics
+        .iter()
+        .map(|m| m.expect("all apps have metrics").replayed)
+        .collect();
+    assert_eq!(
+        replayed,
+        vec![true, false, true],
+        "intact rows replay; the damaged row re-simulates"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Not a real test: the process-isolation tests below re-exec this test
+/// binary with `worker_shim --exact` as its arguments, turning the libtest
+/// run into a restune worker. Without the env gate it is a no-op, so a
+/// normal `cargo test` sails through it.
+#[test]
+fn worker_shim() {
+    if std::env::var("RESTUNE_WORKER_SHIM").as_deref() != Ok("1") {
+        return;
+    }
+    std::process::exit(restune::isolation::serve_worker(None, None));
+}
+
+/// Environment under which the engine spawns `worker_shim` child processes
+/// of this very test binary as its process-isolation tier.
+fn with_process_isolation<R>(f: impl FnOnce() -> R) -> R {
+    restune::testenv::with_env(
+        &[
+            ("RESTUNE_ISOLATION", Some("process")),
+            ("RESTUNE_WORKER_ARGV", Some("worker_shim --exact")),
+            ("RESTUNE_WORKER_SHIM", Some("1")),
+        ],
+        f,
+    )
+}
+
+#[test]
+fn process_isolated_suite_is_bit_exact() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(20_000);
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+
+    let sup = SupervisorConfig {
+        timeout: Some(Duration::from_secs(120)),
+        ..fast_retries()
+    };
+    let isolated = with_process_isolation(|| {
+        run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none())
+    });
+
+    assert!(isolated.report.is_clean(), "no failures expected");
+    assert_eq!(
+        isolated.all_results().expect("every worker replies"),
+        reference.results,
+        "results crossing the wire must be bit-identical to in-process runs"
+    );
+}
+
+#[test]
+fn hard_crashes_are_contained_by_process_isolation() {
+    let profiles = profiles();
+    let sim = SimConfig::isca04(20_000);
+    let dir = std::env::temp_dir().join(format!("restune-ft-crash-{}", std::process::id()));
+    let sup = SupervisorConfig {
+        resume: true,
+        checkpoint_dir: Some(dir.clone()),
+        max_retries: 0,
+        timeout: Some(Duration::from_secs(120)),
+        ..fast_retries()
+    };
+
+    // One worker aborts, one SIGKILLs itself. In-process either would take
+    // the whole suite down; the process tier must contain both to their
+    // slots while the remaining app completes.
+    let plan = FaultPlan::none()
+        .with_persistent_fault(APPS[0], FaultSpec::WorkerAbort)
+        .with_persistent_fault(APPS[2], FaultSpec::WorkerKill);
+    let crashed = with_process_isolation(|| {
+        run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan)
+    });
+
+    assert_eq!(crashed.completed(), 1, "the un-faulted app still completes");
+    assert!(crashed.outcomes[1].is_ok());
+    let aborted = crashed.outcomes[0].as_ref().expect_err("abort is fatal");
+    assert_eq!(aborted.kind, FailureKind::Crash);
+    let killed = crashed.outcomes[2].as_ref().expect_err("SIGKILL is fatal");
+    assert_eq!(killed.kind, FailureKind::Crash);
+    assert!(
+        killed.message.contains("signal"),
+        "a killed worker must be classified from its signal, got: {}",
+        killed.message
+    );
+
+    // The crash never reaches the checkpoint: a clean resume replays the
+    // completed app, re-runs the crashed ones, and matches an uninterrupted
+    // reference bit-for-bit.
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+    let resumed = with_process_isolation(|| {
+        run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none())
+    });
+    assert_eq!(
+        resumed.all_results().expect("resume completes the suite"),
+        reference.results
+    );
+    let replayed: Vec<bool> = resumed
+        .metrics
+        .iter()
+        .map(|m| m.expect("all apps have metrics").replayed)
+        .collect();
+    assert_eq!(
+        replayed,
+        vec![false, true, false],
+        "the completed app replays; the crashed ones re-simulate"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
