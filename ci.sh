@@ -70,6 +70,39 @@ assert resumed["suite_check"] == reference["suite_check"], \
 print(f"chaos ok: {len(failed)} contained crashes, {replays} replayed rows")
 EOF
 
+echo "==> trace smoke (traced suite bit-identical, schema-valid, windows present)"
+# A traced run must be pure observation: the "suite_check" section (the
+# deterministic simulation results) must be bit-identical to an untraced
+# reference. run_metrics wall-time fields differ between ANY two runs, so
+# the comparison targets the simulation section only. The trace itself must
+# pass trace_report --check (the schema gate) and carry waveform windows —
+# at this budget the base machine violates, so windows are guaranteed.
+trace_dir=$(mktemp -d)
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --timeout 60 --json \
+    --trace-out "$trace_dir/trace.jsonl" > "$trace_dir/traced.json"
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --timeout 60 --json \
+    > "$trace_dir/reference.json"
+./target/release/trace_report --check "$trace_dir/trace.jsonl" > /dev/null
+python3 - "$trace_dir/traced.json" "$trace_dir/reference.json" "$trace_dir/trace.jsonl" <<'EOF'
+import json, sys
+traced, reference = (json.load(open(p)) for p in sys.argv[1:3])
+assert traced["suite_check"] == reference["suite_check"], \
+    "tracing changed simulation results"
+kinds = set()
+with open(sys.argv[3]) as f:
+    lines = [json.loads(l) for l in f if l.strip()]
+assert lines, "traced run emitted no events"
+kinds = {l["kind"] for l in lines}
+for k in ("suite-start", "run-start", "violation", "waveform", "run-end",
+          "suite-end", "counter"):
+    assert k in kinds, f"trace missing {k!r} events: {sorted(kinds)}"
+windows = [l for l in lines if l["kind"] == "waveform"]
+assert all(l["samples"] for l in windows), "empty waveform window"
+print(f"trace ok: {len(lines)} events, {len(windows)} waveform windows")
+EOF
+
 echo "==> kernel bench smoke (--test mode + BENCH_kernel.json schema)"
 # The kernel bench in --test mode runs each benchmark body once on shrunk
 # workloads and still writes its JSON document (to a scratch path here, so

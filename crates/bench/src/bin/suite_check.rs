@@ -19,6 +19,7 @@ use workloads::spec2k;
 fn main() {
     let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
+    let _trace = bench::init_trace(&args);
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
     let tun = Technique::Tuning(TuningConfig::isca04_table1(100));

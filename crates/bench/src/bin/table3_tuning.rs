@@ -51,6 +51,7 @@ fn summary_report(rows: &[Table3Row]) -> (Report, Report) {
 fn main() {
     let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
+    let _trace = bench::init_trace(&args);
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
     let response_times = [75, 100, 125, 150, 200];

@@ -12,6 +12,7 @@ use restune::{SensorConfig, SimConfig};
 fn main() {
     let _shutdown = bench::harness_init();
     let args = HarnessArgs::parse();
+    let _trace = bench::init_trace(&args);
     let policy = args.policy();
     let sim = SimConfig::isca04(args.instructions);
 

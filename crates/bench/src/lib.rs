@@ -14,11 +14,16 @@ pub use report::Report;
 /// The usage text every harness prints for `--help` and argument errors.
 pub const USAGE: &str =
     "usage: <harness> [--instructions N] [--json] [--faults SEED] [--fault APP=KIND]
-                 [--timeout SECS] [--resume]
+                 [--timeout SECS] [--resume] [--trace-out PATH]
   --instructions N, -n N  committed instructions per application run
                           (default 120000)
   --json                  print results as a JSON document on stdout
                           instead of human-readable tables
+  --trace-out PATH        write a structured JSON-lines event trace (cycle-
+                          stamped sim events, waveform windows around
+                          violations, engine events, counters) to PATH;
+                          equivalent to RESTUNE_TRACE=PATH. Tracing never
+                          changes simulation results.
   --faults SEED           enable deterministic fault injection from SEED
                           (off by default; clean runs are bit-exact)
   --fault APP=KIND        inject a persistent targeted fault into APP; KIND
@@ -50,6 +55,8 @@ pub struct HarnessArgs {
     pub timeout_secs: Option<f64>,
     /// Checkpoint completed applications and resume interrupted suites.
     pub resume: bool,
+    /// Write the structured JSON-lines event trace to this path.
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -61,6 +68,7 @@ impl Default for HarnessArgs {
             targeted_faults: Vec::new(),
             timeout_secs: None,
             resume: false,
+            trace_out: None,
         }
     }
 }
@@ -117,6 +125,13 @@ impl HarnessArgs {
                     parsed.targeted_faults.push(parse_fault_arg(&v)?);
                 }
                 "--resume" => parsed.resume = true,
+                "--trace-out" => {
+                    let v = iter.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    if v.is_empty() {
+                        return Err(String::from("--trace-out requires a non-empty path"));
+                    }
+                    parsed.trace_out = Some(std::path::PathBuf::from(v));
+                }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -227,6 +242,37 @@ impl Drop for ShutdownGuard {
     }
 }
 
+/// Arms structured tracing for a harness run when `--trace-out` was given
+/// (`RESTUNE_TRACE=PATH` works without any flag and is handled inside the
+/// core). Bind the returned guard for the whole of `main`: its drop emits
+/// the final counter snapshot and flushes the sink so the trace file is
+/// complete even on early returns.
+#[must_use = "bind the guard for the whole of main so the trace is flushed"]
+pub fn init_trace(args: &HarnessArgs) -> TraceGuard {
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = restune::obs::trace_to_file(path) {
+            eprintln!(
+                "error: cannot open trace file {}: {e}\n{USAGE}",
+                path.display()
+            );
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+    TraceGuard { _priv: () }
+}
+
+/// See [`init_trace`].
+#[derive(Debug)]
+pub struct TraceGuard {
+    _priv: (),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        restune::obs::finish_trace();
+    }
+}
+
 /// Renders a JSON object mapping each named section to its rows — the
 /// single document a harness prints under `--json`.
 pub fn json_document(sections: &[(&str, report::Report)]) -> String {
@@ -257,6 +303,7 @@ pub fn run_metrics_report(metrics: &[restune::RunMetrics]) -> report::Report {
         "violation_cycles",
         "first_level_fraction",
         "second_level_fraction",
+        "sensor_response_fraction",
         "detector_events",
         "base_cache_hits",
         "base_cache_misses",
@@ -277,6 +324,7 @@ pub fn run_metrics_report(metrics: &[restune::RunMetrics]) -> report::Report {
             m.violation_cycles.into(),
             m.first_level_fraction.into(),
             m.second_level_fraction.into(),
+            m.sensor_response_fraction.into(),
             m.detector_events.into(),
             m.base_cache_hits.into(),
             m.base_cache_misses.into(),
@@ -603,7 +651,14 @@ mod tests {
         assert_eq!(parse(&["--help"]), Ok(Parsed::Help));
         assert_eq!(parse(&["-h"]), Ok(Parsed::Help));
         assert!(USAGE.contains("--json"), "--help must document --json");
-        for flag in ["--faults", "--fault APP=KIND", "--timeout", "--resume"] {
+        for flag in [
+            "--faults",
+            "--fault APP=KIND",
+            "--timeout",
+            "--resume",
+            "--trace-out",
+            "RESTUNE_TRACE",
+        ] {
             assert!(USAGE.contains(flag), "--help must document {flag}");
         }
     }
@@ -674,6 +729,21 @@ mod tests {
     #[test]
     fn default_policy_is_inert() {
         assert!(HarnessArgs::default().policy().is_inert());
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        let Ok(Parsed::Args(args)) = parse(&["--trace-out", "/tmp/trace.jsonl"]) else {
+            panic!("--trace-out must parse");
+        };
+        assert_eq!(
+            args.trace_out,
+            Some(std::path::PathBuf::from("/tmp/trace.jsonl"))
+        );
+        // Tracing is an observer: it must not change the run policy.
+        assert!(args.policy().is_inert());
+        assert!(parse(&["--trace-out"]).unwrap_err().contains("requires"));
+        assert!(parse(&["--trace-out", ""]).unwrap_err().contains("path"));
     }
 
     #[test]
@@ -770,6 +840,7 @@ mod tests {
             violation_cycles: 0,
             first_level_fraction: 0.0,
             second_level_fraction: 0.0,
+            sensor_response_fraction: 0.0,
             detector_events: 0,
             base_cache_hits: 0,
             base_cache_misses: 1,

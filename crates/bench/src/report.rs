@@ -63,7 +63,7 @@ impl From<bool> for Value {
 }
 
 fn csv_escape(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -77,6 +77,7 @@ pub(crate) fn json_escape(s: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -192,16 +193,35 @@ impl Report {
     /// Writes CSV or JSON based on the path extension (`.json` → JSON,
     /// anything else → CSV).
     ///
+    /// The file appears atomically: the body is written to a sibling
+    /// temporary file, fsynced, and renamed over `path`, so a harness
+    /// killed mid-write (routine under the chaos/SIGINT paths) never
+    /// leaves a torn report behind.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
         let body = if path.extension().is_some_and(|e| e == "json") {
             self.to_json()
         } else {
             self.to_csv()
         };
-        std::fs::write(path, body)
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(body.as_bytes())?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 }
 
@@ -281,5 +301,68 @@ mod tests {
         let mut r = Report::new(&["x"]);
         r.push(vec![f64::NAN.into()]);
         assert!(r.to_json().contains("null"));
+    }
+
+    #[test]
+    fn carriage_returns_are_quoted_in_csv_and_escaped_in_json() {
+        let mut r = Report::new(&["note"]);
+        r.push(vec!["line one\r\nline two".into()]);
+        r.push(vec!["bare\rreturn".into()]);
+        let csv = r.to_csv();
+        // RFC 4180: fields containing CR must be quoted; the raw bytes
+        // survive inside the quotes.
+        assert!(csv.contains("\"line one\r\nline two\""));
+        assert!(csv.contains("\"bare\rreturn\""));
+        let json = r.to_json();
+        assert!(json.contains("line one\\r\\nline two"));
+        assert!(json.contains("bare\\rreturn"));
+        assert!(!json.contains('\r'), "raw CR must never reach JSON output");
+    }
+
+    #[test]
+    fn csv_crlf_field_round_trips_through_quoting() {
+        // A minimal RFC-4180 reader: a quoted field keeps its inner CR/LF.
+        let mut r = Report::new(&["x"]);
+        r.push(vec!["a\r\nb".into()]);
+        let csv = r.to_csv();
+        let body = csv.strip_prefix("x\n").unwrap();
+        assert_eq!(body, "\"a\r\nb\"\n");
+        let inner = body.trim_end_matches('\n');
+        let unquoted = inner
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap()
+            .replace("\"\"", "\"");
+        assert_eq!(unquoted, "a\r\nb");
+    }
+
+    #[test]
+    fn write_to_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("restune_atomic_{}", std::process::id()));
+        let path = dir.join("report.csv");
+        // Pre-existing (possibly torn) content is replaced wholesale.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "torn,partial").unwrap();
+        sample().write_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("app,"));
+        assert!(body.ends_with('\n'));
+        // No stray temporaries remain next to the target.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "report.csv")
+            .collect();
+        assert!(stray.is_empty(), "leftover temp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_to_creates_missing_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("restune_atomic_mkdir_{}", std::process::id()));
+        let path = dir.join("nested").join("report.json");
+        sample().write_to(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().starts_with('['));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -72,9 +72,12 @@ fn worker_count(jobs: usize) -> usize {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(n) if n > 0 => Some(n),
             _ => {
-                eprintln!(
-                    "restune: invalid RESTUNE_WORKERS='{raw}' (need a positive integer); \
-                     using the default worker count"
+                crate::obs::warn(
+                    "engine",
+                    &format!(
+                        "invalid RESTUNE_WORKERS='{raw}' (need a positive integer); \
+                         using the default worker count"
+                    ),
                 );
                 None
             }
@@ -224,6 +227,12 @@ fn supervise_one(
                     attempt,
                     class: spec.class(),
                 });
+                crate::obs::counter_add("engine.injections", 1);
+                crate::obs::Event::engine("fault-injected")
+                    .str_field("app", profile.name)
+                    .u64_field("attempt", u64::from(attempt))
+                    .str_field("class", spec.class())
+                    .emit();
             }
         }
         // Tier dispatch: a child process when RESTUNE_ISOLATION resolves to
@@ -259,6 +268,12 @@ fn supervise_one(
                     RunMetrics::from_instrumented(technique.name(), &inst, base_cache_stats());
                 metrics.attempts = attempt + 1;
                 if let Some((kind, message)) = last {
+                    crate::obs::counter_add("engine.recoveries", 1);
+                    crate::obs::Event::engine("recovered")
+                        .str_field("app", profile.name)
+                        .str_field("after", &format!("{kind:?}"))
+                        .u64_field("attempts", u64::from(attempt + 1))
+                        .emit();
                     report
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner)
@@ -274,12 +289,21 @@ fn supervise_one(
             }
             Err((kind, message)) => {
                 let interrupted = kind == FailureKind::Interrupted;
+                let backoff = (!interrupted && attempt < sup.max_retries)
+                    .then(|| sup.backoff_delay(attempt + 1));
+                crate::obs::counter_add("engine.attempt_failures", 1);
+                crate::obs::Event::engine("attempt-failed")
+                    .str_field("app", profile.name)
+                    .u64_field("attempt", u64::from(attempt))
+                    .str_field("kind", &format!("{kind:?}"))
+                    .u64_field("backoff_ms", backoff.unwrap_or_default().as_millis() as u64)
+                    .emit();
                 last = Some((kind, message));
                 if interrupted {
                     break; // a drained suite must not retry, only record
                 }
-                if attempt < sup.max_retries {
-                    std::thread::sleep(sup.backoff_delay(attempt + 1));
+                if let Some(delay) = backoff {
+                    std::thread::sleep(delay);
                 }
             }
         }
@@ -312,6 +336,11 @@ pub fn run_suite_supervised(
     // FaultSignal unwinds are classified control flow, not crashes; keep
     // the default hook's backtraces off stderr for them.
     crate::fault::install_signal_quieting_hook();
+    crate::obs::Event::engine("suite-start")
+        .str_field("technique", technique.name())
+        .u64_field("apps", profiles.len() as u64)
+        .u64_field("instructions", sim.instructions)
+        .emit();
     let report = Mutex::new(FailureReport::new(technique.name()));
     let slots: Vec<OnceLock<Result<(SimResult, RunMetrics), AppFailure>>> =
         profiles.iter().map(|_| OnceLock::new()).collect();
@@ -328,6 +357,11 @@ pub fn run_suite_supervised(
     if let Some((_, _, rows)) = &checkpoint {
         let stats = base_cache_stats();
         for (idx, result) in rows {
+            crate::obs::counter_add("engine.replayed", 1);
+            crate::obs::Event::engine("replayed")
+                .str_field("app", result.app)
+                .str_field("technique", technique.name())
+                .emit();
             let metrics = RunMetrics::replayed(technique.name(), result, stats);
             let _ = slots[*idx].set(Ok((*result, metrics)));
         }
@@ -370,10 +404,13 @@ pub fn run_suite_supervised(
                         // keeps the flag set.
                         if !rep.checkpoint_degraded {
                             rep.checkpoint_degraded = true;
-                            eprintln!(
-                                "restune: checkpoint append failed for {} ({e}); \
-                                 this suite will not fully resume",
-                                path.display()
+                            crate::obs::warn(
+                                "checkpoint",
+                                &format!(
+                                    "checkpoint append failed for {} ({e}); \
+                                     this suite will not fully resume",
+                                    path.display()
+                                ),
                             );
                         }
                     }
@@ -414,11 +451,18 @@ pub fn run_suite_supervised(
             let _ = std::fs::remove_file(path);
         }
     }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    crate::obs::Event::engine("suite-end")
+        .str_field("technique", technique.name())
+        .u64_field("apps", outcomes.len() as u64)
+        .u64_field("failures", report.failures.len() as u64)
+        .f64_field("wall_seconds", wall_seconds)
+        .emit();
     SupervisedSuite {
         outcomes,
         metrics,
         report,
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds,
     }
 }
 
@@ -828,7 +872,7 @@ fn parse_row(line: &str) -> Option<SimResult> {
 /// the next run doesn't trip over it again.
 fn discard_stale(path: &Path, why: &str) {
     let _ = std::fs::remove_file(path);
-    eprintln!("restune: discarded {} ({why})", path.display());
+    crate::obs::warn("cache", &format!("discarded {} ({why})", path.display()));
 }
 
 /// Loads result rows recorded by [`save_baseline`].

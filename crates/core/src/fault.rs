@@ -433,6 +433,9 @@ pub struct FaultRuntime {
     delay: Option<DelayState>,
     numeric: Option<(u64, f64)>,
     pre: Vec<PreRunFault>,
+    /// Application name for cycle-stamped fault events; `None` disables
+    /// emission (the plain entry points never set it).
+    traced_app: Option<&'static str>,
 }
 
 #[derive(Debug)]
@@ -480,6 +483,7 @@ impl FaultRuntime {
             delay: None,
             numeric: None,
             pre: Vec::new(),
+            traced_app: None,
         }
     }
 
@@ -547,12 +551,37 @@ impl FaultRuntime {
         self.inert
     }
 
+    /// Names the application for cycle-stamped fault events (observability
+    /// only; never changes what the runtime injects).
+    pub fn set_traced_app(&mut self, app: &'static str) {
+        self.traced_app = Some(app);
+    }
+
+    fn fault_event(&self, kind: &str, cycle: u64) -> crate::obs::Event {
+        crate::obs::counter_add(&format!("sim.{kind}"), 1);
+        crate::obs::Event::sim(kind, self.traced_app.unwrap_or("?"), cycle)
+    }
+
     /// Fires pre-run worker faults: stalls sleep, panics unwind with a
     /// classified [`FaultSignal`], and the hard-crash faults take the
     /// process down for real (the supervisor only lets them execute inside
     /// an isolated worker process).
     pub fn pre_run(&self) {
+        let tracing = self.traced_app.is_some() && crate::obs::trace_enabled();
         for fault in &self.pre {
+            if tracing {
+                // Emit *before* firing: the hard-crash faults never return,
+                // and the armed event is the only trace they leave. (In
+                // wire-forwarding mode even that is lost with the process —
+                // the parent's fault-armed event still records the arming.)
+                let kind = match fault {
+                    PreRunFault::Panic => "fault-panic",
+                    PreRunFault::Stall { .. } => "fault-stall",
+                    PreRunFault::Abort => "fault-abort",
+                    PreRunFault::Kill => "fault-kill",
+                };
+                self.fault_event(kind, 0).emit();
+            }
             match fault {
                 PreRunFault::Stall { millis } => {
                     std::thread::sleep(std::time::Duration::from_millis(*millis));
@@ -601,7 +630,15 @@ impl FaultRuntime {
             return amps;
         }
         match self.numeric {
-            Some((at_cycle, injected)) if cycle == at_cycle => injected,
+            Some((at_cycle, injected)) if cycle == at_cycle => {
+                if self.traced_app.is_some() && crate::obs::trace_enabled() {
+                    self.fault_event("fault-perturb", cycle)
+                        .f64_field("injected_amps", injected)
+                        .f64_field("replaced_amps", amps)
+                        .emit();
+                }
+                injected
+            }
             _ => amps,
         }
     }

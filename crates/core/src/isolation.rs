@@ -67,7 +67,7 @@ pub enum IsolationMode {
 
 fn warn_once(latch: &AtomicBool, message: &str) {
     if !latch.swap(true, Ordering::Relaxed) {
-        eprintln!("restune: {message}");
+        crate::obs::warn("isolation", message);
     }
 }
 
@@ -288,11 +288,26 @@ pub fn serve_worker(expected_app: Option<&str>, argv_fingerprint: Option<u64>) -
         }
     };
 
+    // When the parent asked for observability forwarding (it spawned us
+    // with RESTUNE_TRACE=wire), ship the buffered trace lines and the
+    // counter registry home as an obs frame ahead of the reply, so the
+    // process tier's trace matches the thread tier's.
+    let mut out = Vec::new();
+    if let Some((counters, lines)) = crate::obs::take_forwarded() {
+        if !counters.is_empty() || !lines.is_empty() {
+            out.extend_from_slice(&wire::encode_frame(
+                wire::KIND_OBS,
+                &wire::encode_obs(&counters, &lines),
+            ));
+        }
+    }
+    out.extend_from_slice(&frame);
+
     // Raw handle writes bypass libtest's output capture, so the shim test
     // can serve frames even when spawned as a captured test process.
     let mut stdout = std::io::stdout().lock();
     if stdout
-        .write_all(&frame)
+        .write_all(&out)
         .and_then(|()| stdout.flush())
         .is_err()
     {
@@ -371,6 +386,13 @@ pub(crate) fn process_attempt(
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit());
+    if crate::obs::trace_enabled() {
+        // The child buffers its events and forwards them home in an obs
+        // frame rather than opening the parent's trace file itself.
+        cmd.env("RESTUNE_TRACE", "wire");
+    } else {
+        cmd.env_remove("RESTUNE_TRACE");
+    }
 
     let mut child = match cmd.spawn() {
         Ok(c) => c,
@@ -390,6 +412,19 @@ pub(crate) fn process_attempt(
         let _ = stdin.write_all(&frame);
         let _ = stdin.flush();
     }
+
+    // Drain the child's stdout concurrently with the exit poll below. An
+    // observability frame can exceed the OS pipe buffer (waveform windows
+    // are kilobytes each), so reading only after exit would deadlock: the
+    // child blocks in write, the parent polls forever.
+    let stdout_pipe = child.stdout.take();
+    let drain = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        if let Some(mut pipe) = stdout_pipe {
+            let _ = pipe.read_to_end(&mut buf);
+        }
+        buf
+    });
 
     let hard_deadline = timeout.map(|t| Instant::now() + t + hard_kill_grace(t));
     let status = loop {
@@ -428,12 +463,30 @@ pub(crate) fn process_attempt(
         }
     };
 
-    let mut output = Vec::new();
-    if let Some(mut stdout) = child.stdout.take() {
-        let _ = stdout.read_to_end(&mut output);
+    // The child has exited, so its side of the pipe is closed and the
+    // drain thread reaches EOF promptly.
+    let output = drain.join().unwrap_or_default();
+
+    // The child may write an observability frame ahead of its reply:
+    // absorb obs frames into this process's sink/registry, then classify
+    // from the first reply frame.
+    let mut reply = None;
+    for (kind, payload) in wire::scan_frames(&output) {
+        match kind {
+            wire::KIND_OBS => {
+                if let Some((counters, lines)) = wire::decode_obs(payload) {
+                    crate::obs::counter_add("wire.obs_frames", 1);
+                    crate::obs::absorb_forwarded(&counters, &lines);
+                }
+            }
+            wire::KIND_RESULT | wire::KIND_FAILURE if reply.is_none() => {
+                reply = Some((kind, payload));
+            }
+            _ => {}
+        }
     }
 
-    Some(match wire::scan_frame(&output) {
+    Some(match reply {
         Some((wire::KIND_RESULT, payload)) => match wire::decode_result(payload) {
             Some(inst) if inst.result.app == profile.name => Ok(inst),
             Some(inst) => Err((

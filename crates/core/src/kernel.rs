@@ -68,9 +68,12 @@ pub fn batch_size() -> usize {
                 use std::sync::atomic::{AtomicBool, Ordering};
                 static WARNED: AtomicBool = AtomicBool::new(false);
                 if !WARNED.swap(true, Ordering::Relaxed) {
-                    eprintln!(
-                        "restune: invalid RESTUNE_BATCH='{raw}' (need a positive integer); \
-                         using the default batch of {DEFAULT_BATCH}"
+                    crate::obs::warn(
+                        "kernel",
+                        &format!(
+                            "invalid RESTUNE_BATCH='{raw}' (need a positive integer); \
+                             using the default batch of {DEFAULT_BATCH}"
+                        ),
                     );
                 }
                 DEFAULT_BATCH

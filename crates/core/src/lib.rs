@@ -64,6 +64,7 @@ pub mod fault;
 pub mod isolation;
 pub mod kernel;
 pub mod metrics;
+pub mod obs;
 pub mod response;
 pub mod sim;
 pub mod testenv;
@@ -85,6 +86,7 @@ pub use isolation::{
 };
 pub use kernel::{run_on_path, run_with_batch, EnginePath};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
+pub use obs::{CycleTracer, Event, JsonValue, TraceBuffer, TraceSink};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
 pub use sim::{
     run, run_instrumented, run_observed, run_supervised, CycleRecord, InstrumentedRun,

@@ -87,6 +87,9 @@ pub struct RunMetrics {
     pub first_level_fraction: f64,
     /// Fraction of cycles in the second-level tuning response.
     pub second_level_fraction: f64,
+    /// Fraction of cycles in the sensor technique's throttled response
+    /// (0 for other techniques).
+    pub sensor_response_fraction: f64,
     /// Resonant events the tuning detector raised (0 for other techniques).
     pub detector_events: u64,
     /// Process-wide base-suite cache hits when this row was built.
@@ -130,6 +133,7 @@ impl RunMetrics {
             violation_cycles: run.result.violation_cycles,
             first_level_fraction: run.result.first_level_fraction(),
             second_level_fraction: run.result.second_level_fraction(),
+            sensor_response_fraction: run.result.sensor_response_fraction(),
             detector_events: run.detector_events,
             base_cache_hits: cache.hits,
             base_cache_misses: cache.misses,
@@ -156,6 +160,7 @@ impl RunMetrics {
             violation_cycles: result.violation_cycles,
             first_level_fraction: result.first_level_fraction(),
             second_level_fraction: result.second_level_fraction(),
+            sensor_response_fraction: result.sensor_response_fraction(),
             detector_events: 0,
             base_cache_hits: cache.hits,
             base_cache_misses: cache.misses,
@@ -304,14 +309,17 @@ mod tests {
             sampled_cycles: 16,
             ..Default::default()
         };
+        let mut sim_result = result("gzip", 2_000, 1.0);
+        sim_result.sensor_response_cycles = 200;
         let run = InstrumentedRun {
-            result: result("gzip", 2_000, 1.0),
+            result: sim_result,
             detector_events: 3,
             phases,
             wall: Duration::from_millis(500),
         };
         let m = RunMetrics::from_instrumented("base", &run, CacheStats { hits: 2, misses: 1 });
         assert_eq!(m.app, "gzip");
+        assert!((m.sensor_response_fraction - 0.1).abs() < 1e-12);
         assert!((m.sim_cycles_per_second - 4_000.0).abs() < 1e-6);
         assert!((m.phase_cpu_seconds - 0.010).abs() < 1e-9);
         assert_eq!(m.detector_events, 3);

@@ -531,7 +531,15 @@ pub fn run_supervised(
     specs: &[FaultSpec],
     deadline: Option<Instant>,
 ) -> InstrumentedRun {
+    // Observability: the tracer is a read-only observer over per-cycle
+    // records the loop computes anyway, so a traced run stays bit-identical
+    // to an untraced one. When tracing is off it is dormant and the
+    // observer closure reduces to one branch per cycle.
+    let mut tracer =
+        crate::obs::CycleTracer::new(profile.name, technique.name(), sim.supply.noise_margin());
+    crate::obs::note_armed_faults(profile.name, specs);
     let mut faults = FaultRuntime::from_specs(specs, sense_scale(technique, sim));
+    faults.set_traced_app(profile.name);
     faults.pre_run();
     let mut phases = PhaseTimings::default();
     let start = Instant::now();
@@ -539,11 +547,21 @@ pub fn run_supervised(
         profile,
         technique,
         sim,
-        |_| {},
+        |rec| tracer.observe(rec),
         Some(&mut phases),
         &mut faults,
         deadline,
     );
+    tracer.finish();
+    if crate::obs::trace_enabled() {
+        crate::obs::Event::sim("run-end", profile.name, result.cycles)
+            .str_field("technique", technique.name())
+            .u64_field("committed", result.committed)
+            .u64_field("violation_cycles", result.violation_cycles)
+            .u64_field("detector_events", detector_events)
+            .f64_field("wall_seconds", start.elapsed().as_secs_f64())
+            .emit();
+    }
     InstrumentedRun {
         result,
         detector_events,

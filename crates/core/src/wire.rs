@@ -38,6 +38,9 @@ pub(crate) const VERSION: u8 = 1;
 pub(crate) const KIND_JOB: u8 = 1;
 pub(crate) const KIND_RESULT: u8 = 2;
 pub(crate) const KIND_FAILURE: u8 = 3;
+/// Observability forwarding: a worker's counters and buffered trace lines,
+/// written before its reply so the parent can splice them into its own sink.
+pub(crate) const KIND_OBS: u8 = 4;
 
 const CRC_TABLE: [u32; 256] = crc32_table();
 
@@ -192,7 +195,26 @@ pub(crate) fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
 /// buffer, CRC mismatch), or an unrelated `RSTF` in the noise just moves the
 /// scan forward; `None` means no intact frame anywhere.
 pub(crate) fn scan_frame(bytes: &[u8]) -> Option<(u8, &[u8])> {
+    scan_frame_from(bytes, 0).map(|(kind, payload, _)| (kind, payload))
+}
+
+/// Collects every intact frame in `bytes`, in order. A worker's stdout may
+/// carry an observability frame before the reply frame; the parent consumes
+/// both from one buffered read.
+pub(crate) fn scan_frames(bytes: &[u8]) -> Vec<(u8, &[u8])> {
+    let mut frames = Vec::new();
     let mut start = 0usize;
+    while let Some((kind, payload, next)) = scan_frame_from(bytes, start) {
+        frames.push((kind, payload));
+        start = next;
+    }
+    frames
+}
+
+/// The scan behind [`scan_frame`] / [`scan_frames`]: the first intact frame
+/// at or after byte `start`, plus the offset just past it (so a multi-frame
+/// scan resumes after the payload instead of re-matching magic inside it).
+fn scan_frame_from(bytes: &[u8], mut start: usize) -> Option<(u8, &[u8], usize)> {
     while start + 14 <= bytes.len() {
         let offset = bytes[start..]
             .windows(4)
@@ -222,7 +244,7 @@ pub(crate) fn scan_frame(bytes: &[u8]) -> Option<(u8, &[u8])> {
         };
         let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
         if crc == crc32(payload) {
-            return Some((kind, payload));
+            return Some((kind, payload, body + len + 4));
         }
     }
     None
@@ -562,6 +584,54 @@ pub(crate) fn decode_failure(payload: &[u8]) -> Option<(FailureKind, String)> {
     Some((kind, message))
 }
 
+/// Cap on forwarded counters; far above anything the registry produces.
+const MAX_OBS_COUNTERS: usize = 4_096;
+/// Cap on forwarded trace lines; the per-run waveform cap bounds real
+/// traffic well below this.
+const MAX_OBS_LINES: usize = 65_536;
+
+/// Encodes a worker's observability payload: its counter snapshot and the
+/// trace lines buffered by the `wire` forwarding sink.
+pub(crate) fn encode_obs(counters: &[(String, u64)], lines: &[String]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(counters.len() as u32);
+    for (name, value) in counters {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+    w.put_u32(lines.len() as u32);
+    for line in lines {
+        w.put_str(line);
+    }
+    w.into_bytes()
+}
+
+/// Decodes an observability payload.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_obs(payload: &[u8]) -> Option<(Vec<(String, u64)>, Vec<String>)> {
+    let mut r = Reader::new(payload);
+    let counter_count = r.take_u32()? as usize;
+    if counter_count > MAX_OBS_COUNTERS {
+        return None;
+    }
+    let mut counters = Vec::with_capacity(counter_count);
+    for _ in 0..counter_count {
+        let name = r.take_str()?.to_string();
+        let value = r.take_u64()?;
+        counters.push((name, value));
+    }
+    let line_count = r.take_u32()? as usize;
+    if line_count > MAX_OBS_LINES {
+        return None;
+    }
+    let mut lines = Vec::with_capacity(line_count);
+    for _ in 0..line_count {
+        lines.push(r.take_str()?.to_string());
+    }
+    r.done()?;
+    Some((counters, lines))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +764,58 @@ mod tests {
         assert_eq!(decoded.detector_events, inst.detector_events);
         assert_eq!(decoded.phases, inst.phases);
         assert_eq!(decoded.wall, inst.wall);
+    }
+
+    #[test]
+    fn obs_payload_round_trips_and_rejects_garbage() {
+        let counters = vec![
+            ("sim.detector_fires".to_string(), 12),
+            ("warn.batch".to_string(), 1),
+        ];
+        let lines = vec![
+            r#"{"kind":"violation","app":"swim","cycle":150123}"#.to_string(),
+            r#"{"kind":"warn","wall":0.25,"message":"x"}"#.to_string(),
+        ];
+        let payload = encode_obs(&counters, &lines);
+        let (c, l) = decode_obs(&payload).expect("obs decodes");
+        assert_eq!(c, counters);
+        assert_eq!(l, lines);
+
+        let empty = encode_obs(&[], &[]);
+        assert_eq!(decode_obs(&empty), Some((Vec::new(), Vec::new())));
+
+        let mut torn = payload.clone();
+        torn.truncate(torn.len() - 3);
+        assert!(decode_obs(&torn).is_none(), "truncation must fail");
+        let mut trailing = payload;
+        trailing.push(0);
+        assert!(decode_obs(&trailing).is_none(), "trailing bytes must fail");
+    }
+
+    #[test]
+    fn multi_frame_streams_scan_in_order() {
+        let mut stream = b"libtest chatter ".to_vec();
+        stream.extend_from_slice(&encode_frame(KIND_OBS, &encode_obs(&[], &[])));
+        stream.extend_from_slice(b" between-frame noise RSTF fake ");
+        stream.extend_from_slice(&encode_frame(KIND_RESULT, b"reply"));
+        stream.extend_from_slice(b"\ntrailing chatter\n");
+        let frames = scan_frames(&stream);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, KIND_OBS);
+        assert_eq!(frames[1].0, KIND_RESULT);
+        assert_eq!(frames[1].1, b"reply");
+        // The single-frame scan still returns the first one.
+        assert_eq!(scan_frame(&stream).map(|(k, _)| k), Some(KIND_OBS));
+        // A payload that itself contains frame-like bytes does not derail
+        // the resume point of the multi-frame scan.
+        let inner = encode_frame(KIND_FAILURE, b"inner");
+        let outer = encode_frame(KIND_RESULT, &inner);
+        let mut doubled = outer.clone();
+        doubled.extend_from_slice(&encode_frame(KIND_OBS, b"after"));
+        let frames = scan_frames(&doubled);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], (KIND_RESULT, inner.as_slice()));
+        assert_eq!(frames[1], (KIND_OBS, b"after".as_slice()));
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub use integrator::{
 };
 pub use params::SupplyParams;
 pub use spectrum::{band_power, power_at, resonance_band_ratio};
-pub use supply::{simulate_waveform, PowerSupply, SupplyOutput, WaveformTrace};
+pub use supply::{
+    simulate_waveform, PowerSupply, SupplyOutput, WaveformRing, WaveformSample, WaveformTrace,
+};
 pub use two_stage::{step_two_stage, TwoStageParams, TwoStageState, TwoStageSupply};
 pub use units::{Amps, Cycles, Farads, Henries, Hertz, Ohms, Seconds, Volts};
 pub use waveform::{Constant, PeriodicWave, Shape, Waveform};

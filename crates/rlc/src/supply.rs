@@ -241,6 +241,93 @@ impl WaveformTrace {
     }
 }
 
+/// One tapped sample of the supply waveform: the CPU current driven into the
+/// supply during a cycle and the inductive-noise voltage it produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveformSample {
+    /// Cycle index the sample was taken at.
+    pub cycle: u64,
+    /// CPU current drawn during the cycle.
+    pub current: Amps,
+    /// End-of-cycle inductive-noise voltage.
+    pub noise: Volts,
+}
+
+/// A fixed-capacity ring buffer tapping the supply's per-cycle waveform.
+///
+/// The observability layer records every cycle's `(current, noise)` pair
+/// here so that when a noise-margin violation or detector event fires, the
+/// cycles *leading up to it* are still available and can be dumped as a
+/// compact trace window (the paper's Figure 3/4-style voltage traces).
+/// Recording is a pair of array writes — it never touches the supply state,
+/// so a tapped run is bit-exact with an untapped one.
+#[derive(Debug, Clone)]
+pub struct WaveformRing {
+    samples: Vec<WaveformSample>,
+    capacity: usize,
+    head: usize,
+}
+
+impl WaveformRing {
+    /// Creates an empty ring holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "waveform ring needs a nonzero capacity");
+        Self {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been recorded since creation/[`Self::clear`].
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Records one cycle's sample, evicting the oldest once full.
+    pub fn record(&mut self, cycle: u64, current: Amps, noise: Volts) {
+        let sample = WaveformSample {
+            cycle,
+            current,
+            noise,
+        };
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.samples[self.head] = sample;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// The held samples in chronological order (oldest first).
+    pub fn snapshot(&self) -> Vec<WaveformSample> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        out.extend_from_slice(&self.samples[self.head..]);
+        out.extend_from_slice(&self.samples[..self.head]);
+        out
+    }
+
+    /// Discards all samples; capacity is unchanged.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.head = 0;
+    }
+}
+
 /// Simulates `n` cycles of the supply driven by `wave`, starting settled at
 /// the waveform's cycle-0 current.
 pub fn simulate_waveform<W: Waveform + ?Sized>(
@@ -495,6 +582,36 @@ mod tests {
         assert_eq!(batched.cycles(), reference.cycles());
         let out = batched.try_tick(Amps::new(70.0)).expect("replayable");
         assert_eq!(out.cycle, Cycles::new(42));
+    }
+
+    #[test]
+    fn waveform_ring_keeps_the_newest_samples_in_order() {
+        let mut ring = WaveformRing::new(4);
+        assert!(ring.is_empty());
+        for c in 0..3u64 {
+            ring.record(c, Amps::new(c as f64), Volts::new(0.0));
+        }
+        assert_eq!(ring.len(), 3);
+        let cycles: Vec<u64> = ring.snapshot().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2]);
+        for c in 3..11u64 {
+            ring.record(c, Amps::new(c as f64), Volts::new(0.1));
+        }
+        assert_eq!(ring.len(), 4, "capacity bounds the ring");
+        let cycles: Vec<u64> = ring.snapshot().iter().map(|s| s.cycle).collect();
+        assert_eq!(cycles, vec![7, 8, 9, 10], "oldest evicted, order kept");
+        assert_eq!(ring.snapshot()[3].current, Amps::new(10.0));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 4);
+        ring.record(99, Amps::new(1.0), Volts::new(0.2));
+        assert_eq!(ring.snapshot()[0].cycle, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn waveform_ring_rejects_zero_capacity() {
+        let _ = WaveformRing::new(0);
     }
 
     #[test]
