@@ -100,7 +100,11 @@ for k in ("suite-start", "run-start", "violation", "waveform", "run-end",
     assert k in kinds, f"trace missing {k!r} events: {sorted(kinds)}"
 windows = [l for l in lines if l["kind"] == "waveform"]
 assert all(l["samples"] for l in windows), "empty waveform window"
-print(f"trace ok: {len(lines)} events, {len(windows)} waveform windows")
+counters = {l["name"]: l["value"] for l in lines if l["kind"] == "counter"}
+assert counters.get("engine.lane_runs", 0) > 0, \
+    f"lane pack not exercised: engine.lane_runs absent or zero in {counters}"
+print(f"trace ok: {len(lines)} events, {len(windows)} waveform windows, "
+      f"{counters['engine.lane_runs']} lane-packed runs")
 EOF
 
 echo "==> kernel bench smoke (--test mode + BENCH_kernel.json schema)"
@@ -116,9 +120,9 @@ import json, sys
 for path in sys.argv[1:]:
     with open(path) as f:
         doc = json.load(f)
-    assert doc.get("schema") == "restune-kernel-bench-v1", \
+    assert doc.get("schema") == "restune-kernel-bench-v2", \
         f"{path}: schema drift: {doc.get('schema')!r}"
-    for key in ("mode", "batch_size", "benchmarks", "table3_suite"):
+    for key in ("mode", "batch_size", "lane_width", "benchmarks", "table3_suite"):
         assert key in doc, f"{path}: missing top-level key {key!r}"
     assert doc["benchmarks"], f"{path}: no benchmark rows"
     for row in doc["benchmarks"]:
@@ -129,7 +133,9 @@ for path in sys.argv[1:]:
     for key in ("apps", "instructions_per_app",
                 "fused_wall_seconds", "fused_cycles_per_second",
                 "reference_wall_seconds", "reference_cycles_per_second",
-                "speedup_cycles_per_second"):
+                "lanes_wall_seconds", "lanes_cycles_per_second", "lane_width",
+                "speedup_cycles_per_second", "speedup_lanes_vs_fused",
+                "speedup_lanes_vs_reference"):
         assert key in suite, f"{path}: table3_suite missing {key!r}"
     print(f"{path}: schema ok ({doc['mode']} mode)")
 EOF

@@ -1,6 +1,7 @@
 //! Kernel benchmark: the fused batched engine ([`EnginePath::Fused`])
 //! against the per-cycle pre-kernel reference loop
-//! ([`EnginePath::Reference`]), on three scales:
+//! ([`EnginePath::Reference`]) and the SoA lane pack
+//! ([`restune::run_suite_lanes`]), on three scales:
 //!
 //! * **hot loop** — one base-machine run, reported as ns/cycle of the
 //!   controller → CPU → power → supply chain;
@@ -8,24 +9,33 @@
 //!   cycles/second;
 //! * **table3 suite** — the Table 3 workload shape (every SPEC2K app under
 //!   the base machine and the 100-cycle tuning point), reported as suite
-//!   wall time and aggregate cycles/second.
+//!   wall time and aggregate cycles/second. The suite is where the lane
+//!   pack applies (it packs same-config runs), so it is measured on all
+//!   three paths — with the passes *alternated* round-robin rather than
+//!   timed back-to-back, so slow VM drift hits every path equally instead
+//!   of biasing whichever ran last.
 //!
 //! Besides the criterion output, the harness writes a machine-readable
 //! `BENCH_kernel.json` (at the repository root, or wherever
-//! `RESTUNE_BENCH_OUT` points) with every measurement and the fused-vs-
-//! reference suite speedup. Under `--test` the benchmark bodies run once on
-//! shrunk workloads and the JSON is still produced from a single timed
-//! pass, so CI can validate the schema cheaply.
+//! `RESTUNE_BENCH_OUT` points) with every measurement, the fused-vs-
+//! reference suite speedup, and the lanes-vs-fused / lanes-vs-reference
+//! suite speedups. Under `--test` the benchmark bodies run once on shrunk
+//! workloads and the JSON is still produced from a single timed pass, so CI
+//! can validate the schema cheaply.
 
 use std::time::Instant;
 
 use criterion::{black_box, BenchmarkGroup, Criterion, Throughput};
-use restune::{run_on_path, EnginePath, SimConfig, Technique, TuningConfig};
+use restune::{
+    lane_count, run_on_path, run_suite_lanes, EnginePath, SimConfig, Technique, TuningConfig,
+};
 use workloads::{spec2k, WorkloadProfile};
 
 /// Instructions per run at full measurement scale.
 const FULL_SINGLE: u64 = 40_000;
 const FULL_SUITE: u64 = 20_000;
+/// Alternating suite passes per path at full measurement scale.
+const FULL_ROUNDS: usize = 5;
 /// Instructions per run in `--test` (smoke) mode.
 const SMOKE_SINGLE: u64 = 2_000;
 const SMOKE_SUITE: u64 = 1_000;
@@ -41,7 +51,7 @@ struct RunSpec {
 /// One benchmark point, fully measured: a workload set on one engine path.
 struct Point {
     name: &'static str,
-    path: EnginePath,
+    path: &'static str,
     instructions_per_run: u64,
     runs: usize,
     cycles: u64,
@@ -100,12 +110,47 @@ fn bench_point(
     };
     Point {
         name,
-        path,
+        path: path_label(path),
         instructions_per_run: sim.instructions,
         runs: set.len(),
         cycles,
         wall_seconds,
     }
+}
+
+/// Measures several suite runners with round-robin alternation: one warm-up
+/// pass per runner (which also fixes the deterministic cycle count), then
+/// `rounds` rounds that each time one full pass of every runner in turn.
+/// Reported wall time is the per-pass mean.
+fn measure_alternating(
+    name: &'static str,
+    instructions_per_run: u64,
+    runs: usize,
+    rounds: usize,
+    runners: &[(&'static str, &dyn Fn() -> u64)],
+) -> Vec<Point> {
+    let cycles: Vec<u64> = runners.iter().map(|(_, r)| black_box(r())).collect();
+    let mut walls = vec![0.0f64; runners.len()];
+    for _ in 0..rounds {
+        for (k, (_, r)) in runners.iter().enumerate() {
+            let t0 = Instant::now();
+            black_box(r());
+            walls[k] += t0.elapsed().as_secs_f64();
+        }
+    }
+    runners
+        .iter()
+        .zip(cycles)
+        .zip(walls)
+        .map(|(((label, _), cycles), wall)| Point {
+            name,
+            path: label,
+            instructions_per_run,
+            runs,
+            cycles,
+            wall_seconds: wall / rounds as f64,
+        })
+        .collect()
 }
 
 fn single(app: &str, technique: Technique) -> Vec<RunSpec> {
@@ -148,7 +193,7 @@ fn json_point(p: &Point) -> String {
          \"runs\": {}, \"cycles\": {}, \"wall_seconds\": {}, \
          \"ns_per_cycle\": {}, \"cycles_per_second\": {}}}",
         p.name,
-        path_label(p.path),
+        p.path,
         p.instructions_per_run,
         p.runs,
         p.cycles,
@@ -158,23 +203,33 @@ fn json_point(p: &Point) -> String {
     )
 }
 
-/// The whole `BENCH_kernel.json` document. Schema `restune-kernel-bench-v1`
-/// — CI validates exactly these keys, so extend rather than rename.
-fn json_document(mode: &str, points: &[Point], suite: (&Point, &Point)) -> String {
-    let (fused, reference) = suite;
+/// The whole `BENCH_kernel.json` document. Schema `restune-kernel-bench-v2`
+/// — a strict superset of v1 plus the lane-pack suite measurement. CI
+/// validates exactly these keys, so extend rather than rename.
+fn json_document(mode: &str, points: &[Point], suite: (&Point, &Point, &Point)) -> String {
+    let (fused, reference, lanes) = suite;
     let speedup = fused.cycles_per_second() / reference.cycles_per_second();
+    let lanes_vs_fused = lanes.cycles_per_second() / fused.cycles_per_second();
+    let lanes_vs_reference = lanes.cycles_per_second() / reference.cycles_per_second();
     let rows: Vec<String> = points.iter().map(json_point).collect();
     format!(
-        "{{\n  \"schema\": \"restune-kernel-bench-v1\",\n  \"mode\": \"{mode}\",\n  \
-         \"batch_size\": {batch},\n  \"benchmarks\": [\n{rows}\n  ],\n  \
+        "{{\n  \"schema\": \"restune-kernel-bench-v2\",\n  \"mode\": \"{mode}\",\n  \
+         \"batch_size\": {batch},\n  \"lane_width\": {width},\n  \
+         \"benchmarks\": [\n{rows}\n  ],\n  \
          \"table3_suite\": {{\n    \"apps\": {apps},\n    \
          \"instructions_per_app\": {instr},\n    \
          \"fused_wall_seconds\": {fw},\n    \
          \"fused_cycles_per_second\": {fc},\n    \
          \"reference_wall_seconds\": {rw},\n    \
          \"reference_cycles_per_second\": {rc},\n    \
-         \"speedup_cycles_per_second\": {sp}\n  }}\n}}\n",
+         \"lanes_wall_seconds\": {lw},\n    \
+         \"lanes_cycles_per_second\": {lc},\n    \
+         \"lane_width\": {width},\n    \
+         \"speedup_cycles_per_second\": {sp},\n    \
+         \"speedup_lanes_vs_fused\": {slf},\n    \
+         \"speedup_lanes_vs_reference\": {slr}\n  }}\n}}\n",
         batch = restune::kernel::batch_size(),
+        width = lane_count(),
         rows = rows.join(",\n"),
         apps = fused.runs / 2,
         instr = fused.instructions_per_run,
@@ -182,7 +237,11 @@ fn json_document(mode: &str, points: &[Point], suite: (&Point, &Point)) -> Strin
         fc = json_f64(fused.cycles_per_second()),
         rw = json_f64(reference.wall_seconds),
         rc = json_f64(reference.cycles_per_second()),
+        lw = json_f64(lanes.wall_seconds),
+        lc = json_f64(lanes.cycles_per_second()),
         sp = json_f64(speedup),
+        slf = json_f64(lanes_vs_fused),
+        slr = json_f64(lanes_vs_reference),
     )
 }
 
@@ -196,10 +255,16 @@ fn output_path() -> std::path::PathBuf {
 
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
-    let (mode, n_single, n_suite, apps) = if test_mode {
-        ("smoke", SMOKE_SINGLE, SMOKE_SUITE, SMOKE_APPS)
+    let (mode, n_single, n_suite, apps, rounds) = if test_mode {
+        ("smoke", SMOKE_SINGLE, SMOKE_SUITE, SMOKE_APPS, 1)
     } else {
-        ("full", FULL_SINGLE, FULL_SUITE, spec2k::all().len())
+        (
+            "full",
+            FULL_SINGLE,
+            FULL_SUITE,
+            spec2k::all().len(),
+            FULL_ROUNDS,
+        )
     };
     let sim_single = SimConfig::isca04(n_single);
     let sim_suite = SimConfig::isca04(n_suite);
@@ -222,29 +287,58 @@ fn main() {
     }
     g.finish();
 
+    // The suite: the lane pack packs same-config runs, so it executes the
+    // suite as two lane groups (every app under Base, then every app under
+    // Tuning) — the same work the per-run paths do run-by-run. All three
+    // paths run single-threaded in this process; the engine parallelizes
+    // packs across workers, but that is a scheduling concern this kernel
+    // benchmark deliberately excludes.
     let suite = table3_suite(apps);
-    let mut g = criterion.benchmark_group("kernel_table3_suite");
-    g.sample_size(10);
-    let fused = bench_point(
-        &mut g,
+    let profiles: Vec<WorkloadProfile> = spec2k::all().into_iter().take(apps).collect();
+    let techniques = [
+        Technique::Base,
+        Technique::Tuning(TuningConfig::isca04_table1(100)),
+    ];
+    let lane_width = lane_count();
+    let fused_runner = || run_set(&suite, &sim_suite, EnginePath::Fused);
+    let reference_runner = || run_set(&suite, &sim_suite, EnginePath::Reference);
+    let lanes_runner = || {
+        techniques
+            .iter()
+            .map(|t| {
+                run_suite_lanes(&profiles, t, &sim_suite, lane_width)
+                    .iter()
+                    .map(|r| r.cycles)
+                    .sum::<u64>()
+            })
+            .sum()
+    };
+    let suite_points = measure_alternating(
         "table3_suite",
-        &suite,
-        &sim_suite,
-        EnginePath::Fused,
+        sim_suite.instructions,
+        suite.len(),
+        rounds,
+        &[
+            ("fused", &fused_runner),
+            ("reference", &reference_runner),
+            ("lanes", &lanes_runner),
+        ],
     );
-    let reference = bench_point(
-        &mut g,
-        "table3_suite",
-        &suite,
-        &sim_suite,
-        EnginePath::Reference,
+    let [fused, reference, lanes]: [Point; 3] = suite_points
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("three suite runners produce three points"));
+    assert_eq!(
+        fused.cycles, lanes.cycles,
+        "lane pack must simulate exactly the suite's cycles"
     );
-    g.finish();
 
     let speedup = fused.cycles_per_second() / reference.cycles_per_second();
-    let doc = json_document(mode, &points, (&fused, &reference));
+    let lanes_vs_fused = lanes.cycles_per_second() / fused.cycles_per_second();
+    let lanes_vs_reference = lanes.cycles_per_second() / reference.cycles_per_second();
+    let doc = json_document(mode, &points, (&fused, &reference, &lanes));
     points.push(fused);
     points.push(reference);
+    points.push(lanes);
     let out = output_path();
     std::fs::write(&out, doc).expect("write BENCH_kernel.json");
 
@@ -253,7 +347,7 @@ fn main() {
         println!(
             "  {:13} {:9}: {:8.1} ns/cycle, {:11.0} cycles/s ({} runs, {:.3} s)",
             p.name,
-            path_label(p.path),
+            p.path,
             p.ns_per_cycle(),
             p.cycles_per_second(),
             p.runs,
@@ -261,10 +355,15 @@ fn main() {
         );
     }
     println!(
-        "table3 suite speedup (fused vs reference): {speedup:.2}x cycles/s — wrote {}",
+        "table3 suite speedup: fused vs reference {speedup:.2}x, \
+         lanes (width {lane_width}) vs fused {lanes_vs_fused:.2}x, \
+         lanes vs reference {lanes_vs_reference:.2}x — wrote {}",
         out.display()
     );
     if mode == "full" && speedup < 2.0 {
-        eprintln!("WARNING: table3 suite speedup below the 2x target");
+        eprintln!("WARNING: table3 suite fused speedup below the 2x target");
+    }
+    if mode == "full" && lanes_vs_fused < 1.8 {
+        eprintln!("WARNING: table3 suite lane-pack speedup below the 1.8x target");
     }
 }

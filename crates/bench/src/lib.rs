@@ -523,7 +523,7 @@ pub fn downsample_extreme(series: &[f64], n: usize) -> Vec<f64> {
             series[lo..hi.max(lo + 1)]
                 .iter()
                 .cloned()
-                .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite series"))
+                .max_by(|a, b| a.abs().total_cmp(&b.abs()))
                 .expect("bucket non-empty")
         })
         .collect()

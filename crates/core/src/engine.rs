@@ -65,30 +65,16 @@ pub struct SuiteRun {
 
 /// Worker-pool width: `RESTUNE_WORKERS` when set to a positive integer,
 /// otherwise the machine's available parallelism, never more than `jobs`.
-/// A non-numeric or zero `RESTUNE_WORKERS` prints a clear error to stderr
-/// and falls back to the default rather than being silently ignored.
+/// A non-numeric or zero `RESTUNE_WORKERS` warns once per process and falls
+/// back to the default rather than being silently ignored — the shared
+/// `RESTUNE_*` knob contract of [`crate::envcfg`].
 fn worker_count(jobs: usize) -> usize {
-    let configured = match std::env::var("RESTUNE_WORKERS") {
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n > 0 => Some(n),
-            _ => {
-                crate::obs::warn(
-                    "engine",
-                    &format!(
-                        "invalid RESTUNE_WORKERS='{raw}' (need a positive integer); \
-                         using the default worker count"
-                    ),
-                );
-                None
-            }
-        },
-        Err(_) => None,
-    };
-    let hw = configured.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
+    let hw = crate::envcfg::positive_usize("RESTUNE_WORKERS", "engine", "the default worker count")
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
     hw.min(jobs).max(1)
 }
 
@@ -367,8 +353,92 @@ pub fn run_suite_supervised(
         }
     }
 
-    let next = AtomicUsize::new(0);
     let ckpt_append = Mutex::new(());
+    // Serialized crash-consistent checkpoint append with a once-per-suite
+    // degradation warning — shared by the lane phase and the worker pool.
+    let append_ckpt = |idx: usize, result: &SimResult| {
+        if let Some((path, fp, _)) = &checkpoint {
+            let _guard = ckpt_append.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = append_checkpoint(path, *fp, idx, result) {
+                let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner);
+                if !rep.checkpoint_degraded {
+                    rep.checkpoint_degraded = true;
+                    crate::obs::warn(
+                        "checkpoint",
+                        &format!(
+                            "checkpoint append failed for {} ({e}); \
+                             this suite will not fully resume",
+                            path.display()
+                        ),
+                    );
+                }
+            }
+        }
+    };
+
+    // Lane phase: faultless in-process runs advance several-at-a-time
+    // through the SoA lane packs. Only eligible work goes here — fault
+    // injection, process isolation, and the `RESTUNE_KERNEL=off` escape
+    // hatch all need the per-run machinery of the worker pool below. Lane
+    // results are bit-exact with the serial kernel, and any run a pack
+    // abandons (timeout, integration fault, shutdown) simply leaves its
+    // slot unfilled for the pool to supervise properly.
+    let lane_width = crate::lanes::lane_count();
+    let lane_eligible = lane_width > 1
+        && crate::kernel::fused_enabled()
+        && !plan.is_enabled()
+        && crate::isolation::isolation_mode() == crate::isolation::IsolationMode::Thread;
+    if lane_eligible {
+        let jobs: Vec<usize> = (0..profiles.len())
+            .filter(|&i| slots[i].get().is_none())
+            .collect();
+        if jobs.len() > 1 {
+            let next_job = AtomicUsize::new(0);
+            let packs = worker_count(jobs.len().div_ceil(lane_width));
+            std::thread::scope(|scope| {
+                for _ in 0..packs {
+                    scope.spawn(|| {
+                        let claim = || {
+                            if crate::isolation::shutdown_requested() {
+                                return None;
+                            }
+                            let j = next_job.fetch_add(1, Ordering::Relaxed);
+                            jobs.get(j).map(|&idx| (idx, &profiles[idx]))
+                        };
+                        let mut on_done = |idx: usize, inst: InstrumentedRun| {
+                            let metrics = RunMetrics::from_instrumented(
+                                technique.name(),
+                                &inst,
+                                base_cache_stats(),
+                            );
+                            crate::obs::counter_add("engine.lane_runs", 1);
+                            append_ckpt(idx, &inst.result);
+                            let stored = slots[idx].set(Ok((inst.result, metrics))).is_ok();
+                            assert!(stored, "each lane job is claimed exactly once");
+                        };
+                        // A panicking lane pack (a CPU-model bug, a poisoned
+                        // cache) must not take the suite down: unfinished
+                        // jobs fall through to the supervised pool.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            crate::lanes::run_pack(
+                                technique,
+                                sim,
+                                sup.timeout,
+                                lane_width,
+                                &claim,
+                                &mut on_done,
+                            );
+                        }));
+                        if caught.is_err() {
+                            crate::obs::counter_add("engine.lane_pack_panics", 1);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..worker_count(profiles.len()) {
             scope.spawn(|| loop {
@@ -377,7 +447,7 @@ pub fn run_suite_supervised(
                     return;
                 };
                 if slots[idx].get().is_some() {
-                    continue; // replayed from the checkpoint
+                    continue; // replayed from the checkpoint or a lane pack
                 }
                 // Graceful shutdown: once a signal arrives, stop claiming
                 // work — unclaimed apps become `interrupted` slots, the
@@ -396,24 +466,8 @@ pub fn run_suite_supervised(
                     continue;
                 }
                 let outcome = supervise_one(profile, technique, sim, sup, plan, &report);
-                if let (Ok((result, _)), Some((path, fp, _))) = (&outcome, &checkpoint) {
-                    let _guard = ckpt_append.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Err(e) = append_checkpoint(path, *fp, idx, result) {
-                        let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner);
-                        // Warn once per suite; every later failure only
-                        // keeps the flag set.
-                        if !rep.checkpoint_degraded {
-                            rep.checkpoint_degraded = true;
-                            crate::obs::warn(
-                                "checkpoint",
-                                &format!(
-                                    "checkpoint append failed for {} ({e}); \
-                                     this suite will not fully resume",
-                                    path.display()
-                                ),
-                            );
-                        }
-                    }
+                if let Ok((result, _)) = &outcome {
+                    append_ckpt(idx, result);
                 }
                 let stored = slots[idx].set(outcome).is_ok();
                 assert!(stored, "each unfilled slot is claimed exactly once");

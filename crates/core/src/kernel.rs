@@ -56,31 +56,17 @@ const MAX_BATCH: usize = 1 << 20;
 /// to a positive integer, [`DEFAULT_BATCH`] otherwise. Read per run so tests
 /// can vary it; never fingerprinted (it cannot affect results).
 ///
-/// A non-numeric or zero value is rejected with a stderr warning and falls
-/// back to the default, matching `RESTUNE_WORKERS`. The warning fires once
-/// per process — this function runs on every simulation, so a per-call
-/// warning would flood a suite.
+/// A non-numeric or zero value is rejected with a once-per-process stderr
+/// warning and falls back to the default — the shared `RESTUNE_*` knob
+/// contract of [`crate::envcfg`].
 pub fn batch_size() -> usize {
-    match std::env::var("RESTUNE_BATCH") {
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n > 0 => n.min(MAX_BATCH),
-            _ => {
-                use std::sync::atomic::{AtomicBool, Ordering};
-                static WARNED: AtomicBool = AtomicBool::new(false);
-                if !WARNED.swap(true, Ordering::Relaxed) {
-                    crate::obs::warn(
-                        "kernel",
-                        &format!(
-                            "invalid RESTUNE_BATCH='{raw}' (need a positive integer); \
-                             using the default batch of {DEFAULT_BATCH}"
-                        ),
-                    );
-                }
-                DEFAULT_BATCH
-            }
-        },
-        Err(_) => DEFAULT_BATCH,
-    }
+    crate::envcfg::positive_usize(
+        "RESTUNE_BATCH",
+        "kernel",
+        &format!("the default batch of {DEFAULT_BATCH}"),
+    )
+    .map(|n| n.min(MAX_BATCH))
+    .unwrap_or(DEFAULT_BATCH)
 }
 
 /// `false` when `RESTUNE_KERNEL` is `off`/`0` — the escape hatch that
@@ -289,13 +275,15 @@ pub(crate) fn run_fused<F: FnMut(&CycleRecord)>(
         }
 
         // Flush: one batched supply pass over the accumulated currents.
-        // Timing attributes 1/SAMPLE_INTERVAL of the flush to the supply
-        // phase — the batch analogue of timing every 64th cycle.
+        // The raw flush duration is accumulated undivided; report time
+        // scales the total down by SAMPLE_INTERVAL — the batch analogue of
+        // timing every 64th cycle, without the per-flush truncation that
+        // zeroes out sub-64ns flushes (every flush, for the sensor lane).
         noises.clear();
         let t0 = timers.as_deref_mut().map(|_| Instant::now());
         let flushed = supply.try_tick_batch(&currents, &mut noises);
         if let (Some(t0), Some(acc)) = (t0, timers.as_deref_mut()) {
-            acc.supply += t0.elapsed() / PhaseTimings::SAMPLE_INTERVAL as u32;
+            acc.supply_flush += t0.elapsed();
         }
         let completed = match &flushed {
             Ok(()) => pending.len(),

@@ -1,0 +1,536 @@
+//! Lane-parallel multi-run execution: several independent runs of the same
+//! technique advance together through one structure-of-arrays supply loop.
+//!
+//! One [`run_pack`] call owns up to [`rlc::lanes::MAX_LANES`] *lanes*, each
+//! an independent simulation (own CPU, power model, controller). Lanes
+//! advance in cache-friendly chunks — the serial portion (controller → CPU
+//! → power model) runs per lane exactly as the fused kernel's does, then
+//! one [`SupplyLanes::advance_chunks`] call integrates every lane's chunk
+//! through the shared-coefficient lockstep loop. Because each lane's own
+//! cycle order is preserved end to end, per-lane results are **bit-exact**
+//! with [`crate::kernel::run_fused`] (and therefore with the per-cycle
+//! reference loop).
+//!
+//! The pack also amortizes run setup: the cache warm-up walk
+//! ([`workloads::stream::warm_caches`]) is profile-independent, so a pack
+//! performs it once, snapshots the warmed [`cpusim::cache::CacheHierarchy`] image,
+//! and re-arms retiring lanes with [`cpusim::Cpu::reuse`] — skipping both
+//! the walk and the CPU's allocation churn for every run after the first.
+//!
+//! Lanes retire independently (drain-and-refill): a lane whose run
+//! completes delivers its result, claims the next job, and is reset in
+//! place; when no jobs remain the pack compacts retired lanes away and
+//! drains. A lane that hits an integration error or its watchdog deadline
+//! is *abandoned* — no result is delivered, and the supervised worker pool
+//! re-runs that job with its full retry/classification machinery (the
+//! simulation is deterministic, so nothing is lost but time).
+//!
+//! The lane count comes from `RESTUNE_LANES` (default [`DEFAULT_LANES`],
+//! capped at [`rlc::lanes::MAX_LANES`]) and is deliberately **not** part of
+//! [`SimConfig`]: like `RESTUNE_BATCH`, it cannot change results, so it
+//! must not enter checkpoint or baseline fingerprints — a suite
+//! checkpointed at one lane count resumes bit-exactly at another.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use cpusim::{Cpu, CycleEvents, PipelineControls};
+use powermodel::{LaneMeters, PowerModel};
+use rlc::lanes::SupplyLanes;
+use rlc::units::{Amps, Volts};
+use workloads::{shared_stream, stream::warm_caches, SharedStream, WorkloadProfile};
+
+use crate::kernel::{run_on_path, EnginePath};
+use crate::sim::{
+    effective_power_config, finish_run, Controller, CycleRecord, InstrumentedRun, PhaseTimings,
+    SimConfig, SimResult, Technique, WATCHDOG_CHECK_MASK,
+};
+
+/// Lanes per pack when `RESTUNE_LANES` is unset.
+pub const DEFAULT_LANES: usize = 8;
+
+/// The configured lane-pack width: `RESTUNE_LANES` when set to a positive
+/// integer (capped at [`rlc::lanes::MAX_LANES`]), [`DEFAULT_LANES`]
+/// otherwise. Invalid values warn once per process and fall back, the
+/// shared `RESTUNE_*` knob contract of `envcfg`. Never fingerprinted: the
+/// lane count cannot affect results.
+pub fn lane_count() -> usize {
+    crate::envcfg::positive_usize(
+        "RESTUNE_LANES",
+        "engine",
+        &format!("the default of {DEFAULT_LANES} lanes"),
+    )
+    .map(|n| n.min(rlc::lanes::MAX_LANES))
+    .unwrap_or(DEFAULT_LANES)
+}
+
+/// A simulated-but-not-yet-flushed cycle, kept only when tracing is on so
+/// the per-lane [`crate::obs::CycleTracer`] sees the same [`CycleRecord`]s
+/// a serial run would produce.
+struct Pending {
+    cycle: u64,
+    current: f64,
+    event_count: Option<u32>,
+    restricted: bool,
+    events: CycleEvents,
+}
+
+/// One lane's run in flight.
+struct Lane<'a> {
+    slot: usize,
+    profile: &'a WorkloadProfile,
+    cpu: Cpu<SharedStream>,
+    model: PowerModel,
+    controller: Controller,
+    tracer: crate::obs::CycleTracer,
+    pending: Vec<Pending>,
+    last_current: Amps,
+    last_noise: Volts,
+    last_events: CycleEvents,
+    cycles: u64,
+    damping_bound: u64,
+    deadline: Option<Instant>,
+    start: Instant,
+}
+
+/// Why a lane was dropped without delivering a result.
+enum Abandon {
+    /// The per-lane watchdog deadline expired mid-chunk.
+    Timeout,
+    /// The supply integration surfaced an error for this lane.
+    Fault,
+}
+
+impl<'a> Lane<'a> {
+    /// Arms a lane for a fresh run of `profile` in slot `slot`. `cpu` must
+    /// already be re-armed (fresh state, warmed caches).
+    #[allow(clippy::too_many_arguments)]
+    fn arm(
+        slot: usize,
+        profile: &'a WorkloadProfile,
+        cpu: Cpu<SharedStream>,
+        technique: &Technique,
+        sim: &SimConfig,
+        idle: Amps,
+        timeout: Option<Duration>,
+    ) -> Self {
+        let power_cfg = effective_power_config(technique, sim);
+        Self {
+            slot,
+            profile,
+            cpu,
+            model: PowerModel::new(power_cfg, sim.cpu),
+            controller: Controller::for_technique(technique),
+            tracer: crate::obs::CycleTracer::new(
+                profile.name,
+                technique.name(),
+                sim.supply.noise_margin(),
+            ),
+            pending: Vec::new(),
+            last_current: idle,
+            last_noise: Volts::new(0.0),
+            last_events: CycleEvents::default(),
+            cycles: 0,
+            damping_bound: 0,
+            deadline: timeout.map(|t| Instant::now() + t),
+            start: Instant::now(),
+        }
+    }
+
+    /// Re-arms this lane in place for the next job: the CPU core is reused
+    /// (keeping its allocations, restoring the shared warmed cache image),
+    /// everything else resets as [`Lane::arm`] would.
+    #[allow(clippy::too_many_arguments)]
+    fn rearm(
+        &mut self,
+        slot: usize,
+        profile: &'a WorkloadProfile,
+        warmed: &cpusim::cache::CacheHierarchy,
+        technique: &Technique,
+        sim: &SimConfig,
+        idle: Amps,
+        timeout: Option<Duration>,
+    ) {
+        self.cpu
+            .reuse(shared_stream(profile, sim.instructions), warmed);
+        self.slot = slot;
+        self.profile = profile;
+        self.model = PowerModel::new(effective_power_config(technique, sim), sim.cpu);
+        self.controller = Controller::for_technique(technique);
+        self.tracer =
+            crate::obs::CycleTracer::new(profile.name, technique.name(), sim.supply.noise_margin());
+        self.pending.clear();
+        self.last_current = idle;
+        self.last_noise = Volts::new(0.0);
+        self.last_events = CycleEvents::default();
+        self.cycles = 0;
+        self.damping_bound = 0;
+        self.deadline = timeout.map(|t| Instant::now() + t);
+        self.start = Instant::now();
+    }
+
+    /// Whether the run has reached its end condition (all requested
+    /// instructions committed, or the cycle cap).
+    fn finished(&self, sim: &SimConfig) -> bool {
+        self.cpu.stats().committed >= sim.instructions || self.cycles >= sim.max_cycles
+    }
+
+    /// The serial portion of up to `chunk_target` cycles: controller → CPU
+    /// → power model, exactly as [`crate::kernel::run_fused`]'s inner loop
+    /// runs them (fault hooks elided — the lane path only executes faultless
+    /// runs, where they are identities).
+    ///
+    /// Pushes each cycle's current into `out`; when tracing, also keeps the
+    /// matching [`Pending`] records.
+    fn advance_serial(
+        &mut self,
+        sim: &SimConfig,
+        chunk_target: usize,
+        out: &mut Vec<f64>,
+        traced: bool,
+    ) -> Result<(), Abandon> {
+        out.clear();
+        self.pending.clear();
+        while out.len() < chunk_target
+            && self.cpu.stats().committed < sim.instructions
+            && self.cycles < sim.max_cycles
+        {
+            if let Some(deadline) = self.deadline {
+                if self.cycles & WATCHDOG_CHECK_MASK == 0 && Instant::now() >= deadline {
+                    return Err(Abandon::Timeout);
+                }
+            }
+            let mut event_count = None;
+            let controls = match &mut self.controller {
+                Controller::Base => PipelineControls::free(),
+                Controller::Tuning(t) => {
+                    let c = t.tick(self.last_current.amps());
+                    event_count = t.last_event().map(|e| e.count);
+                    c
+                }
+                Controller::Sensor(s) => s.tick(self.last_noise),
+                Controller::Damping(d) => {
+                    let c = d.tick(&self.last_events);
+                    if c.phantom.is_some() {
+                        self.damping_bound += 1;
+                    }
+                    c
+                }
+            };
+            let ev = self.cpu.tick(controls);
+            let amps = self.model.current_for(&ev).amps();
+            out.push(amps);
+            if traced {
+                self.pending.push(Pending {
+                    cycle: self.cycles,
+                    current: amps,
+                    event_count,
+                    restricted: controls.is_restricted(),
+                    events: ev,
+                });
+            }
+            self.last_current = Amps::new(amps);
+            self.last_events = ev;
+            self.cycles += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Runs a stream of same-technique jobs through one lane pack, calling
+/// `on_done(slot, run)` for each retired run. `claim` hands out
+/// `(slot, profile)` pairs until the stream is dry; a lane retires, claims
+/// the next job, and is re-armed in place with the pack's shared warmed
+/// cache image.
+///
+/// Per-run results are bit-exact with the fused kernel. Runs abandoned to a
+/// timeout or integration fault simply never reach `on_done` — the caller's
+/// slot stays empty for its fallback path to fill.
+pub(crate) fn run_pack<'a>(
+    technique: &Technique,
+    sim: &SimConfig,
+    timeout: Option<Duration>,
+    lane_width: usize,
+    claim: &dyn Fn() -> Option<(usize, &'a WorkloadProfile)>,
+    on_done: &mut dyn FnMut(usize, InstrumentedRun),
+) {
+    let lane_width = lane_width.clamp(1, rlc::lanes::MAX_LANES);
+    let power_cfg = effective_power_config(technique, sim);
+    let idle = power_cfg.idle_current;
+    // The sensor technique closes its loop through the supply voltage, so
+    // its chunks degenerate to one cycle — same rule as the fused kernel's
+    // flush batch.
+    // Lane chunks run longer than the fused kernel's flush batch: every
+    // chunk switch swaps a different simulated CPU's working set (ROB, tag
+    // arrays — megabytes of randomly-touched state) into the host caches,
+    // and that refill cost is paid per switch, so longer chunks amortize it.
+    // Measured on the table3 suite, 16x the flush batch recovers most of the
+    // locality a dedicated serial run enjoys.
+    let chunk_target = if matches!(technique, Technique::Sensor(_)) {
+        1
+    } else {
+        crate::kernel::batch_size().saturating_mul(16).min(1 << 16)
+    };
+    let traced = crate::obs::trace_enabled();
+
+    // Initial claims. No jobs, no pack.
+    let mut jobs: Vec<(usize, &'a WorkloadProfile)> = Vec::with_capacity(lane_width);
+    while jobs.len() < lane_width {
+        match claim() {
+            Some(job) => jobs.push(job),
+            None => break,
+        }
+    }
+    if jobs.is_empty() {
+        return;
+    }
+
+    // One warm-up walk for the whole pack: the walk touches a fixed address
+    // layout derived from the machine config alone, so its cache image is
+    // profile-independent and every lane can start from a clone of it.
+    let mut proto = Cpu::new(sim.cpu, shared_stream(jobs[0].1, sim.instructions));
+    warm_caches(&mut proto);
+    let warmed = proto.caches().clone();
+
+    let mut lanes: Vec<Lane<'a>> = Vec::with_capacity(jobs.len());
+    let mut proto = Some(proto);
+    for &(slot, profile) in &jobs {
+        let cpu = match proto.take() {
+            // The proto core already reads lane 0's stream and carries the
+            // warmed image.
+            Some(cpu) => cpu,
+            None => {
+                let mut cpu = Cpu::new(sim.cpu, shared_stream(profile, sim.instructions));
+                cpu.reuse(shared_stream(profile, sim.instructions), &warmed);
+                cpu
+            }
+        };
+        lanes.push(Lane::arm(slot, profile, cpu, technique, sim, idle, timeout));
+    }
+
+    let mut active = lanes.len();
+    let mut supply = SupplyLanes::new(sim.supply, sim.clock, idle, lane_width);
+    let mut meters = LaneMeters::new(power_cfg.vdd, sim.clock, lane_width);
+    let mut chunks: Vec<Vec<f64>> = (0..lane_width)
+        .map(|_| Vec::with_capacity(chunk_target))
+        .collect();
+    let mut noise_bufs: Vec<Vec<f64>> = vec![Vec::new(); lane_width];
+    let mut abandoned: Vec<Option<Abandon>> = (0..lane_width).map(|_| None).collect();
+
+    while active > 0 {
+        if crate::isolation::shutdown_requested() {
+            // Abandon every in-flight run; the supervised pool marks their
+            // slots interrupted, exactly as if they had never been claimed.
+            return;
+        }
+
+        // Serial portions, one lane at a time (cache-friendly: each lane
+        // streams through its own CPU state for a whole chunk).
+        for k in 0..active {
+            let (lane, chunk) = (&mut lanes[k], &mut chunks[k]);
+            if let Err(why) = lane.advance_serial(sim, chunk_target, chunk, traced) {
+                abandoned[k] = Some(why);
+                chunk.clear();
+                lane.pending.clear();
+            }
+        }
+        // One lockstep supply pass over every lane's chunk.
+        let refs: Vec<&[f64]> = chunks[..active].iter().map(|c| c.as_slice()).collect();
+        let flush = if traced {
+            for buf in &mut noise_bufs[..active] {
+                buf.clear();
+            }
+            supply.advance_chunks_noise(&refs, &mut noise_bufs[..active])
+        } else {
+            supply.advance_chunks(&refs)
+        };
+        if let Err(faults) = flush {
+            for f in faults {
+                abandoned[f.lane] = Some(Abandon::Fault);
+            }
+        }
+        // Per-lane bookkeeping in the serial order: energy, tracing, noise
+        // feedback.
+        for k in 0..active {
+            if abandoned[k].is_some() {
+                continue;
+            }
+            let lane = &mut lanes[k];
+            meters.record_chunk(k, &chunks[k]);
+            if traced {
+                for (p, &noise) in lane.pending.iter().zip(&noise_bufs[k]) {
+                    lane.tracer.observe(&CycleRecord {
+                        cycle: p.cycle,
+                        current: Amps::new(p.current),
+                        noise: Volts::new(noise),
+                        event_count: p.event_count,
+                        restricted: p.restricted,
+                        events: p.events,
+                    });
+                }
+            }
+            lane.last_noise = supply.noise(k);
+        }
+
+        // Retire, refill, or compact. A swapped-in lane is re-examined at
+        // the same index — it too may have retired this round.
+        let mut k = 0;
+        while k < active {
+            let quit = abandoned[k].is_some();
+            if quit {
+                crate::obs::counter_add("engine.lane_abandoned", 1);
+            } else if lanes[k].finished(sim) {
+                let lane = &mut lanes[k];
+                lane.tracer.finish();
+                let (result, detector_events) = finish_run(
+                    lane.profile,
+                    lane.cycles,
+                    lane.cpu.stats().committed,
+                    lane.cpu.stats().ipc(),
+                    &supply.lane_supply(k),
+                    &meters.meter(k),
+                    &lane.controller,
+                    lane.damping_bound,
+                );
+                let wall = lane.start.elapsed();
+                if traced {
+                    crate::obs::Event::sim("run-end", lane.profile.name, result.cycles)
+                        .str_field("technique", technique.name())
+                        .u64_field("committed", result.committed)
+                        .u64_field("violation_cycles", result.violation_cycles)
+                        .u64_field("detector_events", detector_events)
+                        .f64_field("wall_seconds", wall.as_secs_f64())
+                        .emit();
+                }
+                on_done(
+                    lane.slot,
+                    InstrumentedRun {
+                        result,
+                        detector_events,
+                        phases: PhaseTimings::default(),
+                        wall,
+                    },
+                );
+            } else {
+                k += 1;
+                continue;
+            }
+            // The lane is free: refill from the job stream or compact.
+            abandoned[k] = None;
+            match claim() {
+                Some((slot, profile)) => {
+                    lanes[k].rearm(slot, profile, &warmed, technique, sim, idle, timeout);
+                    supply.reset_lane(k, idle);
+                    meters.reset_lane(k);
+                    k += 1;
+                }
+                None => {
+                    active -= 1;
+                    lanes.swap(k, active);
+                    supply.swap_lanes(k, active);
+                    meters.swap_lanes(k, active);
+                    chunks.swap(k, active);
+                    noise_bufs.swap(k, active);
+                    abandoned.swap(k, active);
+                    lanes.truncate(active);
+                }
+            }
+        }
+    }
+}
+
+/// Runs a whole suite through a single lane pack in the calling thread —
+/// the direct entry point for bit-exactness tests and benchmarks, bypassing
+/// the engine's worker pool and supervision. Results come back in suite
+/// order; a run the pack abandoned (which cannot happen without injected
+/// faults or timeouts) falls back to the serial fused kernel.
+pub fn run_suite_lanes(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+    lane_width: usize,
+) -> Vec<SimResult> {
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<SimResult>> = vec![None; profiles.len()];
+    let claim = || {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        profiles.get(i).map(|p| (i, p))
+    };
+    run_pack(
+        technique,
+        sim,
+        None,
+        lane_width,
+        &claim,
+        &mut |slot, inst| {
+            results[slot] = Some(inst.result);
+        },
+    );
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| run_on_path(&profiles[i], technique, sim, EnginePath::Fused))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TuningConfig;
+    use workloads::spec2k;
+
+    #[test]
+    fn lane_count_defaults_and_parses() {
+        use crate::testenv::with_env;
+        let cases: [(Option<&str>, usize); 7] = [
+            (None, DEFAULT_LANES),
+            (Some("2"), 2),
+            (Some(" 12 "), 12),
+            (Some("99"), rlc::lanes::MAX_LANES),
+            (Some("0"), DEFAULT_LANES),
+            (Some("many"), DEFAULT_LANES),
+            (Some("-3"), DEFAULT_LANES),
+        ];
+        for (value, expected) in cases {
+            let got = with_env(&[("RESTUNE_LANES", value)], lane_count);
+            assert_eq!(got, expected, "RESTUNE_LANES={value:?}");
+        }
+    }
+
+    #[test]
+    fn packed_suite_matches_fused_per_run() {
+        let apps = ["swim", "gcc", "mcf"];
+        let profiles: Vec<_> = apps.iter().map(|a| spec2k::by_name(a).unwrap()).collect();
+        let sim = SimConfig::isca04(20_000);
+        for technique in [
+            Technique::Base,
+            Technique::Tuning(TuningConfig::isca04_table1(100)),
+        ] {
+            let packed = run_suite_lanes(&profiles, &technique, &sim, 3);
+            for (i, p) in profiles.iter().enumerate() {
+                let serial = run_on_path(p, &technique, &sim, EnginePath::Fused);
+                assert_eq!(
+                    packed[i],
+                    serial,
+                    "lane result diverged for {} under {}",
+                    p.name,
+                    technique.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_lanes_drain_and_refill() {
+        let apps = ["swim", "gcc", "mcf", "art", "gzip"];
+        let profiles: Vec<_> = apps.iter().map(|a| spec2k::by_name(a).unwrap()).collect();
+        let sim = SimConfig::isca04(15_000);
+        let packed = run_suite_lanes(&profiles, &Technique::Base, &sim, 2);
+        for (i, p) in profiles.iter().enumerate() {
+            let serial = run_on_path(p, &Technique::Base, &sim, EnginePath::Fused);
+            assert_eq!(packed[i], serial, "refill diverged for {}", p.name);
+        }
+    }
+}

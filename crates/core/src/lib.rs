@@ -59,10 +59,12 @@ pub mod baselines;
 pub mod config;
 pub mod detector;
 pub mod engine;
+mod envcfg;
 pub mod experiment;
 pub mod fault;
 pub mod isolation;
 pub mod kernel;
+pub mod lanes;
 pub mod metrics;
 pub mod obs;
 pub mod response;
@@ -85,6 +87,7 @@ pub use isolation::{
     install_signal_handlers, isolation_mode, maybe_run_worker, shutdown_requested, IsolationMode,
 };
 pub use kernel::{run_on_path, run_with_batch, EnginePath};
+pub use lanes::{lane_count, run_suite_lanes, DEFAULT_LANES};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use obs::{CycleTracer, Event, JsonValue, TraceBuffer, TraceSink};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};

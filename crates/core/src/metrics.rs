@@ -140,7 +140,7 @@ impl RunMetrics {
             phase_controller_seconds: run.phases.controller.as_secs_f64(),
             phase_cpu_seconds: run.phases.cpu.as_secs_f64(),
             phase_power_seconds: run.phases.power.as_secs_f64(),
-            phase_supply_seconds: run.phases.supply.as_secs_f64(),
+            phase_supply_seconds: run.phases.supply_sampled().as_secs_f64(),
             replayed: false,
             attempts: 1,
         }
@@ -209,11 +209,7 @@ impl Summary {
         let mean = |f: fn(&RelativeOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
         let worst = outcomes
             .iter()
-            .max_by(|a, b| {
-                a.slowdown
-                    .partial_cmp(&b.slowdown)
-                    .expect("finite slowdowns")
-            })
+            .max_by(|a, b| a.slowdown.total_cmp(&b.slowdown))
             .expect("non-empty");
         Self {
             avg_slowdown: mean(|o| o.slowdown),

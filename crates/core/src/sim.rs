@@ -195,8 +195,16 @@ pub struct PhaseTimings {
     pub cpu: Duration,
     /// Time in the Wattch-style power model.
     pub power: Duration,
-    /// Time in the RLC supply integration.
+    /// Time in the RLC supply integration (per-cycle sampled form, used by
+    /// the reference loop).
     pub supply: Duration,
+    /// Raw (unsampled) wall time of the fused kernel's batched supply
+    /// flushes. Accumulated undivided and scaled down by
+    /// [`PhaseTimings::SAMPLE_INTERVAL`] only at report time: dividing each
+    /// flush's `elapsed()` individually truncates to whole nanoseconds per
+    /// flush, which for every-cycle-flush runs (the sensor technique)
+    /// rounds most flushes to zero and undercounts the supply phase.
+    pub supply_flush: Duration,
     /// How many cycles were sampled (each contributes to all four phases).
     pub sampled_cycles: u64,
 }
@@ -205,9 +213,17 @@ impl PhaseTimings {
     /// One cycle in this many is timed; the rest run unobserved.
     pub const SAMPLE_INTERVAL: u64 = 64;
 
+    /// The supply phase's sampled-equivalent time: the reference loop's
+    /// per-cycle samples plus the kernel's flush total scaled down by the
+    /// sampling ratio (one division over the accumulated sum, not one per
+    /// flush).
+    pub fn supply_sampled(&self) -> Duration {
+        self.supply + self.supply_flush / Self::SAMPLE_INTERVAL as u32
+    }
+
     /// Total sampled wall time across the four phases.
     pub fn total(&self) -> Duration {
-        self.controller + self.cpu + self.power + self.supply
+        self.controller + self.cpu + self.power + self.supply_sampled()
     }
 }
 

@@ -504,6 +504,7 @@ pub(crate) fn encode_result(inst: &InstrumentedRun) -> Vec<u8> {
         inst.phases.cpu,
         inst.phases.power,
         inst.phases.supply,
+        inst.phases.supply_flush,
     ] {
         w.put_u64(d.as_nanos() as u64);
     }
@@ -536,6 +537,7 @@ pub(crate) fn decode_result(payload: &[u8]) -> Option<InstrumentedRun> {
         cpu: Duration::from_nanos(r.take_u64()?),
         power: Duration::from_nanos(r.take_u64()?),
         supply: Duration::from_nanos(r.take_u64()?),
+        supply_flush: Duration::from_nanos(r.take_u64()?),
         sampled_cycles: r.take_u64()?,
     };
     let wall = Duration::from_nanos(r.take_u64()?);
@@ -755,6 +757,7 @@ mod tests {
                 cpu: Duration::from_nanos(2_002),
                 power: Duration::from_nanos(3_003),
                 supply: Duration::from_nanos(4_004),
+                supply_flush: Duration::from_nanos(5_005),
                 sampled_cycles: 1_929,
             },
             wall: Duration::from_millis(35),

@@ -69,23 +69,13 @@ pub fn fit_supply(
         });
     }
     let mut sorted: Vec<ImpedanceSample> = samples.to_vec();
-    sorted.sort_by(|a, b| {
-        a.frequency
-            .hertz()
-            .partial_cmp(&b.frequency.hertz())
-            .expect("finite frequencies")
-    });
+    sorted.sort_by(|a, b| a.frequency.hertz().total_cmp(&b.frequency.hertz()));
 
     // 1. Peak location (must be interior).
     let (peak_idx, peak) = sorted
         .iter()
         .enumerate()
-        .max_by(|a, b| {
-            a.1.magnitude
-                .ohms()
-                .partial_cmp(&b.1.magnitude.ohms())
-                .expect("finite magnitudes")
-        })
+        .max_by(|a, b| a.1.magnitude.ohms().total_cmp(&b.1.magnitude.ohms()))
         .expect("non-empty samples");
     if peak_idx == 0 || peak_idx == sorted.len() - 1 {
         return Err(RlcError::CalibrationFailed {

@@ -138,12 +138,7 @@ impl ImpedanceSweep {
         *self
             .points
             .iter()
-            .max_by(|a, b| {
-                a.magnitude
-                    .ohms()
-                    .partial_cmp(&b.magnitude.ohms())
-                    .expect("impedance magnitudes are finite")
-            })
+            .max_by(|a, b| a.magnitude.ohms().total_cmp(&b.magnitude.ohms()))
             .expect("sweep has at least two points")
     }
 

@@ -1,0 +1,673 @@
+//! Lane-batched supply integration: up to [`MAX_LANES`] independent
+//! supplies of the *same circuit* advanced through one flat
+//! structure-of-arrays loop.
+//!
+//! [`SupplyLanes`] is the many-run counterpart of [`PowerSupply`]: where a
+//! `PowerSupply` advances one simulation's RLC state cycle by cycle, a
+//! `SupplyLanes` holds the `(v, i_l)` state, previous-cycle current, and
+//! running statistics of N independent runs as flat `f64` arrays and
+//! advances all of them per time step in a straight-line arithmetic loop —
+//! the circuit coefficients and step size are shared (one
+//! [`PreparedStep`]), only the state differs per lane, so the inner loop
+//! over lanes is branch-free and autovectorization-friendly.
+//!
+//! Per-lane results are bit-exact with a serial [`PowerSupply`] ticking the
+//! same current sequence: the lockstep loop runs the identical Heun (or
+//! RK4) arithmetic on the identical values in the identical per-lane order,
+//! and the blow-up/finiteness guards of [`PreparedStep::advance`] are
+//! preserved by falling back to an exact serial replay of the whole chunk
+//! (from a snapshot of the entry state) the moment any lane's unguarded
+//! step looks unusable — so the halved-retry rescue and error semantics
+//! match the serial path exactly, while the hot path pays only a compare
+//! per lane-step.
+
+use crate::error::IntegrationError;
+use crate::integrator::{raw_step_coeffs, Method, PreparedStep, SupplyState, BLOW_UP_LIMIT_VOLTS};
+use crate::params::SupplyParams;
+use crate::supply::PowerSupply;
+use crate::units::{Amps, Cycles, Hertz, Seconds, Volts};
+
+/// Hard cap on lanes per pack: enough to saturate SIMD lanes and hide
+/// retire jitter, small enough that per-lane scratch lives on the stack.
+pub const MAX_LANES: usize = 16;
+
+/// One lane's integration failure inside [`SupplyLanes::advance_chunks`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneFault {
+    /// Which lane failed.
+    pub lane: usize,
+    /// Offset within that lane's chunk at which the step failed; the lane's
+    /// state reflects exactly the `offset` completed cycles before it, as a
+    /// serial [`PowerSupply::try_tick_batch`] would leave it.
+    pub offset: usize,
+    /// The surfaced integration error.
+    pub error: IntegrationError,
+}
+
+/// N independent same-circuit power supplies in structure-of-arrays form.
+///
+/// # Examples
+///
+/// ```
+/// use rlc::lanes::SupplyLanes;
+/// use rlc::{SupplyParams, PowerSupply};
+/// use rlc::units::{Amps, Hertz};
+///
+/// let params = SupplyParams::isca04_table1();
+/// let clock = Hertz::from_giga(10.0);
+/// let idle = Amps::new(70.0);
+/// let mut lanes = SupplyLanes::new(params, clock, idle, 2);
+/// let mut serial = PowerSupply::new(params, clock, idle);
+///
+/// // Two lanes advance through one call; each is bit-exact with a serial
+/// // supply ticking the same currents.
+/// lanes.advance_chunks(&[&[90.0, 75.0], &[70.0, 70.0]]).unwrap();
+/// serial.tick(Amps::new(90.0));
+/// serial.tick(Amps::new(75.0));
+/// assert_eq!(lanes.state(0), serial.state());
+/// assert_eq!(lanes.state(1).v, lanes.state(1).v); // lane 1 stayed steady
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupplyLanes {
+    params: SupplyParams,
+    dt: Seconds,
+    prepared: PreparedStep,
+    margin: f64,
+    /// Per-lane node voltage deviation.
+    v: Vec<f64>,
+    /// Per-lane R–L branch current.
+    i_l: Vec<f64>,
+    /// Per-lane previous-cycle CPU current.
+    prev: Vec<f64>,
+    /// Per-lane cycles advanced.
+    cycles: Vec<u64>,
+    /// Per-lane violation-cycle count.
+    violations: Vec<u64>,
+    /// Per-lane worst (largest-magnitude, sign kept) noise voltage.
+    worst: Vec<f64>,
+}
+
+/// Entry-state snapshot used to rewind a chunk when a guard trips.
+struct Snapshot {
+    v: [f64; MAX_LANES],
+    i_l: [f64; MAX_LANES],
+    prev: [f64; MAX_LANES],
+    cycles: [u64; MAX_LANES],
+    violations: [u64; MAX_LANES],
+    worst: [f64; MAX_LANES],
+}
+
+impl SupplyLanes {
+    /// Creates `lanes` supplies, each pre-settled at `initial_current`
+    /// (matching [`PowerSupply::new`]), using the Heun integrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clock` is not finite and positive, or when `lanes` is
+    /// zero or exceeds [`MAX_LANES`].
+    pub fn new(params: SupplyParams, clock: Hertz, initial_current: Amps, lanes: usize) -> Self {
+        Self::with_method(params, clock, initial_current, lanes, Method::Heun)
+    }
+
+    /// Creates the lanes with an explicit integration [`Method`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SupplyLanes::new`].
+    pub fn with_method(
+        params: SupplyParams,
+        clock: Hertz,
+        initial_current: Amps,
+        lanes: usize,
+        method: Method,
+    ) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count {lanes} outside 1..={MAX_LANES}"
+        );
+        let dt = clock.period();
+        let prepared = PreparedStep::new(params, method, dt)
+            .unwrap_or_else(|e| panic!("clock frequency must be finite and positive: {e}"));
+        let steady = SupplyState::steady(&params, initial_current);
+        Self {
+            params,
+            dt,
+            prepared,
+            margin: params.noise_margin().volts(),
+            v: vec![steady.v; lanes],
+            i_l: vec![steady.i_l; lanes],
+            prev: vec![initial_current.amps(); lanes],
+            cycles: vec![0; lanes],
+            violations: vec![0; lanes],
+            worst: vec![0.0; lanes],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.v.len()
+    }
+
+    /// The shared circuit parameters.
+    pub fn params(&self) -> &SupplyParams {
+        &self.params
+    }
+
+    /// Resets lane `k` to rest at `current` with cleared statistics — the
+    /// drain-and-refill hook when a retiring run hands its lane to the next.
+    pub fn reset_lane(&mut self, k: usize, current: Amps) {
+        let steady = SupplyState::steady(&self.params, current);
+        self.v[k] = steady.v;
+        self.i_l[k] = steady.i_l;
+        self.prev[k] = current.amps();
+        self.cycles[k] = 0;
+        self.violations[k] = 0;
+        self.worst[k] = 0.0;
+    }
+
+    /// Swaps the full state of lanes `a` and `b` (lane-pack compaction).
+    pub fn swap_lanes(&mut self, a: usize, b: usize) {
+        self.v.swap(a, b);
+        self.i_l.swap(a, b);
+        self.prev.swap(a, b);
+        self.cycles.swap(a, b);
+        self.violations.swap(a, b);
+        self.worst.swap(a, b);
+    }
+
+    /// Lane `k`'s raw integrator state.
+    pub fn state(&self, k: usize) -> SupplyState {
+        SupplyState {
+            v: self.v[k],
+            i_l: self.i_l[k],
+        }
+    }
+
+    /// Lane `k`'s current inductive-noise voltage (without advancing time).
+    pub fn noise(&self, k: usize) -> Volts {
+        self.state(k).noise_voltage(&self.params)
+    }
+
+    /// Cycles lane `k` has advanced since its last reset.
+    pub fn cycles(&self, k: usize) -> u64 {
+        self.cycles[k]
+    }
+
+    /// Lane `k`'s violation-cycle count.
+    pub fn violation_cycles(&self, k: usize) -> u64 {
+        self.violations[k]
+    }
+
+    /// Lane `k`'s largest-magnitude noise voltage so far.
+    pub fn worst_noise(&self, k: usize) -> Volts {
+        Volts::new(self.worst[k])
+    }
+
+    /// Extracts lane `k` as an ordinary [`PowerSupply`] carrying the lane's
+    /// exact state and statistics — what a serial supply that ticked the
+    /// same currents would be.
+    pub fn lane_supply(&self, k: usize) -> PowerSupply {
+        let (method, ..) = self.prepared.parts();
+        PowerSupply::assemble(
+            self.params,
+            self.dt,
+            method,
+            self.state(k),
+            Amps::new(self.prev[k]),
+            Cycles::new(self.cycles[k]),
+            self.violations[k],
+            Volts::new(self.worst[k]),
+        )
+    }
+
+    /// Advances lane `k` by one cycle per element of `chunks[k]` (amps),
+    /// all lanes interleaved per time step through the flat lockstep loop.
+    /// Chunks may be ragged (lanes retire at different cycle counts): the
+    /// common prefix runs in lockstep, the tails serially per lane.
+    ///
+    /// # Errors
+    ///
+    /// Per-lane faults, at most one per lane. A faulted lane's state
+    /// reflects exactly the cycles before [`LaneFault::offset`]; *other*
+    /// lanes still complete their chunks (they are independent supplies).
+    pub fn advance_chunks(&mut self, chunks: &[&[f64]]) -> Result<(), Vec<LaneFault>> {
+        self.advance_impl(chunks, None)
+    }
+
+    /// [`SupplyLanes::advance_chunks`] with per-cycle noise capture: each
+    /// completed cycle's noise voltage (volts) is appended to
+    /// `noise_out[k]` — the traced-run form, bit-exact with the plain form.
+    ///
+    /// # Errors
+    ///
+    /// As [`SupplyLanes::advance_chunks`]; a faulted lane's `noise_out`
+    /// holds exactly its completed cycles.
+    pub fn advance_chunks_noise(
+        &mut self,
+        chunks: &[&[f64]],
+        noise_out: &mut [Vec<f64>],
+    ) -> Result<(), Vec<LaneFault>> {
+        assert!(
+            noise_out.len() >= chunks.len(),
+            "noise_out shorter than chunks"
+        );
+        self.advance_impl(chunks, Some(noise_out))
+    }
+
+    fn snapshot(&self, n: usize) -> Snapshot {
+        let mut s = Snapshot {
+            v: [0.0; MAX_LANES],
+            i_l: [0.0; MAX_LANES],
+            prev: [0.0; MAX_LANES],
+            cycles: [0; MAX_LANES],
+            violations: [0; MAX_LANES],
+            worst: [0.0; MAX_LANES],
+        };
+        s.v[..n].copy_from_slice(&self.v[..n]);
+        s.i_l[..n].copy_from_slice(&self.i_l[..n]);
+        s.prev[..n].copy_from_slice(&self.prev[..n]);
+        s.cycles[..n].copy_from_slice(&self.cycles[..n]);
+        s.violations[..n].copy_from_slice(&self.violations[..n]);
+        s.worst[..n].copy_from_slice(&self.worst[..n]);
+        s
+    }
+
+    fn restore(&mut self, s: &Snapshot, n: usize) {
+        self.v[..n].copy_from_slice(&s.v[..n]);
+        self.i_l[..n].copy_from_slice(&s.i_l[..n]);
+        self.prev[..n].copy_from_slice(&s.prev[..n]);
+        self.cycles[..n].copy_from_slice(&s.cycles[..n]);
+        self.violations[..n].copy_from_slice(&s.violations[..n]);
+        self.worst[..n].copy_from_slice(&s.worst[..n]);
+    }
+
+    fn advance_impl(
+        &mut self,
+        chunks: &[&[f64]],
+        mut noise_out: Option<&mut [Vec<f64>]>,
+    ) -> Result<(), Vec<LaneFault>> {
+        let n = chunks.len();
+        assert!(n <= self.lanes(), "more chunks than lanes");
+        let mut entry_lens = [0usize; MAX_LANES];
+        if let Some(out) = noise_out.as_deref_mut() {
+            for k in 0..n {
+                entry_lens[k] = out[k].len();
+                out[k].reserve(chunks[k].len());
+            }
+        }
+        let snap = self.snapshot(n);
+        let rect = chunks.iter().map(|c| c.len()).min().unwrap_or(0);
+        let (method, h, c, l, r) = self.prepared.parts();
+        let margin = self.margin;
+        let mut tmp_v = [0.0f64; MAX_LANES];
+        let mut tmp_il = [0.0f64; MAX_LANES];
+        let mut guard_tripped = false;
+
+        // `t` indexes every lane's chunk (`chunks[k][t]`), not just one
+        // slice, so the iterator rewrite clippy suggests does not apply.
+        #[allow(clippy::needless_range_loop)]
+        'rect: for t in 0..rect {
+            // Unguarded lockstep pass: the success-path arithmetic of
+            // PreparedStep::advance inlined over all lanes — pure loads,
+            // FMA-able arithmetic, and stores, no branches per lane.
+            for k in 0..n {
+                let s = raw_step_coeffs(
+                    c,
+                    l,
+                    r,
+                    method,
+                    SupplyState {
+                        v: self.v[k],
+                        i_l: self.i_l[k],
+                    },
+                    self.prev[k],
+                    chunks[k][t],
+                    h,
+                );
+                tmp_v[k] = s.v;
+                tmp_il[k] = s.i_l;
+            }
+            // Guard pass: any unusable result rewinds the whole chunk to
+            // the exact serial replay (which performs the halved retry and
+            // carries the serial error semantics).
+            for k in 0..n {
+                if !(tmp_v[k].is_finite()
+                    && tmp_il[k].is_finite()
+                    && tmp_v[k].abs() <= BLOW_UP_LIMIT_VOLTS)
+                {
+                    guard_tripped = true;
+                    break 'rect;
+                }
+            }
+            // Commit pass: state, statistics, and optional noise capture,
+            // in the per-lane order of a serial try_tick.
+            for k in 0..n {
+                self.v[k] = tmp_v[k];
+                self.i_l[k] = tmp_il[k];
+                self.prev[k] = chunks[k][t];
+                let noise = self.v[k] + r * self.i_l[k];
+                if noise.abs() > margin {
+                    self.violations[k] += 1;
+                }
+                if noise.abs() > self.worst[k].abs() {
+                    self.worst[k] = noise;
+                }
+                self.cycles[k] += 1;
+                if let Some(out) = noise_out.as_deref_mut() {
+                    out[k].push(noise);
+                }
+            }
+        }
+
+        if guard_tripped {
+            self.restore(&snap, n);
+            if let Some(out) = noise_out.as_deref_mut() {
+                for k in 0..n {
+                    out[k].truncate(entry_lens[k]);
+                }
+            }
+            return self.advance_serial(chunks, noise_out);
+        }
+
+        // Ragged tails: lanes whose chunks extend past the lockstep
+        // rectangle finish serially — same per-lane cycle order either way,
+        // so the split point cannot change a bit.
+        let mut faults = Vec::new();
+        for k in 0..n {
+            if chunks[k].len() > rect {
+                let out = noise_out.as_deref_mut().map(|o| &mut o[k]);
+                if let Err(f) = self.lane_serial(k, &chunks[k][rect..], rect, out) {
+                    faults.push(f);
+                }
+            }
+        }
+        if faults.is_empty() {
+            Ok(())
+        } else {
+            Err(faults)
+        }
+    }
+
+    /// Serial replay of every lane's whole chunk — the guard-trip fallback.
+    fn advance_serial(
+        &mut self,
+        chunks: &[&[f64]],
+        mut noise_out: Option<&mut [Vec<f64>]>,
+    ) -> Result<(), Vec<LaneFault>> {
+        let mut faults = Vec::new();
+        for (k, chunk) in chunks.iter().enumerate() {
+            let out = noise_out.as_deref_mut().map(|o| &mut o[k]);
+            if let Err(f) = self.lane_serial(k, chunk, 0, out) {
+                faults.push(f);
+            }
+        }
+        if faults.is_empty() {
+            Ok(())
+        } else {
+            Err(faults)
+        }
+    }
+
+    /// Advances one lane serially with the full guarded step (halved retry
+    /// included) — bit-exact with [`PowerSupply::try_tick_batch`].
+    fn lane_serial(
+        &mut self,
+        k: usize,
+        currents: &[f64],
+        offset_base: usize,
+        mut noise_out: Option<&mut Vec<f64>>,
+    ) -> Result<(), LaneFault> {
+        let (.., r) = self.prepared.parts();
+        for (t, &amps) in currents.iter().enumerate() {
+            let state = SupplyState {
+                v: self.v[k],
+                i_l: self.i_l[k],
+            };
+            match self
+                .prepared
+                .advance(state, Amps::new(self.prev[k]), Amps::new(amps))
+            {
+                Ok(s) => {
+                    self.v[k] = s.v;
+                    self.i_l[k] = s.i_l;
+                    self.prev[k] = amps;
+                    let noise = s.v + r * s.i_l;
+                    if noise.abs() > self.margin {
+                        self.violations[k] += 1;
+                    }
+                    if noise.abs() > self.worst[k].abs() {
+                        self.worst[k] = noise;
+                    }
+                    self.cycles[k] += 1;
+                    if let Some(out) = noise_out.as_deref_mut() {
+                        out.push(noise);
+                    }
+                }
+                Err(error) => {
+                    return Err(LaneFault {
+                        lane: k,
+                        offset: offset_base + t,
+                        error,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table1() -> (SupplyParams, Hertz, Amps) {
+        (
+            SupplyParams::isca04_table1(),
+            Hertz::from_giga(10.0),
+            Amps::new(70.0),
+        )
+    }
+
+    /// Deterministic per-lane current sequence with resonant content.
+    fn current(lane: usize, t: usize) -> f64 {
+        let phase = (t + 13 * lane) as f64;
+        70.0 + 20.0 * (phase * 0.0628).sin() + 5.0 * ((t * (lane + 2)) % 7) as f64
+    }
+
+    fn assert_lane_matches_serial(lanes: &SupplyLanes, k: usize, serial: &PowerSupply) {
+        assert_eq!(
+            lanes.state(k).v.to_bits(),
+            serial.state().v.to_bits(),
+            "lane {k} v"
+        );
+        assert_eq!(
+            lanes.state(k).i_l.to_bits(),
+            serial.state().i_l.to_bits(),
+            "lane {k} i_l"
+        );
+        assert_eq!(lanes.cycles(k), serial.cycles().count(), "lane {k} cycles");
+        assert_eq!(
+            lanes.violation_cycles(k),
+            serial.violation_cycles(),
+            "lane {k} violations"
+        );
+        assert_eq!(
+            lanes.worst_noise(k).volts().to_bits(),
+            serial.worst_noise().volts().to_bits(),
+            "lane {k} worst"
+        );
+        assert_eq!(
+            lanes.noise(k).volts().to_bits(),
+            serial.noise().volts().to_bits(),
+            "lane {k} noise"
+        );
+    }
+
+    #[test]
+    fn lockstep_lanes_match_serial_supplies_bit_exactly() {
+        let (p, clock, idle) = table1();
+        let n = 5;
+        let mut lanes = SupplyLanes::new(p, clock, idle, n);
+        let mut serials: Vec<PowerSupply> =
+            (0..n).map(|_| PowerSupply::new(p, clock, idle)).collect();
+
+        // Ragged chunks across several advances: lane k's chunk length
+        // varies per round, including empty chunks.
+        let mut offsets = vec![0usize; n];
+        for round in 0..7 {
+            let chunk_lens: Vec<usize> = (0..n).map(|k| (37 * (k + 1) + 11 * round) % 64).collect();
+            let chunks: Vec<Vec<f64>> = (0..n)
+                .map(|k| {
+                    (0..chunk_lens[k])
+                        .map(|t| current(k, offsets[k] + t))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = chunks.iter().map(|c| c.as_slice()).collect();
+            lanes.advance_chunks(&refs).expect("well-posed currents");
+            for k in 0..n {
+                let mut sink = Vec::new();
+                serials[k]
+                    .try_tick_batch(&chunks[k], &mut sink)
+                    .expect("serial is well-posed");
+                offsets[k] += chunk_lens[k];
+            }
+        }
+        for (k, serial) in serials.iter().enumerate() {
+            assert_lane_matches_serial(&lanes, k, serial);
+        }
+    }
+
+    #[test]
+    fn noise_capture_matches_serial_batch_output() {
+        let (p, clock, idle) = table1();
+        let mut lanes = SupplyLanes::new(p, clock, idle, 3);
+        let chunks: Vec<Vec<f64>> = (0..3)
+            .map(|k| (0..50).map(|t| current(k, t)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let mut noise = vec![Vec::new(); 3];
+        lanes
+            .advance_chunks_noise(&refs, &mut noise)
+            .expect("well-posed");
+        for k in 0..3 {
+            let mut serial = PowerSupply::new(p, clock, idle);
+            let mut expect = Vec::new();
+            serial.try_tick_batch(&chunks[k], &mut expect).unwrap();
+            assert_eq!(noise[k].len(), expect.len());
+            for (a, b) in noise[k].iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {k} noise trace");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_current_faults_only_its_lane_with_serial_error_parity() {
+        let (p, clock, idle) = table1();
+        let mut lanes = SupplyLanes::new(p, clock, idle, 3);
+        let clean: Vec<f64> = (0..32).map(|t| current(0, t)).collect();
+        let mut poisoned = clean.clone();
+        poisoned[17] = f64::NAN;
+        let chunks: Vec<&[f64]> = vec![&clean, &poisoned, &clean];
+
+        let faults = lanes.advance_chunks(&chunks).expect_err("lane 1 faults");
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].lane, 1);
+        assert_eq!(faults[0].offset, 17);
+
+        // Serial parity for both the faulted and the clean lanes.
+        let mut serial_clean = PowerSupply::new(p, clock, idle);
+        let mut sink = Vec::new();
+        serial_clean.try_tick_batch(&clean, &mut sink).unwrap();
+        assert_lane_matches_serial(&lanes, 0, &serial_clean);
+        assert_lane_matches_serial(&lanes, 2, &serial_clean);
+
+        let mut serial_poisoned = PowerSupply::new(p, clock, idle);
+        sink.clear();
+        let err = serial_poisoned
+            .try_tick_batch(&poisoned, &mut sink)
+            .expect_err("serial faults too");
+        assert_eq!(err.0, 17);
+        assert_eq!(format!("{}", faults[0].error), format!("{}", err.1));
+        assert_lane_matches_serial(&lanes, 1, &serial_poisoned);
+    }
+
+    #[test]
+    fn guard_trip_rescue_matches_serial_halved_retry() {
+        // The gentle unit circuit from the integrator tests: at h = 3 s a
+        // full Heun step from |v| = 4e5 overshoots the blow-up envelope but
+        // the halved retry rescues it. The lockstep guard must detect the
+        // overshoot and the serial replay must return the identical rescued
+        // bits a serial supply produces.
+        use crate::units::{Farads, Henries, Ohms};
+        let p = SupplyParams::new(
+            Ohms::new(0.01),
+            Henries::new(1.0),
+            Farads::new(1.0),
+            Volts::new(1.0),
+            Volts::new(0.05),
+        )
+        .unwrap();
+        let clock = Hertz::new(1.0 / 3.0); // dt = 3 s
+        let mut lanes = SupplyLanes::new(p, clock, Amps::new(0.0), 2);
+        let mut serial = PowerSupply::new(p, clock, Amps::new(0.0));
+        // Drive lane 0 into the marginal state, then step again; lane 1
+        // stays tame throughout, exercising mixed rescue/no-rescue lanes.
+        // A 4e5-amp spike produces the large swing deterministically.
+        let spike = vec![4.0e5, 0.0, 0.0];
+        let tame = vec![0.1, 0.2, 0.1];
+        let chunks: Vec<&[f64]> = vec![&spike, &tame];
+        let result = lanes.advance_chunks(&chunks);
+        let mut sink = Vec::new();
+        let serial_result = serial.try_tick_batch(&spike, &mut sink);
+        match (&result, &serial_result) {
+            (Ok(()), Ok(())) => assert_lane_matches_serial(&lanes, 0, &serial),
+            (Err(faults), Err((k, e))) => {
+                let f = faults.iter().find(|f| f.lane == 0).expect("lane 0 fault");
+                assert_eq!(f.offset, *k);
+                assert_eq!(format!("{}", f.error), format!("{e}"));
+                assert_lane_matches_serial(&lanes, 0, &serial);
+            }
+            other => panic!("lane/serial outcome diverged: {other:?}"),
+        }
+        // Lane 1 must match its serial twin regardless.
+        let mut serial_tame = PowerSupply::new(p, clock, Amps::new(0.0));
+        sink.clear();
+        serial_tame.try_tick_batch(&tame, &mut sink).unwrap();
+        assert_lane_matches_serial(&lanes, 1, &serial_tame);
+    }
+
+    #[test]
+    fn reset_swap_and_lane_supply_round_trip() {
+        let (p, clock, idle) = table1();
+        let mut lanes = SupplyLanes::new(p, clock, idle, 2);
+        let a: Vec<f64> = (0..40).map(|t| current(0, t)).collect();
+        let b: Vec<f64> = (0..40).map(|t| current(1, t)).collect();
+        lanes.advance_chunks(&[&a, &b]).unwrap();
+
+        // lane_supply carries the exact state: ticking it further matches
+        // a serial supply that ran the whole sequence.
+        let mut extracted = lanes.lane_supply(0);
+        let mut serial = PowerSupply::new(p, clock, idle);
+        let mut sink = Vec::new();
+        serial.try_tick_batch(&a, &mut sink).unwrap();
+        let tail: Vec<f64> = (40..80).map(|t| current(0, t)).collect();
+        sink.clear();
+        extracted.try_tick_batch(&tail, &mut sink).unwrap();
+        sink.clear();
+        serial.try_tick_batch(&tail, &mut sink).unwrap();
+        assert_eq!(extracted.state(), serial.state());
+        assert_eq!(extracted.violation_cycles(), serial.violation_cycles());
+
+        // Swap then reset: lane 0 now holds lane 1's trajectory, lane 1 is
+        // factory-fresh.
+        lanes.swap_lanes(0, 1);
+        let mut serial_b = PowerSupply::new(p, clock, idle);
+        sink.clear();
+        serial_b.try_tick_batch(&b, &mut sink).unwrap();
+        assert_lane_matches_serial(&lanes, 0, &serial_b);
+        lanes.reset_lane(1, idle);
+        assert_eq!(lanes.cycles(1), 0);
+        assert_eq!(lanes.state(1), SupplyState::steady(&p, idle));
+    }
+}
