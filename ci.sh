@@ -140,4 +140,112 @@ for path in sys.argv[1:]:
     print(f"{path}: schema ok ({doc['mode']} mode)")
 EOF
 
+echo "==> server smoke (restuned: chaos tenants, SIGTERM drain, cache resume)"
+# A restuned server with seeded network-fault injection armed serves two
+# healthy tenants and two deliberately misbehaving ones concurrently; every
+# tenant's deterministic sections must come out bit-identical to in-process
+# references. Then SIGTERM lands under load: the server must drain and exit
+# 0, and a restart over the same cache directory must serve the persisted
+# results back (cache hits, not recomputation).
+srv_dir=$(mktemp -d)
+sock="$srv_dir/restuned.sock"
+RESTUNE_CACHE_DIR="$srv_dir/cache" \
+    ./target/release/restuned --socket "$sock" --faults 7 \
+    2> "$srv_dir/restuned.log" &
+srv_pid=$!
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "server smoke: restuned did not bind" >&2; exit 1; }
+
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json > "$srv_dir/ref_suite.json"
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/table3_tuning -n 8000 --json > "$srv_dir/ref_table3.json"
+
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$sock" \
+    > "$srv_dir/thin_suite.json" &
+healthy_a=$!
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/table3_tuning -n 8000 --json --connect "$sock" \
+    > "$srv_dir/thin_table3.json" &
+healthy_b=$!
+RESTUNE_NET_FAULT=disconnect:5 RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$sock" \
+    > "$srv_dir/fault_disconnect.json" &
+chaos_a=$!
+RESTUNE_NET_FAULT=truncate:3 RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$sock" \
+    > "$srv_dir/fault_truncate.json" &
+chaos_b=$!
+for pid in $healthy_a $healthy_b $chaos_a $chaos_b; do
+    wait "$pid" || { echo "server smoke: a tenant exited non-zero" >&2; exit 1; }
+done
+python3 - "$srv_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+load = lambda name: json.load(open(f"{d}/{name}.json"))
+ref_suite, ref_table3 = load("ref_suite"), load("ref_table3")
+for name in ("thin_suite", "fault_disconnect", "fault_truncate"):
+    doc = load(name)
+    assert doc["suite_check"] == ref_suite["suite_check"], \
+        f"{name}: thin-client suite diverged from the in-process reference"
+thin3 = load("thin_table3")
+for section in ("table3", "outcomes"):
+    assert thin3[section] == ref_table3[section], \
+        f"thin_table3: section {section!r} diverged from the reference"
+print("server smoke: 4 tenants bit-identical to in-process references")
+EOF
+
+# SIGTERM under load: a fresh tenant is mid-suite when the signal lands.
+# The server drains (finishing and persisting what was admitted) and must
+# exit 0; the interrupted tenant may fail and that is fine — its completed
+# jobs live on in the cache.
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$sock" \
+    > /dev/null 2>&1 &
+load_pid=$!
+sleep 1
+kill -TERM "$srv_pid"
+srv_status=0
+wait "$srv_pid" || srv_status=$?
+[ "$srv_status" -eq 0 ] || {
+    echo "server smoke: SIGTERM drain exited $srv_status" >&2
+    exit 1
+}
+grep -q 'restuned: drained' "$srv_dir/restuned.log" || {
+    echo "server smoke: no drain summary in the server log" >&2
+    exit 1
+}
+wait "$load_pid" || true
+
+RESTUNE_CACHE_DIR="$srv_dir/cache" \
+    ./target/release/restuned --socket "$sock" \
+    2> "$srv_dir/restuned2.log" &
+srv_pid=$!
+for _ in $(seq 50); do [ -S "$sock" ] && break; sleep 0.1; done
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$sock" \
+    > "$srv_dir/resumed.json"
+kill -TERM "$srv_pid"
+srv_status=0
+wait "$srv_pid" || srv_status=$?
+[ "$srv_status" -eq 0 ] || {
+    echo "server smoke: restarted server drain exited $srv_status" >&2
+    exit 1
+}
+python3 - "$srv_dir" <<'EOF'
+import json, re, sys
+d = sys.argv[1]
+resumed = json.load(open(f"{d}/resumed.json"))
+reference = json.load(open(f"{d}/ref_suite.json"))
+assert resumed["suite_check"] == reference["suite_check"], \
+    "post-restart suite diverged from the in-process reference"
+log = open(f"{d}/restuned2.log").read()
+m = re.search(r"cache_hits=(\d+)", log)
+assert m, f"no drain summary in the restarted server log:\n{log}"
+assert int(m.group(1)) > 0, \
+    "the restarted server recomputed everything instead of serving its persisted cache"
+print(f"server smoke: restart served {m.group(1)} cache hits after SIGTERM drain")
+EOF
+
 echo "==> tier-1 green"

@@ -15,10 +15,17 @@ pub use report::Report;
 pub const USAGE: &str =
     "usage: <harness> [--instructions N] [--json] [--faults SEED] [--fault APP=KIND]
                  [--timeout SECS] [--resume] [--trace-out PATH]
+                 [--connect ENDPOINT]
   --instructions N, -n N  committed instructions per application run
                           (default 120000)
   --json                  print results as a JSON document on stdout
                           instead of human-readable tables
+  --connect ENDPOINT      run the suite through a restuned server instead of
+                          in-process: ENDPOINT is a unix socket path or
+                          tcp:HOST:PORT. Reports are byte-identical to local
+                          runs. RESTUNE_NET_FAULT=SPEC[,SPEC..] injects
+                          client-side network faults (truncate:N,
+                          stall:N:MILLIS, disconnect:N) for chaos testing
   --trace-out PATH        write a structured JSON-lines event trace (cycle-
                           stamped sim events, waveform windows around
                           violations, engine events, counters) to PATH;
@@ -57,6 +64,9 @@ pub struct HarnessArgs {
     pub resume: bool,
     /// Write the structured JSON-lines event trace to this path.
     pub trace_out: Option<std::path::PathBuf>,
+    /// Run suites through a `restuned` server at this endpoint (a unix
+    /// socket path, or `tcp:HOST:PORT`) instead of in-process.
+    pub connect: Option<String>,
 }
 
 impl Default for HarnessArgs {
@@ -69,6 +79,7 @@ impl Default for HarnessArgs {
             timeout_secs: None,
             resume: false,
             trace_out: None,
+            connect: None,
         }
     }
 }
@@ -131,6 +142,13 @@ impl HarnessArgs {
                         return Err(String::from("--trace-out requires a non-empty path"));
                     }
                     parsed.trace_out = Some(std::path::PathBuf::from(v));
+                }
+                "--connect" => {
+                    let v = iter.next().ok_or_else(|| format!("{a} requires a value"))?;
+                    if v.is_empty() {
+                        return Err(String::from("--connect requires a non-empty endpoint"));
+                    }
+                    parsed.connect = Some(v);
                 }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument: {other}")),
@@ -270,6 +288,51 @@ pub struct TraceGuard {
 impl Drop for TraceGuard {
     fn drop(&mut self) {
         restune::obs::finish_trace();
+    }
+}
+
+/// Routes suite execution through a `restuned` server when `--connect` was
+/// given; a no-op otherwise. `RESTUNE_NET_FAULT` (a `parse_net_faults`
+/// spec list) arms client-side network faults on the first connection —
+/// exercised by the chaos stages, harmless in normal use. Bind the
+/// returned guard for the whole of `main`: its drop tears the connection
+/// down so in-flight requests are cancelled on early exits.
+///
+/// Exits with [`EXIT_USAGE`] on a malformed fault spec and with 1 when the
+/// server is unreachable — a thin client that cannot reach its server
+/// should fail fast, not silently fall back to a local run.
+#[must_use = "bind the guard for the whole of main so the connection is torn down"]
+pub fn init_connect(args: &HarnessArgs) -> ConnectGuard {
+    let Some(endpoint) = &args.connect else {
+        return ConnectGuard { active: false };
+    };
+    if let Ok(spec) = std::env::var("RESTUNE_NET_FAULT") {
+        match restune::parse_net_faults(&spec) {
+            Ok(faults) => restune::set_net_faults(faults),
+            Err(e) => {
+                eprintln!("error: invalid RESTUNE_NET_FAULT: {e}\n{USAGE}");
+                std::process::exit(EXIT_USAGE);
+            }
+        }
+    }
+    if let Err(e) = restune::set_connect(endpoint) {
+        eprintln!("error: cannot connect to restuned at {endpoint}: {e}");
+        std::process::exit(1);
+    }
+    ConnectGuard { active: true }
+}
+
+/// See [`init_connect`].
+#[derive(Debug)]
+pub struct ConnectGuard {
+    active: bool,
+}
+
+impl Drop for ConnectGuard {
+    fn drop(&mut self) {
+        if self.active {
+            restune::clear_connect();
+        }
     }
 }
 
@@ -658,6 +721,8 @@ mod tests {
             "--resume",
             "--trace-out",
             "RESTUNE_TRACE",
+            "--connect",
+            "RESTUNE_NET_FAULT",
         ] {
             assert!(USAGE.contains(flag), "--help must document {flag}");
         }
@@ -744,6 +809,34 @@ mod tests {
         assert!(args.policy().is_inert());
         assert!(parse(&["--trace-out"]).unwrap_err().contains("requires"));
         assert!(parse(&["--trace-out", ""]).unwrap_err().contains("path"));
+    }
+
+    #[test]
+    fn parses_connect() {
+        let Ok(Parsed::Args(args)) = parse(&["--connect", "/tmp/restuned.sock"]) else {
+            panic!("--connect must parse");
+        };
+        assert_eq!(args.connect.as_deref(), Some("/tmp/restuned.sock"));
+        // Thin-client mode is an execution transport: the run policy stays
+        // whatever the other flags say.
+        assert!(args.policy().is_inert());
+
+        let Ok(Parsed::Args(tcp)) = parse(&["--connect", "tcp:127.0.0.1:9000"]) else {
+            panic!("tcp endpoints must parse");
+        };
+        assert_eq!(tcp.connect.as_deref(), Some("tcp:127.0.0.1:9000"));
+
+        assert!(parse(&["--connect"]).unwrap_err().contains("requires"));
+        assert!(parse(&["--connect", ""]).unwrap_err().contains("endpoint"));
+    }
+
+    #[test]
+    fn connect_guard_without_connect_is_inert() {
+        let args = HarnessArgs::default();
+        let guard = init_connect(&args);
+        assert!(!restune::connect_active());
+        drop(guard);
+        assert!(!restune::connect_active());
     }
 
     #[test]

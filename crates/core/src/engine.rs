@@ -23,14 +23,14 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use workloads::{spec2k, WorkloadProfile};
 
 use crate::config::SupervisorConfig;
 use crate::fault::{
-    AppFailure, FailureKind, FailureReport, FaultPlan, FaultSignal, InjectionEvent, RecoveryEvent,
-    StorageFault, StorageIncident,
+    AppFailure, FailureKind, FailureReport, FaultPlan, FaultSignal, FaultSpec, InjectionEvent,
+    RecoveryEvent, StorageFault, StorageIncident,
 };
 use crate::metrics::RunMetrics;
 use crate::sim::{run_supervised, InstrumentedRun, SimConfig, SimResult, Technique};
@@ -183,6 +183,53 @@ pub(crate) fn classify_payload(payload: Box<dyn std::any::Any + Send>) -> (Failu
     }
 }
 
+/// Runs one attempt on the local tiers: a child process when eligible
+/// (per [`crate::isolation::process_attempt`]'s gates, with `force`
+/// bypassing the `RESTUNE_ISOLATION` mode check), otherwise in-process.
+/// Hard-crash faults (abort/SIGKILL) would take down the whole process
+/// in-process, so the thread tier records them as simulated crashes
+/// instead of executing them. Shared by the suite supervisor and the
+/// server's worker pool.
+pub(crate) fn execute_attempt(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    specs: &[FaultSpec],
+    timeout: Option<Duration>,
+    force_process: bool,
+    obs: &crate::isolation::ObsRouting<'_>,
+) -> Result<InstrumentedRun, (FailureKind, String)> {
+    match crate::isolation::process_attempt(
+        profile,
+        technique,
+        sim,
+        specs,
+        timeout,
+        force_process,
+        obs,
+    ) {
+        Some(outcome) => outcome,
+        None => {
+            if let Some(spec) = specs.iter().find(|s| s.is_hard_crash()) {
+                Err((
+                    FailureKind::Crash,
+                    format!(
+                        "injected {} (simulated: containing a hard crash \
+                         requires RESTUNE_ISOLATION=process)",
+                        spec.class()
+                    ),
+                ))
+            } else {
+                let deadline = timeout.map(|t| Instant::now() + t);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_supervised(profile, technique, sim, specs, deadline)
+                }))
+                .map_err(classify_payload)
+            }
+        }
+    }
+}
+
 /// Runs one application under supervision: injects the plan's faults for
 /// each attempt, enforces the watchdog deadline, classifies any unwind, and
 /// retries with bounded exponential backoff.
@@ -221,32 +268,21 @@ fn supervise_one(
                     .emit();
             }
         }
-        // Tier dispatch: a child process when RESTUNE_ISOLATION resolves to
-        // it and the job is wire-encodable, otherwise in-process. Hard-crash
-        // faults (abort/SIGKILL) would take down the whole suite in-process,
-        // so the thread tier records them as simulated crashes instead of
-        // executing them.
+        // Remote dispatch first: when a `--connect` endpoint is armed the
+        // suite server executes the attempt and this process is a thin
+        // client. Otherwise the local tiers apply.
         let outcome: Result<InstrumentedRun, (FailureKind, String)> =
-            match crate::isolation::process_attempt(profile, technique, sim, &specs, sup.timeout) {
+            match crate::client::remote_attempt(profile, technique, sim, &specs, sup.timeout) {
                 Some(outcome) => outcome,
-                None => {
-                    if let Some(spec) = specs.iter().find(|s| s.is_hard_crash()) {
-                        Err((
-                            FailureKind::Crash,
-                            format!(
-                                "injected {} (simulated: containing a hard crash \
-                                 requires RESTUNE_ISOLATION=process)",
-                                spec.class()
-                            ),
-                        ))
-                    } else {
-                        let deadline = sup.timeout.map(|t| Instant::now() + t);
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            run_supervised(profile, technique, sim, &specs, deadline)
-                        }))
-                        .map_err(classify_payload)
-                    }
-                }
+                None => execute_attempt(
+                    profile,
+                    technique,
+                    sim,
+                    &specs,
+                    sup.timeout,
+                    false,
+                    &crate::isolation::ObsRouting::Absorb,
+                ),
             };
         match outcome {
             Ok(inst) => {
@@ -387,7 +423,8 @@ pub fn run_suite_supervised(
     let lane_eligible = lane_width > 1
         && crate::kernel::fused_enabled()
         && !plan.is_enabled()
-        && crate::isolation::isolation_mode() == crate::isolation::IsolationMode::Thread;
+        && crate::isolation::isolation_mode() == crate::isolation::IsolationMode::Thread
+        && !crate::client::connect_active();
     if lane_eligible {
         let jobs: Vec<usize> = (0..profiles.len())
             .filter(|&i| slots[i].get().is_none())
@@ -528,7 +565,7 @@ const CHECKPOINT_SCHEMA: u32 = 2;
 /// tmp file, is fsynced, and is renamed over the target, so a crash or
 /// SIGKILL at any instant leaves either the old complete file or the new
 /// one — never a torn mix.
-fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
@@ -546,7 +583,7 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 }
 
 /// Appends the CRC32 trailer to one serialized row: `<core>\tcrc=<hex8>`.
-fn crc_line(core: &str) -> String {
+pub(crate) fn crc_line(core: &str) -> String {
     format!("{core}\tcrc={:08x}", crate::wire::crc32(core.as_bytes()))
 }
 
@@ -554,7 +591,7 @@ fn crc_line(core: &str) -> String {
 /// `None` means the line is structurally torn (no trailer at all — an
 /// interrupted write); `Some((core, false))` means the row is complete but
 /// damaged (bit rot, an injected flip).
-fn split_crc_line(line: &str) -> Option<(&str, bool)> {
+pub(crate) fn split_crc_line(line: &str) -> Option<(&str, bool)> {
     let (core, crc) = line.rsplit_once("\tcrc=")?;
     if crc.len() != 8 {
         return None;

@@ -328,18 +328,50 @@ fn hard_kill_grace(timeout: Duration) -> Duration {
     timeout.max(Duration::from_secs(2))
 }
 
+/// Where a child's forwarded observability frames go.
+pub(crate) enum ObsRouting<'a> {
+    /// Decode the obs frame and absorb it into this process's trace sink
+    /// and counter registry (the harness path: the parent owns the trace).
+    Absorb,
+    /// Hand the raw `KIND_OBS` payload to a callback — the server path,
+    /// which re-frames it onto the requesting client's connection without
+    /// ever decoding it. Forces the child into wire-forwarding mode even
+    /// when this process traces nothing itself.
+    Relay(&'a (dyn Fn(&[u8]) + Sync)),
+}
+
+impl std::fmt::Debug for ObsRouting<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ObsRouting::Absorb => "ObsRouting::Absorb",
+            ObsRouting::Relay(_) => "ObsRouting::Relay(..)",
+        })
+    }
+}
+
 /// Runs one application attempt in a child process. Returns `None` when
 /// the attempt is not eligible for process isolation (mode, non-registry
 /// profile, non-`isca04` machine, spawn failure) — the caller then uses the
 /// in-process path. `Some(Err)` carries the classified failure.
+///
+/// `force` bypasses the `RESTUNE_ISOLATION` mode gate (the server always
+/// wants the process tier when a worker entry exists); it still requires a
+/// worker to actually be reachable. `obs` routes the child's forwarded
+/// observability frames (see [`ObsRouting`]).
 pub(crate) fn process_attempt(
     profile: &WorkloadProfile,
     technique: &Technique,
     sim: &SimConfig,
     specs: &[FaultSpec],
     timeout: Option<Duration>,
+    force: bool,
+    obs: &ObsRouting<'_>,
 ) -> Option<Result<InstrumentedRun, (FailureKind, String)>> {
-    if isolation_mode() != IsolationMode::Process {
+    if force {
+        if !worker_available() {
+            return None;
+        }
+    } else if isolation_mode() != IsolationMode::Process {
         return None;
     }
     // Eligibility: the wire codec sends the profile by *name* and the
@@ -386,9 +418,10 @@ pub(crate) fn process_attempt(
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit());
-    if crate::obs::trace_enabled() {
+    if matches!(obs, ObsRouting::Relay(_)) || crate::obs::trace_enabled() {
         // The child buffers its events and forwards them home in an obs
-        // frame rather than opening the parent's trace file itself.
+        // frame rather than opening the parent's trace file itself. A
+        // relay route always wants the frame, whatever this process traces.
         cmd.env("RESTUNE_TRACE", "wire");
     } else {
         cmd.env_remove("RESTUNE_TRACE");
@@ -473,12 +506,15 @@ pub(crate) fn process_attempt(
     let mut reply = None;
     for (kind, payload) in wire::scan_frames(&output) {
         match kind {
-            wire::KIND_OBS => {
-                if let Some((counters, lines)) = wire::decode_obs(payload) {
-                    crate::obs::counter_add("wire.obs_frames", 1);
-                    crate::obs::absorb_forwarded(&counters, &lines);
+            wire::KIND_OBS => match obs {
+                ObsRouting::Absorb => {
+                    if let Some((counters, lines)) = wire::decode_obs(payload) {
+                        crate::obs::counter_add("wire.obs_frames", 1);
+                        crate::obs::absorb_forwarded(&counters, &lines);
+                    }
                 }
-            }
+                ObsRouting::Relay(forward) => forward(payload),
+            },
             wire::KIND_RESULT | wire::KIND_FAILURE if reply.is_none() => {
                 reply = Some((kind, payload));
             }

@@ -56,6 +56,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod client;
 pub mod config;
 pub mod detector;
 pub mod engine;
@@ -68,12 +69,14 @@ pub mod lanes;
 pub mod metrics;
 pub mod obs;
 pub mod response;
+pub mod server;
 pub mod sim;
 pub mod testenv;
 mod wire;
 
 pub use analysis::{analyze, GuaranteeReport};
 pub use baselines::{DampingConfig, PipelineDamping, SensorConfig, VoltageSensor};
+pub use client::{clear_connect, connect_active, set_connect, set_net_faults};
 pub use config::{RunPolicy, SupervisorConfig, TuningConfig};
 pub use detector::{EventDetector, Polarity, ResonantEvent, WaveletConfig, WaveletDetector};
 pub use engine::{
@@ -81,7 +84,8 @@ pub use engine::{
     CacheStats, SuiteError, SuiteRun, SupervisedSuite,
 };
 pub use fault::{
-    AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, StorageFault, StorageIncident,
+    parse_net_faults, AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, NetFaultSpec,
+    StorageFault, StorageIncident,
 };
 pub use isolation::{
     install_signal_handlers, isolation_mode, maybe_run_worker, shutdown_requested, IsolationMode,
@@ -91,6 +95,7 @@ pub use lanes::{lane_count, run_suite_lanes, DEFAULT_LANES};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use obs::{CycleTracer, Event, JsonValue, TraceBuffer, TraceSink};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
+pub use server::{Endpoint, Server, ServerConfig, ServerStats};
 pub use sim::{
     run, run_instrumented, run_observed, run_supervised, CycleRecord, InstrumentedRun,
     PhaseTimings, SimConfig, SimResult, Technique,

@@ -1,0 +1,1397 @@
+//! The multi-tenant suite server behind the `restuned` binary: a
+//! long-running process that accepts suite jobs over a unix socket (or TCP
+//! behind the `tcp:` endpoint prefix), schedules them fairly across
+//! tenants onto a supervised worker pool, and serves repeated work from a
+//! shared content-keyed result cache.
+//!
+//! The robustness surface is the point of this module:
+//!
+//! * **bounded admission** — a queue limit enforced at request time; an
+//!   over-limit request is rejected with an explicit retry-after frame
+//!   ([`crate::wire::KIND_BUSY`]), never buffered without bound;
+//! * **per-request deadlines** — a job's own deadline (or the server
+//!   default) propagates into the same watchdog the in-process engine
+//!   uses, so no tenant can pin a worker forever;
+//! * **fair scheduling** — tenants take round-robin turns: one queued job
+//!   per turn, so a tenant with a deep queue cannot starve the others;
+//! * **per-client fault containment** — a torn frame, a slow-loris write,
+//!   or a protocol violation kills *that connection only* (the strict
+//!   [`crate::wire::StreamDecoder`] treats any malformed byte as a
+//!   violation); every other tenant is unaffected;
+//! * **graceful drain** — [`Server::drain_and_stop`] stops admitting,
+//!   finishes queued and in-flight jobs (each completed job lands in the
+//!   persistent result cache), then closes; a SIGTERM'd `restuned` does
+//!   exactly this, so a restarted server resumes from the cache;
+//! * **crash-consistent result cache** — completed jobs persist as
+//!   CRC-trailed rows written with the engine's atomic-write discipline,
+//!   so the same fingerprint is never simulated twice, across tenants
+//!   *and* across server restarts.
+//!
+//! Seeded *network* fault injection (`ServerConfig::net_fault_seed`,
+//! `restuned --faults`) arms a deterministic subset of accepted
+//! connections with [`crate::fault::NetFaultSpec`] plans — the server
+//! deliberately misbehaves toward those clients (truncated frames,
+//! mid-stream disconnects) so reconnect-resume is exercised end to end.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::fault::{FailureKind, NetFaultRuntime};
+use crate::wire;
+
+// ---------------------------------------------------------------------------
+// Endpoints and sockets
+// ---------------------------------------------------------------------------
+
+/// Where a suite server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix-domain socket at the given filesystem path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address (written as `tcp:host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string: a `tcp:` prefix selects TCP, anything
+    /// else is a unix socket path.
+    pub fn parse(raw: &str) -> Endpoint {
+        match raw.strip_prefix("tcp:") {
+            Some(addr) => Endpoint::Tcp(addr.to_string()),
+            None => Endpoint::Unix(PathBuf::from(raw)),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One connected stream, unix or TCP, behind a uniform surface.
+#[derive(Debug)]
+pub(crate) enum Sock {
+    /// A unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// A TCP stream.
+    Tcp(TcpStream),
+}
+
+impl Sock {
+    pub(crate) fn connect(endpoint: &Endpoint) -> io::Result<Sock> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Ok(Sock::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are unavailable on this platform",
+            )),
+            Endpoint::Tcp(addr) => Ok(Sock::Tcp(TcpStream::connect(addr)?)),
+        }
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Sock> {
+        match self {
+            #[cfg(unix)]
+            Sock::Unix(s) => Ok(Sock::Unix(s.try_clone()?)),
+            Sock::Tcp(s) => Ok(Sock::Tcp(s.try_clone()?)),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Sock::Unix(s) => s.set_read_timeout(timeout),
+            Sock::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Hard-closes both directions; a blocked reader on a clone of this
+    /// socket wakes with EOF. Errors are ignored — the socket may already
+    /// be gone, which is the state this call wants anyway.
+    pub(crate) fn shutdown(&self) {
+        match self {
+            #[cfg(unix)]
+            Sock::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Sock::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Sock {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Sock::Unix(s) => s.read(buf),
+            Sock::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Sock {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Sock::Unix(s) => s.write(buf),
+            Sock::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Sock::Unix(s) => s.flush(),
+            Sock::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The write half of one framed connection, shared between the threads
+/// that may send on it (reader replies, worker replies, heartbeats). All
+/// outgoing frames pass through the per-connection [`NetFaultRuntime`], so
+/// an armed network fault plan perturbs real traffic.
+pub(crate) struct FramedConn {
+    pub(crate) id: u64,
+    sock: Mutex<Sock>,
+    faults: Mutex<NetFaultRuntime>,
+    alive: AtomicBool,
+}
+
+impl std::fmt::Debug for FramedConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FramedConn(#{}, alive={})", self.id, self.is_alive())
+    }
+}
+
+impl FramedConn {
+    pub(crate) fn new(id: u64, sock: Sock, faults: NetFaultRuntime) -> Self {
+        Self {
+            id,
+            sock: Mutex::new(sock),
+            faults: Mutex::new(faults),
+            alive: AtomicBool::new(true),
+        }
+    }
+
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    /// Marks the connection dead and hard-closes the socket, waking any
+    /// blocked reader on a clone with EOF. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        self.sock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown();
+    }
+
+    /// Writes one frame, routed through the connection's network-fault
+    /// plan. Any write error (including an injected truncation or drop)
+    /// kills the connection.
+    pub(crate) fn write_frame(&self, kind: u8, payload: &[u8]) -> io::Result<()> {
+        if !self.is_alive() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection is closed",
+            ));
+        }
+        let frame = wire::encode_frame(kind, payload);
+        let action = {
+            let mut faults = self.faults.lock().unwrap_or_else(PoisonError::into_inner);
+            if faults.is_armed() {
+                faults.on_frame()
+            } else {
+                crate::fault::NetAction::Pass
+            }
+        };
+        let mut sock = self.sock.lock().unwrap_or_else(PoisonError::into_inner);
+        use crate::fault::NetAction;
+        let result = match action {
+            NetAction::Pass => sock.write_all(&frame).and_then(|()| sock.flush()),
+            NetAction::Stall { millis } => {
+                // Slow-loris: the first half lands, then nothing for the
+                // stall, then the rest. Holding the sock lock for the
+                // duration is deliberate — a real dripping peer blocks
+                // everything behind it on this stream too.
+                let half = frame.len() / 2;
+                sock.write_all(&frame[..half])
+                    .and_then(|()| sock.flush())
+                    .and_then(|()| {
+                        std::thread::sleep(Duration::from_millis(millis));
+                        sock.write_all(&frame[half..])
+                    })
+                    .and_then(|()| sock.flush())
+            }
+            NetAction::Truncate => {
+                let _ = sock.write_all(&frame[..frame.len() / 2]);
+                let _ = sock.flush();
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "injected frame truncation",
+                ))
+            }
+            NetAction::Drop => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected disconnect",
+            )),
+        };
+        if result.is_err() {
+            self.alive.store(false, Ordering::Relaxed);
+            sock.shutdown();
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Tunables for a [`Server`]. [`ServerConfig::from_env`] reads the
+/// `RESTUNE_SERVER_*` knobs through the shared warn-once env parser.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum queued (admitted but not yet running) jobs across all
+    /// tenants; requests beyond it are rejected with a busy frame.
+    pub queue_limit: usize,
+    /// Maximum simultaneously connected clients; connections beyond it are
+    /// refused at accept time.
+    pub max_clients: usize,
+    /// Watchdog deadline applied to jobs that carry none of their own.
+    pub default_deadline: Option<Duration>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// How long a connection may hold an incomplete frame before it is
+    /// killed as a slow-loris writer.
+    pub frame_timeout: Duration,
+    /// The retry-after hint carried by busy (admission-rejected) frames.
+    pub retry_after: Duration,
+    /// When set, arms deterministic per-connection network fault plans
+    /// (see [`crate::fault::NetFaultSpec`]) on a seeded subset of accepted
+    /// connections.
+    pub net_fault_seed: Option<u64>,
+    /// Result-cache directory override; defaults to the engine's baseline
+    /// cache directory.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Default bound on queued jobs.
+const DEFAULT_QUEUE_LIMIT: usize = 256;
+/// Default bound on simultaneous clients.
+const DEFAULT_MAX_CLIENTS: usize = 64;
+/// Default per-request watchdog deadline in seconds.
+const DEFAULT_DEADLINE_SECS: f64 = 120.0;
+
+impl ServerConfig {
+    /// Builds a configuration from the environment: `RESTUNE_SERVER_QUEUE`
+    /// (default 256), `RESTUNE_SERVER_CLIENTS` (default 64),
+    /// `RESTUNE_SERVER_DEADLINE` seconds (default 120), and
+    /// `RESTUNE_WORKERS` (default: available parallelism) — each through
+    /// the shared warn-once parser, so an invalid value warns exactly once
+    /// and falls back.
+    pub fn from_env() -> Self {
+        let queue_limit = crate::envcfg::positive_usize(
+            "RESTUNE_SERVER_QUEUE",
+            "server",
+            "the default queue limit (256)",
+        )
+        .unwrap_or(DEFAULT_QUEUE_LIMIT);
+        let max_clients = crate::envcfg::positive_usize(
+            "RESTUNE_SERVER_CLIENTS",
+            "server",
+            "the default client limit (64)",
+        )
+        .unwrap_or(DEFAULT_MAX_CLIENTS);
+        let deadline = crate::envcfg::positive_f64(
+            "RESTUNE_SERVER_DEADLINE",
+            "server",
+            "the default request deadline (120s)",
+        )
+        .unwrap_or(DEFAULT_DEADLINE_SECS);
+        let workers =
+            crate::envcfg::positive_usize("RESTUNE_WORKERS", "server", "available parallelism")
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+        Self {
+            queue_limit,
+            max_clients,
+            default_deadline: Some(Duration::from_secs_f64(deadline)),
+            workers,
+            frame_timeout: Duration::from_secs(5),
+            retry_after: Duration::from_millis(100),
+            net_fault_seed: None,
+            cache_dir: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared result cache
+// ---------------------------------------------------------------------------
+
+/// Header line of the persistent result-cache file.
+const CACHE_HEADER: &str = "restune-server-cache v1";
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// The shared cross-tenant result cache: fingerprint → encoded result
+/// payload, persisted as a CRC-trailed row file with the engine's
+/// atomic-write discipline. The same fingerprint — across tenants,
+/// connections, and server restarts — is simulated exactly once.
+struct ResultCache {
+    rows: HashMap<u64, Vec<u8>>,
+    order: Vec<u64>,
+    path: Option<PathBuf>,
+    write_warned: bool,
+}
+
+impl ResultCache {
+    fn load(path: Option<PathBuf>) -> Self {
+        let mut cache = Self {
+            rows: HashMap::new(),
+            order: Vec::new(),
+            path,
+            write_warned: false,
+        };
+        let Some(path) = cache.path.clone() else {
+            return cache;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return cache; // no file yet: an empty cache
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(CACHE_HEADER) {
+            crate::obs::warn(
+                "server",
+                &format!(
+                    "{}: unrecognized cache header; starting empty",
+                    path.display()
+                ),
+            );
+            return cache;
+        }
+        for line in lines {
+            match crate::engine::split_crc_line(line) {
+                None => break,                // torn tail: keep the verified prefix
+                Some((_, false)) => continue, // damaged row: skip it
+                Some((core, true)) => {
+                    let Some((fp, payload)) = Self::parse_row(core) else {
+                        continue;
+                    };
+                    if cache.rows.insert(fp, payload).is_none() {
+                        cache.order.push(fp);
+                    }
+                }
+            }
+        }
+        cache
+    }
+
+    fn parse_row(core: &str) -> Option<(u64, Vec<u8>)> {
+        let (fp_field, hex) = core.split_once('\t')?;
+        let fp = u64::from_str_radix(fp_field.strip_prefix("fp=")?, 16).ok()?;
+        Some((fp, hex_decode(hex)?))
+    }
+
+    fn get(&self, fingerprint: u64) -> Option<Vec<u8>> {
+        self.rows.get(&fingerprint).cloned()
+    }
+
+    /// Inserts and persists. First write wins — a fingerprint fully
+    /// determines its result, so a duplicate store is a concurrent worker
+    /// finishing the same job, not new information. A persistence failure
+    /// degrades to in-memory caching (warned once): results stay correct,
+    /// restarts lose them.
+    fn store(&mut self, fingerprint: u64, payload: Vec<u8>) {
+        if self.rows.contains_key(&fingerprint) {
+            return;
+        }
+        self.rows.insert(fingerprint, payload);
+        self.order.push(fingerprint);
+        let Some(path) = self.path.clone() else {
+            return;
+        };
+        let mut text = String::from(CACHE_HEADER);
+        text.push('\n');
+        for fp in &self.order {
+            let core = format!("fp={fp:016x}\t{}", hex_encode(&self.rows[fp]));
+            text.push_str(&crate::engine::crc_line(&core));
+            text.push('\n');
+        }
+        if let Err(e) = crate::engine::atomic_write(&path, text.as_bytes()) {
+            if !self.write_warned {
+                self.write_warned = true;
+                crate::obs::warn(
+                    "server",
+                    &format!(
+                        "{}: result-cache write failed ({e}); caching in memory only",
+                        path.display()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+/// One admitted job waiting for (or holding) a worker.
+struct PendingJob {
+    conn: Arc<FramedConn>,
+    req_id: u64,
+    want_obs: bool,
+    job: wire::Job,
+}
+
+/// Round-robin tenant scheduler state. `rr` holds each tenant with a
+/// non-empty queue exactly once; a worker pops the front tenant, takes one
+/// job, and re-queues the tenant behind everyone else.
+#[derive(Default)]
+struct Sched {
+    queues: HashMap<u64, VecDeque<PendingJob>>,
+    rr: VecDeque<u64>,
+    queued: usize,
+    in_flight: usize,
+    cancelled: HashSet<(u64, u64)>,
+}
+
+impl Sched {
+    fn push(&mut self, job: PendingJob) {
+        let conn_id = job.conn.id;
+        let queue = self.queues.entry(conn_id).or_default();
+        if queue.is_empty() {
+            self.rr.push_back(conn_id);
+        }
+        queue.push_back(job);
+        self.queued += 1;
+    }
+
+    fn pop(&mut self) -> Option<PendingJob> {
+        while let Some(conn_id) = self.rr.pop_front() {
+            let Some(queue) = self.queues.get_mut(&conn_id) else {
+                continue; // tenant disconnected since it was queued
+            };
+            let Some(job) = queue.pop_front() else {
+                self.queues.remove(&conn_id);
+                continue;
+            };
+            self.queued -= 1;
+            if queue.is_empty() {
+                self.queues.remove(&conn_id);
+            } else {
+                self.rr.push_back(conn_id);
+            }
+            return Some(job);
+        }
+        None
+    }
+
+    fn drop_tenant(&mut self, conn_id: u64) {
+        if let Some(queue) = self.queues.remove(&conn_id) {
+            self.queued -= queue.len();
+        }
+        self.rr.retain(|id| *id != conn_id);
+        self.cancelled.retain(|(cid, _)| *cid != conn_id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    jobs_run: AtomicU64,
+    job_failures: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+    slow_loris_kills: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+/// A snapshot of a server's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (including ones since closed).
+    pub connections: u64,
+    /// Jobs executed (cache hits excluded).
+    pub jobs_run: u64,
+    /// Executed jobs that ended in a classified failure.
+    pub job_failures: u64,
+    /// Requests served from the shared result cache.
+    pub cache_hits: u64,
+    /// Requests that had to simulate.
+    pub cache_misses: u64,
+    /// Requests rejected with a busy frame (admission or drain).
+    pub busy_rejections: u64,
+    /// Connections killed for protocol violations (torn or malformed
+    /// frames, unexpected kinds).
+    pub protocol_errors: u64,
+    /// Connections killed for holding a partial frame past the frame
+    /// timeout.
+    pub slow_loris_kills: u64,
+    /// Jobs cancelled by their tenant before execution.
+    pub cancelled: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A stale socket file from a crashed predecessor would make
+                // bind fail; remove it. A *live* predecessor is not
+                // detected — last binder wins, as with any pidfile-less
+                // daemon.
+                let _ = std::fs::remove_file(path);
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir)?;
+                    }
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Unix(listener))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are unavailable on this platform",
+            )),
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` when no connection is pending.
+    fn accept(&self) -> io::Result<Option<Sock>> {
+        let result = match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Sock::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Sock::Tcp(s)),
+        };
+        match result {
+            Ok(sock) => Ok(Some(sock)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    cfg: ServerConfig,
+    sched: Mutex<Sched>,
+    work_ready: Condvar,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<FramedConn>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    cache: Mutex<ResultCache>,
+    counters: Counters,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Relaxed)
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    fn count(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running suite server. Start one with [`Server::start`], stop it with
+/// [`Server::drain_and_stop`]; dropping it without draining performs an
+/// abrupt (but non-blocking-safe) stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server({})", self.endpoint)
+    }
+}
+
+impl Server {
+    /// Binds `endpoint`, loads the persistent result cache, and spawns the
+    /// accept loop and worker pool.
+    pub fn start(endpoint: Endpoint, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = Listener::bind(&endpoint)?;
+        let cache_path = cfg
+            .cache_dir
+            .clone()
+            .unwrap_or_else(crate::engine::baseline_cache_dir)
+            .join("server")
+            .join("results.tsv");
+        let cache = ResultCache::load(Some(cache_path));
+        if cache.len() > 0 {
+            crate::obs::counter_add("server.cache_loaded_rows", cache.len() as u64);
+        }
+        let workers_wanted = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            sched: Mutex::new(Sched::default()),
+            work_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            readers: Mutex::new(Vec::new()),
+            cache: Mutex::new(cache),
+            counters: Counters::default(),
+            next_conn_id: AtomicU64::new(1),
+        });
+        let workers = (0..workers_wanted)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(Server {
+            shared,
+            endpoint,
+            accept: Some(accept),
+            workers,
+            stopped: false,
+        })
+    }
+
+    /// The endpoint this server is listening on.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Stops admitting new requests: from here on every request is
+    /// answered with a busy frame and new connections are refused. Queued
+    /// and in-flight jobs keep running.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.work_ready.notify_all();
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServerStats {
+            connections: get(&c.connections),
+            jobs_run: get(&c.jobs_run),
+            job_failures: get(&c.job_failures),
+            cache_hits: get(&c.cache_hits),
+            cache_misses: get(&c.cache_misses),
+            busy_rejections: get(&c.busy_rejections),
+            protocol_errors: get(&c.protocol_errors),
+            slow_loris_kills: get(&c.slow_loris_kills),
+            cancelled: get(&c.cancelled),
+        }
+    }
+
+    /// Graceful shutdown: drain admissions, let queued and in-flight jobs
+    /// finish (every completed job is already persisted in the result
+    /// cache), then stop every thread, close every connection, and remove
+    /// the unix socket file. Returns the final counters.
+    pub fn drain_and_stop(mut self) -> ServerStats {
+        self.begin_drain();
+        loop {
+            {
+                let sched = self
+                    .shared
+                    .sched
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if sched.queued == 0 && sched.in_flight == 0 {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.stop_threads();
+        self.stopped = true;
+        self.stats()
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stopping.store(true, Ordering::Relaxed);
+        self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns: Vec<_> = self
+            .shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain()
+            .map(|(_, conn)| conn)
+            .collect();
+        for conn in conns {
+            conn.shutdown();
+        }
+        let readers: Vec<_> = self
+            .shared
+            .readers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for reader in readers {
+            let _ = reader.join();
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.stop_threads();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop
+// ---------------------------------------------------------------------------
+
+fn accept_loop(shared: &Arc<Shared>, listener: Listener) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let sock = match listener.accept() {
+            Ok(Some(sock)) => sock,
+            Ok(None) => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+        };
+        if shared.draining() {
+            // Drain refuses new connections outright: a fast EOF tells the
+            // client to fail over (or fail fast) instead of queueing behind
+            // a server that is on its way out.
+            sock.shutdown();
+            continue;
+        }
+        let over_limit = {
+            let conns = shared.conns.lock().unwrap_or_else(PoisonError::into_inner);
+            conns.len() >= shared.cfg.max_clients
+        };
+        if over_limit {
+            // Best-effort busy frame (request id 0: no request exists yet),
+            // then close. The client treats EOF the same way.
+            let mut sock = sock;
+            let busy = wire::encode_frame(
+                wire::KIND_BUSY,
+                &wire::encode_busy(0, shared.cfg.retry_after),
+            );
+            let _ = sock.write_all(&busy);
+            let _ = sock.flush();
+            sock.shutdown();
+            shared.count(&shared.counters.busy_rejections);
+            continue;
+        }
+        let Ok(reader_sock) = sock.try_clone() else {
+            sock.shutdown();
+            continue;
+        };
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let faults = match shared.cfg.net_fault_seed {
+            Some(seed) => crate::fault::seeded_net_faults(seed, conn_id),
+            None => Vec::new(),
+        };
+        if !faults.is_empty() {
+            crate::obs::warn(
+                "server",
+                &format!(
+                    "connection #{conn_id}: armed injected net faults {:?}",
+                    faults.iter().map(|f| f.class()).collect::<Vec<_>>()
+                ),
+            );
+        }
+        let conn = Arc::new(FramedConn::new(conn_id, sock, NetFaultRuntime::new(faults)));
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(conn_id, conn.clone());
+        shared.count(&shared.counters.connections);
+        let shared2 = shared.clone();
+        let handle = std::thread::spawn(move || reader_loop(&shared2, &conn, reader_sock));
+        shared
+            .readers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection reader
+// ---------------------------------------------------------------------------
+
+/// Why a reader gave up on its connection (observability only).
+enum ConnDeath {
+    Eof,
+    IoError,
+    Protocol,
+    SlowLoris,
+    Stopping,
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<FramedConn>, mut sock: Sock) {
+    let _ = sock.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut decoder = wire::StreamDecoder::new();
+    let mut partial_since: Option<Instant> = None;
+    let mut buf = [0u8; 16 * 1024];
+    let death = 'conn: loop {
+        if shared.stopping() || !conn.is_alive() {
+            break ConnDeath::Stopping;
+        }
+        // The slow-loris check runs every iteration, not only on a read
+        // timeout: a peer dripping one byte per poll interval never *hits*
+        // the timeout branch, yet holds a partial frame forever.
+        if let Some(since) = partial_since {
+            if since.elapsed() > shared.cfg.frame_timeout {
+                break ConnDeath::SlowLoris;
+            }
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => break ConnDeath::Eof,
+            Ok(n) => {
+                decoder.extend(&buf[..n]);
+                loop {
+                    match decoder.next_frame() {
+                        Ok(Some((kind, payload))) => {
+                            if !handle_frame(shared, conn, kind, &payload) {
+                                break 'conn ConnDeath::Protocol;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(violation) => {
+                            crate::obs::warn(
+                                "server",
+                                &format!("connection #{}: {violation}", conn.id),
+                            );
+                            break 'conn ConnDeath::Protocol;
+                        }
+                    }
+                }
+                partial_since = if decoder.has_partial() {
+                    partial_since.or_else(|| Some(Instant::now()))
+                } else {
+                    None
+                };
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break ConnDeath::IoError,
+        }
+    };
+    match death {
+        ConnDeath::Protocol => shared.count(&shared.counters.protocol_errors),
+        ConnDeath::SlowLoris => {
+            crate::obs::warn(
+                "server",
+                &format!(
+                    "connection #{}: partial frame older than {:?}; killing slow-loris writer",
+                    conn.id, shared.cfg.frame_timeout
+                ),
+            );
+            shared.count(&shared.counters.slow_loris_kills);
+        }
+        ConnDeath::Eof | ConnDeath::IoError | ConnDeath::Stopping => {}
+    }
+    // Containment boundary: everything this tenant still had queued dies
+    // with the connection; in-flight jobs finish (their results are cached
+    // for the tenant's reconnect) and their reply writes fail silently.
+    conn.shutdown();
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .remove(&conn.id);
+    shared
+        .sched
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drop_tenant(conn.id);
+}
+
+/// Handles one decoded frame; `false` kills the connection as a protocol
+/// violation.
+fn handle_frame(shared: &Arc<Shared>, conn: &Arc<FramedConn>, kind: u8, payload: &[u8]) -> bool {
+    match kind {
+        wire::KIND_HEARTBEAT => true,
+        wire::KIND_CANCEL => {
+            let Some(req_id) = wire::decode_cancel(payload) else {
+                return false;
+            };
+            shared
+                .sched
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .cancelled
+                .insert((conn.id, req_id));
+            true
+        }
+        wire::KIND_REQUEST => {
+            let Some((req_id, want_obs, job_bytes)) = wire::decode_request(payload) else {
+                return false; // the request frame itself is malformed
+            };
+            let busy = |r: &Arc<FramedConn>| {
+                shared.count(&shared.counters.busy_rejections);
+                let _ = r.write_frame(
+                    wire::KIND_BUSY,
+                    &wire::encode_busy(req_id, shared.cfg.retry_after),
+                );
+            };
+            if shared.draining() || shared.stopping() {
+                busy(conn);
+                return true;
+            }
+            // A request that decodes as a frame but whose *job* does not
+            // decode is this tenant's own malformed content: it gets a
+            // classified failure reply, not a connection kill.
+            let Some(job) = wire::decode_job(job_bytes) else {
+                let reply = wire::encode_reply(
+                    req_id,
+                    false,
+                    &Err((
+                        FailureKind::Transport,
+                        "job payload failed to decode".to_string(),
+                    )),
+                );
+                let _ = conn.write_frame(wire::KIND_REPLY, &reply);
+                return true;
+            };
+            let decoded_fp =
+                wire::job_fingerprint(&job.profile, &job.technique, &job.sim, &job.specs);
+            if decoded_fp != job.fingerprint {
+                let reply = wire::encode_reply(
+                    req_id,
+                    false,
+                    &Err((
+                        FailureKind::Transport,
+                        format!(
+                            "job fingerprint mismatch (frame {:016x}, decoded {decoded_fp:016x}): \
+                             wire codec drift",
+                            job.fingerprint
+                        ),
+                    )),
+                );
+                let _ = conn.write_frame(wire::KIND_REPLY, &reply);
+                return true;
+            }
+            // Cache hit: served straight from the reader thread — a cached
+            // row costs no worker and no queue slot.
+            let cached = shared
+                .cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(decoded_fp);
+            if let Some(payload) = cached {
+                shared.count(&shared.counters.cache_hits);
+                let reply = wire::encode_reply_from_result_payload(req_id, true, &payload);
+                let _ = conn.write_frame(wire::KIND_REPLY, &reply);
+                return true;
+            }
+            let admitted = {
+                let mut sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
+                if sched.queued >= shared.cfg.queue_limit {
+                    false
+                } else {
+                    sched.push(PendingJob {
+                        conn: conn.clone(),
+                        req_id,
+                        want_obs,
+                        job,
+                    });
+                    true
+                }
+            };
+            if admitted {
+                shared.work_ready.notify_one();
+            } else {
+                busy(conn);
+            }
+            true
+        }
+        // A socket peer speaking job/result/failure/obs frames (or any
+        // unknown kind) at the server is out of protocol.
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = sched.pop() {
+                    sched.in_flight += 1;
+                    break Some(job);
+                }
+                if shared.stopping() {
+                    break None;
+                }
+                sched = shared
+                    .work_ready
+                    .wait_timeout(sched, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        let Some(job) = job else { return };
+        run_job(shared, &job);
+        shared
+            .sched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .in_flight -= 1;
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, job: &PendingJob) {
+    let was_cancelled = shared
+        .sched
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .cancelled
+        .remove(&(job.conn.id, job.req_id));
+    if was_cancelled {
+        shared.count(&shared.counters.cancelled);
+        let reply = wire::encode_reply(
+            job.req_id,
+            false,
+            &Err((
+                FailureKind::Interrupted,
+                "cancelled by the client".to_string(),
+            )),
+        );
+        let _ = job.conn.write_frame(wire::KIND_REPLY, &reply);
+        return;
+    }
+    // Re-check the cache: another tenant may have computed this
+    // fingerprint while the job sat in the queue.
+    let fingerprint = job.job.fingerprint;
+    let cached = shared
+        .cache
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(fingerprint);
+    if let Some(payload) = cached {
+        shared.count(&shared.counters.cache_hits);
+        let reply = wire::encode_reply_from_result_payload(job.req_id, true, &payload);
+        let _ = job.conn.write_frame(wire::KIND_REPLY, &reply);
+        return;
+    }
+    shared.count(&shared.counters.cache_misses);
+    let deadline = job.job.deadline.or(shared.cfg.default_deadline);
+    let outcome = if job.want_obs {
+        // Stream the job's observability events home as raw obs frames.
+        // The relay only engages on the process tier (a worker child
+        // forwards its buffered trace); the in-process tier has no
+        // per-job event capture to steal, so the client then simply
+        // receives no streamed events.
+        let conn = job.conn.clone();
+        let forward = move |payload: &[u8]| {
+            let _ = conn.write_frame(wire::KIND_OBS, payload);
+        };
+        crate::engine::execute_attempt(
+            &job.job.profile,
+            &job.job.technique,
+            &job.job.sim,
+            &job.job.specs,
+            deadline,
+            true,
+            &crate::isolation::ObsRouting::Relay(&forward),
+        )
+    } else {
+        crate::engine::execute_attempt(
+            &job.job.profile,
+            &job.job.technique,
+            &job.job.sim,
+            &job.job.specs,
+            deadline,
+            true,
+            &crate::isolation::ObsRouting::Absorb,
+        )
+    };
+    shared.count(&shared.counters.jobs_run);
+    if let Ok(inst) = &outcome {
+        shared
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .store(fingerprint, wire::encode_result(inst));
+    } else {
+        // Failures are never cached: a timeout under one tenant's deadline
+        // must not poison another tenant's retry.
+        shared.count(&shared.counters.job_failures);
+    }
+    let reply = wire::encode_reply(job.req_id, false, &outcome);
+    let _ = job.conn.write_frame(wire::KIND_REPLY, &reply);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testenv::with_env;
+
+    #[test]
+    fn endpoint_parses_unix_paths_and_tcp_prefix() {
+        assert_eq!(
+            Endpoint::parse("/tmp/restuned.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/restuned.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7777"),
+            Endpoint::Tcp("127.0.0.1:7777".to_string())
+        );
+        assert_eq!(Endpoint::parse("tcp:host:1").to_string(), "tcp:host:1");
+    }
+
+    #[test]
+    fn config_reads_the_server_knobs_through_envcfg() {
+        let cfg = with_env(
+            &[
+                ("RESTUNE_SERVER_QUEUE", Some("7")),
+                ("RESTUNE_SERVER_CLIENTS", Some("3")),
+                ("RESTUNE_SERVER_DEADLINE", Some("1.5")),
+                ("RESTUNE_WORKERS", Some("2")),
+            ],
+            ServerConfig::from_env,
+        );
+        assert_eq!(cfg.queue_limit, 7);
+        assert_eq!(cfg.max_clients, 3);
+        assert_eq!(cfg.default_deadline, Some(Duration::from_secs_f64(1.5)));
+        assert_eq!(cfg.workers, 2);
+
+        let cfg = with_env(
+            &[
+                ("RESTUNE_SERVER_QUEUE", None),
+                ("RESTUNE_SERVER_CLIENTS", None),
+                ("RESTUNE_SERVER_DEADLINE", None),
+            ],
+            ServerConfig::from_env,
+        );
+        assert_eq!(cfg.queue_limit, DEFAULT_QUEUE_LIMIT);
+        assert_eq!(cfg.max_clients, DEFAULT_MAX_CLIENTS);
+        assert_eq!(
+            cfg.default_deadline,
+            Some(Duration::from_secs_f64(DEFAULT_DEADLINE_SECS))
+        );
+    }
+
+    #[test]
+    fn result_cache_round_trips_and_survives_damage() {
+        let dir = std::env::temp_dir().join(format!(
+            "restune-server-cache-test-{}-{:x}",
+            std::process::id(),
+            crate::engine::suite_fingerprint(
+                &[],
+                &crate::sim::Technique::Base,
+                &crate::sim::SimConfig::isca04(1),
+                &crate::fault::FaultPlan::none(),
+            )
+        ));
+        let path = dir.join("results.tsv");
+        let mut cache = ResultCache::load(Some(path.clone()));
+        assert_eq!(cache.len(), 0);
+        cache.store(0xAB, vec![1, 2, 3]);
+        cache.store(0xCD, vec![4, 5]);
+        cache.store(0xAB, vec![9, 9]); // duplicate: first write wins
+        let reloaded = ResultCache::load(Some(path.clone()));
+        assert_eq!(reloaded.get(0xAB), Some(vec![1, 2, 3]));
+        assert_eq!(reloaded.get(0xCD), Some(vec![4, 5]));
+
+        // Damage one row's CRC: that row is skipped, the rest load.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let last = lines.len() - 1;
+        let flipped = match lines[last].pop() {
+            Some('0') => '1',
+            _ => '0',
+        };
+        lines[last].push(flipped);
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let damaged = ResultCache::load(Some(path.clone()));
+        assert_eq!(damaged.get(0xAB), Some(vec![1, 2, 3]));
+        assert_eq!(damaged.get(0xCD), None, "damaged row is skipped");
+
+        // A torn tail (no CRC trailer at all) stops the scan there.
+        std::fs::write(
+            &path,
+            format!("{CACHE_HEADER}\n{}\nfp=00000000000000ff\t0102", lines[1]),
+        )
+        .unwrap();
+        let torn = ResultCache::load(Some(path.clone()));
+        assert_eq!(torn.len(), 1, "verified prefix only");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn round_robin_scheduler_is_fair_and_drops_tenants() {
+        let sock_pair = || {
+            // The scheduler never touches the socket; a connected pair from
+            // a throwaway listener keeps the types honest.
+            FramedConn::new(0, fake_sock(), NetFaultRuntime::new(Vec::new()))
+        };
+        let conn_a = Arc::new(FramedConn {
+            id: 1,
+            ..sock_pair()
+        });
+        let conn_b = Arc::new(FramedConn {
+            id: 2,
+            ..sock_pair()
+        });
+        let job = |conn: &Arc<FramedConn>, req_id: u64| PendingJob {
+            conn: conn.clone(),
+            req_id,
+            want_obs: false,
+            job: wire::decode_job(&wire::encode_job(
+                &workloads::spec2k::all()[0],
+                &crate::sim::Technique::Base,
+                &crate::sim::SimConfig::isca04(100),
+                &[],
+                None,
+                wire::job_fingerprint(
+                    &workloads::spec2k::all()[0],
+                    &crate::sim::Technique::Base,
+                    &crate::sim::SimConfig::isca04(100),
+                    &[],
+                ),
+            ))
+            .expect("job round-trips"),
+        };
+        let mut sched = Sched::default();
+        // Tenant A queues three jobs before tenant B queues one: fair
+        // round-robin still alternates instead of draining A first.
+        sched.push(job(&conn_a, 1));
+        sched.push(job(&conn_a, 2));
+        sched.push(job(&conn_a, 3));
+        sched.push(job(&conn_b, 10));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| sched.pop())
+            .map(|j| (j.conn.id, j.req_id))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (2, 10), (1, 2), (1, 3)]);
+        assert_eq!(sched.queued, 0);
+
+        sched.push(job(&conn_a, 4));
+        sched.push(job(&conn_b, 11));
+        sched.cancelled.insert((1, 4));
+        sched.drop_tenant(1);
+        assert_eq!(sched.queued, 1);
+        assert!(
+            sched.cancelled.is_empty(),
+            "cancel marks die with the tenant"
+        );
+        let survivor = sched.pop().expect("tenant B survives");
+        assert_eq!((survivor.conn.id, survivor.req_id), (2, 11));
+    }
+
+    fn fake_sock() -> Sock {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral listener");
+        let addr = listener.local_addr().expect("bound address");
+        Sock::Tcp(TcpStream::connect(addr).expect("loopback connect"))
+    }
+}

@@ -40,7 +40,32 @@ pub(crate) const KIND_RESULT: u8 = 2;
 pub(crate) const KIND_FAILURE: u8 = 3;
 /// Observability forwarding: a worker's counters and buffered trace lines,
 /// written before its reply so the parent can splice them into its own sink.
+/// On a server connection the same kind streams a remote job's events back
+/// to the requesting tenant, incrementally, between replies.
 pub(crate) const KIND_OBS: u8 = 4;
+/// Server protocol: one tenant job request (`req_id`, obs flag, job payload).
+pub(crate) const KIND_REQUEST: u8 = 5;
+/// Server protocol: the reply to one request (`req_id`, cached flag, then a
+/// result or classified-failure payload).
+pub(crate) const KIND_REPLY: u8 = 6;
+/// Server protocol: admission rejected — the queue is full or the server is
+/// draining; carries `req_id` and a retry-after hint.
+pub(crate) const KIND_BUSY: u8 = 7;
+/// Server protocol: the client no longer wants `req_id`.
+pub(crate) const KIND_CANCEL: u8 = 8;
+/// Server protocol: client liveness beacon (empty payload); lets the server
+/// tell an idle-but-healthy tenant from a vanished peer.
+pub(crate) const KIND_HEARTBEAT: u8 = 9;
+
+/// Cap on the fault-spec count a job frame may declare. Counts are read off
+/// the wire *before* any allocation, so a corrupt length fails as a
+/// transport error instead of a giant `Vec::with_capacity`.
+pub(crate) const MAX_JOB_SPECS: usize = 1_024;
+
+/// Cap on a single frame's declared payload length on a *socket* stream
+/// (16 MiB). Pipe readers buffer a whole child's stdout anyway, but the
+/// server must bound what an untrusted connection can make it allocate.
+pub(crate) const MAX_FRAME_PAYLOAD: usize = 1 << 24;
 
 const CRC_TABLE: [u32; 256] = crc32_table();
 
@@ -455,7 +480,7 @@ pub(crate) fn decode_job(payload: &[u8]) -> Option<Job> {
     let technique = take_technique(&mut r)?;
     let sim = SimConfig::isca04(r.take_u64()?);
     let count = r.take_u32()? as usize;
-    if count > 1024 {
+    if count > MAX_JOB_SPECS {
         return None;
     }
     let mut specs = Vec::with_capacity(count);
@@ -548,6 +573,222 @@ pub(crate) fn decode_result(payload: &[u8]) -> Option<InstrumentedRun> {
         phases,
         wall,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Server-protocol codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a tenant request payload: the request id, whether the tenant
+/// wants the job's observability events streamed back, and the embedded job
+/// payload (exactly [`encode_job`]'s bytes).
+pub(crate) fn encode_request(req_id: u64, want_obs: bool, job_payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(req_id);
+    w.put_u8(u8::from(want_obs));
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(job_payload);
+    bytes
+}
+
+/// Decodes a request payload into `(req_id, want_obs, job_payload)`. The
+/// job payload is returned raw so the server can separate "the request
+/// frame is malformed" (kill the connection) from "the job inside it does
+/// not decode" (reply a classified transport failure to `req_id`).
+pub(crate) fn decode_request(payload: &[u8]) -> Option<(u64, bool, &[u8])> {
+    let (head, job) = (payload.get(..9)?, &payload[9..]);
+    let req_id = u64::from_le_bytes(head[..8].try_into().ok()?);
+    let want_obs = match head[8] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some((req_id, want_obs, job))
+}
+
+const REPLY_RESULT: u8 = 0;
+const REPLY_FAILURE: u8 = 1;
+
+/// Encodes a reply payload: the request id, whether the rows came from the
+/// shared result cache, then the result or classified failure.
+pub(crate) fn encode_reply(
+    req_id: u64,
+    cached: bool,
+    outcome: &Result<InstrumentedRun, (FailureKind, String)>,
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(req_id);
+    w.put_u8(u8::from(cached));
+    let mut bytes = w.into_bytes();
+    match outcome {
+        Ok(inst) => {
+            bytes.push(REPLY_RESULT);
+            bytes.extend_from_slice(&encode_result(inst));
+        }
+        Err((kind, message)) => {
+            bytes.push(REPLY_FAILURE);
+            bytes.extend_from_slice(&encode_failure(*kind, message));
+        }
+    }
+    bytes
+}
+
+/// Assembles a reply payload directly from a stored [`encode_result`]
+/// payload — the shared result cache keeps encoded rows, so a cache hit is
+/// served without a decode/re-encode round trip.
+pub(crate) fn encode_reply_from_result_payload(
+    req_id: u64,
+    cached: bool,
+    result_payload: &[u8],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(req_id);
+    w.put_u8(u8::from(cached));
+    let mut bytes = w.into_bytes();
+    bytes.push(REPLY_RESULT);
+    bytes.extend_from_slice(result_payload);
+    bytes
+}
+
+/// Decodes a reply payload into `(req_id, cached, outcome)`.
+#[allow(clippy::type_complexity)]
+pub(crate) fn decode_reply(
+    payload: &[u8],
+) -> Option<(u64, bool, Result<InstrumentedRun, (FailureKind, String)>)> {
+    let head = payload.get(..10)?;
+    let req_id = u64::from_le_bytes(head[..8].try_into().ok()?);
+    let cached = match head[8] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let outcome = match head[9] {
+        REPLY_RESULT => Ok(decode_result(&payload[10..])?),
+        REPLY_FAILURE => Err(decode_failure(&payload[10..])?),
+        _ => return None,
+    };
+    Some((req_id, cached, outcome))
+}
+
+/// Encodes a busy (admission-rejected) payload with its retry-after hint.
+pub(crate) fn encode_busy(req_id: u64, retry_after: Duration) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(req_id);
+    w.put_u64(retry_after.as_millis() as u64);
+    w.into_bytes()
+}
+
+/// Decodes a busy payload into `(req_id, retry_after)`.
+pub(crate) fn decode_busy(payload: &[u8]) -> Option<(u64, Duration)> {
+    let mut r = Reader::new(payload);
+    let req_id = r.take_u64()?;
+    let millis = r.take_u64()?;
+    r.done()?;
+    Some((req_id, Duration::from_millis(millis)))
+}
+
+/// Encodes a cancel payload.
+pub(crate) fn encode_cancel(req_id: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(req_id);
+    w.into_bytes()
+}
+
+/// Decodes a cancel payload.
+pub(crate) fn decode_cancel(payload: &[u8]) -> Option<u64> {
+    let mut r = Reader::new(payload);
+    let req_id = r.take_u64()?;
+    r.done()?;
+    Some(req_id)
+}
+
+// ---------------------------------------------------------------------------
+// Strict stream decoder (sockets)
+// ---------------------------------------------------------------------------
+
+/// Why a socket stream stopped being decodable. Unlike the pipe readers
+/// above — which *scan* through a worker's stdout chatter — a socket is
+/// point-to-point and owned entirely by the protocol, so any malformed byte
+/// is a violation that kills that connection (and only that connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StreamError {
+    /// The next bytes are not a frame header where one must start.
+    Desync,
+    /// A declared payload length beyond [`MAX_FRAME_PAYLOAD`].
+    Oversize(usize),
+    /// A complete frame whose CRC32 does not verify (torn mid-write).
+    Corrupt,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Desync => write!(f, "bytes where a frame header must start"),
+            Self::Oversize(len) => write!(
+                f,
+                "declared payload length {len} exceeds the {MAX_FRAME_PAYLOAD}-byte cap"
+            ),
+            Self::Corrupt => write!(f, "frame CRC32 mismatch (torn or corrupted write)"),
+        }
+    }
+}
+
+/// Incremental strict frame decoder for socket streams: feed it reads with
+/// [`StreamDecoder::extend`], pull complete frames with
+/// [`StreamDecoder::next_frame`]. Length caps apply *before* buffering a
+/// frame's payload is required, so a hostile peer cannot force a giant
+/// allocation with a forged header.
+#[derive(Debug, Default)]
+pub(crate) struct StreamDecoder {
+    buf: Vec<u8>,
+}
+
+impl StreamDecoder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `true` while an incomplete frame (or any undecoded byte) is
+    /// buffered — the server's slow-loris detector times this state.
+    pub(crate) fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// The next complete frame, `Ok(None)` when more bytes are needed, or
+    /// the protocol violation that should kill the connection.
+    pub(crate) fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, StreamError> {
+        let n = self.buf.len();
+        let prefix = n.min(4);
+        if self.buf[..prefix] != MAGIC[..prefix] {
+            return Err(StreamError::Desync);
+        }
+        if n >= 5 && self.buf[4] != VERSION {
+            return Err(StreamError::Desync);
+        }
+        if n < 10 {
+            return Ok(None);
+        }
+        let kind = self.buf[5];
+        let len = u32::from_le_bytes(self.buf[6..10].try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(StreamError::Oversize(len));
+        }
+        let total = 10 + len + 4;
+        if n < total {
+            return Ok(None);
+        }
+        let crc = u32::from_le_bytes(self.buf[10 + len..total].try_into().expect("4-byte slice"));
+        if crc != crc32(&self.buf[10..10 + len]) {
+            return Err(StreamError::Corrupt);
+        }
+        let payload = self.buf[10..10 + len].to_vec();
+        self.buf.drain(..total);
+        Ok(Some((kind, payload)))
+    }
 }
 
 const FAILURE_TAGS: [(u8, FailureKind); 7] = [
@@ -819,6 +1060,127 @@ mod tests {
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[0], (KIND_RESULT, inner.as_slice()));
         assert_eq!(frames[1], (KIND_OBS, b"after".as_slice()));
+    }
+
+    #[test]
+    fn job_spec_count_is_capped_before_any_allocation() {
+        // Satellite: a corrupt spec count off the wire must fail as a
+        // transport error, never reach `Vec::with_capacity`. Hand-roll a
+        // payload that is valid up to the count, then lies about it.
+        let mut w = Writer::new();
+        w.put_u64(0xDEAD_BEEF);
+        w.put_str("swim");
+        w.put_u8(0); // Technique::Base
+        w.put_u64(1_000); // instructions
+        w.put_u32(u32::MAX); // a 4-billion-spec allocation bomb
+        let payload = w.into_bytes();
+        assert!(decode_job(&payload).is_none(), "corrupt count must fail");
+
+        // One past the cap is rejected; at the cap the decode proceeds (and
+        // then fails later only because the specs themselves are missing).
+        let at_limit = |count: u32| {
+            let mut w = Writer::new();
+            w.put_u64(1);
+            w.put_str("swim");
+            w.put_u8(0);
+            w.put_u64(1_000);
+            w.put_u32(count);
+            decode_job(&w.into_bytes())
+        };
+        assert!(at_limit(MAX_JOB_SPECS as u32 + 1).is_none());
+        assert!(at_limit(MAX_JOB_SPECS as u32).is_none(), "truncated specs");
+    }
+
+    #[test]
+    fn request_and_reply_round_trip() {
+        let profile = spec2k::by_name("art").unwrap();
+        let sim = SimConfig::isca04(2_000);
+        let fp = job_fingerprint(&profile, &Technique::Base, &sim, &[]);
+        let job = encode_job(&profile, &Technique::Base, &sim, &[], None, fp);
+        for want_obs in [false, true] {
+            let payload = encode_request(77, want_obs, &job);
+            let (req_id, obs, job_bytes) = decode_request(&payload).expect("request decodes");
+            assert_eq!(req_id, 77);
+            assert_eq!(obs, want_obs);
+            assert_eq!(job_bytes, job.as_slice());
+            assert!(decode_job(job_bytes).is_some());
+        }
+        assert!(decode_request(&[1, 2, 3]).is_none(), "truncated header");
+
+        let failure: Result<InstrumentedRun, _> =
+            Err((FailureKind::Timeout, String::from("too slow")));
+        let payload = encode_reply(9, true, &failure);
+        let (req_id, cached, outcome) = decode_reply(&payload).expect("reply decodes");
+        assert_eq!(req_id, 9);
+        assert!(cached);
+        assert_eq!(
+            outcome,
+            Err((FailureKind::Timeout, String::from("too slow")))
+        );
+        assert!(decode_reply(&payload[..9]).is_none(), "truncated reply");
+    }
+
+    #[test]
+    fn busy_and_cancel_round_trip() {
+        let payload = encode_busy(3, Duration::from_millis(250));
+        assert_eq!(decode_busy(&payload), Some((3, Duration::from_millis(250))));
+        assert!(decode_busy(&payload[..7]).is_none());
+        let payload = encode_cancel(42);
+        assert_eq!(decode_cancel(&payload), Some(42));
+        let mut trailing = payload;
+        trailing.push(0);
+        assert!(decode_cancel(&trailing).is_none());
+    }
+
+    #[test]
+    fn stream_decoder_yields_frames_incrementally() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(KIND_HEARTBEAT, &[]));
+        stream.extend_from_slice(&encode_frame(KIND_CANCEL, &encode_cancel(5)));
+        let mut dec = StreamDecoder::new();
+        // Feed one byte at a time: every prefix is either "need more" or a
+        // complete frame, never an error.
+        let mut got = Vec::new();
+        for &b in &stream {
+            dec.extend(&[b]);
+            while let Some(frame) = dec.next_frame().expect("valid stream") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, KIND_HEARTBEAT);
+        assert_eq!(got[1].0, KIND_CANCEL);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn stream_decoder_rejects_desync_oversize_and_corruption() {
+        // Garbage where a header must start.
+        let mut dec = StreamDecoder::new();
+        dec.extend(b"not a frame");
+        assert_eq!(dec.next_frame(), Err(StreamError::Desync));
+
+        // Right magic, wrong version.
+        let mut dec = StreamDecoder::new();
+        dec.extend(b"RSTF\xFF");
+        assert_eq!(dec.next_frame(), Err(StreamError::Desync));
+
+        // A forged length cannot force a giant buffer.
+        let mut dec = StreamDecoder::new();
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&MAGIC);
+        forged.push(VERSION);
+        forged.push(KIND_REQUEST);
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        dec.extend(&forged);
+        assert!(matches!(dec.next_frame(), Err(StreamError::Oversize(_))));
+
+        // A flipped payload bit is caught by the CRC.
+        let mut dec = StreamDecoder::new();
+        let mut frame = encode_frame(KIND_CANCEL, &encode_cancel(1));
+        frame[12] ^= 0x01;
+        dec.extend(&frame);
+        assert_eq!(dec.next_frame(), Err(StreamError::Corrupt));
     }
 
     #[test]
