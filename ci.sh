@@ -18,6 +18,38 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> RISC-V conformance tier (explicit rerun of the frontend gate)"
+# Already part of the workspace test run above; rerun by name so a frontend
+# regression is unmistakable in the CI log rather than buried in the suite.
+cargo test -q --offline --test riscv_frontend
+
+echo "==> corpus smoke (RV32IM corpus on both engine paths, bit-identical)"
+# The corpus apps are assembled from source and executed at harness start,
+# then run through the noise model on the fused kernel (default) and the
+# per-cycle reference loop (RESTUNE_KERNEL=off). Every deterministic report
+# section must be bit-identical across the two engine paths; run_metrics
+# carries wall times and is excluded.
+corpus_dir=$(mktemp -d)
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/table3_riscv -n 20000 --json > "$corpus_dir/fused.json"
+RESTUNE_CACHE_DIR="$(mktemp -d)" RESTUNE_KERNEL=off \
+    ./target/release/table3_riscv -n 20000 --json > "$corpus_dir/reference.json"
+python3 - "$corpus_dir/fused.json" "$corpus_dir/reference.json" <<'EOF'
+import json, sys
+fused, reference = (json.load(open(p)) for p in sys.argv[1:])
+apps = [r["app"] for r in fused["programs"]]
+assert len(apps) >= 2, f"corpus smoke: expected several corpus apps, got {apps}"
+for section in ("programs", "table3_riscv", "techniques", "outcomes"):
+    assert fused[section] == reference[section], \
+        f"corpus smoke: section {section!r} differs between engine paths"
+viol = {r["app"]: r["violation_cycles"] for r in fused["run_metrics"]}
+assert viol.get("resonance", 0) > 0, \
+    f"corpus smoke: resonance must violate on the base machine: {viol}"
+assert all(v == 0 for a, v in viol.items() if a != "resonance"), \
+    f"corpus smoke: only resonance may violate on the base machine: {viol}"
+print(f"corpus ok: {len(apps)} programs bit-identical across engine paths")
+EOF
+
 echo "==> fault-injection smoke (seeded plan, degraded run must exit 0)"
 # Seed 42 injects at least one fault across the suite (pinned by the
 # seeded_plan_injects_somewhere_across_a_suite unit test). The degraded run

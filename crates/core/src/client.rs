@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use workloads::{spec2k, WorkloadProfile};
+use workloads::{registry, WorkloadProfile};
 
 use crate::fault::{FailureKind, FaultSpec, NetFaultRuntime, NetFaultSpec};
 use crate::server::{Endpoint, FramedConn, Sock};
@@ -341,7 +341,7 @@ pub(crate) fn remote_attempt(
     // The same eligibility gate as the process-isolation tier: the wire
     // codec sends the profile by name and the machine by instruction
     // budget, so only registry profiles on the isca04 preset can cross.
-    if spec2k::by_name(profile.name) != Some(*profile)
+    if registry::by_name(profile.name) != Some(*profile)
         || *sim != SimConfig::isca04(sim.instructions)
     {
         static WARNED: AtomicBool = AtomicBool::new(false);

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use workloads::{spec2k, WorkloadProfile};
+use workloads::{corpus, registry, spec2k, WorkloadProfile};
 
 use crate::config::SupervisorConfig;
 use crate::fault::{
@@ -744,12 +744,33 @@ pub fn cached_base_suite_supervised(
     sup: &SupervisorConfig,
     plan: &FaultPlan,
 ) -> SupervisedSuite {
+    cached_suite_supervised_for(sim, &spec2k::all(), sup, plan)
+}
+
+/// [`cached_base_suite_supervised`] for the RISC-V corpus suite: same
+/// storage-fault, recovery, and recording behavior against the corpus
+/// baseline file.
+pub fn cached_corpus_base_suite_supervised(
+    sim: &SimConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> SupervisedSuite {
+    cached_suite_supervised_for(sim, &corpus::all(), sup, plan)
+}
+
+fn cached_suite_supervised_for(
+    sim: &SimConfig,
+    profiles: &[WorkloadProfile],
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> SupervisedSuite {
     let policy_is_inert = !plan.is_enabled() && sup.timeout.is_none() && !sup.resume;
     if policy_is_inert {
-        return SupervisedSuite::from_suite_run(&cached_base_suite(sim), "base");
+        return SupervisedSuite::from_suite_run(&cached_suite_for(sim, profiles), "base");
     }
 
-    let path = baseline_path(sim);
+    let fp = baseline_fingerprint_for(sim, profiles);
+    let path = suite_baseline_path(fp);
     let mut incidents = Vec::new();
     if let Some(fault) = plan.storage_fault() {
         if path.exists() && corrupt_file(&path, fault).is_ok() {
@@ -761,7 +782,6 @@ pub fn cached_base_suite_supervised(
         }
     }
 
-    let fp = base_fingerprint(sim);
     if let Ok(Some(results)) = load_baseline(&path, fp) {
         let stats = base_cache_stats();
         let metrics = results
@@ -778,7 +798,7 @@ pub fn cached_base_suite_supervised(
         };
     }
 
-    let mut suite = run_suite_supervised(&spec2k::all(), &Technique::Base, sim, sup, plan);
+    let mut suite = run_suite_supervised(profiles, &Technique::Base, sim, sup, plan);
     suite.report.scope = String::from("base");
     if let Some(results) = suite.all_results() {
         if !plan.has_result_faults() {
@@ -833,12 +853,17 @@ pub fn base_cache_stats() -> CacheStats {
 /// How many times this process actually *simulated* the base suite for
 /// `sim` (as opposed to serving it from the memo or a baseline file).
 pub fn base_suite_simulations(sim: &SimConfig) -> u64 {
+    simulations_for(base_fingerprint(sim))
+}
+
+/// [`base_suite_simulations`] for the RISC-V corpus suite.
+pub fn corpus_base_suite_simulations(sim: &SimConfig) -> u64 {
+    simulations_for(corpus_base_fingerprint(sim))
+}
+
+fn simulations_for(fp: u64) -> u64 {
     let state = cache().lock().unwrap_or_else(PoisonError::into_inner);
-    state
-        .simulations
-        .get(&base_fingerprint(sim))
-        .copied()
-        .unwrap_or(0)
+    state.simulations.get(&fp).copied().unwrap_or(0)
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -863,7 +888,19 @@ const BASELINE_SCHEMA: u32 = 2;
 /// any parameter change — in the machine or in a profile — yields a new
 /// fingerprint and invalidates recorded baselines.
 pub fn base_fingerprint(sim: &SimConfig) -> u64 {
-    let identity = format!("v{BASELINE_SCHEMA}|{sim:?}|{:?}", spec2k::all());
+    baseline_fingerprint_for(sim, &spec2k::all())
+}
+
+/// [`base_fingerprint`] for the RISC-V corpus suite. Corpus profiles carry
+/// a content hash of their assembly source as `seed`, so editing a program
+/// re-fingerprints the corpus baseline exactly like a profile edit does for
+/// the synthetic suite.
+pub fn corpus_base_fingerprint(sim: &SimConfig) -> u64 {
+    baseline_fingerprint_for(sim, &corpus::all())
+}
+
+fn baseline_fingerprint_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> u64 {
+    let identity = format!("v{BASELINE_SCHEMA}|{sim:?}|{profiles:?}");
     fnv1a(identity.as_bytes())
 }
 
@@ -886,7 +923,16 @@ pub fn baseline_cache_dir() -> PathBuf {
 
 /// Path of the recorded baseline for `sim` under [`baseline_cache_dir`].
 pub fn baseline_path(sim: &SimConfig) -> PathBuf {
-    baseline_cache_dir().join(format!("base-{:016x}.tsv", base_fingerprint(sim)))
+    suite_baseline_path(base_fingerprint(sim))
+}
+
+/// [`baseline_path`] for the RISC-V corpus suite.
+pub fn corpus_baseline_path(sim: &SimConfig) -> PathBuf {
+    suite_baseline_path(corpus_base_fingerprint(sim))
+}
+
+fn suite_baseline_path(fingerprint: u64) -> PathBuf {
+    baseline_cache_dir().join(format!("base-{fingerprint:016x}.tsv"))
 }
 
 /// Serializes result rows to `path`, keyed by `fingerprint`.
@@ -934,9 +980,10 @@ fn result_row(r: &SimResult) -> String {
 fn parse_row(line: &str) -> Option<SimResult> {
     let mut f = line.split('\t');
     let name = f.next()?;
-    // Resolve through the suite so `app` stays a `&'static str`; an unknown
-    // name means the file predates a suite change and must be discarded.
-    let app = spec2k::by_name(name)?.name;
+    // Resolve through the registry so `app` stays a `&'static str`; an
+    // unknown name means the file predates a suite change and must be
+    // discarded.
+    let app = registry::by_name(name)?.name;
     let uint = |s: Option<&str>| s?.parse::<u64>().ok();
     let float = |s: Option<&str>| Some(f64::from_bits(u64::from_str_radix(s?, 16).ok()?));
     let result = SimResult {
@@ -1018,14 +1065,25 @@ fn parse_baseline(text: &str, fingerprint: u64) -> Option<Vec<SimResult>> {
 /// Panics with the failing application's name if the base simulation
 /// panics.
 pub fn cached_base_suite(sim: &SimConfig) -> Arc<SuiteRun> {
-    let fp = base_fingerprint(sim);
+    cached_suite_for(sim, &spec2k::all())
+}
+
+/// [`cached_base_suite`] for the RISC-V corpus suite: the same memo,
+/// counters, and recorded-baseline machinery, keyed by the corpus
+/// fingerprint.
+pub fn cached_corpus_base_suite(sim: &SimConfig) -> Arc<SuiteRun> {
+    cached_suite_for(sim, &corpus::all())
+}
+
+fn cached_suite_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> Arc<SuiteRun> {
+    let fp = baseline_fingerprint_for(sim, profiles);
     let mut state = cache().lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(run) = state.memo.get(&fp) {
         BASE_HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(run);
     }
 
-    let path = baseline_path(sim);
+    let path = suite_baseline_path(fp);
     if let Ok(Some(results)) = load_baseline(&path, fp) {
         BASE_HITS.fetch_add(1, Ordering::Relaxed);
         let stats = base_cache_stats();
@@ -1043,8 +1101,7 @@ pub fn cached_base_suite(sim: &SimConfig) -> Arc<SuiteRun> {
     }
 
     BASE_MISSES.fetch_add(1, Ordering::Relaxed);
-    let run =
-        try_run_suite(&spec2k::all(), &Technique::Base, sim).unwrap_or_else(|e| panic!("{e}"));
+    let run = try_run_suite(profiles, &Technique::Base, sim).unwrap_or_else(|e| panic!("{e}"));
     *state.simulations.entry(fp).or_insert(0) += 1;
     // Recording is best-effort: a read-only target directory only costs
     // later processes the cold run.

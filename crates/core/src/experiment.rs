@@ -2,13 +2,13 @@
 //! technique (on the bounded worker pool of [`crate::engine`]) and build
 //! the rows of the paper's tables.
 
-use workloads::{spec2k, WorkloadProfile};
+use workloads::{corpus, spec2k, WorkloadProfile};
 
 use crate::baselines::{DampingConfig, SensorConfig};
 use crate::config::{RunPolicy, TuningConfig};
 use crate::engine::{
-    cached_base_suite, cached_base_suite_supervised, run_suite_supervised, try_run_suite,
-    SupervisedSuite,
+    cached_base_suite, cached_base_suite_supervised, cached_corpus_base_suite,
+    cached_corpus_base_suite_supervised, run_suite_supervised, try_run_suite, SupervisedSuite,
 };
 use crate::fault::FailureReport;
 use crate::metrics::{RelativeOutcome, Summary};
@@ -41,6 +41,12 @@ pub fn run_suite(
 /// the cold run.
 pub fn run_base_suite(sim: &SimConfig) -> Vec<SimResult> {
     cached_base_suite(sim).results.clone()
+}
+
+/// [`run_base_suite`] for the RISC-V corpus suite (memoized and recorded
+/// through [`cached_corpus_base_suite`], like the synthetic suite).
+pub fn run_corpus_base_suite(sim: &SimConfig) -> Vec<SimResult> {
+    cached_corpus_base_suite(sim).results.clone()
 }
 
 /// Pairs base and technique suite results into per-app outcomes.
@@ -79,6 +85,11 @@ pub fn run_suite_policed(
 /// With an inert policy this is bit-identical to [`run_base_suite`].
 pub fn base_suite_supervised(sim: &SimConfig, policy: &RunPolicy) -> SupervisedSuite {
     cached_base_suite_supervised(sim, &policy.supervisor, &policy.plan)
+}
+
+/// [`base_suite_supervised`] for the RISC-V corpus suite.
+pub fn corpus_base_suite_supervised(sim: &SimConfig, policy: &RunPolicy) -> SupervisedSuite {
+    cached_corpus_base_suite_supervised(sim, &policy.supervisor, &policy.plan)
 }
 
 /// Pairs the applications that succeeded in *both* supervised suites into
@@ -149,12 +160,27 @@ pub struct Table3Row {
 
 /// Reproduces Table 3: sweep the initial response time.
 pub fn table3(sim: &SimConfig, response_times: &[u32], base: &[SimResult]) -> Vec<Table3Row> {
-    let profiles = spec2k::all();
+    table3_for(sim, &spec2k::all(), response_times, base)
+}
+
+/// Table 3 over the RISC-V corpus: the same response-time sweep, with each
+/// design point executing the real programs' lowered traces instead of the
+/// synthetic streams. `base` must come from [`run_corpus_base_suite`].
+pub fn table3_riscv(sim: &SimConfig, response_times: &[u32], base: &[SimResult]) -> Vec<Table3Row> {
+    table3_for(sim, &corpus::all(), response_times, base)
+}
+
+fn table3_for(
+    sim: &SimConfig,
+    profiles: &[WorkloadProfile],
+    response_times: &[u32],
+    base: &[SimResult],
+) -> Vec<Table3Row> {
     response_times
         .iter()
         .map(|&t| {
             let technique = Technique::Tuning(TuningConfig::isca04_table1(t));
-            let results = run_suite(&profiles, &technique, sim);
+            let results = run_suite(profiles, &technique, sim);
             let outcomes = compare_suites(base, &results);
             Table3Row {
                 initial_response_time: t,
@@ -251,12 +277,33 @@ pub fn table3_supervised(
     base: &SupervisedSuite,
     policy: &RunPolicy,
 ) -> (Vec<Table3Row>, Vec<FailureReport>) {
-    let profiles = spec2k::all();
+    table3_supervised_for(sim, &spec2k::all(), response_times, base, policy)
+}
+
+/// Supervised [`table3_riscv`] (see [`table3_supervised`] for the
+/// degradation rules). `base` must come from
+/// [`corpus_base_suite_supervised`].
+pub fn table3_riscv_supervised(
+    sim: &SimConfig,
+    response_times: &[u32],
+    base: &SupervisedSuite,
+    policy: &RunPolicy,
+) -> (Vec<Table3Row>, Vec<FailureReport>) {
+    table3_supervised_for(sim, &corpus::all(), response_times, base, policy)
+}
+
+fn table3_supervised_for(
+    sim: &SimConfig,
+    profiles: &[WorkloadProfile],
+    response_times: &[u32],
+    base: &SupervisedSuite,
+    policy: &RunPolicy,
+) -> (Vec<Table3Row>, Vec<FailureReport>) {
     let mut rows = Vec::new();
     let mut reports = Vec::new();
     for &t in response_times {
         let technique = Technique::Tuning(TuningConfig::isca04_table1(t));
-        let suite = run_suite_policed(&profiles, &technique, sim, policy, &format!("tuning-{t}"));
+        let suite = run_suite_policed(profiles, &technique, sim, policy, &format!("tuning-{t}"));
         let outcomes = paired_outcomes(base, &suite);
         if !outcomes.is_empty() {
             rows.push(Table3Row {

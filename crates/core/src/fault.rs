@@ -360,7 +360,7 @@ impl FaultPlan {
     /// (a sensor fault somewhere). Suites run under such a plan must never
     /// be recorded as clean baselines.
     pub fn has_result_faults(&self) -> bool {
-        workloads::spec2k::all()
+        workloads::registry::all()
             .iter()
             .any(|p| !self.result_faults(p.name).is_empty())
     }

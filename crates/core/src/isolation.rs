@@ -35,7 +35,7 @@ use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use workloads::{spec2k, WorkloadProfile};
+use workloads::{registry, WorkloadProfile};
 
 use crate::fault::{FailureKind, FaultSpec};
 use crate::sim::{run_supervised, InstrumentedRun, SimConfig, Technique};
@@ -379,7 +379,7 @@ pub(crate) fn process_attempt(
     // jobs whose profile is the registry entry and whose SimConfig is the
     // isca04 preset. Anything else runs in-process. The fingerprint check
     // in the worker backstops this gate.
-    if spec2k::by_name(profile.name) != Some(*profile)
+    if registry::by_name(profile.name) != Some(*profile)
         || *sim != SimConfig::isca04(sim.instructions)
     {
         return None;

@@ -80,8 +80,9 @@ pub use client::{clear_connect, connect_active, set_connect, set_net_faults};
 pub use config::{RunPolicy, SupervisorConfig, TuningConfig};
 pub use detector::{EventDetector, Polarity, ResonantEvent, WaveletConfig, WaveletDetector};
 pub use engine::{
-    cached_base_suite, cached_base_suite_supervised, run_suite_supervised, try_run_suite,
-    CacheStats, SuiteError, SuiteRun, SupervisedSuite,
+    cached_base_suite, cached_base_suite_supervised, cached_corpus_base_suite,
+    cached_corpus_base_suite_supervised, run_suite_supervised, try_run_suite, CacheStats,
+    SuiteError, SuiteRun, SupervisedSuite,
 };
 pub use fault::{
     parse_net_faults, AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, NetFaultSpec,

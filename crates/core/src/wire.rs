@@ -22,7 +22,7 @@
 
 use std::time::Duration;
 
-use workloads::{spec2k, WorkloadProfile};
+use workloads::{registry, WorkloadProfile};
 
 use crate::baselines::{DampingConfig, SensorConfig};
 use crate::config::TuningConfig;
@@ -476,7 +476,7 @@ pub(crate) fn encode_job(
 pub(crate) fn decode_job(payload: &[u8]) -> Option<Job> {
     let mut r = Reader::new(payload);
     let fingerprint = r.take_u64()?;
-    let profile = spec2k::by_name(r.take_str()?)?;
+    let profile = registry::by_name(r.take_str()?)?;
     let technique = take_technique(&mut r)?;
     let sim = SimConfig::isca04(r.take_u64()?);
     let count = r.take_u32()? as usize;
@@ -541,7 +541,7 @@ pub(crate) fn encode_result(inst: &InstrumentedRun) -> Vec<u8> {
 /// Decodes a successful run's reply payload.
 pub(crate) fn decode_result(payload: &[u8]) -> Option<InstrumentedRun> {
     let mut r = Reader::new(payload);
-    let app = spec2k::by_name(r.take_str()?)?.name;
+    let app = registry::by_name(r.take_str()?)?.name;
     let result = SimResult {
         app,
         cycles: r.take_u64()?,
@@ -878,6 +878,7 @@ pub(crate) fn decode_obs(payload: &[u8]) -> Option<(Vec<(String, u64)>, Vec<Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+    use workloads::spec2k;
 
     #[test]
     fn crc32_matches_the_reference_vector() {

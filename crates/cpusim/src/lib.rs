@@ -50,6 +50,7 @@ pub mod control;
 mod core;
 pub mod isa;
 pub mod memsys;
+pub mod riscv;
 pub mod stats;
 
 pub use crate::core::{apriori_issue_current, Cpu, ScanMode};

@@ -1,0 +1,555 @@
+//! RV32IM instruction representation with binary encode/decode.
+//!
+//! The frontend keeps the real ISA encoding in the loop on purpose: the
+//! assembler *encodes* every instruction to a 32-bit word, and the machine
+//! *decodes* those words back before executing them, so the conformance
+//! tests (`tests/riscv_frontend.rs`) pin both directions against each other
+//! for every opcode.
+
+/// RV32IM opcodes supported by the frontend.
+///
+/// This is the integer base ISA plus the M extension — the corpus kernels
+/// are integer-only, matching the paper's SimpleScalar-era evaluation
+/// binaries which this reproduction replays at the `SynthInst` level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the RISC-V mnemonics themselves
+pub enum Op {
+    // R-type (OP), base
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    // R-type (OP), M extension
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    // I-type (OP-IMM)
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    // Loads
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    // Stores
+    Sb,
+    Sh,
+    Sw,
+    // Conditional branches
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    // Upper-immediate
+    Lui,
+    Auipc,
+    // Jumps
+    Jal,
+    Jalr,
+    // System (both halt the machine)
+    Ecall,
+    Ebreak,
+}
+
+impl Op {
+    /// Every supported opcode, for table-driven conformance tests.
+    pub const ALL: [Op; 47] = [
+        Op::Add,
+        Op::Sub,
+        Op::Sll,
+        Op::Slt,
+        Op::Sltu,
+        Op::Xor,
+        Op::Srl,
+        Op::Sra,
+        Op::Or,
+        Op::And,
+        Op::Mul,
+        Op::Mulh,
+        Op::Mulhsu,
+        Op::Mulhu,
+        Op::Div,
+        Op::Divu,
+        Op::Rem,
+        Op::Remu,
+        Op::Addi,
+        Op::Slti,
+        Op::Sltiu,
+        Op::Xori,
+        Op::Ori,
+        Op::Andi,
+        Op::Slli,
+        Op::Srli,
+        Op::Srai,
+        Op::Lb,
+        Op::Lh,
+        Op::Lw,
+        Op::Lbu,
+        Op::Lhu,
+        Op::Sb,
+        Op::Sh,
+        Op::Sw,
+        Op::Beq,
+        Op::Bne,
+        Op::Blt,
+        Op::Bge,
+        Op::Bltu,
+        Op::Bgeu,
+        Op::Lui,
+        Op::Auipc,
+        Op::Jal,
+        Op::Jalr,
+        Op::Ecall,
+        Op::Ebreak,
+    ];
+
+    /// Whether the instruction reads its first source register.
+    pub fn reads_rs1(self) -> bool {
+        !matches!(self, Op::Lui | Op::Auipc | Op::Jal | Op::Ecall | Op::Ebreak)
+    }
+
+    /// Whether the instruction reads its second source register.
+    pub fn reads_rs2(self) -> bool {
+        self.is_r_type() || self.is_branch() || self.is_store()
+    }
+
+    /// Whether the instruction writes its destination register.
+    pub fn writes_rd(self) -> bool {
+        !(self.is_branch() || self.is_store() || matches!(self, Op::Ecall | Op::Ebreak))
+    }
+
+    /// Register-register ALU form (base OP opcode, including M).
+    pub fn is_r_type(self) -> bool {
+        matches!(
+            self,
+            Op::Add
+                | Op::Sub
+                | Op::Sll
+                | Op::Slt
+                | Op::Sltu
+                | Op::Xor
+                | Op::Srl
+                | Op::Sra
+                | Op::Or
+                | Op::And
+        ) || self.is_muldiv()
+    }
+
+    /// M-extension multiply/divide family.
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            Op::Mul | Op::Mulh | Op::Mulhsu | Op::Mulhu | Op::Div | Op::Divu | Op::Rem | Op::Remu
+        )
+    }
+
+    /// Memory load family.
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Lb | Op::Lh | Op::Lw | Op::Lbu | Op::Lhu)
+    }
+
+    /// Memory store family.
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Sb | Op::Sh | Op::Sw)
+    }
+
+    /// Conditional branch family (not jal/jalr).
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu
+        )
+    }
+
+    /// The assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Sll => "sll",
+            Op::Slt => "slt",
+            Op::Sltu => "sltu",
+            Op::Xor => "xor",
+            Op::Srl => "srl",
+            Op::Sra => "sra",
+            Op::Or => "or",
+            Op::And => "and",
+            Op::Mul => "mul",
+            Op::Mulh => "mulh",
+            Op::Mulhsu => "mulhsu",
+            Op::Mulhu => "mulhu",
+            Op::Div => "div",
+            Op::Divu => "divu",
+            Op::Rem => "rem",
+            Op::Remu => "remu",
+            Op::Addi => "addi",
+            Op::Slti => "slti",
+            Op::Sltiu => "sltiu",
+            Op::Xori => "xori",
+            Op::Ori => "ori",
+            Op::Andi => "andi",
+            Op::Slli => "slli",
+            Op::Srli => "srli",
+            Op::Srai => "srai",
+            Op::Lb => "lb",
+            Op::Lh => "lh",
+            Op::Lw => "lw",
+            Op::Lbu => "lbu",
+            Op::Lhu => "lhu",
+            Op::Sb => "sb",
+            Op::Sh => "sh",
+            Op::Sw => "sw",
+            Op::Beq => "beq",
+            Op::Bne => "bne",
+            Op::Blt => "blt",
+            Op::Bge => "bge",
+            Op::Bltu => "bltu",
+            Op::Bgeu => "bgeu",
+            Op::Lui => "lui",
+            Op::Auipc => "auipc",
+            Op::Jal => "jal",
+            Op::Jalr => "jalr",
+            Op::Ecall => "ecall",
+            Op::Ebreak => "ebreak",
+        }
+    }
+}
+
+/// One decoded RV32IM instruction.
+///
+/// Fields not used by the opcode's format are zero. Immediate conventions:
+/// * I/S-type: sign-extended 12-bit value;
+/// * shifts: `imm` is the shift amount (0..=31);
+/// * branches/`jal`: byte offset from the instruction's own address;
+/// * `lui`/`auipc`: the full 32-bit value with the low 12 bits clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Opcode.
+    pub op: Op,
+    /// Destination register (x0..x31).
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register.
+    pub rs2: u8,
+    /// Immediate, with the per-format convention above.
+    pub imm: i32,
+}
+
+impl Inst {
+    /// Builds a register-register instruction.
+    pub fn r(op: Op, rd: u8, rs1: u8, rs2: u8) -> Self {
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
+    }
+
+    /// Builds an immediate-form instruction (`rs2` unused).
+    pub fn i(op: Op, rd: u8, rs1: u8, imm: i32) -> Self {
+        Inst {
+            op,
+            rd,
+            rs1,
+            rs2: 0,
+            imm,
+        }
+    }
+
+    /// Builds a store or branch (`rd` unused).
+    pub fn s(op: Op, rs1: u8, rs2: u8, imm: i32) -> Self {
+        Inst {
+            op,
+            rd: 0,
+            rs1,
+            rs2,
+            imm,
+        }
+    }
+
+    /// Encodes to the architectural 32-bit instruction word.
+    pub fn encode(self) -> u32 {
+        let rd = self.rd as u32;
+        let rs1 = self.rs1 as u32;
+        let rs2 = self.rs2 as u32;
+        let imm = self.imm as u32;
+        let enc_r = |f7: u32, f3: u32| {
+            (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | 0b011_0011
+        };
+        let enc_i =
+            |f3: u32, opc: u32| ((imm & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opc;
+        let enc_sh = |f7: u32, f3: u32| {
+            (f7 << 25) | ((imm & 0x1f) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | 0b001_0011
+        };
+        let enc_s = |f3: u32| {
+            (((imm >> 5) & 0x7f) << 25)
+                | (rs2 << 20)
+                | (rs1 << 15)
+                | (f3 << 12)
+                | ((imm & 0x1f) << 7)
+                | 0b010_0011
+        };
+        let enc_b = |f3: u32| {
+            (((imm >> 12) & 1) << 31)
+                | (((imm >> 5) & 0x3f) << 25)
+                | (rs2 << 20)
+                | (rs1 << 15)
+                | (f3 << 12)
+                | (((imm >> 1) & 0xf) << 8)
+                | (((imm >> 11) & 1) << 7)
+                | 0b110_0011
+        };
+        let enc_u = |opc: u32| (imm & 0xffff_f000) | (rd << 7) | opc;
+        match self.op {
+            Op::Add => enc_r(0b000_0000, 0b000),
+            Op::Sub => enc_r(0b010_0000, 0b000),
+            Op::Sll => enc_r(0b000_0000, 0b001),
+            Op::Slt => enc_r(0b000_0000, 0b010),
+            Op::Sltu => enc_r(0b000_0000, 0b011),
+            Op::Xor => enc_r(0b000_0000, 0b100),
+            Op::Srl => enc_r(0b000_0000, 0b101),
+            Op::Sra => enc_r(0b010_0000, 0b101),
+            Op::Or => enc_r(0b000_0000, 0b110),
+            Op::And => enc_r(0b000_0000, 0b111),
+            Op::Mul => enc_r(0b000_0001, 0b000),
+            Op::Mulh => enc_r(0b000_0001, 0b001),
+            Op::Mulhsu => enc_r(0b000_0001, 0b010),
+            Op::Mulhu => enc_r(0b000_0001, 0b011),
+            Op::Div => enc_r(0b000_0001, 0b100),
+            Op::Divu => enc_r(0b000_0001, 0b101),
+            Op::Rem => enc_r(0b000_0001, 0b110),
+            Op::Remu => enc_r(0b000_0001, 0b111),
+            Op::Addi => enc_i(0b000, 0b001_0011),
+            Op::Slti => enc_i(0b010, 0b001_0011),
+            Op::Sltiu => enc_i(0b011, 0b001_0011),
+            Op::Xori => enc_i(0b100, 0b001_0011),
+            Op::Ori => enc_i(0b110, 0b001_0011),
+            Op::Andi => enc_i(0b111, 0b001_0011),
+            Op::Slli => enc_sh(0b000_0000, 0b001),
+            Op::Srli => enc_sh(0b000_0000, 0b101),
+            Op::Srai => enc_sh(0b010_0000, 0b101),
+            Op::Lb => enc_i(0b000, 0b000_0011),
+            Op::Lh => enc_i(0b001, 0b000_0011),
+            Op::Lw => enc_i(0b010, 0b000_0011),
+            Op::Lbu => enc_i(0b100, 0b000_0011),
+            Op::Lhu => enc_i(0b101, 0b000_0011),
+            Op::Sb => enc_s(0b000),
+            Op::Sh => enc_s(0b001),
+            Op::Sw => enc_s(0b010),
+            Op::Beq => enc_b(0b000),
+            Op::Bne => enc_b(0b001),
+            Op::Blt => enc_b(0b100),
+            Op::Bge => enc_b(0b101),
+            Op::Bltu => enc_b(0b110),
+            Op::Bgeu => enc_b(0b111),
+            Op::Lui => enc_u(0b011_0111),
+            Op::Auipc => enc_u(0b001_0111),
+            Op::Jal => {
+                (((imm >> 20) & 1) << 31)
+                    | (((imm >> 1) & 0x3ff) << 21)
+                    | (((imm >> 11) & 1) << 20)
+                    | (((imm >> 12) & 0xff) << 12)
+                    | (rd << 7)
+                    | 0b110_1111
+            }
+            Op::Jalr => enc_i(0b000, 0b110_0111),
+            Op::Ecall => 0b111_0011,
+            Op::Ebreak => (1 << 20) | 0b111_0011,
+        }
+    }
+
+    /// Decodes an architectural instruction word. Returns `None` for
+    /// anything outside the supported RV32IM subset (unknown opcode,
+    /// reserved funct bits, malformed system instructions).
+    pub fn decode(word: u32) -> Option<Inst> {
+        let opc = word & 0x7f;
+        let rd = ((word >> 7) & 0x1f) as u8;
+        let f3 = (word >> 12) & 0x7;
+        let rs1 = ((word >> 15) & 0x1f) as u8;
+        let rs2 = ((word >> 20) & 0x1f) as u8;
+        let f7 = word >> 25;
+        let imm_i = (word as i32) >> 20;
+        match opc {
+            0b011_0011 => {
+                let op = match (f7, f3) {
+                    (0b000_0000, 0b000) => Op::Add,
+                    (0b010_0000, 0b000) => Op::Sub,
+                    (0b000_0000, 0b001) => Op::Sll,
+                    (0b000_0000, 0b010) => Op::Slt,
+                    (0b000_0000, 0b011) => Op::Sltu,
+                    (0b000_0000, 0b100) => Op::Xor,
+                    (0b000_0000, 0b101) => Op::Srl,
+                    (0b010_0000, 0b101) => Op::Sra,
+                    (0b000_0000, 0b110) => Op::Or,
+                    (0b000_0000, 0b111) => Op::And,
+                    (0b000_0001, 0b000) => Op::Mul,
+                    (0b000_0001, 0b001) => Op::Mulh,
+                    (0b000_0001, 0b010) => Op::Mulhsu,
+                    (0b000_0001, 0b011) => Op::Mulhu,
+                    (0b000_0001, 0b100) => Op::Div,
+                    (0b000_0001, 0b101) => Op::Divu,
+                    (0b000_0001, 0b110) => Op::Rem,
+                    (0b000_0001, 0b111) => Op::Remu,
+                    _ => return None,
+                };
+                Some(Inst::r(op, rd, rs1, rs2))
+            }
+            0b001_0011 => match f3 {
+                0b001 if f7 == 0 => Some(Inst::i(Op::Slli, rd, rs1, rs2 as i32)),
+                0b101 if f7 == 0 => Some(Inst::i(Op::Srli, rd, rs1, rs2 as i32)),
+                0b101 if f7 == 0b010_0000 => Some(Inst::i(Op::Srai, rd, rs1, rs2 as i32)),
+                0b001 | 0b101 => None,
+                _ => {
+                    let op = match f3 {
+                        0b000 => Op::Addi,
+                        0b010 => Op::Slti,
+                        0b011 => Op::Sltiu,
+                        0b100 => Op::Xori,
+                        0b110 => Op::Ori,
+                        0b111 => Op::Andi,
+                        _ => return None,
+                    };
+                    Some(Inst::i(op, rd, rs1, imm_i))
+                }
+            },
+            0b000_0011 => {
+                let op = match f3 {
+                    0b000 => Op::Lb,
+                    0b001 => Op::Lh,
+                    0b010 => Op::Lw,
+                    0b100 => Op::Lbu,
+                    0b101 => Op::Lhu,
+                    _ => return None,
+                };
+                Some(Inst::i(op, rd, rs1, imm_i))
+            }
+            0b010_0011 => {
+                let op = match f3 {
+                    0b000 => Op::Sb,
+                    0b001 => Op::Sh,
+                    0b010 => Op::Sw,
+                    _ => return None,
+                };
+                let imm = ((f7 as i32) << 25 >> 20) | (rd as i32);
+                Some(Inst::s(op, rs1, rs2, imm))
+            }
+            0b110_0011 => {
+                let op = match f3 {
+                    0b000 => Op::Beq,
+                    0b001 => Op::Bne,
+                    0b100 => Op::Blt,
+                    0b101 => Op::Bge,
+                    0b110 => Op::Bltu,
+                    0b111 => Op::Bgeu,
+                    _ => return None,
+                };
+                let imm = (((word >> 31) & 1) << 12)
+                    | (((word >> 7) & 1) << 11)
+                    | (((word >> 25) & 0x3f) << 5)
+                    | (((word >> 8) & 0xf) << 1);
+                let imm = ((imm as i32) << 19) >> 19;
+                Some(Inst::s(op, rs1, rs2, imm))
+            }
+            0b011_0111 => Some(Inst::i(Op::Lui, rd, 0, (word & 0xffff_f000) as i32)),
+            0b001_0111 => Some(Inst::i(Op::Auipc, rd, 0, (word & 0xffff_f000) as i32)),
+            0b110_1111 => {
+                let imm = (((word >> 31) & 1) << 20)
+                    | (((word >> 12) & 0xff) << 12)
+                    | (((word >> 20) & 1) << 11)
+                    | (((word >> 21) & 0x3ff) << 1);
+                let imm = ((imm as i32) << 11) >> 11;
+                Some(Inst::i(Op::Jal, rd, 0, imm))
+            }
+            0b110_0111 if f3 == 0 => Some(Inst::i(Op::Jalr, rd, rs1, imm_i)),
+            0b111_0011 => match word {
+                0b111_0011 => Some(Inst::r(Op::Ecall, 0, 0, 0)),
+                w if w == (1 << 20) | 0b111_0011 => Some(Inst::r(Op::Ebreak, 0, 0, 0)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_matches_known_words() {
+        // Reference encodings cross-checked against the RISC-V spec examples.
+        assert_eq!(Inst::r(Op::Add, 3, 1, 2).encode(), 0x0020_81b3);
+        assert_eq!(Inst::i(Op::Addi, 1, 0, -1).encode(), 0xfff0_0093);
+        assert_eq!(Inst::i(Op::Lw, 5, 2, 8).encode(), 0x0081_2283);
+        assert_eq!(Inst::s(Op::Sw, 2, 5, 12).encode(), 0x0051_2623);
+        assert_eq!(Inst::i(Op::Lui, 7, 0, 0x12345 << 12).encode(), 0x1234_53b7);
+        assert_eq!(Inst::r(Op::Ecall, 0, 0, 0).encode(), 0x0000_0073);
+    }
+
+    #[test]
+    fn branch_offset_bits_round_trip() {
+        for imm in [-4096, -2048, -4, 4, 8, 2046, 4094] {
+            let i = Inst::s(Op::Bne, 4, 9, imm & !1);
+            assert_eq!(Inst::decode(i.encode()), Some(i), "imm={imm}");
+        }
+    }
+
+    #[test]
+    fn jal_offset_bits_round_trip() {
+        for imm in [-1048576, -2048, -4, 4, 2048, 1048574] {
+            let i = Inst::i(Op::Jal, 1, 0, imm & !1);
+            assert_eq!(Inst::decode(i.encode()), Some(i), "imm={imm}");
+        }
+    }
+
+    #[test]
+    fn reserved_encodings_reject() {
+        assert_eq!(Inst::decode(0), None); // all-zero word is illegal
+        assert_eq!(Inst::decode(0xffff_ffff), None);
+        // srai with wrong funct7
+        assert_eq!(
+            Inst::decode((0b111_1111 << 25) | (0b101 << 12) | 0b001_0011),
+            None
+        );
+    }
+
+    #[test]
+    fn helper_classifications_are_consistent() {
+        for op in Op::ALL {
+            if op.is_store() || op.is_branch() {
+                assert!(!op.writes_rd(), "{op:?}");
+                assert!(op.reads_rs2(), "{op:?}");
+            }
+            if op.is_load() {
+                assert!(
+                    op.reads_rs1() && !op.reads_rs2() && op.writes_rd(),
+                    "{op:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Lowering retired RV32IM instructions onto the synthetic pipeline ISA.
+//!
+//! The out-of-order core consumes [`SynthInst`]s — op class, dependence
+//! distances, effective address, branch outcome. For a real program every
+//! one of those attributes has a ground-truth value, which this module
+//! extracts from an architectural run:
+//!
+//! * **op class** from the opcode: loads → `Load`, stores → `Store`, all
+//!   control flow → `Branch`, `mul*` → `IntMul`, `div*`/`rem*` → `IntDiv`,
+//!   everything else → `IntAlu` (RV32IM has no floating point);
+//! * **dependence distances** from register def-use: a per-register
+//!   last-writer table gives the exact dynamic-instruction distance back to
+//!   each source operand's producer (`x0` and never-written registers carry
+//!   distance 0 = no dependence, matching the `SynthInst` convention);
+//! * **addresses** are the architecturally computed effective addresses
+//!   (loads/stores) and fetch pcs, identity-mapped — the text/data layout
+//!   is chosen to land in the synthetic stream's warmed cache windows;
+//! * **branch outcomes**: `taken` is the resolved direction; `mispredict`
+//!   comes from a small bimodal 2-bit predictor replayed during lowering,
+//!   because the default profile branch model consumes a per-branch
+//!   mispredict flag rather than predicting itself. `jal`/`jalr` are
+//!   modeled as always predicted correctly (direct target / return-address
+//!   stack).
+//!
+//! [`SynthInst`]: crate::isa::SynthInst
+
+use crate::isa::{OpClass, SynthInst};
+
+use super::asm::Program;
+use super::exec::{ExecError, Machine, Retired};
+use super::inst::Op;
+
+/// Number of entries in the lowering-time bimodal predictor.
+const PREDICTOR_ENTRIES: usize = 512;
+
+/// Architectural results of a corpus run — the facts the end-of-corpus
+/// golden pins (registers, memory, dynamic length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchSummary {
+    /// Dynamic instructions retired (including the halting `ecall`).
+    pub dyn_insts: u64,
+    /// Final value of `a0`, the program's result register.
+    pub exit_code: u32,
+    /// FNV-1a hash over the final register file (x0..x31, little-endian).
+    pub regs_crc: u64,
+    /// FNV-1a hash over final memory contents (address/byte pairs in
+    /// address order).
+    pub mem_crc: u64,
+    /// Number of non-zero bytes in final memory.
+    pub mem_bytes: u64,
+}
+
+/// A lowered program: the `SynthInst` replay trace plus the architectural
+/// summary of the run that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweredTrace {
+    /// One `SynthInst` per retired instruction, in program order.
+    pub insts: Vec<SynthInst>,
+    /// Architectural end state.
+    pub summary: ArchSummary,
+}
+
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A 2-bit saturating-counter bimodal predictor, replayed at lowering time
+/// to attach a deterministic `mispredict` flag to every conditional branch.
+#[derive(Debug)]
+struct Bimodal {
+    counters: Vec<u8>,
+}
+
+impl Bimodal {
+    fn new() -> Self {
+        // Weakly not-taken start: cold loop-closing branches miss once and
+        // then lock in, like a real table warming up.
+        Bimodal {
+            counters: vec![1; PREDICTOR_ENTRIES],
+        }
+    }
+
+    fn predict_and_update(&mut self, pc: u32, taken: bool) -> bool {
+        let slot = &mut self.counters[(pc as usize >> 2) % PREDICTOR_ENTRIES];
+        let predicted = *slot >= 2;
+        *slot = if taken {
+            (*slot + 1).min(3)
+        } else {
+            slot.saturating_sub(1)
+        };
+        predicted != taken
+    }
+}
+
+/// Maps an opcode to the pipeline operation class it occupies.
+pub fn op_class(op: Op) -> OpClass {
+    if op.is_load() {
+        OpClass::Load
+    } else if op.is_store() {
+        OpClass::Store
+    } else if op.is_branch() || matches!(op, Op::Jal | Op::Jalr) {
+        OpClass::Branch
+    } else if matches!(op, Op::Mul | Op::Mulh | Op::Mulhsu | Op::Mulhu) {
+        OpClass::IntMul
+    } else if matches!(op, Op::Div | Op::Divu | Op::Rem | Op::Remu) {
+        OpClass::IntDiv
+    } else {
+        OpClass::IntAlu
+    }
+}
+
+/// Tracks register def-use across the dynamic instruction sequence and
+/// converts each retired instruction into a [`SynthInst`].
+#[derive(Debug)]
+struct Lowerer {
+    /// Dynamic index (1-based) of the most recent writer of each register;
+    /// 0 = never written (live-in or x0), lowered as "no dependence".
+    last_writer: [u64; 32],
+    /// 1-based index of the instruction currently being lowered.
+    index: u64,
+    predictor: Bimodal,
+}
+
+impl Lowerer {
+    fn new() -> Self {
+        Lowerer {
+            last_writer: [0; 32],
+            index: 0,
+            predictor: Bimodal::new(),
+        }
+    }
+
+    fn dist(&self, reg: u8) -> u32 {
+        let w = self.last_writer[reg as usize];
+        if reg == 0 || w == 0 {
+            0
+        } else {
+            (self.index - w) as u32
+        }
+    }
+
+    fn lower(&mut self, r: &Retired) -> SynthInst {
+        self.index += 1;
+        let op = r.inst.op;
+        let src1 = if op.reads_rs1() {
+            self.dist(r.inst.rs1)
+        } else {
+            0
+        };
+        let src2 = if op.reads_rs2() {
+            self.dist(r.inst.rs2)
+        } else {
+            0
+        };
+        let (taken, mispredict) = match r.taken {
+            Some(t) if op.is_branch() => (t, self.predictor.predict_and_update(r.pc, t)),
+            Some(t) => (t, false), // jal/jalr: direct or RAS-predicted
+            None => (false, false),
+        };
+        if op.writes_rd() && r.inst.rd != 0 {
+            self.last_writer[r.inst.rd as usize] = self.index;
+        }
+        SynthInst {
+            op: op_class(op),
+            src1_dist: src1,
+            src2_dist: src2,
+            addr: r.addr.unwrap_or(0) as u64,
+            mispredict,
+            taken,
+            pc: r.pc as u64,
+        }
+    }
+}
+
+/// Executes `program` to completion (bounded by `max_insts`) and lowers
+/// every retired instruction to a [`SynthInst`].
+///
+/// # Errors
+///
+/// Propagates [`ExecError`] — a fetch fault or a program that fails to
+/// halt within the budget.
+pub fn lower(program: &Program, max_insts: u64) -> Result<LoweredTrace, ExecError> {
+    let mut machine = Machine::new(program)?;
+    let mut lowerer = Lowerer::new();
+    let mut insts = Vec::new();
+    while !machine.halted() {
+        if machine.retired() >= max_insts {
+            return Err(ExecError {
+                pc: 0,
+                msg: format!("program did not halt within {max_insts} instructions"),
+            });
+        }
+        let retired = machine.step()?.expect("not halted");
+        insts.push(lowerer.lower(&retired));
+    }
+    let regs_crc = fnv1a(machine.regs().iter().flat_map(|r| r.to_le_bytes()));
+    let mem_crc = fnv1a(
+        machine
+            .mem_bytes()
+            .flat_map(|(a, b)| a.to_le_bytes().into_iter().chain([b])),
+    );
+    Ok(LoweredTrace {
+        summary: ArchSummary {
+            dyn_insts: machine.retired(),
+            exit_code: machine.reg(10),
+            regs_crc,
+            mem_crc,
+            mem_bytes: machine.mem_bytes().count() as u64,
+        },
+        insts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::riscv::asm::assemble;
+
+    #[test]
+    fn distances_point_at_true_producers() {
+        let p = assemble(
+            "addi t0, zero, 5\n\
+             addi t1, zero, 7\n\
+             nop\n\
+             add t2, t0, t1\n\
+             ecall\n",
+        )
+        .unwrap();
+        let t = lower(&p, 100).unwrap();
+        // `add t2, t0, t1` is dynamic inst 4; t0 written at 1, t1 at 2.
+        assert_eq!(t.insts[3].src1_dist, 3);
+        assert_eq!(t.insts[3].src2_dist, 2);
+        // `nop` reads x0: no dependence.
+        assert_eq!(t.insts[2].src1_dist, 0);
+    }
+
+    #[test]
+    fn op_classes_cover_the_pipeline() {
+        let p = assemble(
+            "li t0, 48\n\
+             la t1, buf\n\
+             mul t2, t0, t0\n\
+             div t3, t2, t0\n\
+             sw t2, 0(t1)\n\
+             lw t4, 0(t1)\n\
+             beqz zero, done\n\
+             done: ecall\n\
+             .data\n\
+             buf: .space 4\n",
+        )
+        .unwrap();
+        let t = lower(&p, 100).unwrap();
+        let classes: Vec<OpClass> = t.insts.iter().map(|i| i.op).collect();
+        assert!(classes.contains(&OpClass::IntMul));
+        assert!(classes.contains(&OpClass::IntDiv));
+        assert!(classes.contains(&OpClass::Load));
+        assert!(classes.contains(&OpClass::Store));
+        assert!(classes.contains(&OpClass::Branch));
+    }
+
+    #[test]
+    fn loop_branches_warm_up_in_the_predictor() {
+        let p = assemble(
+            "li t0, 100\n\
+             loop: addi t0, t0, -1\n\
+             bnez t0, loop\n\
+             ecall\n",
+        )
+        .unwrap();
+        let t = lower(&p, 1000).unwrap();
+        let branches: Vec<&SynthInst> =
+            t.insts.iter().filter(|i| i.op == OpClass::Branch).collect();
+        assert_eq!(branches.len(), 100);
+        let mispredicts = branches.iter().filter(|b| b.mispredict).count();
+        // Cold misses plus the final fall-through, not much else.
+        assert!(mispredicts <= 4, "mispredicts={mispredicts}");
+        assert!(branches[50].taken);
+        assert!(!branches[99].taken);
+    }
+
+    #[test]
+    fn addresses_and_pcs_are_architectural() {
+        let p = assemble(
+            "la t0, buf\n\
+             sw zero, 8(t0)\n\
+             ecall\n\
+             .data\n\
+             buf: .space 16\n",
+        )
+        .unwrap();
+        let t = lower(&p, 100).unwrap();
+        let store = t.insts.iter().find(|i| i.op == OpClass::Store).unwrap();
+        assert_eq!(store.addr, super::super::DATA_BASE as u64 + 8);
+        assert_eq!(t.insts[0].pc, super::super::TEXT_BASE as u64);
+        assert_eq!(t.insts[1].pc, super::super::TEXT_BASE as u64 + 4);
+    }
+}

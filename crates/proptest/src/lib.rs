@@ -104,7 +104,7 @@ macro_rules! impl_range_strategies {
     )*};
 }
 
-impl_range_strategies!(u8, u16, u32, u64, usize, f64);
+impl_range_strategies!(u8, u16, u32, u64, usize, i32, i64, f64);
 
 macro_rules! impl_tuple_strategies {
     ($(($($s:ident $idx:tt),+);)*) => {$(

@@ -102,6 +102,34 @@ macro_rules! impl_int_ranges {
 
 impl_int_ranges!(u8, u16, u32, u64, usize);
 
+macro_rules! impl_signed_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Sign-extension makes the wrapping difference the true
+                // span for any non-empty range.
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start.wrapping_add(hi)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+
+impl_signed_ranges!(i32, i64);
+
 impl SampleRange<f64> for Range<f64> {
     #[inline]
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {

@@ -1,0 +1,81 @@
+# box_blur: 3x3 mean filter over a 32x32 single-channel image.
+#
+# The source image is LCG-generated (one byte of entropy per pixel, stored
+# as words). The interior 30x30 region is blurred into dst with an
+# unpipelined divide per pixel (sum/9), giving a load-heavy 9-tap stencil
+# with a serializing divide — a realistic image-kernel activity pattern.
+# a0 = rotate-xor checksum of the full dst buffer.
+
+.data
+src: .space 4096
+dst: .space 4096
+
+.text
+.globl _start
+_start:
+    la   t0, src
+    li   t1, 0
+    li   t2, 1024
+    li   s0, 99991
+    li   s1, 1103515245
+    li   s2, 12345
+init:
+    mul  s0, s0, s1
+    add  s0, s0, s2
+    srli t3, s0, 24         # top byte: 0..255
+    sw   t3, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, t2, init
+
+    li   s3, 1              # y in 1..30
+blur_y:
+    li   s4, 1              # x in 1..30
+blur_x:
+    slli t0, s3, 5          # byte offset of (y, x): (y*32 + x) * 4
+    add  t0, t0, s4
+    slli t0, t0, 2
+    la   t1, src
+    add  t1, t1, t0
+    lw   t2, -132(t1)       # row above: -(128+4)
+    lw   t3, -128(t1)
+    add  t2, t2, t3
+    lw   t3, -124(t1)
+    add  t2, t2, t3
+    lw   t3, -4(t1)         # same row
+    add  t2, t2, t3
+    lw   t3, 0(t1)
+    add  t2, t2, t3
+    lw   t3, 4(t1)
+    add  t2, t2, t3
+    lw   t3, 124(t1)        # row below
+    add  t2, t2, t3
+    lw   t3, 128(t1)
+    add  t2, t2, t3
+    lw   t3, 132(t1)
+    add  t2, t2, t3
+    li   t3, 9
+    divu t2, t2, t3
+    la   t3, dst
+    add  t3, t3, t0
+    sw   t2, 0(t3)
+    addi s4, s4, 1
+    li   t4, 31
+    blt  s4, t4, blur_x
+    addi s3, s3, 1
+    blt  s3, t4, blur_y
+
+    la   t0, dst            # checksum
+    li   t1, 0
+    li   t2, 1024
+    li   a0, 0
+ck:
+    lw   t3, 0(t0)
+    xor  a0, a0, t3
+    slli t4, a0, 1
+    srli t5, a0, 31
+    or   a0, t4, t5
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, t2, ck
+    ecall

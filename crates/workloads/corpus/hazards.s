@@ -1,0 +1,65 @@
+# hazards: pipeline hazard stress microbenchmark.
+#
+# Each outer iteration chains together the classic hazard patterns:
+#   1. an 8-deep pointer chase (back-to-back load-use dependences),
+#   2. a 12-op serial ALU dependency chain,
+#   3. mul feeding an unpipelined div/rem pair,
+#   4. store-to-load forwarding through a scratch slot,
+#   5. a data-dependent (hard-to-predict) branch off the accumulator parity.
+# The pointer ring is a full 64-cycle permutation (step 17, coprime to 64).
+
+.data
+ring:    .space 256
+scratch: .space 64
+
+.text
+.globl _start
+_start:
+    la   t0, ring           # ring[i] = &ring[(i*17 + 1) & 63]
+    li   t1, 0
+    li   t2, 64
+build:
+    slli t3, t1, 4
+    add  t3, t3, t1
+    addi t3, t3, 1
+    andi t3, t3, 63
+    slli t3, t3, 2
+    add  t3, t3, t0
+    slli t4, t1, 2
+    add  t4, t4, t0
+    sw   t3, 0(t4)
+    addi t1, t1, 1
+    blt  t1, t2, build
+
+    li   s0, 250            # outer iterations
+    mv   s1, t0             # chase cursor
+    li   s2, 4660           # ALU chain accumulator
+    li   a0, 0
+outer:
+    .rept 8
+    lw   s1, 0(s1)
+    .endr
+    .rept 6
+    addi s2, s2, 7
+    xor  s2, s2, s1
+    .endr
+    mul  t3, s2, s2
+    div  t4, t3, s0         # s0 in 1..250 here, never zero
+    rem  t5, t3, s0
+    add  a0, a0, t4
+    add  a0, a0, t5
+    la   t6, scratch        # store-to-load forwarding
+    sw   a0, 0(t6)
+    lw   t3, 0(t6)
+    sw   t3, 4(t6)
+    lw   t4, 4(t6)
+    add  a0, a0, t4
+    andi t5, s2, 1          # data-dependent branch
+    beqz t5, skip
+    addi a0, a0, 3
+skip:
+    addi s0, s0, -1
+    bnez s0, outer
+    xor  a0, a0, s2
+    xor  a0, a0, s1
+    ecall

@@ -1,0 +1,84 @@
+# matmul: 16x16 integer matrix multiply, C = A * B.
+#
+# A and B are filled procedurally (A[i] = 7i+3, B[i] = 13i+1) so the data
+# image stays tiny; the result register a0 carries a rotate-xor checksum of
+# C that the architectural golden pins. Exercises mul-heavy inner loops
+# with a regular streaming access pattern.
+
+.data
+A: .space 1024
+B: .space 1024
+C: .space 1024
+
+.text
+.globl _start
+_start:
+    la   t0, A
+    la   t1, B
+    li   t2, 0              # i
+    li   t3, 256
+init:
+    slli t4, t2, 3          # i*8
+    sub  t4, t4, t2         # i*7
+    addi t4, t4, 3
+    sw   t4, 0(t0)
+    slli t4, t2, 3          # i*13 = i*8 + i*4 + i
+    slli t5, t2, 2
+    add  t4, t4, t5
+    add  t4, t4, t2
+    addi t4, t4, 1
+    sw   t4, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, 1
+    blt  t2, t3, init
+
+    li   s0, 0              # i
+    li   t6, 16
+mm_i:
+    li   s1, 0              # j
+mm_j:
+    li   s2, 0              # k
+    li   s3, 0              # acc
+mm_k:
+    slli t0, s0, 4          # A[i*16 + k]
+    add  t0, t0, s2
+    slli t0, t0, 2
+    la   t1, A
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    slli t3, s2, 4          # B[k*16 + j]
+    add  t3, t3, s1
+    slli t3, t3, 2
+    la   t4, B
+    add  t3, t3, t4
+    lw   t5, 0(t3)
+    mul  t2, t2, t5
+    add  s3, s3, t2
+    addi s2, s2, 1
+    blt  s2, t6, mm_k
+    slli t0, s0, 4          # C[i*16 + j] = acc
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, C
+    add  t0, t0, t1
+    sw   s3, 0(t0)
+    addi s1, s1, 1
+    blt  s1, t6, mm_j
+    addi s0, s0, 1
+    blt  s0, t6, mm_i
+
+    la   t0, C              # checksum: a0 = rotl1(a0) after xor of each word
+    li   t1, 0
+    li   a0, 0
+    li   t6, 256
+ck:
+    lw   t2, 0(t0)
+    xor  a0, a0, t2
+    slli t3, a0, 1
+    srli t4, a0, 31
+    or   a0, t3, t4
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, t6, ck
+    ecall

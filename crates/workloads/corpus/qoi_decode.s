@@ -1,0 +1,216 @@
+# qoi_decode: decode a procedurally generated QOI-style chunk stream.
+#
+# Phase 1 writes ~1.9 KB of valid QOI op bytes (RGB, RUN, DIFF, LUMA,
+# INDEX chunks) driven by an LCG. Phase 2 decodes them with real QOI
+# semantics: previous-pixel state, a 64-entry hash-indexed color table
+# ((3r+5g+7b) & 63), delta decoding, and run expansion. Decoding is
+# branchy and byte-granular — a realistic decompressor activity pattern.
+# a0 = rotate-xor checksum of the decoded pixel stream.
+
+.data
+stream: .space 2048
+dst:    .space 8192
+table:  .space 256
+
+.text
+.globl _start
+_start:
+    # ---- phase 1: generate the chunk stream ----
+    la   s5, stream
+    li   s6, 0              # write position
+    li   s7, 1900           # stop threshold (buffer holds worst case +4)
+    li   s0, 777777
+    li   s8, 1103515245
+    li   s9, 12345
+gen:
+    mul  s0, s0, s8
+    add  s0, s0, s9
+    srli t0, s0, 28         # op selector 0..15
+    li   t1, 3
+    bltu t0, t1, gen_rgb
+    li   t1, 7
+    bltu t0, t1, gen_run
+    li   t1, 10
+    bltu t0, t1, gen_diff
+    li   t1, 13
+    bltu t0, t1, gen_luma
+    srli t2, s0, 8          # INDEX: 0x00 | idx
+    andi t2, t2, 63
+    add  t3, s5, s6
+    sb   t2, 0(t3)
+    addi s6, s6, 1
+    j    gen_next
+gen_rgb:
+    li   t2, 254            # 0xFE, r, g, b
+    add  t3, s5, s6
+    sb   t2, 0(t3)
+    srli t2, s0, 8
+    sb   t2, 1(t3)
+    srli t2, s0, 12
+    sb   t2, 2(t3)
+    srli t2, s0, 16
+    sb   t2, 3(t3)
+    addi s6, s6, 4
+    j    gen_next
+gen_run:
+    srli t2, s0, 9          # 0xC0 | (run-1), run 1..8
+    andi t2, t2, 7
+    ori  t2, t2, 192
+    add  t3, s5, s6
+    sb   t2, 0(t3)
+    addi s6, s6, 1
+    j    gen_next
+gen_diff:
+    srli t2, s0, 10         # 0x40 | dr dg db (2 bits each)
+    andi t2, t2, 63
+    ori  t2, t2, 64
+    add  t3, s5, s6
+    sb   t2, 0(t3)
+    addi s6, s6, 1
+    j    gen_next
+gen_luma:
+    srli t2, s0, 11         # 0x80 | (dg+32); second byte packs dr-dg, db-dg
+    andi t2, t2, 63
+    ori  t2, t2, 128
+    add  t3, s5, s6
+    sb   t2, 0(t3)
+    srli t2, s0, 17
+    sb   t2, 1(t3)
+    addi s6, s6, 2
+gen_next:
+    blt  s6, s7, gen
+    mv   s11, s6            # stream length
+
+    # ---- phase 2: decode ----
+    la   s5, stream
+    li   s6, 0              # read position
+    la   s4, dst
+    li   s10, 0             # pixels emitted
+    li   s1, 0              # prev r
+    li   s2, 0              # prev g
+    li   s3, 0              # prev b
+dec:
+    bge  s6, s11, dec_done
+    li   t0, 2040           # output cap (dst holds 2048, max run is 8)
+    bge  s10, t0, dec_done
+    add  t1, s5, s6
+    lbu  t2, 0(t1)
+    addi s6, s6, 1
+    li   t3, 254
+    beq  t2, t3, d_rgb
+    srli t3, t2, 6
+    li   t4, 3
+    beq  t3, t4, d_run
+    li   t4, 1
+    beq  t3, t4, d_diff
+    li   t4, 2
+    beq  t3, t4, d_luma
+    slli t4, t2, 2          # INDEX: pixel from table
+    la   t5, table
+    add  t4, t4, t5
+    lw   t5, 0(t4)
+    srli s1, t5, 16
+    andi s1, s1, 255
+    srli s2, t5, 8
+    andi s2, s2, 255
+    andi s3, t5, 255
+    j    d_emit
+d_rgb:
+    add  t1, s5, s6
+    lbu  s1, 0(t1)
+    lbu  s2, 1(t1)
+    lbu  s3, 2(t1)
+    addi s6, s6, 3
+    j    d_emit
+d_diff:
+    srli t3, t2, 4
+    andi t3, t3, 3
+    addi t3, t3, -2
+    add  s1, s1, t3
+    andi s1, s1, 255
+    srli t3, t2, 2
+    andi t3, t3, 3
+    addi t3, t3, -2
+    add  s2, s2, t3
+    andi s2, s2, 255
+    andi t3, t2, 3
+    addi t3, t3, -2
+    add  s3, s3, t3
+    andi s3, s3, 255
+    j    d_emit
+d_luma:
+    andi t3, t2, 63
+    addi t3, t3, -32        # dg
+    add  t1, s5, s6
+    lbu  t4, 0(t1)
+    addi s6, s6, 1
+    add  s2, s2, t3
+    andi s2, s2, 255
+    srli t5, t4, 4          # dr = dg + ((b2 >> 4) - 8)
+    addi t5, t5, -8
+    add  t5, t5, t3
+    add  s1, s1, t5
+    andi s1, s1, 255
+    andi t5, t4, 15         # db = dg + ((b2 & 15) - 8)
+    addi t5, t5, -8
+    add  t5, t5, t3
+    add  s3, s3, t5
+    andi s3, s3, 255
+    j    d_emit
+d_run:
+    andi t3, t2, 63         # run count 1..8 (encoder caps at 8)
+    addi t3, t3, 1
+    slli t4, s1, 16         # repeat prev pixel
+    slli t5, s2, 8
+    or   t4, t4, t5
+    or   t4, t4, s3
+run_loop:
+    slli t5, s10, 2
+    add  t5, t5, s4
+    sw   t4, 0(t5)
+    addi s10, s10, 1
+    addi t3, t3, -1
+    bnez t3, run_loop
+    j    dec
+d_emit:
+    slli t4, s1, 16         # pack, store, update table[hash]
+    slli t5, s2, 8
+    or   t4, t4, t5
+    or   t4, t4, s3
+    slli t5, s10, 2
+    add  t5, t5, s4
+    sw   t4, 0(t5)
+    addi s10, s10, 1
+    slli t5, s1, 1          # hash = (3r + 5g + 7b) & 63
+    add  t5, t5, s1
+    slli t6, s2, 2
+    add  t6, t6, s2
+    add  t5, t5, t6
+    slli t6, s3, 3
+    sub  t6, t6, s3
+    add  t5, t5, t6
+    andi t5, t5, 63
+    slli t5, t5, 2
+    la   t6, table
+    add  t5, t5, t6
+    sw   t4, 0(t5)
+    j    dec
+dec_done:
+    la   t0, dst            # checksum emitted pixels
+    li   t1, 0
+    li   a0, 0
+ck:
+    bge  t1, s10, done
+    slli t2, t1, 2
+    add  t2, t2, t0
+    lw   t3, 0(t2)
+    xor  a0, a0, t3
+    slli t4, a0, 1
+    srli t5, a0, 31
+    or   a0, t4, t5
+    addi t1, t1, 1
+    j    ck
+done:
+    xor  a0, a0, s10        # fold in pixel and byte counts
+    xor  a0, a0, s11
+    ecall

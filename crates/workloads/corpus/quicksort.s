@@ -1,0 +1,98 @@
+# quicksort: recursive Hoare-partition quicksort over 256 LCG-filled words.
+#
+# Exercises recursion (call/ret, stack frames through sp), data-dependent
+# branching in the partition scans, and swap traffic. After sorting, the
+# program verifies ascending order (a0 = -1 on failure) and leaves a
+# rotate-xor checksum of the sorted array in a0.
+
+.data
+arr: .space 1024
+
+.text
+.globl _start
+_start:
+    la   t0, arr            # arr[i] = lcg state, full 32-bit values
+    li   t1, 0
+    li   t2, 256
+    li   s0, 12345
+    li   s1, 1103515245
+    li   s2, 12345
+init:
+    mul  s0, s0, s1
+    add  s0, s0, s2
+    sw   s0, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, t2, init
+
+    la   a0, arr
+    addi a1, a0, 1020       # last element
+    call qsort
+
+    la   t0, arr            # verify + checksum
+    li   t1, 0
+    li   t2, 255
+    li   a0, 0
+check:
+    lw   t3, 0(t0)
+    lw   t4, 4(t0)
+    bgt  t3, t4, fail
+    xor  a0, a0, t3
+    slli t5, a0, 1
+    srli t6, a0, 31
+    or   a0, t5, t6
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, t2, check
+    lw   t3, 0(t0)
+    xor  a0, a0, t3
+    ecall
+fail:
+    li   a0, -1
+    ecall
+
+# qsort(a0 = lo pointer, a1 = hi pointer), both inclusive, Hoare partition
+# with the middle element as pivot.
+qsort:
+    bge  a0, a1, qdone
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    mv   s0, a0
+    mv   s1, a1
+    sub  t0, a1, a0         # pivot = *(lo + (((hi-lo)/8)*4))
+    srli t0, t0, 3
+    slli t0, t0, 2
+    add  t0, a0, t0
+    lw   t1, 0(t0)
+    addi t2, a0, -4         # i = lo - 1
+    addi t3, a1, 4          # j = hi + 1
+part:
+part_i:
+    addi t2, t2, 4
+    lw   t4, 0(t2)
+    blt  t4, t1, part_i
+part_j:
+    addi t3, t3, -4
+    lw   t5, 0(t3)
+    bgt  t5, t1, part_j
+    bge  t2, t3, part_done
+    sw   t5, 0(t2)          # swap *i, *j
+    sw   t4, 0(t3)
+    j    part
+part_done:
+    mv   a0, s0             # qsort(lo, j)
+    mv   a1, t3
+    sw   t3, 12(sp)
+    call qsort
+    lw   t3, 12(sp)
+    addi a0, t3, 4          # qsort(j+1, hi)
+    mv   a1, s1
+    call qsort
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    addi sp, sp, 16
+qdone:
+    ret

@@ -1,0 +1,77 @@
+# resonance: a deliberately resonant instruction stream (IChannels-style).
+#
+# Alternates a low-current phase (two interleaved 1-cycle dependency
+# chains, ~2 IPC for ~48 cycles) with a high-current phase (rows of two
+# ALU chains, two walking address registers, and two L1-hit loads,
+# ~6 IPC for ~50 cycles). One period is ~100 cycles on the Table 1
+# machine — inside the 84–119 cycle resonance band of the modeled power
+# supply — so the current square wave pumps the supply's RLC resonance
+# exactly the way the paper's Figure 2 describes. This is the
+# adversarial case the resonance detector exists to catch.
+#
+# Everything is chained through everything else on purpose, so an
+# out-of-order window cannot pull work across a phase boundary and
+# flatten the current square wave:
+#
+# * the first burst row reads the chain tails (s2/s3), and the next
+#   period's chain heads read the burst tails (t0/t1);
+# * within the burst, each row's ops depend on the previous row's
+#   (distance 6), so the burst drains at 6 IPC instead of collapsing
+#   into one giant independent pool; and
+# * the loads' address registers (t2/t3) walk 4 bytes per row as part of
+#   the row chains — an always-ready base register would let every load
+#   in the window issue during the low phase, raising its current by two
+#   cache ports' worth and halving the swing.
+
+.data
+buf:  .space 256
+buf2: .space 256
+
+.text
+.globl _start
+_start:
+    li   s0, 150            # periods
+    la   a5, buf
+    la   a7, buf2
+    li   t0, 1
+    li   t1, 1
+    mv   t2, a5
+    mv   t3, a7
+    li   s2, 0
+    li   s3, 0
+loop:
+    # low phase: two interleaved serial chains -> ~2 IPC. The heads read
+    # the burst tails, serializing this phase after the previous burst.
+    add  s2, s2, t0
+    add  s3, s3, t1
+    .rept 47
+    addi s2, s2, 1
+    addi s3, s3, 1
+    .endr
+    # high phase head row: re-arm the chains and address walkers off the
+    # chain tails, so no burst op (or load) is ready before the chain
+    # drains. a6 = s2 ^ s2 = 0, but the dependence is real.
+    xor  a6, s2, s2
+    add  t0, t0, s2
+    add  t1, t1, s3
+    add  t2, a5, a6
+    add  t3, a7, a6
+    lw   t4, 0(t2)
+    lw   t5, 0(t3)
+    # high phase: rows of 4 ALU ops + 2 L1-hit loads -> ~6 IPC.
+    .rept 49
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, 4
+    addi t3, t3, 4
+    lw   t4, 0(t2)
+    lw   t5, 0(t3)
+    .endr
+    addi s0, s0, -1
+    bnez s0, loop
+    add  a0, s2, s3
+    add  a0, a0, t0
+    add  a0, a0, t1
+    add  a0, a0, t4
+    add  a0, a0, t5
+    ecall

@@ -36,12 +36,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corpus;
 pub mod profile;
+pub mod registry;
 pub mod spec2k;
 pub mod store;
 pub mod stream;
 pub mod trace;
 
+pub use corpus::CorpusReplay;
 pub use profile::{Episode, OpMix, WorkloadProfile};
 pub use store::{shared_stream, SharedStream};
 pub use stream::StreamGen;

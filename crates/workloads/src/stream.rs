@@ -98,6 +98,9 @@ pub struct StreamGen {
     /// chasing).
     since_mem_load: u32,
     emitted: u64,
+    /// For corpus profiles: the lowered program trace to replay instead of
+    /// the synthetic generator (which stays idle).
+    replay: Option<crate::corpus::CorpusReplay>,
 }
 
 impl StreamGen {
@@ -108,6 +111,7 @@ impl StreamGen {
     /// Panics if the profile is invalid (see [`WorkloadProfile::validate`]).
     pub fn new(profile: WorkloadProfile) -> Self {
         profile.validate();
+        let replay = crate::corpus::CorpusReplay::for_profile(&profile);
         Self {
             rng: StdRng::seed_from_u64(profile.seed),
             profile,
@@ -116,6 +120,7 @@ impl StreamGen {
             pc: layout::CODE_BASE,
             since_mem_load: u32::MAX / 2,
             emitted: 0,
+            replay,
         }
     }
 
@@ -129,9 +134,11 @@ impl StreamGen {
         self.emitted
     }
 
-    /// `true` while the generator is inside a resonant episode.
+    /// `true` while the generator is inside a resonant episode. Always
+    /// `false` for corpus replays: their resonant behavior is a property of
+    /// the program, not an injected generator phase.
     pub fn in_episode(&self) -> bool {
-        self.mode != Mode::Normal
+        self.replay.is_none() && self.mode != Mode::Normal
     }
 
     fn geometric_dist(&mut self, mean: f64) -> u32 {
@@ -346,6 +353,9 @@ impl StreamGen {
 impl InstructionStream for StreamGen {
     fn next_inst(&mut self) -> SynthInst {
         self.emitted += 1;
+        if let Some(replay) = &mut self.replay {
+            return replay.next_inst();
+        }
         self.since_mem_load = self.since_mem_load.saturating_add(1);
         if self.mode == Mode::Normal {
             if self.maybe_start_episode() {

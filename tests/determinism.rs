@@ -3,11 +3,12 @@
 //! `SimResult` rows.
 
 use restune::engine::{
-    base_fingerprint, cached_base_suite, load_baseline, save_baseline, try_run_suite,
+    base_fingerprint, cached_base_suite, checkpoint_path, corpus_base_fingerprint, load_baseline,
+    run_suite_supervised, save_baseline, suite_fingerprint, try_run_suite,
 };
 use restune::experiment::run_suite;
-use restune::{run, SimConfig, Technique, TuningConfig};
-use workloads::spec2k;
+use restune::{run, FaultPlan, FaultSpec, SimConfig, SupervisorConfig, Technique, TuningConfig};
+use workloads::{corpus, spec2k};
 
 const APPS: [&str; 3] = ["mcf", "parser", "fma3d"];
 
@@ -73,6 +74,96 @@ fn one_worker_pool_matches_wide_pool() {
     let narrow = run_suite(&profiles, &Technique::Base, &sim);
     std::env::remove_var("RESTUNE_WORKERS");
     assert_eq!(wide, narrow, "pool width must not affect results");
+}
+
+#[test]
+fn corpus_pool_serial_and_baseline_replay_agree_bit_for_bit() {
+    // The replayed-trace workload class through the same three paths the
+    // synthetic suite is pinned on: worker pool, serial loop, and a
+    // recorded-baseline round trip (whose rows resolve corpus names
+    // through the workload registry on parse).
+    let profiles = corpus::all();
+    let sim = SimConfig::isca04(20_000);
+
+    let pooled = try_run_suite(&profiles, &Technique::Base, &sim).expect("corpus suite runs");
+    let serial: Vec<_> = profiles
+        .iter()
+        .map(|p| run(p, &Technique::Base, &sim))
+        .collect();
+
+    let fp = corpus_base_fingerprint(&sim);
+    let path = std::env::temp_dir().join(format!(
+        "restune-determinism-corpus-baseline-{}.tsv",
+        std::process::id()
+    ));
+    save_baseline(&path, fp, &serial).expect("corpus baseline writes");
+    let replayed = load_baseline(&path, fp)
+        .expect("corpus baseline reads")
+        .expect("fingerprint matches");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        pooled.results, serial,
+        "corpus worker pool must match the serial loop"
+    );
+    assert_eq!(
+        replayed, serial,
+        "corpus baseline replay must be bit-identical"
+    );
+}
+
+#[test]
+fn corpus_suite_checkpoints_and_resumes_bit_exactly() {
+    let profiles: Vec<_> = ["hazards", "quicksort", "resonance"]
+        .iter()
+        .map(|n| corpus::by_name(n).expect("app is in the corpus"))
+        .collect();
+    let sim = SimConfig::isca04(15_000);
+    let dir = std::env::temp_dir().join(format!(
+        "restune-determinism-corpus-ckpt-{}",
+        std::process::id()
+    ));
+    let sup = SupervisorConfig {
+        resume: true,
+        checkpoint_dir: Some(dir.clone()),
+        max_retries: 0,
+        ..SupervisorConfig::default()
+    };
+
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("corpus suite runs");
+
+    // Crash the middle app, leaving a two-app checkpoint behind.
+    let crash_plan = FaultPlan::none().with_persistent_fault("quicksort", FaultSpec::WorkerPanic);
+    let interrupted = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &crash_plan);
+    assert_eq!(interrupted.completed(), 2);
+
+    let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+    let path = checkpoint_path(&sup, fp);
+    assert!(path.exists(), "a degraded corpus run keeps its checkpoint");
+
+    // Clean resume: checkpointed corpus apps replay, the crashed one
+    // re-simulates, and the merged suite matches the uninterrupted run.
+    let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &FaultPlan::none());
+    assert_eq!(
+        resumed.all_results().expect("resume completes the suite"),
+        reference.results
+    );
+    let replayed: Vec<bool> = resumed
+        .metrics
+        .iter()
+        .map(|m| m.expect("all apps have metrics").replayed)
+        .collect();
+    assert_eq!(
+        replayed,
+        vec![true, false, true],
+        "checkpointed corpus apps replay; the crashed one re-simulates"
+    );
+    assert!(
+        !path.exists(),
+        "a fully successful corpus suite retires its checkpoint"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

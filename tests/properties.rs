@@ -276,6 +276,198 @@ proptest! {
     }
 }
 
+/// Strategy for arbitrary straight-line RV32IM instructions: ALU
+/// register/immediate ops over arbitrary registers. Straight-line code
+/// retires in static order, which keeps the def-use oracle below exact.
+fn arb_alu_inst() -> impl Strategy<Value = cpusim::riscv::Inst> {
+    use cpusim::riscv::{Inst, Op};
+    const OPS: [Op; 10] = [
+        Op::Add,
+        Op::Sub,
+        Op::Xor,
+        Op::And,
+        Op::Or,
+        Op::Mul,
+        Op::Div,
+        Op::Sltu,
+        Op::Addi,
+        Op::Xori,
+    ];
+    (0usize..OPS.len(), 0u8..32, 0u8..32, 0u8..32, -2048i32..2048).prop_map(
+        |(o, rd, rs1, rs2, imm)| {
+            let op = OPS[o];
+            if op.is_r_type() {
+                Inst::r(op, rd, rs1, rs2)
+            } else {
+                Inst::i(op, rd, rs1, imm)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any straight-line program, every lowered dependence distance
+    /// either is 0 (no register dependence) or points exactly at the
+    /// dynamic instruction that architecturally produced the operand —
+    /// never negative, zero-length, or at a non-writer.
+    #[test]
+    fn lowered_distances_point_at_the_true_producer(
+        body in prop::collection::vec(arb_alu_inst(), 1..200),
+    ) {
+        use cpusim::riscv::{lower, Inst, Op, Program};
+
+        let mut insts = body;
+        insts.push(Inst::r(Op::Ecall, 0, 0, 0));
+        let program = Program::from_insts(&insts);
+        let trace = lower(&program, 10_000).expect("straight-line programs halt");
+        prop_assert_eq!(trace.insts.len(), insts.len());
+
+        // Independent def-use oracle: 1-based dynamic index of each
+        // register's most recent writer (0 = never written).
+        let mut last_writer = [0u64; 32];
+        for (k, (inst, syn)) in insts.iter().zip(&trace.insts).enumerate() {
+            let idx = k as u64 + 1;
+            for (reads, reg, dist) in [
+                (inst.op.reads_rs1(), inst.rs1, syn.src1_dist),
+                (inst.op.reads_rs2(), inst.rs2, syn.src2_dist),
+            ] {
+                let expect = if reads && reg != 0 && last_writer[reg as usize] != 0 {
+                    (idx - last_writer[reg as usize]) as u32
+                } else {
+                    0
+                };
+                prop_assert_eq!(dist, expect, "inst {} ({:?})", k, inst.op);
+                if dist > 0 {
+                    let producer = &insts[k - dist as usize];
+                    prop_assert!(
+                        producer.op.writes_rd() && producer.rd == reg,
+                        "inst {} dist {} lands on {:?}, not a writer of x{}",
+                        k, dist, producer.op, reg
+                    );
+                }
+            }
+            if inst.op.writes_rd() && inst.rd != 0 {
+                last_writer[inst.rd as usize] = idx;
+            }
+        }
+    }
+}
+
+/// The same producer invariant over the real corpus programs — loops,
+/// branches, and memory traffic included. Ground truth comes from an
+/// independent architectural replay (`Machine::step`), not from the
+/// lowering layer under test.
+#[test]
+fn corpus_trace_distances_match_an_independent_replay() {
+    use cpusim::riscv::{assemble, Machine};
+
+    for profile in workloads::corpus::all() {
+        let src = workloads::corpus::source(profile.name).expect("corpus app has source");
+        let program = assemble(src).expect("corpus app assembles");
+        let trace = workloads::corpus::trace(profile.name).expect("corpus app has a trace");
+
+        let mut m = Machine::new(&program).expect("corpus app decodes");
+        let mut last_writer = [0u64; 32];
+        // Per retired instruction: whether it wrote a register, and which.
+        let mut writers: Vec<(bool, u8)> = Vec::new();
+        let mut idx = 0u64;
+        while !m.halted() {
+            let r = m.step().expect("corpus app executes").expect("not halted");
+            let syn = &trace.insts[idx as usize];
+            idx += 1;
+            let op = r.inst.op;
+            for (reads, reg, dist) in [
+                (op.reads_rs1(), r.inst.rs1, syn.src1_dist),
+                (op.reads_rs2(), r.inst.rs2, syn.src2_dist),
+            ] {
+                let expect = if reads && reg != 0 && last_writer[reg as usize] != 0 {
+                    (idx - last_writer[reg as usize]) as u32
+                } else {
+                    0
+                };
+                assert_eq!(
+                    dist, expect,
+                    "{}: dyn inst {idx} ({op:?}) x{reg}",
+                    profile.name
+                );
+                if dist > 0 {
+                    let (wrote, rd) = writers[(idx - 1 - dist as u64) as usize];
+                    assert!(
+                        wrote && rd == reg,
+                        "{}: dyn inst {idx} dist {dist} does not land on the producer of x{reg}",
+                        profile.name
+                    );
+                }
+            }
+            let writes = op.writes_rd() && r.inst.rd != 0;
+            writers.push((writes, r.inst.rd));
+            if writes {
+                last_writer[r.inst.rd as usize] = idx;
+            }
+        }
+        assert_eq!(idx, trace.summary.dyn_insts, "{}", profile.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Corpus-driven runs are pure replay through every engine: for any
+    /// technique and lane width, the reference per-cycle loop, the fused
+    /// kernel, and the SoA lane pack retire bit-identical results.
+    #[test]
+    fn corpus_runs_are_engine_path_and_lane_invariant(
+        width in 1usize..9,
+        tech_idx in 0usize..4,
+    ) {
+        use std::sync::OnceLock;
+        static BASELINES: OnceLock<Vec<Vec<restune::SimResult>>> = OnceLock::new();
+
+        let sim = SimConfig::isca04(6_000);
+        let techniques = [
+            Technique::Base,
+            Technique::Tuning(TuningConfig::isca04_table1(100)),
+            Technique::Sensor(SensorConfig::table4(20.0, 15.0, 3)),
+            Technique::Damping(DampingConfig::isca04_table5(0.25)),
+        ];
+        let profiles: Vec<_> = ["hazards", "quicksort", "resonance"]
+            .iter()
+            .map(|n| workloads::corpus::by_name(n).expect("app is in the corpus"))
+            .collect();
+
+        let baselines = BASELINES.get_or_init(|| {
+            techniques
+                .iter()
+                .map(|t| {
+                    profiles
+                        .iter()
+                        .map(|p| run_on_path(p, t, &sim, EnginePath::Reference))
+                        .collect()
+                })
+                .collect()
+        });
+
+        for (p, want) in profiles.iter().zip(&baselines[tech_idx]) {
+            let fused = run_on_path(p, &techniques[tech_idx], &sim, EnginePath::Fused);
+            prop_assert_eq!(
+                &fused, want,
+                "fused diverged from reference for {} under {}",
+                p.name, techniques[tech_idx].name()
+            );
+        }
+        let packed = run_suite_lanes(&profiles, &techniques[tech_idx], &sim, width);
+        prop_assert_eq!(
+            &packed,
+            &baselines[tech_idx],
+            "lane width {} diverged from the reference loop for {}",
+            width,
+            techniques[tech_idx].name()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

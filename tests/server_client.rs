@@ -106,6 +106,41 @@ fn thin_client_suite_is_bit_exact_and_a_second_run_is_cache_served() {
 }
 
 #[test]
+fn corpus_jobs_fingerprint_and_cache_through_a_thin_client() {
+    // The replayed-trace workload class over the wire: corpus names must
+    // resolve on the server (registry lookup in job decode), fingerprint
+    // distinctly, and be served from the shared result cache on a rerun.
+    let _serial = serial();
+    let profiles: Vec<_> = ["hazards", "quicksort", "resonance"]
+        .iter()
+        .map(|n| workloads::corpus::by_name(n).expect("app is in the corpus"))
+        .collect();
+    let sim = SimConfig::isca04(8_000);
+    let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
+
+    let scratch = Scratch::new("corpus");
+    let server = Server::start(scratch.socket(), scratch.cfg()).expect("server starts");
+    let _route = connect(&server);
+
+    let first = try_run_suite(&profiles, &Technique::Base, &sim).expect("remote suite runs");
+    assert_eq!(
+        first.results, reference.results,
+        "a thin-client corpus suite must be bit-identical to an in-process run"
+    );
+
+    let second = try_run_suite(&profiles, &Technique::Base, &sim).expect("remote suite reruns");
+    assert_eq!(second.results, reference.results);
+
+    let stats = server.drain_and_stop();
+    assert_eq!(stats.jobs_run, 3, "the rerun must not recompute anything");
+    assert!(
+        stats.cache_hits >= 3,
+        "corpus reruns must be served from the shared result cache, got {stats:?}"
+    );
+    assert_eq!(stats.job_failures, 0);
+}
+
+#[test]
 fn client_reconnects_through_an_injected_disconnect_bit_exactly() {
     let _serial = serial();
     let profiles = profiles(&APPS);
