@@ -280,4 +280,102 @@ assert int(m.group(1)) > 0, \
 print(f"server smoke: restart served {m.group(1)} cache hits after SIGTERM drain")
 EOF
 
+echo "==> mesh chaos smoke (3-host shard mesh: kill -KILL + restart, bit-identical)"
+# Three fault-seeded restuned hosts behind one comma-separated --connect
+# list. A healthy traced run first learns which host owns the most jobs
+# under rendezvous sharding (the per-host mesh counters), then that host is
+# SIGKILLed just as a fresh tenant starts and restarted mid-suite. The
+# tenant's report must come out bit-identical to the in-process reference,
+# and the trace must prove failover actually happened (mesh.reroutes > 0).
+mesh_dir=$(mktemp -d)
+m0="$mesh_dir/host0.sock"
+m1="$mesh_dir/host1.sock"
+m2="$mesh_dir/host2.sock"
+RESTUNE_CACHE_DIR="$mesh_dir/cache0" ./target/release/restuned --socket "$m0" \
+    --faults 7 --mesh-peer "$m1" --mesh-peer "$m2" 2> "$mesh_dir/host0.log" &
+mesh_pid0=$!
+RESTUNE_CACHE_DIR="$mesh_dir/cache1" ./target/release/restuned --socket "$m1" \
+    --faults 8 --mesh-peer "$m0" --mesh-peer "$m2" 2> "$mesh_dir/host1.log" &
+mesh_pid1=$!
+RESTUNE_CACHE_DIR="$mesh_dir/cache2" ./target/release/restuned --socket "$m2" \
+    --faults 9 --mesh-peer "$m0" --mesh-peer "$m1" 2> "$mesh_dir/host2.log" &
+mesh_pid2=$!
+for _ in $(seq 50); do
+    [ -S "$m0" ] && [ -S "$m1" ] && [ -S "$m2" ] && break
+    sleep 0.1
+done
+[ -S "$m0" ] && [ -S "$m1" ] && [ -S "$m2" ] || {
+    echo "mesh smoke: a restuned host did not bind" >&2; exit 1; }
+
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json > "$mesh_dir/reference.json"
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$m0,$m1,$m2" \
+    --trace-out "$mesh_dir/healthy.jsonl" > "$mesh_dir/healthy.json"
+./target/release/trace_report --check "$mesh_dir/healthy.jsonl" > /dev/null
+victim=$(python3 - "$mesh_dir/healthy.jsonl" <<'EOF'
+import json, sys
+jobs = {}
+for line in open(sys.argv[1]):
+    if not line.strip():
+        continue
+    e = json.loads(line)
+    if e.get("kind") == "counter" and e.get("name", "").startswith("mesh.host") \
+            and e["name"].endswith(".jobs"):
+        host = int(e["name"][len("mesh.host"):-len(".jobs")])
+        jobs[host] = jobs.get(host, 0) + int(e["value"])
+assert jobs, "healthy mesh run recorded no per-host job counters"
+print(max(jobs, key=lambda h: jobs[h]))
+EOF
+)
+case "$victim" in
+    0) victim_pid=$mesh_pid0; victim_sock=$m0; victim_seed=7 ;;
+    1) victim_pid=$mesh_pid1; victim_sock=$m1; victim_seed=8 ;;
+    2) victim_pid=$mesh_pid2; victim_sock=$m2; victim_seed=9 ;;
+    *) echo "mesh smoke: bogus victim index '$victim'" >&2; exit 1 ;;
+esac
+
+RESTUNE_CACHE_DIR="$(mktemp -d)" \
+    ./target/release/suite_check -n 20000 --json --connect "$m0,$m1,$m2" \
+    --trace-out "$mesh_dir/chaos.jsonl" > "$mesh_dir/chaos.json" &
+tenant_pid=$!
+kill -KILL "$victim_pid"
+wait "$victim_pid" 2>/dev/null || true
+sleep 0.5
+RESTUNE_CACHE_DIR="$mesh_dir/cache$victim" ./target/release/restuned \
+    --socket "$victim_sock" --faults "$victim_seed" \
+    2> "$mesh_dir/host$victim.restart.log" &
+restarted_pid=$!
+wait "$tenant_pid" || { echo "mesh smoke: tenant exited non-zero" >&2; exit 1; }
+./target/release/trace_report --check "$mesh_dir/chaos.jsonl" > /dev/null
+python3 - "$mesh_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+reference = json.load(open(f"{d}/reference.json"))
+for name in ("healthy", "chaos"):
+    doc = json.load(open(f"{d}/{name}.json"))
+    assert doc["suite_check"] == reference["suite_check"], \
+        f"{name}: mesh suite diverged from the in-process reference"
+reroutes = 0
+for line in open(f"{d}/chaos.jsonl"):
+    if not line.strip():
+        continue
+    e = json.loads(line)
+    if e.get("kind") == "counter" and e.get("name") == "mesh.reroutes":
+        reroutes += int(e["value"])
+assert reroutes > 0, "a SIGKILLed home host must force failover reroutes"
+print(f"mesh smoke: kill+restart bit-identical, {reroutes} failover reroutes")
+EOF
+case "$victim" in
+    0) mesh_pid0=$restarted_pid ;;
+    1) mesh_pid1=$restarted_pid ;;
+    2) mesh_pid2=$restarted_pid ;;
+esac
+for pid in $mesh_pid0 $mesh_pid1 $mesh_pid2; do
+    kill -TERM "$pid"
+    wait "$pid" || { echo "mesh smoke: a host failed to drain" >&2; exit 1; }
+done
+grep -q 'probes=' "$mesh_dir"/host*.log || {
+    echo "mesh smoke: drain summary lost its probes counter" >&2; exit 1; }
+
 echo "==> tier-1 green"

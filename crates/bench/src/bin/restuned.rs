@@ -12,6 +12,7 @@ use std::time::Duration;
 /// Usage text for `--help` and argument errors.
 const USAGE: &str = "usage: restuned [--socket PATH | --tcp HOST:PORT] [--queue N] [--clients N]
                 [--deadline SECS] [--workers N] [--faults SEED]
+                [--mesh-peer ENDPOINT]...
   --socket PATH    listen on a unix socket at PATH
                    (default target/restuned.sock)
   --tcp HOST:PORT  listen on a TCP address instead of a unix socket
@@ -27,6 +28,9 @@ const USAGE: &str = "usage: restuned [--socket PATH | --tcp HOST:PORT] [--queue 
   --faults SEED    arm deterministic network-fault injection on a seeded
                    subset of accepted connections (chaos testing; off by
                    default)
+  --mesh-peer E    advertise endpoint E as a mesh peer in the hello frame
+                   sent to every client (repeatable; informational — the
+                   client's own --connect list decides its routing)
   --help, -h       print this message
 
 Flags override their environment knobs. SIGTERM or SIGINT drains: in-flight
@@ -86,6 +90,13 @@ fn main() {
                 Ok(seed) => cfg.net_fault_seed = Some(seed),
                 Err(_) => fail("--faults requires an integer seed"),
             },
+            "--mesh-peer" => {
+                let peer = value("--mesh-peer");
+                if peer.trim().is_empty() {
+                    fail("--mesh-peer requires a non-empty endpoint");
+                }
+                cfg.mesh_peers.push(peer);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -112,6 +123,13 @@ fn main() {
             None => String::new(),
         }
     );
+    if !cfg.mesh_peers.is_empty() {
+        eprintln!(
+            "restuned: advertising {} mesh peer(s): {}",
+            cfg.mesh_peers.len(),
+            cfg.mesh_peers.join(", ")
+        );
+    }
 
     while !restune::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
@@ -121,7 +139,8 @@ fn main() {
     let stats = server.drain_and_stop();
     eprintln!(
         "restuned: drained; connections={} jobs_run={} failures={} cache_hits={} \
-         cache_misses={} busy_rejections={} protocol_errors={} slow_loris_kills={} cancelled={}",
+         cache_misses={} busy_rejections={} protocol_errors={} slow_loris_kills={} cancelled={} \
+         probes={}",
         stats.connections,
         stats.jobs_run,
         stats.job_failures,
@@ -131,6 +150,7 @@ fn main() {
         stats.protocol_errors,
         stats.slow_loris_kills,
         stats.cancelled,
+        stats.probes,
     );
     // The signal handler re-arms SIG_DFL after the first signal; exiting
     // explicitly with 0 makes "SIGTERM drains cleanly" observable to ci.

@@ -15,15 +15,21 @@ pub use report::Report;
 pub const USAGE: &str =
     "usage: <harness> [--instructions N] [--json] [--faults SEED] [--fault APP=KIND]
                  [--timeout SECS] [--resume] [--trace-out PATH]
-                 [--connect ENDPOINT]
+                 [--connect ENDPOINT[,ENDPOINT..]]
   --instructions N, -n N  committed instructions per application run
                           (default 120000)
   --json                  print results as a JSON document on stdout
                           instead of human-readable tables
-  --connect ENDPOINT      run the suite through a restuned server instead of
-                          in-process: ENDPOINT is a unix socket path or
-                          tcp:HOST:PORT. Reports are byte-identical to local
-                          runs. RESTUNE_NET_FAULT=SPEC[,SPEC..] injects
+  --connect ENDPOINTS     run the suite through restuned server(s) instead
+                          of in-process: each comma-separated ENDPOINT is a
+                          unix socket path or tcp:HOST:PORT. Reports are
+                          byte-identical to local runs. Two or more
+                          endpoints arm the shard-aware mesh: jobs shard by
+                          rendezvous hashing on their fingerprint, a downed
+                          host opens its circuit breaker and jobs fail over
+                          to the next host in rendezvous order, and probe
+                          frames re-admit it once it answers again.
+                          RESTUNE_NET_FAULT=SPEC[,SPEC..] injects
                           client-side network faults (truncate:N,
                           stall:N:MILLIS, disconnect:N) for chaos testing
   --trace-out PATH        write a structured JSON-lines event trace (cycle-
@@ -64,8 +70,9 @@ pub struct HarnessArgs {
     pub resume: bool,
     /// Write the structured JSON-lines event trace to this path.
     pub trace_out: Option<std::path::PathBuf>,
-    /// Run suites through a `restuned` server at this endpoint (a unix
-    /// socket path, or `tcp:HOST:PORT`) instead of in-process.
+    /// Run suites through `restuned` server(s) instead of in-process: a
+    /// comma-separated endpoint list (each a unix socket path, or
+    /// `tcp:HOST:PORT`). Two or more endpoints arm the shard-aware mesh.
     pub connect: Option<String>,
 }
 

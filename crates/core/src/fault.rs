@@ -815,6 +815,137 @@ pub(crate) fn seeded_net_faults(seed: u64, connection: u64) -> Vec<NetFaultSpec>
     }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos conductor schedules
+// ---------------------------------------------------------------------------
+
+/// One step of a chaos-conductor schedule, aimed at one mesh host (a
+/// zero-based index into the host list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosStep {
+    /// Abruptly stop the host, as a crash or `SIGKILL` would: in-flight
+    /// jobs are joined but nothing new is accepted and every connection
+    /// drops.
+    Kill {
+        /// Target host index.
+        host: usize,
+    },
+    /// Gracefully drain the host (the `SIGTERM` path): finish queued and
+    /// in-flight work — persisting it in the shared result cache — then
+    /// stop.
+    Drain {
+        /// Target host index.
+        host: usize,
+    },
+    /// Restart a previously killed or drained host on the same endpoint
+    /// and cache directory, under a fresh generation.
+    Restart {
+        /// Target host index.
+        host: usize,
+    },
+    /// Wedge the host's worker pool for a window: connections stay up and
+    /// requests queue, but nothing executes until the window closes.
+    Stall {
+        /// Target host index.
+        host: usize,
+        /// Stall window length in milliseconds.
+        millis: u64,
+    },
+    /// Partition the host from the client for a window: the mesh routes
+    /// around it as if the network path were gone, then heals.
+    Partition {
+        /// Target host index.
+        host: usize,
+        /// Partition window length in milliseconds.
+        millis: u64,
+    },
+}
+
+impl ChaosStep {
+    /// A short class label for logs and traces.
+    pub fn class(&self) -> &'static str {
+        match self {
+            ChaosStep::Kill { .. } => "chaos-kill",
+            ChaosStep::Drain { .. } => "chaos-drain",
+            ChaosStep::Restart { .. } => "chaos-restart",
+            ChaosStep::Stall { .. } => "chaos-stall",
+            ChaosStep::Partition { .. } => "chaos-partition",
+        }
+    }
+
+    /// The host index this step targets.
+    pub fn host(&self) -> usize {
+        match *self {
+            ChaosStep::Kill { host }
+            | ChaosStep::Drain { host }
+            | ChaosStep::Restart { host }
+            | ChaosStep::Stall { host, .. }
+            | ChaosStep::Partition { host, .. } => host,
+        }
+    }
+}
+
+/// A deterministic chaos schedule: delays (milliseconds after the previous
+/// step fired) paired with [`ChaosStep`]s. Built by
+/// [`ChaosSchedule::seeded`], executed by the mesh's chaos conductor — the
+/// same seed always yields the same havoc, so a failing chaos run is
+/// replayable byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// `(delay_ms, step)` pairs, applied in order.
+    pub steps: Vec<(u64, ChaosStep)>,
+}
+
+impl ChaosSchedule {
+    /// Derives a schedule for a mesh of `hosts` hosts from a seed. The
+    /// seed's residue mod 3 picks the template — 0: kill + restart, 1:
+    /// drain + restart, 2: a partition window on one host plus a stall on
+    /// another — and the seeded stream picks victims and timings, so one
+    /// seed family covers every fault class the mesh must survive.
+    pub fn seeded(seed: u64, hosts: usize) -> ChaosSchedule {
+        let hosts = hosts.max(1);
+        let mut rng = StdRng::seed_from_u64(app_stream_seed(seed, "chaos"));
+        let victim = rng.gen_range(0..hosts);
+        let mut steps = Vec::new();
+        match seed % 3 {
+            0 => {
+                steps.push((rng.gen_range(5..40u64), ChaosStep::Kill { host: victim }));
+                steps.push((
+                    rng.gen_range(20..80u64),
+                    ChaosStep::Restart { host: victim },
+                ));
+            }
+            1 => {
+                steps.push((rng.gen_range(5..40u64), ChaosStep::Drain { host: victim }));
+                steps.push((
+                    rng.gen_range(20..80u64),
+                    ChaosStep::Restart { host: victim },
+                ));
+            }
+            _ => {
+                steps.push((
+                    rng.gen_range(5..40u64),
+                    ChaosStep::Partition {
+                        host: victim,
+                        millis: rng.gen_range(30..120u64),
+                    },
+                ));
+                if hosts > 1 {
+                    let other = (victim + 1 + rng.gen_range(0..hosts as u64 - 1) as usize) % hosts;
+                    steps.push((
+                        rng.gen_range(5..40u64),
+                        ChaosStep::Stall {
+                            host: other,
+                            millis: rng.gen_range(10..60u64),
+                        },
+                    ));
+                }
+            }
+        }
+        ChaosSchedule { steps }
+    }
+}
+
 /// One application the supervisor gave up on, with its classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AppFailure {

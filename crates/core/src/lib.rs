@@ -66,6 +66,7 @@ pub mod fault;
 pub mod isolation;
 pub mod kernel;
 pub mod lanes;
+pub mod mesh;
 pub mod metrics;
 pub mod obs;
 pub mod response;
@@ -85,14 +86,15 @@ pub use engine::{
     SuiteError, SuiteRun, SupervisedSuite,
 };
 pub use fault::{
-    parse_net_faults, AppFailure, FailureKind, FailureReport, FaultPlan, FaultSpec, NetFaultSpec,
-    StorageFault, StorageIncident,
+    parse_net_faults, AppFailure, ChaosSchedule, ChaosStep, FailureKind, FailureReport, FaultPlan,
+    FaultSpec, NetFaultSpec, StorageFault, StorageIncident,
 };
 pub use isolation::{
     install_signal_handlers, isolation_mode, maybe_run_worker, shutdown_requested, IsolationMode,
 };
 pub use kernel::{run_on_path, run_with_batch, EnginePath};
 pub use lanes::{lane_count, run_suite_lanes, DEFAULT_LANES};
+pub use mesh::{job_shard, partition_host, rendezvous_order, ChaosConductor, Mesh};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use obs::{CycleTracer, Event, JsonValue, TraceBuffer, TraceSink};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};

@@ -293,6 +293,13 @@ pub struct ServerConfig {
     /// Result-cache directory override; defaults to the engine's baseline
     /// cache directory.
     pub cache_dir: Option<PathBuf>,
+    /// Host generation tag announced in the hello frame on every accepted
+    /// connection. `None` derives a fresh tag per [`Server::start`], so a
+    /// restarted host is distinguishable from the process it replaced.
+    pub generation: Option<u64>,
+    /// Mesh-peer endpoints advertised in the hello frame (the `restuned`
+    /// `--mesh-peer` flag); informational for clients building a host list.
+    pub mesh_peers: Vec<String>,
 }
 
 /// Default bound on queued jobs.
@@ -344,8 +351,23 @@ impl ServerConfig {
             retry_after: Duration::from_millis(100),
             net_fault_seed: None,
             cache_dir: None,
+            generation: None,
+            mesh_peers: Vec::new(),
         }
     }
+}
+
+/// Derives a fresh host generation: wall time mixed with the process id and
+/// a process-wide counter, so two starts — across processes *or* within one
+/// test process — never collide in practice.
+fn fresh_generation() -> u64 {
+    static STARTS: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let start = STARTS.fetch_add(1, Ordering::Relaxed);
+    crate::engine::fnv1a(format!("gen|{nanos}|{}|{start}", std::process::id()).as_bytes())
 }
 
 // ---------------------------------------------------------------------------
@@ -554,6 +576,7 @@ struct Counters {
     protocol_errors: AtomicU64,
     slow_loris_kills: AtomicU64,
     cancelled: AtomicU64,
+    probes: AtomicU64,
 }
 
 /// A snapshot of a server's lifetime counters.
@@ -579,6 +602,8 @@ pub struct ServerStats {
     pub slow_loris_kills: u64,
     /// Jobs cancelled by their tenant before execution.
     pub cancelled: u64,
+    /// Circuit-breaker probe frames answered.
+    pub probes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -648,11 +673,13 @@ struct Shared {
     work_ready: Condvar,
     draining: AtomicBool,
     stopping: AtomicBool,
+    stalled: AtomicBool,
     conns: Mutex<HashMap<u64, Arc<FramedConn>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     cache: Mutex<ResultCache>,
     counters: Counters,
     next_conn_id: AtomicU64,
+    generation: u64,
 }
 
 impl Shared {
@@ -662,6 +689,10 @@ impl Shared {
 
     fn draining(&self) -> bool {
         self.draining.load(Ordering::Relaxed)
+    }
+
+    fn stalled(&self) -> bool {
+        self.stalled.load(Ordering::Relaxed)
     }
 
     fn count(&self, counter: &AtomicU64) {
@@ -702,17 +733,20 @@ impl Server {
             crate::obs::counter_add("server.cache_loaded_rows", cache.len() as u64);
         }
         let workers_wanted = cfg.workers.max(1);
+        let generation = cfg.generation.unwrap_or_else(fresh_generation);
         let shared = Arc::new(Shared {
             cfg,
             sched: Mutex::new(Sched::default()),
             work_ready: Condvar::new(),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             readers: Mutex::new(Vec::new()),
             cache: Mutex::new(cache),
             counters: Counters::default(),
             next_conn_id: AtomicU64::new(1),
+            generation,
         });
         let workers = (0..workers_wanted)
             .map(|_| {
@@ -738,11 +772,43 @@ impl Server {
         &self.endpoint
     }
 
+    /// The host generation tag announced to every connecting client.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation
+    }
+
+    /// Pauses (`true`) or resumes (`false`) the worker pool. A stalled host
+    /// keeps accepting and queueing requests but executes nothing — the
+    /// chaos conductor uses this to model a wedged-but-connected host.
+    /// Admission control still applies, so a long stall degrades into busy
+    /// frames rather than unbounded queueing.
+    pub fn set_stalled(&self, stalled: bool) {
+        self.shared.stalled.store(stalled, Ordering::Relaxed);
+        if !stalled {
+            self.shared.work_ready.notify_all();
+        }
+    }
+
+    /// Stalls the worker pool for `window`, then resumes it from a helper
+    /// thread. The chaos conductor's bounded-stall primitive: the window
+    /// heals by itself even if the conductor is dropped meanwhile.
+    pub fn stall_for(&self, window: Duration) {
+        self.shared.stalled.store(true, Ordering::Relaxed);
+        let shared = self.shared.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(window);
+            shared.stalled.store(false, Ordering::Relaxed);
+            shared.work_ready.notify_all();
+        });
+    }
+
     /// Stops admitting new requests: from here on every request is
     /// answered with a busy frame and new connections are refused. Queued
     /// and in-flight jobs keep running.
     pub fn begin_drain(&self) {
         self.shared.draining.store(true, Ordering::Relaxed);
+        // A stalled host must still be able to finish its queue and leave.
+        self.shared.stalled.store(false, Ordering::Relaxed);
         self.shared.work_ready.notify_all();
     }
 
@@ -760,6 +826,7 @@ impl Server {
             protocol_errors: get(&c.protocol_errors),
             slow_loris_kills: get(&c.slow_loris_kills),
             cancelled: get(&c.cancelled),
+            probes: get(&c.probes),
         }
     }
 
@@ -790,6 +857,7 @@ impl Server {
     fn stop_threads(&mut self) {
         self.shared.stopping.store(true, Ordering::Relaxed);
         self.shared.draining.store(true, Ordering::Relaxed);
+        self.shared.stalled.store(false, Ordering::Relaxed);
         self.shared.work_ready.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -902,6 +970,15 @@ fn accept_loop(shared: &Arc<Shared>, listener: Listener) {
             .unwrap_or_else(PoisonError::into_inner)
             .insert(conn_id, conn.clone());
         shared.count(&shared.counters.connections);
+        // First frame on every connection: the host generation (so a mesh
+        // client can tell a restart from a reconnect) plus advertised peers.
+        // It passes through the net-fault plan like any other frame — a
+        // torn hello kills this connection, which is exactly what a client
+        // dialing a faulty host should observe.
+        let _ = conn.write_frame(
+            wire::KIND_HELLO,
+            &wire::encode_hello(shared.generation, &shared.cfg.mesh_peers),
+        );
         let shared2 = shared.clone();
         let handle = std::thread::spawn(move || reader_loop(&shared2, &conn, reader_sock));
         shared
@@ -1017,6 +1094,20 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<FramedConn>, mut sock: Sock) {
 fn handle_frame(shared: &Arc<Shared>, conn: &Arc<FramedConn>, kind: u8, payload: &[u8]) -> bool {
     match kind {
         wire::KIND_HEARTBEAT => true,
+        wire::KIND_PROBE => {
+            let Some(nonce) = wire::decode_probe(payload) else {
+                return false;
+            };
+            shared.count(&shared.counters.probes);
+            // Answered from the reader thread, never queued: a probe's job
+            // is to measure liveness, not worker capacity. Answering while
+            // draining is deliberate — the host is alive, merely leaving.
+            let _ = conn.write_frame(
+                wire::KIND_PROBE_ACK,
+                &wire::encode_probe_ack(nonce, shared.generation),
+            );
+            true
+        }
         wire::KIND_CANCEL => {
             let Some(req_id) = wire::decode_cancel(payload) else {
                 return false;
@@ -1126,9 +1217,11 @@ fn worker_loop(shared: &Arc<Shared>) {
         let job = {
             let mut sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
-                if let Some(job) = sched.pop() {
-                    sched.in_flight += 1;
-                    break Some(job);
+                if !shared.stalled() {
+                    if let Some(job) = sched.pop() {
+                        sched.in_flight += 1;
+                        break Some(job);
+                    }
                 }
                 if shared.stopping() {
                     break None;

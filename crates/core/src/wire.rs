@@ -56,11 +56,24 @@ pub(crate) const KIND_CANCEL: u8 = 8;
 /// Server protocol: client liveness beacon (empty payload); lets the server
 /// tell an idle-but-healthy tenant from a vanished peer.
 pub(crate) const KIND_HEARTBEAT: u8 = 9;
+/// Mesh protocol: the server's first frame on every accepted connection —
+/// its host generation (fresh per process start, so a restarted host is
+/// distinguishable from a long-lived one) and its advertised peer list.
+pub(crate) const KIND_HELLO: u8 = 10;
+/// Mesh protocol: a half-open circuit-breaker probe (`nonce`); cheap, never
+/// queued behind jobs, answered immediately by [`KIND_PROBE_ACK`].
+pub(crate) const KIND_PROBE: u8 = 11;
+/// Mesh protocol: the reply to one probe (`nonce`, host generation).
+pub(crate) const KIND_PROBE_ACK: u8 = 12;
 
 /// Cap on the fault-spec count a job frame may declare. Counts are read off
 /// the wire *before* any allocation, so a corrupt length fails as a
 /// transport error instead of a giant `Vec::with_capacity`.
 pub(crate) const MAX_JOB_SPECS: usize = 1_024;
+
+/// Cap on the peer-endpoint count a hello frame may advertise; a mesh is a
+/// handful of hosts, so anything larger is a corrupt or hostile frame.
+pub(crate) const MAX_HELLO_PEERS: usize = 64;
 
 /// Cap on a single frame's declared payload length on a *socket* stream
 /// (16 MiB). Pipe readers buffer a whole child's stdout anyway, but the
@@ -703,6 +716,72 @@ pub(crate) fn decode_cancel(payload: &[u8]) -> Option<u64> {
 }
 
 // ---------------------------------------------------------------------------
+// Mesh codecs (hello / probe)
+// ---------------------------------------------------------------------------
+
+/// Encodes a hello payload: the host's generation tag and its advertised
+/// mesh-peer endpoints.
+pub(crate) fn encode_hello(generation: u64, peers: &[String]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(generation);
+    w.put_u32(peers.len() as u32);
+    for peer in peers {
+        w.put_str(peer);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a hello payload into `(generation, peers)`.
+pub(crate) fn decode_hello(payload: &[u8]) -> Option<(u64, Vec<String>)> {
+    let mut r = Reader::new(payload);
+    let generation = r.take_u64()?;
+    let count = r.take_u32()? as usize;
+    if count > MAX_HELLO_PEERS {
+        return None;
+    }
+    let mut peers = Vec::with_capacity(count);
+    for _ in 0..count {
+        peers.push(r.take_str()?.to_string());
+    }
+    r.done()?;
+    Some((generation, peers))
+}
+
+/// Encodes a probe payload.
+pub(crate) fn encode_probe(nonce: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(nonce);
+    w.into_bytes()
+}
+
+/// Decodes a probe payload.
+pub(crate) fn decode_probe(payload: &[u8]) -> Option<u64> {
+    let mut r = Reader::new(payload);
+    let nonce = r.take_u64()?;
+    r.done()?;
+    Some(nonce)
+}
+
+/// Encodes a probe-ack payload: the probe's nonce plus the answering host's
+/// generation, so a half-open breaker learns about a restart in one round
+/// trip.
+pub(crate) fn encode_probe_ack(nonce: u64, generation: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(nonce);
+    w.put_u64(generation);
+    w.into_bytes()
+}
+
+/// Decodes a probe-ack payload into `(nonce, generation)`.
+pub(crate) fn decode_probe_ack(payload: &[u8]) -> Option<(u64, u64)> {
+    let mut r = Reader::new(payload);
+    let nonce = r.take_u64()?;
+    let generation = r.take_u64()?;
+    r.done()?;
+    Some((nonce, generation))
+}
+
+// ---------------------------------------------------------------------------
 // Strict stream decoder (sockets)
 // ---------------------------------------------------------------------------
 
@@ -788,6 +867,36 @@ impl StreamDecoder {
         let payload = self.buf[10..10 + len].to_vec();
         self.buf.drain(..total);
         Ok(Some((kind, payload)))
+    }
+
+    /// Skips buffered bytes forward to the next possible frame start. After
+    /// [`StreamDecoder::next_frame`] returns an error, a caller that chooses
+    /// to tolerate the corruption (the server does not — it kills the
+    /// connection) calls this to resume at the next `RSTF` occurrence. The
+    /// byte that *caused* the error is always consumed, so repeated
+    /// `next_frame`/`resync` cycles make progress even through a buffer of
+    /// pure garbage; a trailing partial match of the magic is kept so a
+    /// frame split across reads still decodes.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by the fuzz tier
+    pub(crate) fn resync(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        // Search from offset 1: offset 0 is whatever just errored, and a
+        // Corrupt frame's intact header must not be re-matched forever.
+        if let Some(pos) = self.buf.windows(4).skip(1).position(|w| w == MAGIC) {
+            self.buf.drain(..pos + 1);
+            return;
+        }
+        // No full magic left; keep the longest suffix that is a prefix of
+        // the magic (it may complete on the next read).
+        for keep in (1..4.min(self.buf.len() + 1)).rev() {
+            if self.buf[self.buf.len() - keep..] == MAGIC[..keep] && self.buf.len() > keep {
+                self.buf.drain(..self.buf.len() - keep);
+                return;
+            }
+        }
+        self.buf.clear();
     }
 }
 
@@ -878,6 +987,7 @@ pub(crate) fn decode_obs(payload: &[u8]) -> Option<(Vec<(String, u64)>, Vec<Stri
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use workloads::spec2k;
 
     #[test]
@@ -1182,6 +1292,155 @@ mod tests {
         frame[12] ^= 0x01;
         dec.extend(&frame);
         assert_eq!(dec.next_frame(), Err(StreamError::Corrupt));
+    }
+
+    #[test]
+    fn hello_probe_and_probe_ack_round_trip() {
+        let peers = vec![
+            String::from("/tmp/mesh-a.sock"),
+            String::from("host-b:7777"),
+        ];
+        let payload = encode_hello(0xFEED_F00D, &peers);
+        assert_eq!(decode_hello(&payload), Some((0xFEED_F00D, peers)));
+        let empty = encode_hello(1, &[]);
+        assert_eq!(decode_hello(&empty), Some((1, Vec::new())));
+        let mut trailing = encode_hello(1, &[]);
+        trailing.push(0);
+        assert!(
+            decode_hello(&trailing).is_none(),
+            "trailing bytes must fail"
+        );
+
+        // A forged peer count is rejected before any allocation.
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u32(u32::MAX);
+        assert!(decode_hello(&w.into_bytes()).is_none());
+
+        let payload = encode_probe(99);
+        assert_eq!(decode_probe(&payload), Some(99));
+        assert!(decode_probe(&payload[..7]).is_none());
+
+        let payload = encode_probe_ack(99, 0xABCD);
+        assert_eq!(decode_probe_ack(&payload), Some((99, 0xABCD)));
+        assert!(decode_probe_ack(&payload[..15]).is_none());
+    }
+
+    #[test]
+    fn resync_skips_to_the_next_frame_after_each_error_class() {
+        let sentinel = encode_frame(KIND_CANCEL, &encode_cancel(7));
+
+        // Desync: garbage, then a frame.
+        let mut dec = StreamDecoder::new();
+        dec.extend(b"garbage bytes");
+        dec.extend(&sentinel);
+        assert_eq!(dec.next_frame(), Err(StreamError::Desync));
+        dec.resync();
+        assert_eq!(
+            dec.next_frame()
+                .expect("frame after resync")
+                .map(|(k, _)| k),
+            Some(KIND_CANCEL)
+        );
+        assert!(!dec.has_partial());
+
+        // Corrupt: a torn frame, then a good one. The corrupt frame's own
+        // intact header must not be re-matched forever.
+        let mut dec = StreamDecoder::new();
+        let mut torn = encode_frame(KIND_CANCEL, &encode_cancel(1));
+        torn[12] ^= 0x01;
+        dec.extend(&torn);
+        dec.extend(&sentinel);
+        assert_eq!(dec.next_frame(), Err(StreamError::Corrupt));
+        dec.resync();
+        assert_eq!(
+            dec.next_frame()
+                .expect("frame after resync")
+                .map(|(k, _)| k),
+            Some(KIND_CANCEL)
+        );
+
+        // Oversize: a forged length, then a good frame.
+        let mut dec = StreamDecoder::new();
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&MAGIC);
+        forged.push(VERSION);
+        forged.push(KIND_REQUEST);
+        forged.extend_from_slice(&u32::MAX.to_le_bytes());
+        dec.extend(&forged);
+        dec.extend(&sentinel);
+        assert!(matches!(dec.next_frame(), Err(StreamError::Oversize(_))));
+        dec.resync();
+        assert_eq!(
+            dec.next_frame()
+                .expect("frame after resync")
+                .map(|(k, _)| k),
+            Some(KIND_CANCEL)
+        );
+
+        // A trailing partial magic survives resync so a frame split across
+        // reads still decodes.
+        let mut dec = StreamDecoder::new();
+        dec.extend(b"junk RS");
+        assert_eq!(dec.next_frame(), Err(StreamError::Desync));
+        dec.resync();
+        dec.extend(&sentinel[2..]);
+        // The kept "RS" completes into the sentinel frame.
+        assert_eq!(
+            dec.next_frame()
+                .expect("split frame decodes")
+                .map(|(k, _)| k),
+            Some(KIND_CANCEL)
+        );
+    }
+
+    /// Drives a decoder over `bytes` to quiescence: every error is followed
+    /// by a resync, so the loop always consumes the buffer or stops at a
+    /// genuine partial frame.
+    fn drain_decoder(dec: &mut StreamDecoder, got: &mut Vec<(u8, Vec<u8>)>) {
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => got.push(frame),
+                Ok(None) => return,
+                Err(_) => dec.resync(),
+            }
+        }
+    }
+
+    proptest! {
+        /// Satellite: fuzz the strict stream decoder. Arbitrary noise, a
+        /// truncation of a valid frame, and more noise must never panic,
+        /// and the decoder must resynchronize on the valid sentinel frames
+        /// that follow.
+        #[test]
+        fn stream_decoder_never_panics_and_resyncs_after_noise(
+            noise in proptest::collection::vec(0u8..=255u8, 0..96),
+            cut in 0usize..64,
+            chunk in 1usize..17,
+        ) {
+            let torn = encode_frame(KIND_CANCEL, &encode_cancel(5));
+            let sentinel = encode_frame(KIND_CANCEL, &encode_cancel(7));
+            let mut stream = noise.clone();
+            stream.extend_from_slice(&torn[..cut.min(torn.len())]);
+            // Two sentinels: even if the truncated header's declared length
+            // swallows bytes of the first, the second stays intact.
+            stream.extend_from_slice(&sentinel);
+            stream.extend_from_slice(&sentinel);
+
+            let mut dec = StreamDecoder::new();
+            let mut got = Vec::new();
+            for part in stream.chunks(chunk) {
+                dec.extend(part);
+                drain_decoder(&mut dec, &mut got);
+            }
+            prop_assert!(
+                got.iter()
+                    .any(|(k, p)| *k == KIND_CANCEL && decode_cancel(p) == Some(7)),
+                "sentinel frame lost after {} noise bytes, cut {}",
+                noise.len(),
+                cut
+            );
+        }
     }
 
     #[test]

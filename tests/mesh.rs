@@ -1,0 +1,305 @@
+//! Mesh chaos tier: a 3-host `restuned` mesh driven by seeded
+//! chaos-conductor schedules must deliver suite reports byte-identical to a
+//! single healthy in-process run — through host kills, SIGTERM-style
+//! drains, restarts, stalls, and partition windows — while the routing
+//! counters prove the failover actually happened (`mesh.reroutes`) and the
+//! breaker actually recovered (`mesh.probe_successes`).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use restune::engine::try_run_suite;
+use restune::{
+    job_shard, rendezvous_order, ChaosConductor, ChaosSchedule, ChaosStep, Endpoint, ServerConfig,
+    SimConfig, Technique,
+};
+use workloads::spec2k;
+
+/// Five apps give every host of three a realistic shard under rendezvous
+/// hashing while keeping runs quick.
+const APPS: [&str; 5] = ["mcf", "parser", "fma3d", "gzip", "art"];
+const HOSTS: usize = 3;
+
+/// The connect route is process-global (one mesh per process), so every
+/// test in this binary serializes on this lock.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Clears the global connect route even when a test panics, so one failure
+/// does not wedge every later test into dialing a dead mesh.
+struct ConnectedGuard;
+
+impl Drop for ConnectedGuard {
+    fn drop(&mut self) {
+        restune::clear_connect();
+    }
+}
+
+fn profiles(names: &[&str]) -> Vec<workloads::WorkloadProfile> {
+    names
+        .iter()
+        .map(|n| spec2k::by_name(n).expect("app is in the suite"))
+        .collect()
+}
+
+/// A scratch area holding one socket and one cache directory per host,
+/// removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("restune-mesh-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        Scratch(dir)
+    }
+
+    fn host(&self, index: usize) -> (Endpoint, ServerConfig) {
+        let socket = self.0.join(format!("host{index}.sock"));
+        let mut cfg = ServerConfig::from_env();
+        cfg.cache_dir = Some(self.0.join(format!("cache{index}")));
+        cfg.workers = 2;
+        (Endpoint::parse(socket.to_str().expect("utf-8 path")), cfg)
+    }
+
+    fn hosts(&self) -> Vec<(Endpoint, ServerConfig)> {
+        (0..HOSTS).map(|i| self.host(i)).collect()
+    }
+
+    /// The comma-separated `--connect` list for the mesh, in host order.
+    fn connect_list(&self) -> String {
+        (0..HOSTS)
+            .map(|i| self.host(i).0.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn connect(&self) -> ConnectedGuard {
+        restune::set_connect(&self.connect_list()).expect("at least one mesh host is reachable");
+        ConnectedGuard
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The current value of one global obs counter (counters are cumulative
+/// across a test binary, so every assertion works on deltas).
+fn counter(name: &str) -> u64 {
+    restune::obs::snapshot_counters()
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// Searches instruction counts upward from `start` until at least `want`
+/// of `apps` shard onto `victim` under rendezvous routing. Sharding is a
+/// pure function of the job fingerprint, so this makes "the schedule's
+/// victim actually owns work" deterministic instead of hoping the hash
+/// falls right.
+fn instructions_preferring(
+    victim: usize,
+    apps: &[workloads::WorkloadProfile],
+    start: u64,
+    want: usize,
+) -> u64 {
+    let mut instructions = start;
+    loop {
+        let sim = SimConfig::isca04(instructions);
+        let on_victim = apps
+            .iter()
+            .filter(|p| {
+                let fp = job_shard(p, &Technique::Base, &sim, &[]);
+                rendezvous_order(fp, HOSTS)[0] == victim
+            })
+            .count();
+        if on_victim >= want {
+            return instructions;
+        }
+        instructions += 1_000;
+        assert!(
+            instructions < start + 500_000,
+            "no instruction count within range sharded {want} apps onto host {victim}"
+        );
+    }
+}
+
+/// Runs the kill-template or drain-template schedule end to end: batch one
+/// against a dead preferred host (failover), restart, cooldown, batch two
+/// probing the host back in (breaker recovery). Shared by the seed-42 and
+/// seed-40 tests since the two templates differ only in how the victim
+/// goes down.
+fn down_and_recover(label: &str, seed: u64, expect_first_class: &str) {
+    let schedule = ChaosSchedule::seeded(seed, HOSTS);
+    assert_eq!(schedule.steps.len(), 2, "template: down then restart");
+    assert_eq!(schedule.steps[0].1.class(), expect_first_class);
+    assert_eq!(schedule.steps[1].1.class(), "chaos-restart");
+    let victim = schedule.steps[0].1.host();
+
+    let apps = profiles(&APPS);
+    // Batch one: at least two apps shard onto the victim, so the failover
+    // path (and the second breaker strike that opens it) must fire. Batch
+    // two uses fresh fingerprints so its victim-sharded job goes through
+    // the probe rather than any client-side state.
+    let instr1 = instructions_preferring(victim, &apps, 8_000, 2);
+    let instr2 = instructions_preferring(victim, &apps, instr1 + 1_000, 1);
+    let sim1 = SimConfig::isca04(instr1);
+    let sim2 = SimConfig::isca04(instr2);
+    let ref1 = try_run_suite(&apps, &Technique::Base, &sim1).expect("reference suite runs");
+    let ref2 = try_run_suite(&apps, &Technique::Base, &sim2).expect("reference suite runs");
+
+    let scratch = Scratch::new(label);
+    let mut conductor =
+        ChaosConductor::start(scratch.hosts(), schedule).expect("all three hosts start");
+    let _route = scratch.connect();
+
+    let reroutes_before = counter("mesh.reroutes");
+    let opens_before = counter("mesh.breaker_opens");
+    assert_eq!(
+        conductor.step().expect("schedule has steps").host(),
+        victim,
+        "first step downs the victim"
+    );
+    assert!(!conductor.is_up(victim));
+
+    let run1 = try_run_suite(&apps, &Technique::Base, &sim1).expect("mesh suite survives");
+    assert_eq!(
+        run1.results, ref1.results,
+        "failover must reroute, never change results"
+    );
+    assert!(
+        counter("mesh.reroutes") > reroutes_before,
+        "jobs sharded onto the dead host must fail over"
+    );
+    assert!(
+        counter("mesh.breaker_opens") > opens_before,
+        "two consecutive failures must open the victim's breaker"
+    );
+
+    let probes_before = counter("mesh.probe_successes");
+    conductor.step().expect("schedule has a restart step");
+    assert!(conductor.is_up(victim));
+    // Past the longest possible cooldown, so the victim's open breaker is
+    // guaranteed half-open: its next route goes through a probe.
+    std::thread::sleep(Duration::from_millis(2_200));
+
+    let run2 = try_run_suite(&apps, &Technique::Base, &sim2).expect("mesh suite runs");
+    assert_eq!(
+        run2.results, ref2.results,
+        "a recovered mesh must stay byte-identical"
+    );
+    assert!(
+        counter("mesh.probe_successes") > probes_before,
+        "the restarted host must be probed back in"
+    );
+}
+
+#[test]
+fn seed_42_kill_and_restart_reroutes_then_probes_the_host_back_in() {
+    let _serial = serial();
+    down_and_recover("kill42", 42, "chaos-kill");
+}
+
+#[test]
+fn seed_40_drain_and_restart_reroutes_then_probes_the_host_back_in() {
+    let _serial = serial();
+    down_and_recover("drain40", 40, "chaos-drain");
+}
+
+#[test]
+fn seed_41_partition_window_heals_with_byte_identical_results() {
+    let _serial = serial();
+    let schedule = ChaosSchedule::seeded(41, HOSTS);
+    assert_eq!(schedule.steps[0].1.class(), "chaos-partition");
+    assert_eq!(schedule.steps[1].1.class(), "chaos-stall");
+    let victim = schedule.steps[0].1.host();
+    let ChaosStep::Partition { millis, .. } = schedule.steps[0].1 else {
+        panic!("seed 41 starts with a partition window");
+    };
+
+    let apps = profiles(&APPS);
+    let instructions = instructions_preferring(victim, &apps, 8_000, 1);
+    let sim = SimConfig::isca04(instructions);
+    let reference = try_run_suite(&apps, &Technique::Base, &sim).expect("reference suite runs");
+    let solo_index = apps
+        .iter()
+        .position(|p| {
+            let fp = job_shard(p, &Technique::Base, &sim, &[]);
+            rendezvous_order(fp, HOSTS)[0] == victim
+        })
+        .expect("instructions_preferring guaranteed one");
+    let solo = vec![apps[solo_index]];
+
+    let scratch = Scratch::new("part41");
+    let mut conductor =
+        ChaosConductor::start(scratch.hosts(), schedule).expect("all three hosts start");
+    let _route = scratch.connect();
+
+    // Apply the whole schedule up front: the partition window on the victim
+    // starts ticking, and another host stalls its worker pool for a bit.
+    let reroutes_before = counter("mesh.reroutes");
+    while conductor.step().is_some() {}
+    let window_start = Instant::now();
+
+    // A job sharded onto the partitioned host, routed immediately: if the
+    // run finished inside the window, the route decision certainly fell
+    // inside it too, so the job must have been rerouted. (If the window
+    // expired first the routing claim is unprovable — the byte-identical
+    // claim below still holds.)
+    let solo_run = try_run_suite(&solo, &Technique::Base, &sim).expect("partitioned suite runs");
+    assert_eq!(solo_run.results[0], reference.results[solo_index]);
+    if window_start.elapsed() < Duration::from_millis(millis) {
+        assert!(
+            counter("mesh.reroutes") > reroutes_before,
+            "a route decided inside the partition window must fail over"
+        );
+    }
+
+    // Let the partition and the stall windows heal, then the full suite
+    // must land byte-identically with every host routable again.
+    std::thread::sleep(Duration::from_millis(millis + 100));
+    let run = try_run_suite(&apps, &Technique::Base, &sim).expect("healed mesh suite runs");
+    assert_eq!(
+        run.results, reference.results,
+        "a healed partition must leave no trace in the report"
+    );
+    assert!(conductor.is_up(victim), "partitions never stop the server");
+}
+
+#[test]
+fn a_fully_dark_mesh_surfaces_an_error_instead_of_hanging() {
+    let _serial = serial();
+    let apps = profiles(&APPS[..1]);
+    let sim = SimConfig::isca04(8_000);
+
+    // A hand-built schedule (the conductor takes any schedule, seeded or
+    // not): kill every host.
+    let schedule = ChaosSchedule {
+        steps: (0..HOSTS)
+            .map(|host| (0u64, ChaosStep::Kill { host }))
+            .collect(),
+    };
+    let scratch = Scratch::new("dark");
+    let mut conductor =
+        ChaosConductor::start(scratch.hosts(), schedule).expect("all three hosts start");
+    let _route = scratch.connect();
+    while conductor.step().is_some() {}
+
+    // A tight backoff cap keeps the bounded retry ladder quick; the suite
+    // must fail cleanly rather than hang or panic.
+    let started = Instant::now();
+    let run = restune::testenv::with_env(&[("RESTUNE_BACKOFF_CAP_MS", Some("60"))], || {
+        try_run_suite(&apps, &Technique::Base, &sim)
+    });
+    assert!(run.is_err(), "a fully dark mesh cannot produce results");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the failover ladder must stay bounded"
+    );
+}
