@@ -378,4 +378,60 @@ done
 grep -q 'probes=' "$mesh_dir"/host*.log || {
     echo "mesh smoke: drain summary lost its probes counter" >&2; exit 1; }
 
+echo "==> sweep smoke (grid sweep: store sharing, frontier byte-identity, mesh)"
+# The same small grid runs once per execution path against fresh caches —
+# lane-parallel, serial (RESTUNE_LANES=1), and through a restuned host
+# (--connect; the scaled-PDN points fall back to local execution by design)
+# — and the Pareto frontier must come out byte-identical from all three.
+# A repeat run over the first cache must then serve every previously
+# computed run from the content-addressed store (hits == runs in the
+# --json store section), reproducing the frontier without simulating.
+# The sweep trace must pass the trace_report --check schema gate, which
+# validates the sweep-point / frontier-point / sweep-end event shapes.
+sweep_dir=$(mktemp -d)
+sweep_grid="--grid pdn=1.0,1.5 --grid tuning=75,100"
+RESTUNE_CACHE_DIR="$sweep_dir/lanes" ./target/release/sweep -n 8000 \
+    $sweep_grid --json --trace-out "$sweep_dir/sweep.jsonl" \
+    > "$sweep_dir/lanes.json"
+./target/release/trace_report --check "$sweep_dir/sweep.jsonl" > /dev/null
+RESTUNE_CACHE_DIR="$sweep_dir/serial" RESTUNE_LANES=1 ./target/release/sweep \
+    -n 8000 $sweep_grid --json > "$sweep_dir/serial.json"
+sweep_sock="$sweep_dir/restuned.sock"
+RESTUNE_CACHE_DIR="$sweep_dir/server-cache" \
+    ./target/release/restuned --socket "$sweep_sock" \
+    2> "$sweep_dir/restuned.log" &
+sweep_srv=$!
+for _ in $(seq 50); do [ -S "$sweep_sock" ] && break; sleep 0.1; done
+[ -S "$sweep_sock" ] || { echo "sweep smoke: restuned did not bind" >&2; exit 1; }
+RESTUNE_CACHE_DIR="$sweep_dir/mesh" ./target/release/sweep -n 8000 \
+    $sweep_grid --json --connect "$sweep_sock" > "$sweep_dir/mesh.json"
+kill -TERM "$sweep_srv"
+wait "$sweep_srv" || { echo "sweep smoke: restuned failed to drain" >&2; exit 1; }
+RESTUNE_CACHE_DIR="$sweep_dir/lanes" ./target/release/sweep -n 8000 \
+    $sweep_grid --json > "$sweep_dir/replay.json"
+python3 - "$sweep_dir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+load = lambda name: json.load(open(f"{d}/{name}.json"))
+lanes, serial, mesh, replay = (load(n) for n in ("lanes", "serial", "mesh", "replay"))
+for name, doc in (("serial", serial), ("mesh", mesh), ("replay", replay)):
+    assert doc["frontier"] == lanes["frontier"], \
+        f"{name}: Pareto frontier diverged from the lane-parallel run"
+    assert doc["sweep"] == lanes["sweep"], \
+        f"{name}: sweep points diverged from the lane-parallel run"
+assert lanes["frontier"], "sweep produced an empty frontier"
+store = replay["store"][0]
+assert store["store_hits"] == store["runs"] and store["store_misses"] == 0, \
+    f"replay must serve every run from the store: {store}"
+first_store = lanes["store"][0]
+assert first_store["store_hits"] == 0, \
+    f"a fresh cache cannot hit the store: {first_store}"
+kinds = {json.loads(l)["kind"] for l in open(f"{d}/sweep.jsonl") if l.strip()}
+for k in ("sweep-start", "sweep-point", "frontier-point", "sweep-end"):
+    assert k in kinds, f"sweep trace missing {k!r} events: {sorted(kinds)}"
+print(f"sweep ok: {len(lanes['sweep'])} points, {len(lanes['frontier'])} on the "
+      f"frontier, byte-identical across lanes/serial/mesh, "
+      f"{store['store_hits']} store-served on replay")
+EOF
+
 echo "==> tier-1 green"

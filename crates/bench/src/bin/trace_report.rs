@@ -1,12 +1,15 @@
 //! Summarizes a JSON-lines trace written by `--trace-out` / `RESTUNE_TRACE`:
 //! event histogram, per-app violation and waveform-window breakdown, engine
 //! span timings, mesh routing activity (per-host job counts, reroutes,
-//! breaker transitions), and the final counter registry. With `--check` it
+//! breaker transitions), sweep activity (points and frontier sizes per
+//! workload class), and the final counter registry. With `--check` it
 //! validates every line against the event-log schema — including the mesh
 //! event shapes (`mesh-reroute` and `mesh-breaker` must carry a numeric
 //! `host`; `mesh-breaker` a string `state`; `chaos-step` a string `class`)
-//! — and exits non-zero on the first malformed record; the CI trace stage
-//! runs it in that mode.
+//! and the sweep event shapes (`sweep-point` / `frontier-point` must carry
+//! a string `class` and `technique` plus numeric `pdn`, `violations`,
+//! `slowdown`, and `energy_delay`) — and exits non-zero on the first
+//! malformed record; the CI trace stage runs it in that mode.
 
 use std::collections::BTreeMap;
 use std::io::{self, Write};
@@ -63,6 +66,8 @@ fn main() -> ExitCode {
     // breaker state -> transitions, chaos class -> steps
     let mut breaker_transitions: BTreeMap<String, u64> = BTreeMap::new();
     let mut chaos_steps: BTreeMap<String, u64> = BTreeMap::new();
+    // workload class -> (sweep points, frontier points)
+    let mut sweep_classes: BTreeMap<String, (u64, u64)> = BTreeMap::new();
     let mut suite_start: Option<f64> = None;
     let mut total = 0u64;
 
@@ -74,6 +79,7 @@ fn main() -> ExitCode {
         let validity = validate_line(line).and_then(|()| {
             let event = parse_json(line).expect("validate_line parsed it");
             validate_mesh_shape(&event)?;
+            validate_sweep_shape(&event)?;
             Ok(event)
         });
         let event = match validity {
@@ -128,6 +134,16 @@ fn main() -> ExitCode {
                     *chaos_steps.entry(class.to_string()).or_insert(0) += 1;
                 }
             }
+            "sweep-point" | "frontier-point" => {
+                if let Some(class) = event.get("class").and_then(JsonValue::as_str) {
+                    let entry = sweep_classes.entry(class.to_string()).or_default();
+                    if kind == "sweep-point" {
+                        entry.0 += 1;
+                    } else {
+                        entry.1 += 1;
+                    }
+                }
+            }
             "suite-start" => {
                 suite_start = event.get("wall").and_then(JsonValue::as_f64);
             }
@@ -154,7 +170,15 @@ fn main() -> ExitCode {
     // of panicking like println! would.
     let out = io::stdout().lock();
     match print_report(
-        out, &path, total, &histogram, &apps, &spans, &counters, &mesh,
+        out,
+        &path,
+        total,
+        &histogram,
+        &apps,
+        &spans,
+        &counters,
+        &mesh,
+        &sweep_classes,
     ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) if e.kind() == io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
@@ -179,6 +203,33 @@ fn validate_mesh_shape(event: &JsonValue) -> Result<(), String> {
     }
     if kind == "chaos-step" && event.get("class").and_then(JsonValue::as_str).is_none() {
         return Err("chaos-step event without a string 'class' field".to_string());
+    }
+    Ok(())
+}
+
+/// The `--check` schema gate for sweep events: point records carry the
+/// typed fields the frontier report (and this summary) depend on, and the
+/// end record carries the store totals.
+fn validate_sweep_shape(event: &JsonValue) -> Result<(), String> {
+    let kind = event.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+    if matches!(kind, "sweep-point" | "frontier-point") {
+        for field in ["class", "technique"] {
+            if event.get(field).and_then(JsonValue::as_str).is_none() {
+                return Err(format!("{kind} event without a string '{field}' field"));
+            }
+        }
+        for field in ["pdn", "violations", "slowdown", "energy_delay"] {
+            if event.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("{kind} event without a numeric '{field}' field"));
+            }
+        }
+    }
+    if kind == "sweep-end" {
+        for field in ["points", "frontier", "store_hits", "store_misses"] {
+            if event.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("sweep-end event without a numeric '{field}' field"));
+            }
+        }
     }
     Ok(())
 }
@@ -254,6 +305,7 @@ fn print_report(
     spans: &[(String, f64)],
     counters: &[(String, u64)],
     mesh: &MeshSummary,
+    sweep_classes: &BTreeMap<String, (u64, u64)>,
 ) -> io::Result<()> {
     writeln!(out, "trace: {path} ({total} events)")?;
     writeln!(out)?;
@@ -299,6 +351,21 @@ fn print_report(
         }
         for (class, count) in &mesh.chaos_steps {
             writeln!(out, "  {class:<28} {count:>10}")?;
+        }
+    }
+
+    if !sweep_classes.is_empty() {
+        writeln!(out)?;
+        writeln!(out, "sweep:")?;
+        for (class, (points, frontier)) in sweep_classes {
+            writeln!(out, "  {class:<18} points={points:<6} frontier={frontier}")?;
+        }
+        let store: Vec<&(String, u64)> = counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("store."))
+            .collect();
+        for (name, value) in store {
+            writeln!(out, "  {name:<28} {value:>10}")?;
         }
     }
 

@@ -371,10 +371,10 @@ pub fn run_suite_supervised(
     // suite (fingerprint covers machine, technique, profiles, and the
     // result-perturbing part of the fault plan).
     let checkpoint = sup.resume.then(|| {
-        let fp = suite_fingerprint(profiles, technique, sim, plan);
-        let path = checkpoint_path(sup, fp);
-        let rows = load_checkpoint(&path, fp, profiles);
-        (path, fp, rows)
+        let key = suite_key(profiles, technique, sim, plan);
+        let path = checkpoint_path(sup, key.fingerprint);
+        let rows = load_checkpoint(&path, &key, profiles);
+        (path, key, rows)
     });
     if let Some((_, _, rows)) = &checkpoint {
         let stats = base_cache_stats();
@@ -393,9 +393,9 @@ pub fn run_suite_supervised(
     // Serialized crash-consistent checkpoint append with a once-per-suite
     // degradation warning — shared by the lane phase and the worker pool.
     let append_ckpt = |idx: usize, result: &SimResult| {
-        if let Some((path, fp, _)) = &checkpoint {
+        if let Some((path, key, _)) = &checkpoint {
             let _guard = ckpt_append.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Err(e) = append_checkpoint(path, *fp, idx, result) {
+            if let Err(e) = append_checkpoint(path, key, idx, result) {
                 let mut rep = report.lock().unwrap_or_else(PoisonError::into_inner);
                 if !rep.checkpoint_degraded {
                     rep.checkpoint_degraded = true;
@@ -536,10 +536,14 @@ pub fn run_suite_supervised(
         }
     }
     // A fully successful suite retires its checkpoint; a degraded one keeps
-    // it so a fixed-up rerun only repeats the failed applications.
+    // it so a fixed-up rerun only repeats the failed applications. Success
+    // is also the moment to sweep out *abandoned* sibling checkpoints —
+    // files whose suites crashed and were never resumed would otherwise
+    // accumulate forever.
     if let Some((path, _, _)) = &checkpoint {
         if outcomes.iter().all(Result::is_ok) {
             let _ = std::fs::remove_file(path);
+            prune_stale_checkpoints(&checkpoint_dir(sup));
         }
     }
     let wall_seconds = start.elapsed().as_secs_f64();
@@ -558,8 +562,58 @@ pub fn run_suite_supervised(
 }
 
 /// Checkpoint-file schema version; bump when the row format changes.
-/// v2 added the per-row CRC32 and the tmp+fsync+rename write path.
-const CHECKPOINT_SCHEMA: u32 = 2;
+/// v2 added the per-row CRC32 and the tmp+fsync+rename write path; v3 the
+/// persisted identity row (the fingerprint-collision guard).
+const CHECKPOINT_SCHEMA: u32 = 3;
+
+/// A fully-qualified cache key: the 64-bit FNV-1a fingerprint plus the
+/// identity string it was hashed from.
+///
+/// Every persisted cache plane — recorded baselines, suite checkpoints,
+/// the server result cache, the sweep run store — stores *both* and
+/// verifies the identity on read. 64 bits of FNV-1a make an accidental
+/// collision unlikely, not impossible, and two different configurations
+/// silently sharing one cache slot would replay wrong results with no
+/// way to notice; an identity mismatch is therefore treated as a miss
+/// with an `obs::warn`, never as a hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// FNV-1a of `identity`.
+    pub fingerprint: u64,
+    /// The full config identity string the fingerprint was derived from.
+    pub identity: String,
+}
+
+impl CacheKey {
+    /// Hashes `identity` into its fingerprint.
+    pub fn from_identity(identity: String) -> CacheKey {
+        let fingerprint = fnv1a(identity.as_bytes());
+        CacheKey {
+            fingerprint,
+            identity,
+        }
+    }
+}
+
+/// Warns about (and counts) a fingerprint collision on one cache plane:
+/// the stored identity under this fingerprint belongs to a different
+/// configuration, so the record must be treated as a miss.
+pub(crate) fn warn_identity_mismatch(
+    category: &'static str,
+    path: &Path,
+    expected: &str,
+    found: &str,
+) {
+    crate::obs::counter_add(&format!("{category}.identity_mismatches"), 1);
+    crate::obs::warn(
+        category,
+        &format!(
+            "fingerprint collision at {}: stored identity '{found}' != expected \
+             '{expected}'; treating as a miss",
+            path.display()
+        ),
+    );
+}
 
 /// Writes `bytes` to `path` crash-consistently: the data goes to a sibling
 /// tmp file, is fsynced, and is renamed over the target, so a crash or
@@ -600,23 +654,33 @@ pub(crate) fn split_crc_line(line: &str) -> Option<(&str, bool)> {
     Some((core, recorded == crate::wire::crc32(core.as_bytes())))
 }
 
-/// Fingerprint of everything a supervised suite's *results* depend on: the
+/// [`CacheKey`] of everything a supervised suite's *results* depend on: the
 /// machine configuration, the technique (with its config), every workload
 /// profile, and the result-perturbing (sensor) part of the fault plan.
 /// Worker/numeric faults and supervisor settings are excluded on purpose —
 /// they change *whether* a run completes, never *what* it computes.
+pub fn suite_key(
+    profiles: &[WorkloadProfile],
+    technique: &Technique,
+    sim: &SimConfig,
+    plan: &FaultPlan,
+) -> CacheKey {
+    let mut identity = format!("ckpt-v{CHECKPOINT_SCHEMA}|{sim:?}|{technique:?}|");
+    for p in profiles {
+        identity.push_str(&format!("{}:{:?};", p.name, plan.result_faults(p.name)));
+    }
+    identity.push_str(&format!("|{profiles:?}"));
+    CacheKey::from_identity(identity)
+}
+
+/// The fingerprint half of [`suite_key`].
 pub fn suite_fingerprint(
     profiles: &[WorkloadProfile],
     technique: &Technique,
     sim: &SimConfig,
     plan: &FaultPlan,
 ) -> u64 {
-    let mut identity = format!("ckpt-v{CHECKPOINT_SCHEMA}|{sim:?}|{technique:?}|");
-    for p in profiles {
-        identity.push_str(&format!("{}:{:?};", p.name, plan.result_faults(p.name)));
-    }
-    identity.push_str(&format!("|{profiles:?}"));
-    fnv1a(identity.as_bytes())
+    suite_key(profiles, technique, sim, plan).fingerprint
 }
 
 /// Directory for suite checkpoints: the supervisor's override when set,
@@ -632,8 +696,53 @@ pub fn checkpoint_path(sup: &SupervisorConfig, fp: u64) -> PathBuf {
     checkpoint_dir(sup).join(format!("ckpt-{fp:016x}.tsv"))
 }
 
+/// Default age past which an untouched checkpoint counts as abandoned.
+const CHECKPOINT_MAX_AGE: Duration = Duration::from_secs(7 * 24 * 3600);
+
+/// Removes abandoned checkpoints — `ckpt-*.tsv` files in `dir` not
+/// modified for `RESTUNE_CKPT_MAX_AGE_SECS` seconds (default 7 days) —
+/// and returns how many were pruned (also surfaced as the
+/// `cache.checkpoints_pruned` counter).
+///
+/// Called automatically after every fully successful resumable suite;
+/// checkpoints of suites that crashed and were never resumed would
+/// otherwise accumulate in the cache directory forever.
+pub fn prune_stale_checkpoints(dir: &Path) -> u64 {
+    let max_age = crate::envcfg::positive_f64(
+        "RESTUNE_CKPT_MAX_AGE_SECS",
+        "cache",
+        "the 7-day default checkpoint age bound",
+    )
+    .map(Duration::from_secs_f64)
+    .unwrap_or(CHECKPOINT_MAX_AGE);
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut pruned = 0u64;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !(name.starts_with("ckpt-") && name.ends_with(".tsv")) {
+            continue;
+        }
+        let abandoned = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > max_age);
+        if abandoned && std::fs::remove_file(entry.path()).is_ok() {
+            pruned += 1;
+        }
+    }
+    if pruned > 0 {
+        crate::obs::counter_add("cache.checkpoints_pruned", pruned);
+    }
+    pruned
+}
+
 /// Appends one completed application to the checkpoint, creating the file
-/// (with its header) on first use.
+/// (with its header and identity row) on first use.
 ///
 /// The append is a read-modify-write through [`atomic_write`]: checkpoints
 /// hold at most one small row per application, so rewriting the whole file
@@ -643,12 +752,26 @@ pub fn checkpoint_path(sup: &SupervisorConfig, fp: u64) -> PathBuf {
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn append_checkpoint(path: &Path, fp: u64, idx: usize, result: &SimResult) -> io::Result<()> {
-    let header = format!("restune-checkpoint v{CHECKPOINT_SCHEMA} fp={fp:016x}");
+pub fn append_checkpoint(
+    path: &Path,
+    key: &CacheKey,
+    idx: usize,
+    result: &SimResult,
+) -> io::Result<()> {
+    let header = format!(
+        "restune-checkpoint v{CHECKPOINT_SCHEMA} fp={:016x}",
+        key.fingerprint
+    );
+    let id_row = crc_line(&format!("id={}", key.identity));
     let mut body = match std::fs::read_to_string(path) {
-        Ok(text) if text.lines().next() == Some(header.as_str()) => text,
-        // Missing, stale, or unreadable: start the file over.
-        _ => format!("{header}\n"),
+        Ok(text)
+            if text.lines().next() == Some(header.as_str())
+                && text.lines().nth(1) == Some(id_row.as_str()) =>
+        {
+            text
+        }
+        // Missing, stale, colliding, or unreadable: start the file over.
+        _ => format!("{header}\n{id_row}\n"),
     };
     if !body.ends_with('\n') {
         body.push('\n'); // a torn tail must not concatenate with the new row
@@ -662,7 +785,10 @@ pub fn append_checkpoint(path: &Path, fp: u64, idx: usize, result: &SimResult) -
 /// [`append_checkpoint`], keyed by suite index.
 ///
 /// A missing file is an empty resume. A stale fingerprint or header is
-/// discarded with a warning. Damage is recovered at row granularity:
+/// discarded with a warning; a matching fingerprint whose stored identity
+/// differs (a fingerprint collision) is reported and treated as an empty
+/// resume without touching the file. Damage is recovered at row
+/// granularity:
 ///
 /// * a row whose CRC32 does not verify is *skipped* — only that
 ///   application re-runs, everything else replays;
@@ -672,17 +798,39 @@ pub fn append_checkpoint(path: &Path, fp: u64, idx: usize, result: &SimResult) -
 ///   mid-write.
 pub fn load_checkpoint(
     path: &Path,
-    fingerprint: u64,
+    key: &CacheKey,
     profiles: &[WorkloadProfile],
 ) -> Vec<(usize, SimResult)> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
     let mut lines = text.lines();
-    let expected = format!("restune-checkpoint v{CHECKPOINT_SCHEMA} fp={fingerprint:016x}");
+    let expected = format!(
+        "restune-checkpoint v{CHECKPOINT_SCHEMA} fp={:016x}",
+        key.fingerprint
+    );
     if lines.next() != Some(expected.as_str()) {
         discard_stale(path, "stale or corrupt checkpoint");
         return Vec::new();
+    }
+    // The identity row pins the fingerprint to one configuration. A torn
+    // or damaged identity row means the file cannot be trusted at all.
+    match lines.next().and_then(split_crc_line) {
+        Some((core, true)) => match core.strip_prefix("id=") {
+            Some(identity) if identity == key.identity => {}
+            Some(identity) => {
+                warn_identity_mismatch("cache", path, &key.identity, identity);
+                return Vec::new();
+            }
+            None => {
+                discard_stale(path, "checkpoint missing its identity row");
+                return Vec::new();
+            }
+        },
+        _ => {
+            discard_stale(path, "checkpoint with a torn or damaged identity row");
+            return Vec::new();
+        }
     }
     let mut rows: HashMap<usize, SimResult> = HashMap::new();
     for line in lines {
@@ -769,8 +917,8 @@ fn cached_suite_supervised_for(
         return SupervisedSuite::from_suite_run(&cached_suite_for(sim, profiles), "base");
     }
 
-    let fp = baseline_fingerprint_for(sim, profiles);
-    let path = suite_baseline_path(fp);
+    let key = baseline_key_for(sim, profiles);
+    let path = suite_baseline_path(key.fingerprint);
     let mut incidents = Vec::new();
     if let Some(fault) = plan.storage_fault() {
         if path.exists() && corrupt_file(&path, fault).is_ok() {
@@ -782,7 +930,7 @@ fn cached_suite_supervised_for(
         }
     }
 
-    if let Ok(Some(results)) = load_baseline(&path, fp) {
+    if let Ok(Some(results)) = load_baseline(&path, &key) {
         let stats = base_cache_stats();
         let metrics = results
             .iter()
@@ -802,7 +950,7 @@ fn cached_suite_supervised_for(
     suite.report.scope = String::from("base");
     if let Some(results) = suite.all_results() {
         if !plan.has_result_faults() {
-            let _ = save_baseline(&path, fp, &results);
+            let _ = save_baseline(&path, &key, &results);
         }
         for incident in &mut incidents {
             incident.recovered = true;
@@ -879,29 +1027,39 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Baseline-file schema version; bump when the row format changes.
-/// v2 added the per-row CRC32 and the tmp+fsync+rename write path.
-const BASELINE_SCHEMA: u32 = 2;
+/// v2 added the per-row CRC32 and the tmp+fsync+rename write path; v3 the
+/// persisted identity row (the fingerprint-collision guard).
+const BASELINE_SCHEMA: u32 = 3;
 
-/// Fingerprint of everything a base-suite run depends on: the machine
+/// [`CacheKey`] of everything a base-suite run depends on: the machine
 /// configuration and every workload profile. The `Debug` representations
 /// include all fields recursively (floats in shortest-roundtrip form), so
 /// any parameter change — in the machine or in a profile — yields a new
 /// fingerprint and invalidates recorded baselines.
-pub fn base_fingerprint(sim: &SimConfig) -> u64 {
-    baseline_fingerprint_for(sim, &spec2k::all())
+pub fn base_key(sim: &SimConfig) -> CacheKey {
+    baseline_key_for(sim, &spec2k::all())
 }
 
-/// [`base_fingerprint`] for the RISC-V corpus suite. Corpus profiles carry
-/// a content hash of their assembly source as `seed`, so editing a program
+/// [`base_key`] for the RISC-V corpus suite. Corpus profiles carry a
+/// content hash of their assembly source as `seed`, so editing a program
 /// re-fingerprints the corpus baseline exactly like a profile edit does for
 /// the synthetic suite.
-pub fn corpus_base_fingerprint(sim: &SimConfig) -> u64 {
-    baseline_fingerprint_for(sim, &corpus::all())
+pub fn corpus_base_key(sim: &SimConfig) -> CacheKey {
+    baseline_key_for(sim, &corpus::all())
 }
 
-fn baseline_fingerprint_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> u64 {
-    let identity = format!("v{BASELINE_SCHEMA}|{sim:?}|{profiles:?}");
-    fnv1a(identity.as_bytes())
+/// The fingerprint half of [`base_key`].
+pub fn base_fingerprint(sim: &SimConfig) -> u64 {
+    base_key(sim).fingerprint
+}
+
+/// The fingerprint half of [`corpus_base_key`].
+pub fn corpus_base_fingerprint(sim: &SimConfig) -> u64 {
+    corpus_base_key(sim).fingerprint
+}
+
+fn baseline_key_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> CacheKey {
+    CacheKey::from_identity(format!("v{BASELINE_SCHEMA}|{sim:?}|{profiles:?}"))
 }
 
 /// Directory for recorded baselines: `$RESTUNE_CACHE_DIR` when set,
@@ -935,7 +1093,8 @@ fn suite_baseline_path(fingerprint: u64) -> PathBuf {
     baseline_cache_dir().join(format!("base-{fingerprint:016x}.tsv"))
 }
 
-/// Serializes result rows to `path`, keyed by `fingerprint`.
+/// Serializes result rows to `path`, keyed by `key` (fingerprint in the
+/// header, full identity string in the row after it).
 ///
 /// Floats are stored as `f64::to_bits` hex, so a load reproduces every row
 /// bit-for-bit. The write is crash-consistent ([`atomic_write`]) and every
@@ -944,12 +1103,15 @@ fn suite_baseline_path(fingerprint: u64) -> PathBuf {
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn save_baseline(path: &Path, fingerprint: u64, results: &[SimResult]) -> io::Result<()> {
+pub fn save_baseline(path: &Path, key: &CacheKey, results: &[SimResult]) -> io::Result<()> {
     let mut body = String::new();
     body.push_str(&format!(
-        "restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps={}\n",
+        "restune-baseline v{BASELINE_SCHEMA} fp={:016x} apps={}\n",
+        key.fingerprint,
         results.len()
     ));
+    body.push_str(&crc_line(&format!("id={}", key.identity)));
+    body.push('\n');
     for r in results {
         body.push_str(&crc_line(&result_row(r)));
         body.push('\n');
@@ -958,8 +1120,8 @@ pub fn save_baseline(path: &Path, fingerprint: u64, results: &[SimResult]) -> io
 }
 
 /// The bit-exact TSV serialization of one result row, shared by baseline
-/// files and checkpoints.
-fn result_row(r: &SimResult) -> String {
+/// files, checkpoints, and the sweep run store.
+pub(crate) fn result_row(r: &SimResult) -> String {
     format!(
         "{}\t{}\t{}\t{:016x}\t{}\t{:016x}\t{:016x}\t{:016x}\t{}\t{}\t{}\t{}",
         r.app,
@@ -977,7 +1139,7 @@ fn result_row(r: &SimResult) -> String {
     )
 }
 
-fn parse_row(line: &str) -> Option<SimResult> {
+pub(crate) fn parse_row(line: &str) -> Option<SimResult> {
     let mut f = line.split('\t');
     let name = f.next()?;
     // Resolve through the registry so `app` stays a `&'static str`; an
@@ -1008,9 +1170,22 @@ fn parse_row(line: &str) -> Option<SimResult> {
 
 /// Deletes a stale or damaged cache file and says so on stderr, once, so
 /// the next run doesn't trip over it again.
-fn discard_stale(path: &Path, why: &str) {
+pub(crate) fn discard_stale(path: &Path, why: &str) {
     let _ = std::fs::remove_file(path);
     crate::obs::warn("cache", &format!("discarded {} ({why})", path.display()));
+}
+
+/// What [`parse_baseline`] made of a recorded-baseline file.
+enum BaselineParse {
+    /// Fingerprint and identity verified; rows replay bit-exactly.
+    Rows(Vec<SimResult>),
+    /// Different schema/fingerprint, damage, or a torn identity row — the
+    /// file is useless and should be discarded.
+    Stale,
+    /// The fingerprint matched but the stored identity belongs to a
+    /// different configuration: a 64-bit collision. The file is *valid*
+    /// for its own configuration, so it is left in place.
+    Collision(String),
 }
 
 /// Loads result rows recorded by [`save_baseline`].
@@ -1019,29 +1194,54 @@ fn discard_stale(path: &Path, why: &str) {
 /// fingerprint or schema version, or fails to parse — all of which mean
 /// "no usable baseline", not an error. A stale or corrupt file is deleted
 /// (with a one-line stderr warning) so it is re-recorded on the next run
-/// instead of being rediscovered broken every time.
+/// instead of being rediscovered broken every time. A file whose
+/// fingerprint matches but whose stored identity differs — a fingerprint
+/// collision — is reported via `obs::warn` and treated as a miss without
+/// deleting the other configuration's valid record.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors other than the file being absent.
-pub fn load_baseline(path: &Path, fingerprint: u64) -> io::Result<Option<Vec<SimResult>>> {
+pub fn load_baseline(path: &Path, key: &CacheKey) -> io::Result<Option<Vec<SimResult>>> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
-    let rows = parse_baseline(&text, fingerprint);
-    if rows.is_none() {
-        discard_stale(path, "stale or corrupt recorded baseline");
+    match parse_baseline(&text, key) {
+        BaselineParse::Rows(rows) => Ok(Some(rows)),
+        BaselineParse::Stale => {
+            discard_stale(path, "stale or corrupt recorded baseline");
+            Ok(None)
+        }
+        BaselineParse::Collision(found) => {
+            warn_identity_mismatch("cache", path, &key.identity, &found);
+            Ok(None)
+        }
     }
-    Ok(rows)
 }
 
-fn parse_baseline(text: &str, fingerprint: u64) -> Option<Vec<SimResult>> {
+fn parse_baseline(text: &str, key: &CacheKey) -> BaselineParse {
     let mut lines = text.lines();
-    let expected = format!("restune-baseline v{BASELINE_SCHEMA} fp={fingerprint:016x} apps=");
-    let header = lines.next().filter(|h| h.starts_with(&expected))?;
-    let apps = header[expected.len()..].parse::<usize>().ok()?;
+    let expected = format!(
+        "restune-baseline v{BASELINE_SCHEMA} fp={:016x} apps=",
+        key.fingerprint
+    );
+    let Some(apps) = lines
+        .next()
+        .filter(|h| h.starts_with(&expected))
+        .and_then(|h| h[expected.len()..].parse::<usize>().ok())
+    else {
+        return BaselineParse::Stale;
+    };
+    match lines.next().and_then(split_crc_line) {
+        Some((core, true)) => match core.strip_prefix("id=") {
+            Some(identity) if identity == key.identity => {}
+            Some(identity) => return BaselineParse::Collision(identity.to_string()),
+            None => return BaselineParse::Stale,
+        },
+        _ => return BaselineParse::Stale,
+    }
     // Baselines are all-or-nothing (a partial base suite is useless), so
     // any torn or CRC-damaged row discards the whole file.
     let rows: Option<Vec<SimResult>> = lines
@@ -1050,7 +1250,10 @@ fn parse_baseline(text: &str, fingerprint: u64) -> Option<Vec<SimResult>> {
             intact.then(|| parse_row(core))?
         })
         .collect();
-    rows.filter(|r| r.len() == apps)
+    match rows.filter(|r| r.len() == apps) {
+        Some(rows) => BaselineParse::Rows(rows),
+        None => BaselineParse::Stale,
+    }
 }
 
 /// The base-machine suite for `sim`, simulated at most once per process.
@@ -1076,7 +1279,8 @@ pub fn cached_corpus_base_suite(sim: &SimConfig) -> Arc<SuiteRun> {
 }
 
 fn cached_suite_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> Arc<SuiteRun> {
-    let fp = baseline_fingerprint_for(sim, profiles);
+    let key = baseline_key_for(sim, profiles);
+    let fp = key.fingerprint;
     let mut state = cache().lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(run) = state.memo.get(&fp) {
         BASE_HITS.fetch_add(1, Ordering::Relaxed);
@@ -1084,7 +1288,7 @@ fn cached_suite_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> Arc<SuiteR
     }
 
     let path = suite_baseline_path(fp);
-    if let Ok(Some(results)) = load_baseline(&path, fp) {
+    if let Ok(Some(results)) = load_baseline(&path, &key) {
         BASE_HITS.fetch_add(1, Ordering::Relaxed);
         let stats = base_cache_stats();
         let metrics = results
@@ -1105,7 +1309,7 @@ fn cached_suite_for(sim: &SimConfig, profiles: &[WorkloadProfile]) -> Arc<SuiteR
     *state.simulations.entry(fp).or_insert(0) += 1;
     // Recording is best-effort: a read-only target directory only costs
     // later processes the cold run.
-    let _ = save_baseline(&path, fp, &run.results);
+    let _ = save_baseline(&path, &key, &run.results);
     let run = Arc::new(run);
     state.memo.insert(fp, Arc::clone(&run));
     run
@@ -1186,10 +1390,10 @@ mod tests {
             .iter()
             .map(|p| run(p, &Technique::Base, &sim))
             .collect();
-        let fp = base_fingerprint(&sim);
+        let key = base_key(&sim);
         let path = std::env::temp_dir().join("restune-baseline-roundtrip.tsv");
-        save_baseline(&path, fp, &results).unwrap();
-        let loaded = load_baseline(&path, fp)
+        save_baseline(&path, &key, &results).unwrap();
+        let loaded = load_baseline(&path, &key)
             .unwrap()
             .expect("fingerprint matches");
         assert_eq!(
@@ -1198,26 +1402,68 @@ mod tests {
         );
         // A different fingerprint must refuse the file — and discard it so
         // the stale artifact is not rediscovered broken forever.
-        assert_eq!(load_baseline(&path, fp ^ 1).unwrap(), None);
+        let other = CacheKey {
+            fingerprint: key.fingerprint ^ 1,
+            identity: key.identity.clone(),
+        };
+        assert_eq!(load_baseline(&path, &other).unwrap(), None);
         assert!(!path.exists(), "stale baseline must be deleted");
+    }
+
+    #[test]
+    fn colliding_baseline_is_a_miss_but_survives() {
+        // Two keys that share the 64-bit fingerprint but describe different
+        // configurations: the canonical birthday-collision hazard the
+        // identity row exists to catch.
+        let profiles: Vec<_> = spec2k::all().into_iter().take(1).collect();
+        let sim = quick_sim();
+        let results: Vec<_> = profiles
+            .iter()
+            .map(|p| run(p, &Technique::Base, &sim))
+            .collect();
+        let key = base_key(&sim);
+        let impostor = CacheKey {
+            fingerprint: key.fingerprint,
+            identity: format!("{}|impostor", key.identity),
+        };
+        let path = std::env::temp_dir().join("restune-baseline-collision.tsv");
+        save_baseline(&path, &key, &results).unwrap();
+        assert_eq!(
+            load_baseline(&path, &impostor).unwrap(),
+            None,
+            "a colliding fingerprint with a different identity is a miss"
+        );
+        assert!(
+            path.exists(),
+            "the other configuration's valid record must not be deleted"
+        );
+        // The rightful owner still loads bit-exactly afterwards.
+        let loaded = load_baseline(&path, &key).unwrap().expect("still valid");
+        assert_eq!(loaded, results);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn missing_baseline_is_not_an_error() {
         let path = std::env::temp_dir().join("restune-baseline-does-not-exist.tsv");
-        assert_eq!(load_baseline(&path, 0).unwrap(), None);
+        let key = CacheKey::from_identity(String::from("missing"));
+        assert_eq!(load_baseline(&path, &key).unwrap(), None);
     }
 
     #[test]
     fn corrupt_baseline_is_rejected() {
         let path = std::env::temp_dir().join("restune-baseline-corrupt.tsv");
-        let fp = 0xabcdu64;
+        let key = CacheKey::from_identity(String::from("corrupt-baseline-test"));
         std::fs::write(
             &path,
-            format!("restune-baseline v{BASELINE_SCHEMA} fp={fp:016x} apps=1\nnot-an-app\t1\n"),
+            format!(
+                "restune-baseline v{BASELINE_SCHEMA} fp={:016x} apps=1\n{}\nnot-an-app\t1\n",
+                key.fingerprint,
+                crc_line(&format!("id={}", key.identity)),
+            ),
         )
         .unwrap();
-        assert_eq!(load_baseline(&path, fp).unwrap(), None);
+        assert_eq!(load_baseline(&path, &key).unwrap(), None);
         assert!(!path.exists(), "corrupt baseline must be deleted");
     }
 
@@ -1243,7 +1489,7 @@ mod tests {
 
         // A fresh process would find the recorded baseline; simulate that by
         // loading the file directly.
-        let loaded = load_baseline(&baseline_path(&sim), base_fingerprint(&sim)).unwrap();
+        let loaded = load_baseline(&baseline_path(&sim), &base_key(&sim)).unwrap();
         assert_eq!(loaded.as_deref(), Some(first.results.as_slice()));
         let _ = std::fs::remove_file(baseline_path(&sim));
     }
@@ -1385,13 +1631,13 @@ mod tests {
             .iter()
             .map(|p| run(p, &Technique::Base, &sim))
             .collect();
-        let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+        let key = suite_key(&profiles, &Technique::Base, &sim, &FaultPlan::none());
         let path = std::env::temp_dir().join("restune-ckpt-roundtrip.tsv");
         let _ = std::fs::remove_file(&path);
 
-        append_checkpoint(&path, fp, 0, &results[0]).unwrap();
-        append_checkpoint(&path, fp, 2, &results[2]).unwrap();
-        let loaded = load_checkpoint(&path, fp, &profiles);
+        append_checkpoint(&path, &key, 0, &results[0]).unwrap();
+        append_checkpoint(&path, &key, 2, &results[2]).unwrap();
+        let loaded = load_checkpoint(&path, &key, &profiles);
         assert_eq!(loaded, vec![(0, results[0]), (2, results[2])]);
 
         // A kill mid-append leaves a truncated last row: everything before
@@ -1399,11 +1645,25 @@ mod tests {
         let mut text = std::fs::read_to_string(&path).unwrap();
         text.push_str("1\tgzip\t12"); // unfinished row
         std::fs::write(&path, text).unwrap();
-        let partial = load_checkpoint(&path, fp, &profiles);
+        let partial = load_checkpoint(&path, &key, &profiles);
         assert_eq!(partial, vec![(0, results[0]), (2, results[2])]);
 
+        // A colliding fingerprint with a different identity is a miss that
+        // leaves the other configuration's rows untouched.
+        let impostor = CacheKey {
+            fingerprint: key.fingerprint,
+            identity: format!("{}|impostor", key.identity),
+        };
+        assert!(load_checkpoint(&path, &impostor, &profiles).is_empty());
+        assert!(path.exists(), "colliding checkpoint must not be deleted");
+        assert_eq!(load_checkpoint(&path, &key, &profiles).len(), 2);
+
         // A stale fingerprint discards the file entirely.
-        assert!(load_checkpoint(&path, fp ^ 1, &profiles).is_empty());
+        let stale = CacheKey {
+            fingerprint: key.fingerprint ^ 1,
+            identity: key.identity.clone(),
+        };
+        assert!(load_checkpoint(&path, &stale, &profiles).is_empty());
         assert!(!path.exists(), "stale checkpoint must be deleted");
     }
 
@@ -1447,8 +1707,9 @@ mod tests {
         // Simulate an interrupted run: only app 1 completed and was
         // checkpointed before the kill.
         let partial = run(&profiles[1], &Technique::Base, &sim);
-        let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &plan);
-        append_checkpoint(&checkpoint_path(&sup, fp), fp, 1, &partial).unwrap();
+        let key = suite_key(&profiles, &Technique::Base, &sim, &plan);
+        let fp = key.fingerprint;
+        append_checkpoint(&checkpoint_path(&sup, fp), &key, 1, &partial).unwrap();
 
         let resumed = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &plan);
         assert!(

@@ -72,6 +72,7 @@ pub mod obs;
 pub mod response;
 pub mod server;
 pub mod sim;
+pub mod sweep;
 pub mod testenv;
 mod wire;
 
@@ -94,7 +95,7 @@ pub use isolation::{
 };
 pub use kernel::{run_on_path, run_with_batch, EnginePath};
 pub use lanes::{lane_count, run_suite_lanes, DEFAULT_LANES};
-pub use mesh::{job_shard, partition_host, rendezvous_order, ChaosConductor, Mesh};
+pub use mesh::{job_shard, partition_host, rendezvous_order, shard_keys, ChaosConductor, Mesh};
 pub use metrics::{RelativeOutcome, RunMetrics, Summary};
 pub use obs::{CycleTracer, Event, JsonValue, TraceBuffer, TraceSink};
 pub use response::{ResonanceTuner, ResponseLevel, ResponseStats};
@@ -102,4 +103,8 @@ pub use server::{Endpoint, Server, ServerConfig, ServerStats};
 pub use sim::{
     run, run_instrumented, run_observed, run_supervised, CycleRecord, InstrumentedRun,
     PhaseTimings, SimConfig, SimResult, Technique,
+};
+pub use sweep::{
+    run_key, run_sweep, sim_for, EvictStats, GridSpec, RunStore, SensorPoint, SweepOutcome,
+    SweepPoint, WorkloadClass,
 };

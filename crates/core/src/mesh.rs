@@ -5,11 +5,13 @@
 //! [`crate::client::Core`] per `restuned` host, with
 //!
 //! * **rendezvous sharding** — every job hashes its fingerprint against
-//!   each host *index* ([`rendezvous_order`]); the highest score is the
-//!   job's home host, so the persisted cross-tenant result cache shards
-//!   with the work and a resend lands where the cached row lives. Scores
-//!   key on the position in the `--connect` list (not the endpoint
-//!   string), so the assignment is a property of the list order alone;
+//!   each host's *canonicalized endpoint string* ([`rendezvous_order`],
+//!   [`shard_keys`]); the highest score is the job's home host, so the
+//!   persisted cross-tenant result cache shards with the work and a
+//!   resend lands where the cached row lives. Because scores key on the
+//!   endpoint itself (not its position in the list), reordering a
+//!   `--connect` list never reassigns a shard — cache affinity survives
+//!   config edits that merely permute the same hosts;
 //! * **circuit breaking** — a per-host closed → open → half-open state
 //!   machine: consecutive host-down failures open the breaker, an open
 //!   breaker rejects routing until its cooldown elapses, then one probe
@@ -62,21 +64,40 @@ const MESH_RECONNECTS: u32 = 2;
 const MAX_PASSES: u32 = 8;
 
 /// Rendezvous ("highest random weight") order of host indices for one job
-/// fingerprint: every host index is scored by hashing `(fingerprint,
-/// index)` and the hosts are returned best score first. Deterministic,
-/// uniform, and minimally disruptive — removing one host only moves the
-/// jobs that lived there.
-pub fn rendezvous_order(fingerprint: u64, hosts: usize) -> Vec<usize> {
-    let mut scored: Vec<(u64, usize)> = (0..hosts)
-        .map(|index| {
-            let mut bytes = [0u8; 16];
-            bytes[..8].copy_from_slice(&fingerprint.to_le_bytes());
-            bytes[8..].copy_from_slice(&(index as u64).to_le_bytes());
+/// fingerprint: every host is scored by hashing `(fingerprint, shard
+/// key)` — the shard key being the host's canonicalized endpoint string
+/// (see [`shard_keys`]) — and the hosts are returned best score first.
+/// Deterministic, uniform, and minimally disruptive: removing one host
+/// only moves the jobs that lived there, and because the key is the
+/// endpoint rather than the list position, permuting the `--connect`
+/// list leaves every assignment where it was.
+pub fn rendezvous_order(fingerprint: u64, keys: &[String]) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = keys
+        .iter()
+        .enumerate()
+        .map(|(index, key)| {
+            let mut bytes = Vec::with_capacity(8 + key.len());
+            bytes.extend_from_slice(&fingerprint.to_le_bytes());
+            bytes.extend_from_slice(key.as_bytes());
             (crate::engine::fnv1a(&bytes), index)
         })
         .collect();
     scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     scored.into_iter().map(|(_, index)| index).collect()
+}
+
+/// The canonical shard key of every endpoint in a comma-separated
+/// `--connect` list: each entry trimmed, then parsed and re-rendered
+/// through [`Endpoint`]'s display form — so an endpoint scores the same
+/// however it was spelled or positioned in the list. Exposed so tests
+/// and tools can predict routing.
+pub fn shard_keys(connect: &str) -> Vec<String> {
+    connect
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|raw| Endpoint::parse(raw).to_string())
+        .collect()
 }
 
 /// The shard key the mesh routes on: exactly the job fingerprint that
@@ -263,6 +284,9 @@ impl Host {
 /// (same reconnect budget, same error surface).
 pub struct Mesh {
     hosts: Vec<Host>,
+    /// Canonical endpoint strings, index-aligned with `hosts` — the HRW
+    /// shard keys (see [`shard_keys`]).
+    keys: Vec<String>,
 }
 
 impl std::fmt::Debug for Mesh {
@@ -294,6 +318,7 @@ impl Mesh {
             .enumerate()
             .map(|(index, raw)| Host::new(index, Endpoint::parse(raw)))
             .collect();
+        let keys = shard_keys(raw);
         let mut reachable = 0usize;
         let mut last_err: Option<io::Error> = None;
         for (host, endpoint) in hosts.iter().zip(&endpoints) {
@@ -324,7 +349,7 @@ impl Mesh {
         if reachable == 0 {
             return Err(last_err.expect("at least one endpoint was dialed"));
         }
-        Ok(Mesh { hosts })
+        Ok(Mesh { hosts, keys })
     }
 
     /// The number of hosts in the mesh (including currently-broken ones).
@@ -375,7 +400,7 @@ impl Mesh {
             .unwrap_or(client::NO_DEADLINE_BUDGET);
         let started = Instant::now();
         let mut busy_spent = Duration::ZERO;
-        let order = rendezvous_order(fingerprint, self.hosts.len());
+        let order = rendezvous_order(fingerprint, &self.keys);
         let single = self.hosts.len() == 1;
         let budget = if single {
             client::MAX_RECONNECTS
@@ -626,26 +651,31 @@ impl ChaosConductor {
 mod tests {
     use super::*;
 
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("/tmp/restuned-{i}.sock")).collect()
+    }
+
     #[test]
     fn rendezvous_is_deterministic_and_complete() {
         for fp in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
-            let order = rendezvous_order(fp, 5);
+            let order = rendezvous_order(fp, &keys(5));
             assert_eq!(order.len(), 5);
             let mut sorted = order.clone();
             sorted.sort_unstable();
             assert_eq!(sorted, vec![0, 1, 2, 3, 4], "a permutation");
-            assert_eq!(order, rendezvous_order(fp, 5), "stable");
+            assert_eq!(order, rendezvous_order(fp, &keys(5)), "stable");
         }
-        assert_eq!(rendezvous_order(42, 1), vec![0]);
-        assert!(rendezvous_order(42, 0).is_empty());
+        assert_eq!(rendezvous_order(42, &keys(1)), vec![0]);
+        assert!(rendezvous_order(42, &keys(0)).is_empty());
     }
 
     #[test]
     fn rendezvous_spreads_jobs_and_moves_minimally() {
         // Over many fingerprints, every host of 3 gets a meaningful share.
+        let hosts = keys(3);
         let mut share = [0usize; 3];
         for fp in 0..600u64 {
-            share[rendezvous_order(crate::engine::fnv1a(&fp.to_le_bytes()), 3)[0]] += 1;
+            share[rendezvous_order(crate::engine::fnv1a(&fp.to_le_bytes()), &hosts)[0]] += 1;
         }
         for (host, n) in share.iter().enumerate() {
             assert!(
@@ -657,11 +687,50 @@ mod tests {
         // fingerprint whose 3-host winner is 0 or 1 keeps it under 2 hosts.
         for fp in 0..600u64 {
             let fp = crate::engine::fnv1a(&fp.to_le_bytes());
-            let with3 = rendezvous_order(fp, 3)[0];
+            let with3 = rendezvous_order(fp, &hosts)[0];
             if with3 < 2 {
-                assert_eq!(rendezvous_order(fp, 2)[0], with3, "minimal disruption");
+                assert_eq!(
+                    rendezvous_order(fp, &hosts[..2])[0],
+                    with3,
+                    "minimal disruption"
+                );
             }
         }
+    }
+
+    #[test]
+    fn rendezvous_shards_identically_under_list_permutation() {
+        // The regression this keying fixed: a permuted `--connect` list
+        // must send every fingerprint to the same *endpoint*, because the
+        // endpoint string — not the list position — is the shard key.
+        let list_a = "/tmp/a.sock, /tmp/b.sock,tcp:127.0.0.1:7070";
+        let list_b = "tcp:127.0.0.1:7070,/tmp/a.sock , /tmp/b.sock";
+        let keys_a = shard_keys(list_a);
+        let keys_b = shard_keys(list_b);
+        for fp in 0..500u64 {
+            let fp = crate::engine::fnv1a(&fp.to_le_bytes());
+            let winner_a = &keys_a[rendezvous_order(fp, &keys_a)[0]];
+            let winner_b = &keys_b[rendezvous_order(fp, &keys_b)[0]];
+            assert_eq!(winner_a, winner_b, "fp {fp:016x} moved under permutation");
+            // The whole failover order is permutation-invariant too.
+            let order_a: Vec<&String> = rendezvous_order(fp, &keys_a)
+                .into_iter()
+                .map(|i| &keys_a[i])
+                .collect();
+            let order_b: Vec<&String> = rendezvous_order(fp, &keys_b)
+                .into_iter()
+                .map(|i| &keys_b[i])
+                .collect();
+            assert_eq!(order_a, order_b);
+        }
+    }
+
+    #[test]
+    fn shard_keys_canonicalize_spelling() {
+        assert_eq!(
+            shard_keys(" /tmp/x.sock ,tcp:h:1,, /tmp/y.sock"),
+            vec!["/tmp/x.sock", "tcp:h:1", "/tmp/y.sock"]
+        );
     }
 
     #[test]

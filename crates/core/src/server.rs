@@ -374,8 +374,11 @@ fn fresh_generation() -> u64 {
 // Shared result cache
 // ---------------------------------------------------------------------------
 
-/// Header line of the persistent result-cache file.
-const CACHE_HEADER: &str = "restune-server-cache v1";
+/// Header line of the persistent result-cache file. v2 added the job
+/// identity string to every row, so a 64-bit fingerprint collision is
+/// detected instead of silently serving another job's result; v1 files
+/// are discarded (cheap — each row is one re-simulated run).
+const CACHE_HEADER: &str = "restune-server-cache v2";
 
 fn hex_encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len() * 2);
@@ -394,12 +397,14 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
-/// The shared cross-tenant result cache: fingerprint → encoded result
-/// payload, persisted as a CRC-trailed row file with the engine's
-/// atomic-write discipline. The same fingerprint — across tenants,
-/// connections, and server restarts — is simulated exactly once.
+/// The shared cross-tenant result cache: fingerprint → (job identity,
+/// encoded result payload), persisted as a CRC-trailed row file with the
+/// engine's atomic-write discipline. The same job — across tenants,
+/// connections, and server restarts — is simulated exactly once. The
+/// identity string is verified on every read so a fingerprint collision
+/// degrades to a miss, never a wrong result.
 struct ResultCache {
-    rows: HashMap<u64, Vec<u8>>,
+    rows: HashMap<u64, (String, Vec<u8>)>,
     order: Vec<u64>,
     path: Option<PathBuf>,
     write_warned: bool,
@@ -435,10 +440,10 @@ impl ResultCache {
                 None => break,                // torn tail: keep the verified prefix
                 Some((_, false)) => continue, // damaged row: skip it
                 Some((core, true)) => {
-                    let Some((fp, payload)) = Self::parse_row(core) else {
+                    let Some((fp, identity, payload)) = Self::parse_row(core) else {
                         continue;
                     };
-                    if cache.rows.insert(fp, payload).is_none() {
+                    if cache.rows.insert(fp, (identity, payload)).is_none() {
                         cache.order.push(fp);
                     }
                 }
@@ -447,14 +452,34 @@ impl ResultCache {
         cache
     }
 
-    fn parse_row(core: &str) -> Option<(u64, Vec<u8>)> {
-        let (fp_field, hex) = core.split_once('\t')?;
+    fn parse_row(core: &str) -> Option<(u64, String, Vec<u8>)> {
+        let mut fields = core.split('\t');
+        let fp_field = fields.next()?;
         let fp = u64::from_str_radix(fp_field.strip_prefix("fp=")?, 16).ok()?;
-        Some((fp, hex_decode(hex)?))
+        // The identity is hex-encoded so its Debug rendering can never
+        // smuggle a tab or newline into the row format.
+        let identity = String::from_utf8(hex_decode(fields.next()?)?).ok()?;
+        let payload = hex_decode(fields.next()?)?;
+        fields.next().is_none().then_some((fp, identity, payload))
     }
 
-    fn get(&self, fingerprint: u64) -> Option<Vec<u8>> {
-        self.rows.get(&fingerprint).cloned()
+    /// Looks up `fingerprint`, verifying that the stored row was produced
+    /// by a job with the same full identity. A mismatch — a 64-bit
+    /// collision — is reported and treated as a miss.
+    fn get(&self, fingerprint: u64, identity: &str) -> Option<Vec<u8>> {
+        let (stored, payload) = self.rows.get(&fingerprint)?;
+        if stored != identity {
+            crate::obs::counter_add("server.identity_mismatches", 1);
+            crate::obs::warn(
+                "server",
+                &format!(
+                    "fingerprint collision on {fingerprint:016x}: cached identity \
+                     '{stored}' != requested '{identity}'; treating as a miss"
+                ),
+            );
+            return None;
+        }
+        Some(payload.clone())
     }
 
     /// Inserts and persists. First write wins — a fingerprint fully
@@ -462,11 +487,12 @@ impl ResultCache {
     /// finishing the same job, not new information. A persistence failure
     /// degrades to in-memory caching (warned once): results stay correct,
     /// restarts lose them.
-    fn store(&mut self, fingerprint: u64, payload: Vec<u8>) {
+    fn store(&mut self, fingerprint: u64, identity: &str, payload: Vec<u8>) {
         if self.rows.contains_key(&fingerprint) {
             return;
         }
-        self.rows.insert(fingerprint, payload);
+        self.rows
+            .insert(fingerprint, (identity.to_string(), payload));
         self.order.push(fingerprint);
         let Some(path) = self.path.clone() else {
             return;
@@ -474,7 +500,12 @@ impl ResultCache {
         let mut text = String::from(CACHE_HEADER);
         text.push('\n');
         for fp in &self.order {
-            let core = format!("fp={fp:016x}\t{}", hex_encode(&self.rows[fp]));
+            let (identity, payload) = &self.rows[fp];
+            let core = format!(
+                "fp={fp:016x}\t{}\t{}",
+                hex_encode(identity.as_bytes()),
+                hex_encode(payload)
+            );
             text.push_str(&crate::engine::crc_line(&core));
             text.push('\n');
         }
@@ -1170,11 +1201,12 @@ fn handle_frame(shared: &Arc<Shared>, conn: &Arc<FramedConn>, kind: u8, payload:
             }
             // Cache hit: served straight from the reader thread — a cached
             // row costs no worker and no queue slot.
+            let identity = wire::job_identity(&job.profile, &job.technique, &job.sim, &job.specs);
             let cached = shared
                 .cache
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
-                .get(decoded_fp);
+                .get(decoded_fp, &identity);
             if let Some(payload) = cached {
                 shared.count(&shared.counters.cache_hits);
                 let reply = wire::encode_reply_from_result_payload(req_id, true, &payload);
@@ -1266,11 +1298,17 @@ fn run_job(shared: &Arc<Shared>, job: &PendingJob) {
     // Re-check the cache: another tenant may have computed this
     // fingerprint while the job sat in the queue.
     let fingerprint = job.job.fingerprint;
+    let identity = wire::job_identity(
+        &job.job.profile,
+        &job.job.technique,
+        &job.job.sim,
+        &job.job.specs,
+    );
     let cached = shared
         .cache
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
-        .get(fingerprint);
+        .get(fingerprint, &identity);
     if let Some(payload) = cached {
         shared.count(&shared.counters.cache_hits);
         let reply = wire::encode_reply_from_result_payload(job.req_id, true, &payload);
@@ -1315,7 +1353,7 @@ fn run_job(shared: &Arc<Shared>, job: &PendingJob) {
             .cache
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .store(fingerprint, wire::encode_result(inst));
+            .store(fingerprint, &identity, wire::encode_result(inst));
     } else {
         // Failures are never cached: a timeout under one tenant's deadline
         // must not poison another tenant's retry.
@@ -1390,12 +1428,15 @@ mod tests {
         let path = dir.join("results.tsv");
         let mut cache = ResultCache::load(Some(path.clone()));
         assert_eq!(cache.len(), 0);
-        cache.store(0xAB, vec![1, 2, 3]);
-        cache.store(0xCD, vec![4, 5]);
-        cache.store(0xAB, vec![9, 9]); // duplicate: first write wins
+        cache.store(0xAB, "job-a", vec![1, 2, 3]);
+        cache.store(0xCD, "job-b", vec![4, 5]);
+        cache.store(0xAB, "job-a", vec![9, 9]); // duplicate: first write wins
         let reloaded = ResultCache::load(Some(path.clone()));
-        assert_eq!(reloaded.get(0xAB), Some(vec![1, 2, 3]));
-        assert_eq!(reloaded.get(0xCD), Some(vec![4, 5]));
+        assert_eq!(reloaded.get(0xAB, "job-a"), Some(vec![1, 2, 3]));
+        assert_eq!(reloaded.get(0xCD, "job-b"), Some(vec![4, 5]));
+        // A fingerprint collision — same fp, different job identity — must
+        // be a miss, never the other job's bytes.
+        assert_eq!(reloaded.get(0xAB, "job-z"), None);
 
         // Damage one row's CRC: that row is skipped, the rest load.
         let text = std::fs::read_to_string(&path).unwrap();
@@ -1408,17 +1449,32 @@ mod tests {
         lines[last].push(flipped);
         std::fs::write(&path, lines.join("\n")).unwrap();
         let damaged = ResultCache::load(Some(path.clone()));
-        assert_eq!(damaged.get(0xAB), Some(vec![1, 2, 3]));
-        assert_eq!(damaged.get(0xCD), None, "damaged row is skipped");
+        assert_eq!(damaged.get(0xAB, "job-a"), Some(vec![1, 2, 3]));
+        assert_eq!(damaged.get(0xCD, "job-b"), None, "damaged row is skipped");
 
         // A torn tail (no CRC trailer at all) stops the scan there.
         std::fs::write(
             &path,
-            format!("{CACHE_HEADER}\n{}\nfp=00000000000000ff\t0102", lines[1]),
+            format!(
+                "{CACHE_HEADER}\n{}\nfp=00000000000000ff\t6a\t0102",
+                lines[1]
+            ),
         )
         .unwrap();
         let torn = ResultCache::load(Some(path.clone()));
         assert_eq!(torn.len(), 1, "verified prefix only");
+
+        // A v1 file (no identity column) is discarded wholesale.
+        std::fs::write(
+            &path,
+            format!(
+                "restune-server-cache v1\n{}\n",
+                crate::engine::crc_line(&format!("fp={:016x}\t010203", 0xABu64))
+            ),
+        )
+        .unwrap();
+        let v1 = ResultCache::load(Some(path.clone()));
+        assert_eq!(v1.len(), 0, "v1 rows carry no identity; start empty");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

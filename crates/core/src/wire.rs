@@ -111,6 +111,19 @@ pub(crate) fn crc32(bytes: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
+/// Full identity string of one job's inputs — the preimage of
+/// [`job_fingerprint`]. Caches that key on the 64-bit fingerprint persist
+/// this string alongside each record and verify it on read, so a
+/// fingerprint collision degrades to a miss instead of a wrong result.
+pub(crate) fn job_identity(
+    profile: &WorkloadProfile,
+    technique: &Technique,
+    sim: &SimConfig,
+    specs: &[FaultSpec],
+) -> String {
+    format!("job-v{VERSION}|{profile:?}|{technique:?}|{sim:?}|{specs:?}")
+}
+
 /// FNV-1a fingerprint of the `Debug` rendering of one job's inputs. The
 /// parent stamps it into the frame (and the worker's argv); the worker
 /// recomputes it from the decoded values, so a lossy codec cannot silently
@@ -121,9 +134,7 @@ pub(crate) fn job_fingerprint(
     sim: &SimConfig,
     specs: &[FaultSpec],
 ) -> u64 {
-    crate::engine::fnv1a(
-        format!("job-v{VERSION}|{profile:?}|{technique:?}|{sim:?}|{specs:?}").as_bytes(),
-    )
+    crate::engine::fnv1a(job_identity(profile, technique, sim, specs).as_bytes())
 }
 
 // ---------------------------------------------------------------------------

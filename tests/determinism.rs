@@ -3,8 +3,8 @@
 //! `SimResult` rows.
 
 use restune::engine::{
-    base_fingerprint, cached_base_suite, checkpoint_path, corpus_base_fingerprint, load_baseline,
-    run_suite_supervised, save_baseline, suite_fingerprint, try_run_suite,
+    base_key, cached_base_suite, checkpoint_path, corpus_base_key, load_baseline,
+    run_suite_supervised, save_baseline, suite_key, try_run_suite,
 };
 use restune::experiment::run_suite;
 use restune::{run, FaultPlan, FaultSpec, SimConfig, SupervisorConfig, Technique, TuningConfig};
@@ -33,10 +33,10 @@ fn scheduler_serial_and_replay_agree_bit_for_bit() {
         .map(|p| run(p, &Technique::Base, &sim))
         .collect();
     // 4. A save/load round trip through the recorded-baseline format.
-    let fp = base_fingerprint(&sim);
+    let key = base_key(&sim);
     let path = std::env::temp_dir().join("restune-determinism-baseline.tsv");
-    save_baseline(&path, fp, &serial).expect("baseline writes");
-    let replayed = load_baseline(&path, fp)
+    save_baseline(&path, &key, &serial).expect("baseline writes");
+    let replayed = load_baseline(&path, &key)
         .expect("baseline reads")
         .expect("fingerprint matches");
     let _ = std::fs::remove_file(&path);
@@ -91,13 +91,13 @@ fn corpus_pool_serial_and_baseline_replay_agree_bit_for_bit() {
         .map(|p| run(p, &Technique::Base, &sim))
         .collect();
 
-    let fp = corpus_base_fingerprint(&sim);
+    let key = corpus_base_key(&sim);
     let path = std::env::temp_dir().join(format!(
         "restune-determinism-corpus-baseline-{}.tsv",
         std::process::id()
     ));
-    save_baseline(&path, fp, &serial).expect("corpus baseline writes");
-    let replayed = load_baseline(&path, fp)
+    save_baseline(&path, &key, &serial).expect("corpus baseline writes");
+    let replayed = load_baseline(&path, &key)
         .expect("corpus baseline reads")
         .expect("fingerprint matches");
     let _ = std::fs::remove_file(&path);
@@ -137,8 +137,8 @@ fn corpus_suite_checkpoints_and_resumes_bit_exactly() {
     let interrupted = run_suite_supervised(&profiles, &Technique::Base, &sim, &sup, &crash_plan);
     assert_eq!(interrupted.completed(), 2);
 
-    let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
-    let path = checkpoint_path(&sup, fp);
+    let key = suite_key(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+    let path = checkpoint_path(&sup, key.fingerprint);
     assert!(path.exists(), "a degraded corpus run keeps its checkpoint");
 
     // Clean resume: checkpointed corpus apps replay, the crashed one

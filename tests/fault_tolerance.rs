@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use restune::engine::{
-    append_checkpoint, base_fingerprint, checkpoint_path, load_baseline, load_checkpoint,
-    run_suite_supervised, save_baseline, suite_fingerprint, try_run_suite,
+    append_checkpoint, base_key, checkpoint_path, load_baseline, load_checkpoint,
+    run_suite_supervised, save_baseline, suite_fingerprint, suite_key, try_run_suite,
 };
 use restune::{FailureKind, FaultPlan, FaultSpec, SimConfig, SupervisorConfig, Technique};
 use workloads::spec2k;
@@ -325,14 +325,14 @@ fn corrupt_recorded_baselines_are_discarded_not_trusted() {
     let results: Vec<_> = try_run_suite(&profiles, &Technique::Base, &sim)
         .expect("suite runs")
         .results;
-    let fp = base_fingerprint(&sim);
+    let key = base_key(&sim);
 
     for label in ["truncated", "bit-flipped"] {
         let path = std::env::temp_dir().join(format!(
             "restune-ft-corrupt-{label}-{}.tsv",
             std::process::id()
         ));
-        save_baseline(&path, fp, &results).expect("baseline writes");
+        save_baseline(&path, &key, &results).expect("baseline writes");
         let mut bytes = std::fs::read(&path).expect("baseline reads back");
         let mid = bytes.len() / 2;
         if label == "truncated" {
@@ -342,7 +342,7 @@ fn corrupt_recorded_baselines_are_discarded_not_trusted() {
         }
         std::fs::write(&path, &bytes).expect("damage lands");
 
-        let loaded = load_baseline(&path, fp).expect("load survives corruption");
+        let loaded = load_baseline(&path, &key).expect("load survives corruption");
         assert!(loaded.is_none(), "{label} baseline must not be trusted");
         assert!(!path.exists(), "{label} baseline must be deleted");
     }
@@ -365,29 +365,29 @@ fn torn_checkpoints_recover_at_row_granularity() {
     };
 
     let reference = try_run_suite(&profiles, &Technique::Base, &sim).expect("suite runs");
-    let fp = suite_fingerprint(&profiles, &Technique::Base, &sim, &FaultPlan::none());
-    let path = checkpoint_path(&sup, fp);
+    let key = suite_key(&profiles, &Technique::Base, &sim, &FaultPlan::none());
+    let path = checkpoint_path(&sup, key.fingerprint);
     for (idx, result) in reference.results.iter().enumerate() {
-        append_checkpoint(&path, fp, idx, result).expect("checkpoint writes");
+        append_checkpoint(&path, &key, idx, result).expect("checkpoint writes");
     }
 
     // Damage the file the way a crash would: flip a CRC digit on the middle
     // row, and leave a half-written row dangling at the tail.
     let text = std::fs::read_to_string(&path).expect("checkpoint reads back");
     let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
-    assert_eq!(lines.len(), 4, "header plus one row per app");
-    let flipped = match lines[2].pop().expect("row is nonempty") {
+    assert_eq!(lines.len(), 5, "header, identity row, one row per app");
+    let flipped = match lines[3].pop().expect("row is nonempty") {
         '0' => '1',
         _ => '0',
     };
-    lines[2].push(flipped);
-    let torn = lines[3][..lines[3].len() / 2].to_string();
+    lines[3].push(flipped);
+    let torn = lines[4][..lines[4].len() / 2].to_string();
     lines.push(torn);
     std::fs::write(&path, lines.join("\n")).expect("damage lands");
 
     // Row-granular recovery: rows 0 and 2 survive, the damaged row 1 does
     // not, and the torn tail never reaches the parser.
-    let rows = load_checkpoint(&path, fp, &profiles);
+    let rows = load_checkpoint(&path, &key, &profiles);
     assert_eq!(
         rows.iter().map(|(idx, _)| *idx).collect::<Vec<_>>(),
         vec![0, 2],

@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 
 use restune::engine::try_run_suite;
 use restune::{
-    job_shard, rendezvous_order, ChaosConductor, ChaosSchedule, ChaosStep, Endpoint, ServerConfig,
-    SimConfig, Technique,
+    job_shard, rendezvous_order, shard_keys, ChaosConductor, ChaosSchedule, ChaosStep, Endpoint,
+    ServerConfig, SimConfig, Technique,
 };
 use workloads::spec2k;
 
@@ -76,6 +76,13 @@ impl Scratch {
             .join(",")
     }
 
+    /// The canonical HRW shard keys the mesh will route on — sharding is
+    /// keyed on endpoint strings, so predictions must use this scratch
+    /// area's actual socket paths.
+    fn keys(&self) -> Vec<String> {
+        shard_keys(&self.connect_list())
+    }
+
     fn connect(&self) -> ConnectedGuard {
         restune::set_connect(&self.connect_list()).expect("at least one mesh host is reachable");
         ConnectedGuard
@@ -105,6 +112,7 @@ fn counter(name: &str) -> u64 {
 /// falls right.
 fn instructions_preferring(
     victim: usize,
+    keys: &[String],
     apps: &[workloads::WorkloadProfile],
     start: u64,
     want: usize,
@@ -116,7 +124,7 @@ fn instructions_preferring(
             .iter()
             .filter(|p| {
                 let fp = job_shard(p, &Technique::Base, &sim, &[]);
-                rendezvous_order(fp, HOSTS)[0] == victim
+                rendezvous_order(fp, keys)[0] == victim
             })
             .count();
         if on_victim >= want {
@@ -143,18 +151,19 @@ fn down_and_recover(label: &str, seed: u64, expect_first_class: &str) {
     let victim = schedule.steps[0].1.host();
 
     let apps = profiles(&APPS);
+    let scratch = Scratch::new(label);
     // Batch one: at least two apps shard onto the victim, so the failover
     // path (and the second breaker strike that opens it) must fire. Batch
     // two uses fresh fingerprints so its victim-sharded job goes through
     // the probe rather than any client-side state.
-    let instr1 = instructions_preferring(victim, &apps, 8_000, 2);
-    let instr2 = instructions_preferring(victim, &apps, instr1 + 1_000, 1);
+    let keys = scratch.keys();
+    let instr1 = instructions_preferring(victim, &keys, &apps, 8_000, 2);
+    let instr2 = instructions_preferring(victim, &keys, &apps, instr1 + 1_000, 1);
     let sim1 = SimConfig::isca04(instr1);
     let sim2 = SimConfig::isca04(instr2);
     let ref1 = try_run_suite(&apps, &Technique::Base, &sim1).expect("reference suite runs");
     let ref2 = try_run_suite(&apps, &Technique::Base, &sim2).expect("reference suite runs");
 
-    let scratch = Scratch::new(label);
     let mut conductor =
         ChaosConductor::start(scratch.hosts(), schedule).expect("all three hosts start");
     let _route = scratch.connect();
@@ -224,19 +233,20 @@ fn seed_41_partition_window_heals_with_byte_identical_results() {
     };
 
     let apps = profiles(&APPS);
-    let instructions = instructions_preferring(victim, &apps, 8_000, 1);
+    let scratch = Scratch::new("part41");
+    let keys = scratch.keys();
+    let instructions = instructions_preferring(victim, &keys, &apps, 8_000, 1);
     let sim = SimConfig::isca04(instructions);
     let reference = try_run_suite(&apps, &Technique::Base, &sim).expect("reference suite runs");
     let solo_index = apps
         .iter()
         .position(|p| {
             let fp = job_shard(p, &Technique::Base, &sim, &[]);
-            rendezvous_order(fp, HOSTS)[0] == victim
+            rendezvous_order(fp, &keys)[0] == victim
         })
         .expect("instructions_preferring guaranteed one");
     let solo = vec![apps[solo_index]];
 
-    let scratch = Scratch::new("part41");
     let mut conductor =
         ChaosConductor::start(scratch.hosts(), schedule).expect("all three hosts start");
     let _route = scratch.connect();
